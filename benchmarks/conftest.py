@@ -1,0 +1,14 @@
+"""Shared fixtures and reporting helpers for the experiment benchmarks.
+
+Each ``test_*`` module regenerates one table/figure of the paper (see
+DESIGN.md's experiment index).  Measured rows are printed with the
+``[ROW]`` prefix so EXPERIMENTS.md can be cross-checked against a run's
+output directly.
+"""
+
+from __future__ import annotations
+
+
+def emit_row(experiment: str, **fields) -> None:
+    parts = " ".join(f"{key}={value}" for key, value in fields.items())
+    print(f"\n[ROW] {experiment}: {parts}")

@@ -1,0 +1,68 @@
+"""E10 — full coredump vs minidump (§1 ablation).
+
+"Unlike execution synthesis, RES interprets the entire coredump, not
+just a minidump, which makes RES strictly more powerful."
+
+We run the same synthesizer on the full coredump and on a WER-style
+minidump (stacks + registers, no global/heap image) of the blind-spot
+workload, whose branch evidence lives only in a dropped global.  The
+full dump refutes the wrong predecessor; the minidump keeps both, so
+the developer gets an ambiguous (and possibly wrong) root-cause path.
+"""
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.vm.minidump import minidump_of
+from repro.workloads import MINIDUMP_BLINDSPOT
+
+from conftest import emit_row
+
+
+def synthesize_branches(dump):
+    res = ReverseExecutionSynthesizer(
+        MINIDUMP_BLINDSPOT.module, dump, RESConfig(max_depth=16))
+    branches = set()
+    count = 0
+    for synthesized in res.suffixes():
+        count += 1
+        for step in synthesized.suffix.steps:
+            seg = step.segment
+            if seg.function == "pick" and seg.block.startswith(("then", "else")):
+                branches.add(seg.block)
+    return branches, count, res.stats
+
+
+def test_e10_full_coredump_disambiguates(benchmark):
+    dump = MINIDUMP_BLINDSPOT.trigger()
+
+    branches, count, stats = benchmark(synthesize_branches, dump)
+    emit_row("E10-full", suffixes=count,
+             pick_branches=sorted(branches),
+             pruned_incompatible=stats.pruned_incompatible)
+    assert branches == {"then1"}, "full dump must pin the real branch"
+    assert stats.pruned_incompatible >= 1
+
+
+def test_e10_minidump_is_ambiguous(benchmark):
+    dump = MINIDUMP_BLINDSPOT.trigger()
+    mini = minidump_of(dump)
+
+    branches, count, stats = benchmark(synthesize_branches, mini)
+    emit_row("E10-mini", suffixes=count,
+             pick_branches=sorted(branches),
+             pruned_incompatible=stats.pruned_incompatible)
+    assert branches == {"then1", "else2"}, \
+        "minidump retains no evidence against the wrong predecessor"
+
+
+def test_e10_summary():
+    dump = MINIDUMP_BLINDSPOT.trigger()
+    full_branches, full_count, full_stats = synthesize_branches(dump)
+    mini_branches, mini_count, mini_stats = synthesize_branches(
+        minidump_of(dump))
+    emit_row("E10-summary",
+             full_branches=len(full_branches),
+             mini_branches=len(mini_branches),
+             full_suffixes=full_count,
+             mini_suffixes=mini_count,
+             extra_ambiguity=mini_count - full_count)
+    assert len(mini_branches) > len(full_branches)

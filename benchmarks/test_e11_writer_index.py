@@ -1,0 +1,60 @@
+"""E11 — static predecessor filtering ablation (§2.3 / Figure 1).
+
+"RES determines statically which predecessors are possible ... since
+x = 1 in the coredump, and only Pred1 ever sets x to 1, then Pred1 must
+be part of the correct execution suffix."
+
+We run the synthesizer with and without the writer-index filter on the
+constant-tag state machine.  The suffix set must be identical (the
+filter is a sound optimization); the measured saving is in how many
+candidates reach symbolic execution.
+"""
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.workloads import MINIDUMP_BLINDSPOT, WRITER_TAG
+
+from conftest import emit_row
+
+
+def run_synthesis(workload, use_writer_index, max_depth=20):
+    dump = workload.trigger()
+    res = ReverseExecutionSynthesizer(
+        workload.module, dump,
+        RESConfig(max_depth=max_depth, max_nodes=4000,
+                  use_writer_index=use_writer_index))
+    suffixes = list(res.suffixes())
+    return len(suffixes), res.stats
+
+
+def test_e11_without_filter(benchmark):
+    count, stats = benchmark(run_synthesis, WRITER_TAG, False)
+    emit_row("E11-off", suffixes=count,
+             candidates_executed=stats.candidates_executed,
+             pruned_static=stats.pruned_by_writer_index,
+             pruned_incompatible=stats.pruned_incompatible)
+    assert stats.pruned_by_writer_index == 0
+
+
+def test_e11_with_filter(benchmark):
+    count, stats = benchmark(run_synthesis, WRITER_TAG, True)
+    emit_row("E11-on", suffixes=count,
+             candidates_executed=stats.candidates_executed,
+             pruned_static=stats.pruned_by_writer_index,
+             pruned_incompatible=stats.pruned_incompatible)
+    assert stats.pruned_by_writer_index > 0
+
+
+def test_e11_summary():
+    rows = {}
+    for workload in (WRITER_TAG, MINIDUMP_BLINDSPOT):
+        count_off, stats_off = run_synthesis(workload, False)
+        count_on, stats_on = run_synthesis(workload, True)
+        assert count_off == count_on, "filter must not change the result"
+        emit_row("E11-summary", workload=workload.name,
+                 suffixes=count_on,
+                 executed_off=stats_off.candidates_executed,
+                 executed_on=stats_on.candidates_executed,
+                 statically_refuted=stats_on.pruned_by_writer_index)
+        rows[workload.name] = (stats_off, stats_on)
+    tag_off, tag_on = rows["writer_tag"]
+    assert tag_on.candidates_executed < tag_off.candidates_executed

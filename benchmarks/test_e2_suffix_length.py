@@ -1,0 +1,80 @@
+"""E2 — synthesis effort vs root-cause distance (§2 enabler / §6 limit).
+
+"We assume that the root cause is located fairly close to the failure
+(e.g., 85% of the bugs analyzed in [30] were executed just a few
+instructions before the failure) ... The main limiting factor for RES
+is the size of the execution suffix."
+
+We move the faulting store progressively further from the failure and
+measure how deep RES must reach (and at what node cost) before the
+root cause enters the suffix.
+"""
+
+import pytest
+
+from repro.minic import compile_source
+from repro.core import RESConfig
+from repro.core.rootcause import find_root_cause
+from repro.vm import VM
+
+from conftest import emit_row
+
+DISTANCES = (0, 2, 8, 24)
+
+
+def distance_workload(d):
+    src = f"""
+global int g;
+global int pad;
+
+func main() {{
+    int v = input();
+    g = v;                      // the root cause: writes the bad value
+    int i = 0;
+    while (i < {d}) {{          // {d} iterations separate cause and crash
+        pad = pad + i;
+        i = i + 1;
+    }}
+    assert(g == 0, "g was corrupted long ago");
+    return 0;
+}}
+"""
+    module = compile_source(src, name=f"dist_{d}")
+    result = VM(module, inputs=[7]).run()
+    assert result.trapped
+    return module, result.coredump
+
+
+@pytest.mark.parametrize("d", DISTANCES)
+def test_e2_effort_grows_with_distance(benchmark, d):
+    module, dump = distance_workload(d)
+    config = RESConfig(max_depth=16 + 6 * d, max_nodes=20_000)
+
+    def run():
+        return find_root_cause(module, dump, config, max_suffixes=4096)
+
+    # Deterministic search; two rounds bound the suite's wall time while
+    # still giving a timing spread.
+    cause, suffixes = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert cause is not None and cause.kind == "assert-state"
+    # the root-cause writer is only visible once the suffix spans the pad
+    containing = [s for s in suffixes
+                  if any("entry" == st.segment.block and st.write_addrs
+                         for st in s.suffix.steps)]
+    depth_needed = suffixes[-1].depth if suffixes else 0
+    emit_row("E2", distance=d,
+             suffix_depth_needed=depth_needed,
+             suffixes_scanned=len(suffixes),
+             mean_seconds=round(benchmark.stats["mean"], 4))
+
+
+def test_e2_depth_monotone_in_distance():
+    depths = []
+    for d in DISTANCES:
+        module, dump = distance_workload(d)
+        cause, suffixes = find_root_cause(
+            module, dump, RESConfig(max_depth=16 + 6 * d, max_nodes=20_000),
+            max_suffixes=4096)
+        depths.append(suffixes[-1].depth if suffixes else 0)
+    assert depths == sorted(depths), f"depth must grow with distance: {depths}"
+    emit_row("E2-summary", distances=list(DISTANCES), depths=depths)

@@ -1,0 +1,65 @@
+"""E5 — hardware-error identification (§3.2).
+
+Injected DRAM bit flips and CPU miscomputation must yield coredumps for
+which no feasible suffix exists (verdict: hardware); clean dumps must
+not be accused (verdict: software).  The flip in memory no suffix
+touches is the paper's admitted blind spot and must pass as software.
+"""
+
+import pytest
+
+from repro.core import RESConfig
+from repro.core.hwerror import HardwareVerdict, diagnose
+from repro.workloads import HW_CANARY
+from repro.workloads.hwfaults import standard_scenarios
+
+from conftest import emit_row
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return standard_scenarios()
+
+
+def test_e5_detection_table(benchmark, scenarios):
+    def run():
+        return [diagnose(HW_CANARY.module, sc.coredump)
+                for sc in scenarios]
+
+    diagnoses = benchmark(run)
+    correct = 0
+    for sc, diag in zip(scenarios, diagnoses):
+        expected = HardwareVerdict.HARDWARE if (sc.is_hardware
+                                                and sc.detectable) \
+            else HardwareVerdict.SOFTWARE
+        ok = diag.verdict is expected
+        correct += ok
+        emit_row("E5", scenario=sc.name, verdict=diag.verdict.value,
+                 expected=expected.value,
+                 truth_hardware=sc.is_hardware,
+                 detectable=sc.detectable, correct=ok)
+    assert correct == len(scenarios), "every scenario must match expectation"
+
+
+def test_e5_no_false_accusations(scenarios):
+    """Software crashes must never be blamed on hardware."""
+    for sc in scenarios:
+        if sc.is_hardware:
+            continue
+        diag = diagnose(HW_CANARY.module, sc.coredump)
+        assert diag.verdict is HardwareVerdict.SOFTWARE
+
+
+def test_e5_detectable_faults_all_caught(scenarios):
+    detected = missed = 0
+    for sc in scenarios:
+        if not sc.is_hardware:
+            continue
+        diag = diagnose(HW_CANARY.module, sc.coredump)
+        if sc.detectable:
+            assert diag.verdict is HardwareVerdict.HARDWARE
+            detected += 1
+        elif diag.verdict is not HardwareVerdict.HARDWARE:
+            missed += 1
+    emit_row("E5-summary", detected=detected, expected_misses=missed)
+    assert detected >= 3

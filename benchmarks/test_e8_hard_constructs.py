@@ -1,0 +1,63 @@
+"""E8 — hard-to-invert constructs and the re-execution fallback (§6).
+
+"There are cases in which reversing executions requires inverting a
+difficult code construct (e.g., a hash function) ... the inputs to the
+hash function may still be on the stack and RES could re-execute the
+function instead of reverse-analyzing it."
+
+Cases:
+* ``hash_guard``   — the hash input survives in the register file;
+  re-execution (``atomic_calls={"mix"}``) crosses the construct with no
+  solver search at all.
+* ``hash_guard_dead`` — the input is dead; re-execution *correctly*
+  refuses to cross (the §6 failure mode), while pure reverse analysis
+  burns solver effort on the inversion.
+"""
+
+import pytest
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.workloads import HASH_GUARD, HASH_GUARD_DEAD
+
+from conftest import emit_row
+
+
+def deepest_depth(workload, atomic):
+    dump = workload.trigger()
+    res = ReverseExecutionSynthesizer(
+        workload.module, dump,
+        RESConfig(max_depth=20, max_nodes=2000,
+                  atomic_calls=frozenset({"mix"}) if atomic else frozenset()))
+    best = 0
+    for s in res.suffixes():
+        best = max(best, s.depth)
+    return best, res.stats
+
+
+@pytest.mark.parametrize("atomic", (False, True),
+                         ids=("reverse-analysis", "re-execution"))
+def test_e8_live_input(benchmark, atomic):
+    depth, stats = benchmark(deepest_depth, HASH_GUARD, atomic)
+    emit_row("E8", workload="hash_guard",
+             strategy="re-execution" if atomic else "reverse-analysis",
+             deepest_verified=depth,
+             complete_reconstructions=stats.complete_reconstructions,
+             replay_failures=stats.replays_failed,
+             mean_seconds=round(benchmark.stats["mean"], 4))
+    # with the input alive, the construct is crossable either way, but
+    # re-execution does it with zero failed replays
+    assert stats.complete_reconstructions >= 1
+    if atomic:
+        assert stats.replays_failed == 0
+
+
+def test_e8_dead_input_blocks_reexecution():
+    depth_rev, stats_rev = deepest_depth(HASH_GUARD_DEAD, atomic=False)
+    depth_atm, stats_atm = deepest_depth(HASH_GUARD_DEAD, atomic=True)
+    emit_row("E8", workload="hash_guard_dead",
+             reverse_depth=depth_rev, reexec_depth=depth_atm,
+             reexec_complete=stats_atm.complete_reconstructions)
+    # re-execution cannot cross without the concrete input: the suffix
+    # stops before the call — §6's admitted limitation
+    assert stats_atm.complete_reconstructions == 0
+    assert depth_atm < 6

@@ -1,0 +1,68 @@
+"""E9 — anytime operation (§2.1).
+
+"RES continues building up suffixes by moving backward through the
+execution until the user stops it."
+
+Sweep the backward-step budget and record suffix depth and state-
+reconstruction coverage (how many memory words / registers of the
+pre-state the suffix pins down): both must grow with budget, and every
+intermediate suffix must already be replayable — that is what makes
+RES useful before it finishes.
+"""
+
+import pytest
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.workloads import RACE_FLAG
+
+from conftest import emit_row
+
+BUDGETS = (1, 3, 6, 10)
+
+
+@pytest.fixture(scope="module")
+def dump():
+    return RACE_FLAG.trigger()
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+def test_e9_budget_sweep(benchmark, dump, budget):
+    def run():
+        res = ReverseExecutionSynthesizer(
+            RACE_FLAG.module, dump,
+            RESConfig(max_depth=budget, max_nodes=4000))
+        deepest = None
+        for s in res.suffixes():
+            deepest = s
+        return deepest
+
+    deepest = benchmark(run)
+    assert deepest is not None, "even budget 1 must yield a suffix"
+    assert deepest.report.ok
+    suffix = deepest.suffix
+    emit_row("E9", budget=budget, depth=deepest.depth,
+             instructions=sum(s.instr_count for s in suffix.steps),
+             reconstructed_words=len(suffix.snapshot.memory.overlay),
+             read_set=len(suffix.read_set()),
+             write_set=len(suffix.write_set()),
+             threads=len(suffix.threads_involved()))
+
+
+def test_e9_coverage_grows_with_budget(dump):
+    coverage = []
+    for budget in BUDGETS:
+        res = ReverseExecutionSynthesizer(
+            RACE_FLAG.module, dump,
+            RESConfig(max_depth=budget, max_nodes=4000))
+        deepest = None
+        for s in res.suffixes():
+            deepest = s
+        coverage.append((deepest.depth,
+                         len(deepest.suffix.read_set()
+                             | deepest.suffix.write_set())))
+    depths = [c[0] for c in coverage]
+    touched = [c[1] for c in coverage]
+    emit_row("E9-summary", budgets=list(BUDGETS), depths=depths,
+             touched_words=touched)
+    assert depths == sorted(depths)
+    assert touched[-1] >= touched[0]

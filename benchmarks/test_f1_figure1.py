@@ -1,0 +1,40 @@
+"""F1 — Figure 1 of the paper: backward predecessor disambiguation.
+
+The coredump records ``x = 1``; only Pred1 (the ``x = 1`` block) can be
+part of the suffix, so RES must keep Pred1, discard Pred2, and the
+replayed suffix must reproduce the buffer overflow at ``buffer[10]``.
+"""
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.workloads import FIGURE1_OVERFLOW
+
+from conftest import emit_row
+
+
+def test_f1_pred1_kept_pred2_discarded(benchmark):
+    dump = FIGURE1_OVERFLOW.trigger()
+    layout = FIGURE1_OVERFLOW.module.layout()
+    assert dump.read(layout["x"]) == 1  # the Figure 1 premise
+
+    def run():
+        res = ReverseExecutionSynthesizer(
+            FIGURE1_OVERFLOW.module, dump, RESConfig(max_depth=16))
+        deepest = None
+        for s in res.suffixes():
+            deepest = s
+        return res, deepest
+
+    res, deepest = benchmark(run)
+    blocks = {st.segment.block for st in deepest.suffix.steps}
+    assert "then1" in blocks, "Pred1 (x=1) must be on the suffix"
+    assert "else2" not in blocks, "Pred2 (x=2) must be discarded"
+    assert deepest.report.ok
+    pruned = res.stats.pruned_incompatible + res.stats.pruned_structural
+    emit_row("F1", coredump_x=dump.read(layout["x"]),
+             coredump_y=dump.read(layout["y"]),
+             fault_addr=hex(dump.trap.fault_addr),
+             pred1_kept="then1" in blocks,
+             pred2_discarded="else2" not in blocks,
+             candidates_pruned=pruned,
+             suffix_depth=deepest.depth,
+             replay_verified=deepest.report.ok)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: crash a program, then debug it post-mortem with RES.
+
+No runtime recording happens anywhere in this script: the only artifact
+that crosses from "production" to "developer" is the coredump (here
+even serialized through JSON to prove it), exactly the paper's setting.
+"""
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.minic import compile_source
+from repro.vm import Coredump, VM
+
+SOURCE = """
+global int x;
+global int y;
+
+func main() {
+    int v = input();
+    if (v > 3) {
+        x = 1;          // the path the buggy input takes
+    } else {
+        x = 2;          // the path the developer *expected*
+    }
+    y = x + 10;
+    assert(y == 12, "y should always be 12");
+    return 0;
+}
+"""
+
+
+def main():
+    module = compile_source(SOURCE, name="quickstart")
+
+    # --- production: the program crashes on some input -----------------
+    result = VM(module, inputs=[7]).run()
+    assert result.trapped
+    print("production crash:", result.coredump.trap)
+
+    # the coredump is shipped to the developer (serialize to prove that
+    # nothing else crosses the boundary)
+    wire = result.coredump.to_json()
+    coredump = Coredump.from_json(wire)
+
+    # --- developer: reverse execution synthesis ------------------------
+    synthesizer = ReverseExecutionSynthesizer(module, coredump,
+                                              RESConfig(max_depth=12))
+    deepest = None
+    for suffix in synthesizer.suffixes():   # anytime: shortest first
+        deepest = suffix
+    print()
+    print(deepest.suffix.describe())
+    print()
+    print("reconstructed program input :", deepest.report.inputs)
+    print("suffix replays to the dump  :", deepest.report.ok)
+    blocks = {step.segment.block for step in deepest.suffix.steps}
+    print("branch proven from coredump :",
+          "x=1 path" if "then1" in blocks else "x=2 path")
+    stats = synthesizer.stats
+    print(f"hypotheses pruned           : "
+          f"{stats.pruned_incompatible + stats.pruned_structural}")
+
+
+if __name__ == "__main__":
+    main()

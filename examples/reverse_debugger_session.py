@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Reverse-debugging session (§3.3): gdb-style workflow with no recording.
+
+Synthesizes a suffix for the order-violation race, then drives the
+ReverseDebugger like a developer would: run to the failure, inspect
+source variables, step *backward* to watch the stale read happen, and
+use the read/write sets to focus on the state that matters.
+"""
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.core.debugger import ReverseDebugger
+from repro.workloads import RACE_FLAG
+
+
+def main():
+    coredump = RACE_FLAG.trigger()
+    print("crash:", coredump.trap)
+
+    synthesizer = ReverseExecutionSynthesizer(
+        RACE_FLAG.module, coredump, RESConfig(max_depth=14, max_nodes=8000))
+    chosen = None
+    for suffix in synthesizer.suffixes():
+        chosen = suffix
+        if len(suffix.suffix.threads_involved()) > 1:
+            break
+
+    dbg = ReverseDebugger(RACE_FLAG.module, chosen)
+    print(f"suffix loaded: {dbg.total_steps} instructions across threads "
+          f"{sorted(chosen.suffix.threads_involved())}")
+
+    print("\n(gdb) continue            # run into the failure")
+    pc = dbg.run_to_failure()
+    print(f"  stopped at {pc} (source line {dbg.source_line()})")
+    print(f"  backtrace: {dbg.backtrace()}")
+    print(f"  d    = {dbg.print_var('d')}     # the stale read")
+    print(f"  data = {dbg.print_var('data')}  # what memory holds now")
+
+    print("\n(gdb) reverse-step 3      # no recording was ever taken")
+    for _ in range(3):
+        pc = dbg.reverse_step(1)
+        print(f"  now at {pc}")
+
+    print("\n(gdb) info threads")
+    for tid, (status, tpc) in dbg.info_threads().items():
+        print(f"  thread {tid}: {status} at {tpc}")
+
+    print("\nfocus sets (§3.3: 'recently read or written state'):")
+    layout = RACE_FLAG.module.layout()
+    names = {addr: name for name, addr in layout.items()}
+    reads = {names.get(a, hex(a)) for a in dbg.focus_read_set()}
+    writes = {names.get(a, hex(a)) for a in dbg.focus_write_set()}
+    print("  read  :", sorted(reads))
+    print("  write :", sorted(writes))
+
+    print("\nhypothesis test: was data still 0 when main was in then1?")
+    hits = dbg.test_hypothesis(
+        "main", lambda d: d.print_var("data", tid=0) == 0)
+    print(f"  predicate held at {len(hits)} step(s)" +
+          (f", first at {hits[0][1]}" if hits else ""))
+
+
+if __name__ == "__main__":
+    main()

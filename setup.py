@@ -1,0 +1,20 @@
+"""Legacy setup shim for environments without the `wheel` package.
+
+`pyproject.toml` is the canonical metadata; this file mirrors the bits
+`python setup.py develop` needs for an offline editable install.
+"""
+
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reverse Execution Synthesis (RES): automated post-mortem "
+                 "debugging from coredumps, after Zamfir et al., HotOS 2013"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": ["res = repro.cli.main:main"],
+    },
+    python_requires=">=3.9",
+)

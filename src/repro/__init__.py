@@ -1,0 +1,31 @@
+"""repro — Reverse Execution Synthesis (RES).
+
+A from-scratch reproduction of "Automated Debugging for Arbitrarily
+Long Executions" (Zamfir, Kasikci, Kinder, Bugnion, Candea — HotOS
+2013): post-mortem debugging from a coredump with no runtime recording.
+
+Quickstart::
+
+    from repro.minic import compile_source
+    from repro.vm import VM
+    from repro.core import ReverseExecutionSynthesizer, RESConfig
+
+    module = compile_source(open("prog.mc").read())
+    result = VM(module, inputs=[7]).run()          # program crashes
+    res = ReverseExecutionSynthesizer(module, result.coredump)
+    suffix = next(iter(res.suffixes()))            # verified suffix
+    print(suffix.suffix.describe())
+
+Layers:
+
+* :mod:`repro.minic` — MiniC compiler (source → IR).
+* :mod:`repro.ir` — the register IR and its CFG analyses.
+* :mod:`repro.vm` — deterministic multithreaded VM; produces coredumps.
+* :mod:`repro.symex` — expressions, intervals, and the constraint solver.
+* :mod:`repro.core` — RES itself plus the paper's three use cases
+  (triage, hardware-error diagnosis, reverse debugging).
+* :mod:`repro.baselines` — forward synthesis, PSE slicing, WER, WP.
+* :mod:`repro.workloads` — the evaluation's buggy-program catalog.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,14 @@
+"""Baselines the paper positions RES against: forward execution
+synthesis [29], PSE-style static slicing [20], WER bucketing [16], and
+weakest-precondition computation [7, 10]."""
+
+from repro.baselines.forward_synthesis import ForwardResult, ForwardSynthesizer
+from repro.baselines.static_slicer import Slice, StaticSlicer
+from repro.baselines.wer import WERConfig, triage as wer_triage, wer_signature
+from repro.baselines.wp import WeakestPrecondition, WPResult
+
+__all__ = [
+    "ForwardResult", "ForwardSynthesizer", "Slice", "StaticSlicer",
+    "WERConfig", "WPResult", "WeakestPrecondition", "wer_signature",
+    "wer_triage",
+]

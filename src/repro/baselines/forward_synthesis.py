@@ -1,0 +1,347 @@
+"""Forward execution synthesis — the paper's own prior work [29], used
+as the baseline RES is measured against.
+
+ESD-style synthesis runs *forward* symbolic execution from program
+start, searching for a path that ends in the coredump's failure state.
+The paper's core criticism (§1): "this approach does not work for
+arbitrarily long executions — in fact, the longer the execution ...
+the harder it becomes to synthesize an execution all the way from the
+start of the execution to the end failure state."  Experiment E1
+quantifies exactly that: forward synthesis cost grows with execution
+length, RES cost does not.
+
+This implementation handles sequential programs (the fragment the
+published ESD evaluation covered well); its search is a depth-first
+exploration over branch forks with a global instruction budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import (
+    AbortInst,
+    AllocInst,
+    AssertInst,
+    BinInst,
+    BrInst,
+    CallInst,
+    CBrInst,
+    CmpInst,
+    ConstInst,
+    FrameAddrInst,
+    FreeInst,
+    GAddrInst,
+    HaltInst,
+    Imm,
+    InputInst,
+    LoadInst,
+    MovInst,
+    Operand,
+    OutputInst,
+    Reg,
+    RetInst,
+    StoreInst,
+)
+from repro.ir.module import HEAP_BASE, Module, STACK_WINDOW, STACKS_BASE
+from repro.symex.expr import Const, Expr, Sym, bin_expr, evaluate, negate_bool, truth_of
+from repro.symex.solver import Solver
+from repro.vm.coredump import Coredump, TrapKind
+from repro.vm.state import PC
+
+
+@dataclass
+class _Frame:
+    function: str
+    block: str
+    index: int
+    regs: Dict[Reg, Expr]
+    frame_base: int
+    frame_words: int
+    ret_dst: Optional[Reg]
+
+
+@dataclass
+class _PathState:
+    frames: List[_Frame]
+    memory: Dict[int, Expr]
+    constraints: List[Expr]
+    input_count: int = 0
+    heap_cursor: int = HEAP_BASE
+    stack_top: int = STACKS_BASE
+    steps: int = 0
+
+    def fork(self) -> "_PathState":
+        return _PathState(
+            frames=[_Frame(f.function, f.block, f.index, dict(f.regs),
+                           f.frame_base, f.frame_words, f.ret_dst)
+                    for f in self.frames],
+            memory=dict(self.memory),
+            constraints=list(self.constraints),
+            input_count=self.input_count,
+            heap_cursor=self.heap_cursor,
+            stack_top=self.stack_top,
+            steps=self.steps,
+        )
+
+
+@dataclass
+class ForwardResult:
+    found: bool
+    instructions_executed: int
+    paths_explored: int
+    inputs: Optional[List[int]] = None
+    budget_exhausted: bool = False
+
+
+class ForwardSynthesizer:
+    """Searches forward from ``main`` for an execution matching the dump."""
+
+    def __init__(self, module: Module, coredump: Coredump,
+                 solver: Optional[Solver] = None,
+                 max_instructions: int = 2_000_000,
+                 max_paths: int = 100_000):
+        self.module = module
+        self.coredump = coredump
+        self.solver = solver or Solver()
+        self.max_instructions = max_instructions
+        self.max_paths = max_paths
+        self.instructions_executed = 0
+        self.paths_explored = 0
+
+    # ------------------------------------------------------------------
+
+    def synthesize(self) -> ForwardResult:
+        initial = _PathState(
+            frames=[self._make_frame("main", None)],
+            memory={addr: Const(v) for addr, v in
+                    self.module.initial_global_memory().items()},
+            constraints=[],
+        )
+        stack = [initial]
+        while stack:
+            if self.instructions_executed >= self.max_instructions \
+                    or self.paths_explored >= self.max_paths:
+                return ForwardResult(False, self.instructions_executed,
+                                     self.paths_explored,
+                                     budget_exhausted=True)
+            state = stack.pop()
+            self.paths_explored += 1
+            outcome = self._run_path(state, stack)
+            if outcome is not None:
+                return outcome
+        return ForwardResult(False, self.instructions_executed,
+                             self.paths_explored)
+
+    # ------------------------------------------------------------------
+
+    def _make_frame(self, name: str, ret_dst: Optional[Reg],
+                    base: int = STACKS_BASE) -> _Frame:
+        func = self.module.function(name)
+        return _Frame(function=name, block=func.entry, index=0, regs={},
+                      frame_base=base, frame_words=func.frame_words,
+                      ret_dst=ret_dst)
+
+    def _value(self, frame: _Frame, op: Operand) -> Expr:
+        if isinstance(op, Imm):
+            return Const(op.value)
+        return frame.regs.get(op, Const(0))
+
+    def _concrete_addr(self, state: _PathState, expr: Expr) -> Optional[int]:
+        if isinstance(expr, Const):
+            return expr.value
+        value, unique = self.solver.unique_value(state.constraints, expr)
+        if value is None or not unique:
+            return None
+        state.constraints.append(bin_expr("eq", expr, Const(value)))
+        return value
+
+    # ------------------------------------------------------------------
+
+    def _run_path(self, state: _PathState,
+                  stack: List[_PathState]) -> Optional[ForwardResult]:
+        """Run one path until it forks (pushing siblings), dies, or wins."""
+        while True:
+            if self.instructions_executed >= self.max_instructions:
+                return None
+            if not state.frames:
+                return None  # program finished without the failure
+            frame = state.frames[-1]
+            func = self.module.function(frame.function)
+            block = func.block(frame.block)
+            if frame.index >= len(block.instrs):
+                return None  # malformed
+            instr = block.instrs[frame.index]
+            self.instructions_executed += 1
+            state.steps += 1
+            pc = PC(frame.function, frame.block, frame.index)
+
+            if isinstance(instr, ConstInst):
+                frame.regs[instr.dst] = Const(instr.value)
+            elif isinstance(instr, GAddrInst):
+                frame.regs[instr.dst] = Const(self.module.layout()[instr.name])
+            elif isinstance(instr, FrameAddrInst):
+                frame.regs[instr.dst] = Const(frame.frame_base + instr.offset)
+            elif isinstance(instr, MovInst):
+                frame.regs[instr.dst] = self._value(frame, instr.src)
+            elif isinstance(instr, BinInst):
+                a = self._value(frame, instr.a)
+                b = self._value(frame, instr.b)
+                if instr.op in ("udiv", "sdiv", "urem", "srem"):
+                    if self._maybe_trap_match(state, pc, TrapKind.DIV_BY_ZERO,
+                                              extra=bin_expr("eq", b, Const(0))):
+                        result = self._check_final(state, pc)
+                        if result is not None:
+                            return result
+                    if isinstance(b, Const) and b.value == 0:
+                        return None
+                    if not isinstance(b, Const):
+                        state.constraints.append(bin_expr("ne", b, Const(0)))
+                frame.regs[instr.dst] = bin_expr(instr.op, a, b)
+            elif isinstance(instr, CmpInst):
+                frame.regs[instr.dst] = bin_expr(
+                    instr.op, self._value(frame, instr.a),
+                    self._value(frame, instr.b))
+            elif isinstance(instr, LoadInst):
+                addr = self._concrete_addr(state,
+                                           self._value(frame, instr.addr))
+                if addr is None:
+                    return None
+                frame.regs[instr.dst] = state.memory.get(addr, Const(0))
+            elif isinstance(instr, StoreInst):
+                addr = self._concrete_addr(state,
+                                           self._value(frame, instr.addr))
+                if addr is None:
+                    return None
+                state.memory[addr] = self._value(frame, instr.value)
+            elif isinstance(instr, AllocInst):
+                size_expr = self._value(frame, instr.size)
+                if not isinstance(size_expr, Const):
+                    return None
+                base = state.heap_cursor
+                state.heap_cursor += size_expr.value + 1
+                for off in range(size_expr.value):
+                    state.memory[base + off] = Const(0)
+                frame.regs[instr.dst] = Const(base)
+            elif isinstance(instr, FreeInst):
+                pass  # allocator metadata is irrelevant to state matching
+            elif isinstance(instr, InputInst):
+                sym = Sym(f"fin{state.input_count}")
+                state.input_count += 1
+                frame.regs[instr.dst] = sym
+            elif isinstance(instr, OutputInst):
+                pass
+            elif isinstance(instr, AssertInst):
+                cond = truth_of(self._value(frame, instr.cond))
+                fail_state = state.fork()
+                fail_state.constraints.append(negate_bool(cond))
+                result = self._try_trap(fail_state, pc, TrapKind.ASSERT_FAIL)
+                if result is not None:
+                    return result
+                if isinstance(cond, Const) and cond.value == 0:
+                    return None
+                state.constraints.append(cond)
+            elif isinstance(instr, CallInst):
+                args = [self._value(frame, a) for a in instr.args]
+                frame.index += 1
+                callee = self._make_frame(instr.callee, instr.dst,
+                                          base=state.stack_top)
+                state.stack_top += callee.frame_words
+                callee_func = self.module.function(instr.callee)
+                for param, arg in zip(callee_func.params, args):
+                    callee.regs[param] = arg
+                state.frames.append(callee)
+                continue
+            elif isinstance(instr, BrInst):
+                frame.block = instr.target
+                frame.index = 0
+                continue
+            elif isinstance(instr, CBrInst):
+                cond = truth_of(self._value(frame, instr.cond))
+                if isinstance(cond, Const):
+                    frame.block = (instr.then_target if cond.value
+                                   else instr.else_target)
+                    frame.index = 0
+                    continue
+                other = state.fork()
+                other.constraints.append(negate_bool(cond))
+                other_frame = other.frames[-1]
+                other_frame.block = instr.else_target
+                other_frame.index = 0
+                if self.solver.check_sat(other.constraints):
+                    stack.append(other)
+                state.constraints.append(cond)
+                if not self.solver.check_sat(state.constraints):
+                    return None
+                frame.block = instr.then_target
+                frame.index = 0
+                continue
+            elif isinstance(instr, RetInst):
+                value = (self._value(frame, instr.value)
+                         if instr.value is not None else Const(0))
+                state.stack_top -= frame.frame_words
+                state.frames.pop()
+                if not state.frames:
+                    return None  # main returned: no failure on this path
+                caller = state.frames[-1]
+                if frame.ret_dst is not None:
+                    caller.regs[frame.ret_dst] = value
+                continue
+            elif isinstance(instr, HaltInst):
+                return None
+            elif isinstance(instr, AbortInst):
+                result = self._try_trap(state, pc, TrapKind.ABORT)
+                return result
+            else:
+                return None  # spawn/join/lock: sequential baseline only
+            frame.index += 1
+
+    # ------------------------------------------------------------------
+
+    def _maybe_trap_match(self, state: _PathState, pc: PC, kind: TrapKind,
+                          extra: Optional[Expr] = None) -> bool:
+        trap = self.coredump.trap
+        return trap.kind is kind and trap.pc == pc
+
+    def _try_trap(self, state: _PathState, pc: PC,
+                  kind: TrapKind) -> Optional[ForwardResult]:
+        trap = self.coredump.trap
+        if trap.kind is not kind or trap.pc != pc:
+            return None
+        return self._check_final(state, pc)
+
+    def _check_final(self, state: _PathState,
+                     pc: PC) -> Optional[ForwardResult]:
+        """Full state match against the coredump (memory + registers)."""
+        constraints = list(state.constraints)
+        for addr in set(state.memory) | set(self.coredump.memory):
+            want = self.coredump.memory.get(addr, 0)
+            have = state.memory.get(addr, Const(0))
+            if isinstance(have, Const):
+                if have.value != want:
+                    return None
+            else:
+                constraints.append(bin_expr("eq", have, Const(want)))
+        dump_thread = self.coredump.threads.get(self.coredump.trap.tid)
+        if dump_thread is not None and len(dump_thread.frames) == \
+                len(state.frames):
+            for want_frame, have_frame in zip(dump_thread.frames, state.frames):
+                for reg, value in want_frame.regs.items():
+                    have = have_frame.regs.get(reg)
+                    if have is None:
+                        continue
+                    if isinstance(have, Const):
+                        if have.value != value:
+                            return None
+                    else:
+                        constraints.append(bin_expr("eq", have, Const(value)))
+        result = self.solver.solve(constraints)
+        if not result.is_sat or result.model is None:
+            return None
+        inputs = []
+        for i in range(state.input_count):
+            value = evaluate(Sym(f"fin{i}"), result.model)
+            inputs.append(value if value is not None else 0)
+        return ForwardResult(True, self.instructions_executed,
+                             self.paths_explored, inputs=inputs)

@@ -1,0 +1,149 @@
+"""PSE-style backward static slicing (paper §2.2 / [20]).
+
+"Prior work based on static analysis can compute backward program
+slices ... These techniques are typically imprecise, as they do not use
+the rich source of information present in the coredump."
+
+The slicer computes, entirely statically, the set of instructions that
+may influence the values used at the failure point — no coredump
+values, no feasibility checks.  Experiment E7 compares its candidate
+set size against RES's pin-point suffixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.cfg import CFG, CallGraph
+from repro.ir.instructions import (
+    CallInst,
+    GAddrInst,
+    Instr,
+    LoadInst,
+    Operand,
+    Reg,
+    StoreInst,
+)
+from repro.ir.module import Module
+from repro.vm.state import PC
+
+
+@dataclass
+class Slice:
+    """The result of a backward slice: a set of possibly-relevant sites."""
+
+    criterion: PC
+    instructions: Set[Tuple[str, str, int]] = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def contains(self, function: str, block: str, index: int) -> bool:
+        return (function, block, index) in self.instructions
+
+
+class StaticSlicer:
+    """Flow-insensitive-on-memory, flow-sensitive-on-registers backward
+    slicer.  Memory is a single abstract cell per global (address-taken
+    and heap memory collapse to one cell), the standard conservative
+    choice that makes PSE-style slices balloon."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._cfgs = {name: CFG(func) for name, func in module.functions.items()}
+        self._callgraph = CallGraph(module)
+
+    def slice_backward(self, criterion: PC,
+                       max_instructions: int = 100_000) -> Slice:
+        result = Slice(criterion=criterion)
+        func = self.module.function(criterion.function)
+        block = func.block(criterion.block)
+        seed = block.instrs[criterion.index]
+
+        # Worklist items: (function, block, index, relevant regs, heap?)
+        relevant_regs: Set[Reg] = set(
+            op for op in seed.uses() if isinstance(op, Reg))
+        heap_relevant = isinstance(seed, LoadInst)
+        worklist: List[Tuple[str, str, int, frozenset, bool]] = [
+            (criterion.function, criterion.block, criterion.index,
+             frozenset(relevant_regs), heap_relevant)
+        ]
+        visited: Set[Tuple[str, str, int, frozenset, bool]] = set()
+
+        while worklist and len(result.instructions) < max_instructions:
+            item = worklist.pop()
+            if item in visited:
+                continue
+            visited.add(item)
+            fname, blabel, idx, regs, heap = item
+            func = self.module.function(fname)
+            block = func.block(blabel)
+            regs = set(regs)
+            index = idx - 1
+            label = blabel
+            while True:
+                while index < 0:
+                    preds = self._cfgs[fname].predecessors(label)
+                    if not preds:
+                        # Function entry: propagate into every caller.
+                        for (cf, cb, ci) in self._callgraph.call_sites_of(fname):
+                            caller_instr = self.module.function(cf).block(cb).instrs[ci]
+                            caller_regs = frozenset(
+                                op for op in caller_instr.uses()
+                                if isinstance(op, Reg))
+                            worklist.append((cf, cb, ci + 1,
+                                             caller_regs, heap))
+                        index = None
+                        break
+                    # Continue into the first predecessor; queue the rest.
+                    for extra in preds[1:]:
+                        extra_block = func.block(extra)
+                        worklist.append((fname, extra,
+                                         len(extra_block.instrs),
+                                         frozenset(regs), heap))
+                    label = preds[0]
+                    block = func.block(label)
+                    index = len(block.instrs) - 1
+                if index is None:
+                    break
+                instr = block.instrs[index]
+                defines = set(instr.defs())
+                writes_memory = isinstance(instr, StoreInst)
+                is_relevant = bool(defines & regs) or (heap and writes_memory) \
+                    or instr.is_terminator() or isinstance(instr, CallInst)
+                if is_relevant:
+                    result.instructions.add((fname, label, index))
+                    if defines & regs:
+                        regs -= defines
+                        regs |= {op for op in instr.uses()
+                                 if isinstance(op, Reg)}
+                    if heap and writes_memory:
+                        regs |= {op for op in instr.uses()
+                                 if isinstance(op, Reg)}
+                    if isinstance(instr, LoadInst):
+                        heap = True
+                    if isinstance(instr, CallInst):
+                        # Conservatively pull in every return site of
+                        # the callee.
+                        callee = self.module.functions.get(instr.callee)
+                        if callee is not None:
+                            for clabel, cblock in callee.blocks.items():
+                                worklist.append((instr.callee, clabel,
+                                                 len(cblock.instrs),
+                                                 frozenset(regs), heap))
+                index -= 1
+                if index < 0 and label == func.entry:
+                    break
+        return result
+
+    def candidate_root_causes(self, criterion: PC) -> Set[Tuple[str, str, int]]:
+        """Every store/call in the slice: the sites a developer must
+        inspect with a static tool (E7's comparison metric)."""
+        sliced = self.slice_backward(criterion)
+        out: Set[Tuple[str, str, int]] = set()
+        for (fname, blabel, idx) in sliced.instructions:
+            instr = self.module.function(fname).block(blabel).instrs[idx]
+            if isinstance(instr, (StoreInst, CallInst)):
+                out.add((fname, blabel, idx))
+        return out

@@ -1,0 +1,54 @@
+"""Windows-Error-Reporting-style triage baseline (paper §3.1 / [16]).
+
+WER buckets crash reports by heuristics over the failure point —
+principally the call stack.  The paper: "a naive triaging technique
+that only looks at the call stack in the coredump would classify these
+failures in different buckets" and "WER can incorrectly bucket up to
+37% of the bug reports."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+from repro.vm.coredump import Coredump
+from repro.core.triage import BugReport, TriageResult
+
+
+@dataclass
+class WERConfig:
+    """Bucketing heuristics, modelled on the published WER design."""
+
+    #: how many top frames participate in the signature
+    stack_depth: int = 8
+    #: include the trap kind in the signature
+    use_trap_kind: bool = True
+    #: deprioritize (collapse) frames of functions deemed "core OS code"
+    trusted_functions: Tuple[str, ...] = ()
+
+
+def wer_signature(coredump: Coredump, config: Optional[WERConfig] = None) -> Hashable:
+    """The call-stack bucketing key."""
+    config = config or WERConfig()
+    stack = coredump.call_stack_signature(depth=config.stack_depth)
+    if config.trusted_functions:
+        stack = tuple(frame for frame in stack
+                      if frame.split(":")[0] not in config.trusted_functions)
+    if config.use_trap_kind:
+        return (coredump.trap.kind.value, stack)
+    return stack
+
+
+def triage(reports: List[BugReport],
+           config: Optional[WERConfig] = None) -> List[TriageResult]:
+    """Bucket a corpus the WER way: no execution reconstruction at all."""
+    return [
+        TriageResult(
+            report_id=report.report_id,
+            bucket=wer_signature(report.coredump, config),
+            cause=None,
+            used_fallback=False,
+        )
+        for report in reports
+    ]

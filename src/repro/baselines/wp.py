@@ -1,0 +1,218 @@
+"""Weakest-precondition computation baseline (paper §5 / [7, 10, 13]).
+
+"In some sense, RES is like computing weakest preconditions for the
+coredump (i.e., the coredump can be seen as an extraordinarily large
+postcondition).  Interprocedural weakest precondition computation is
+hard for imperative programs.  The state-of-the-art ... do not work for
+concurrent programs, do not leverage the coredump."
+
+This module implements classic Dijkstra-style WP over straight-line IR
+paths within a single function: given a path and a postcondition (an
+expression over registers/memory), it rewrites the postcondition
+backward through each instruction.  E7 uses it to show that, without
+coredump values, the precondition for reaching a failure is a huge
+disjunction over paths, whereas RES resolves a single feasible suffix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.cfg import CFG
+from repro.ir.instructions import (
+    AssertInst,
+    BinInst,
+    BrInst,
+    CBrInst,
+    CmpInst,
+    ConstInst,
+    FrameAddrInst,
+    GAddrInst,
+    Imm,
+    Instr,
+    LoadInst,
+    MovInst,
+    Operand,
+    Reg,
+    StoreInst,
+)
+from repro.ir.module import Module
+from repro.symex.expr import (
+    Const,
+    Expr,
+    Sym,
+    bin_expr,
+    free_syms,
+    negate_bool,
+    substitute,
+    truth_of,
+)
+from repro.symex.solver import Solver
+
+
+def reg_sym(reg: Reg) -> Sym:
+    return Sym(f"reg_{reg.name}")
+
+
+def mem_sym(addr: int) -> Sym:
+    return Sym(f"mem_{addr:x}")
+
+
+@dataclass
+class WPResult:
+    """Weakest precondition of one path, plus bookkeeping."""
+
+    precondition: List[Expr]
+    path: List[Tuple[str, int]]  # (block, index) visited, forward order
+    lost_precision: bool = False  # a memory op could not be modelled
+
+
+class WeakestPrecondition:
+    """Backward predicate transformer over single-function paths."""
+
+    def __init__(self, module: Module, solver: Optional[Solver] = None):
+        self.module = module
+        self.solver = solver or Solver()
+
+    # ------------------------------------------------------------------
+
+    def wp_instr(self, instr: Instr, post: List[Expr],
+                 lost: List[bool]) -> List[Expr]:
+        """wp(instr, post): substitute the instruction's effect."""
+        def subst_reg(reg: Reg, value: Expr) -> List[Expr]:
+            name = reg_sym(reg).name
+            return [substitute(p, {name: value}) for p in post]
+
+        if isinstance(instr, ConstInst):
+            return subst_reg(instr.dst, Const(instr.value))
+        if isinstance(instr, GAddrInst):
+            return subst_reg(instr.dst, Const(self.module.layout()[instr.name]))
+        if isinstance(instr, MovInst):
+            return subst_reg(instr.dst, self._operand(instr.src))
+        if isinstance(instr, (BinInst, CmpInst)):
+            return subst_reg(instr.dst, bin_expr(
+                instr.op, self._operand(instr.a), self._operand(instr.b)))
+        if isinstance(instr, LoadInst):
+            addr = self._operand(instr.addr)
+            if isinstance(addr, Const):
+                return subst_reg(instr.dst, mem_sym(addr.value))
+            lost[0] = True  # symbolic address: havoc the register
+            return subst_reg(instr.dst, Sym(f"unk_{id(instr)}"))
+        if isinstance(instr, StoreInst):
+            addr = self._operand(instr.addr)
+            if isinstance(addr, Const):
+                name = mem_sym(addr.value).name
+                value = self._operand(instr.value)
+                return [substitute(p, {name: value}) for p in post]
+            # A store through an unknown pointer may clobber anything:
+            # classic WP collapses here (the imprecision §2.2 describes).
+            lost[0] = True
+            return [Const(1)]
+        if isinstance(instr, AssertInst):
+            cond = self._operand_truth(instr.cond)
+            return [cond] + post
+        if isinstance(instr, (BrInst,)):
+            return post
+        return post
+
+    def _operand(self, op: Operand) -> Expr:
+        if isinstance(op, Imm):
+            return Const(op.value)
+        return reg_sym(op)
+
+    def _operand_truth(self, op: Operand) -> Expr:
+        return truth_of(self._operand(op))
+
+    # ------------------------------------------------------------------
+
+    def wp_path(self, function: str, path: Sequence[Tuple[str, int, int]],
+                post: List[Expr]) -> WPResult:
+        """wp over a path given as ``(block, lo, hi)`` triples (forward
+        order); branch conditions along the path are conjoined."""
+        func = self.module.function(function)
+        lost = [False]
+        visited: List[Tuple[str, int]] = []
+        current = list(post)
+        flat: List[Tuple[str, int, Instr]] = []
+        for (label, lo, hi) in path:
+            block = func.block(label)
+            for idx in range(lo, min(hi, len(block.instrs))):
+                flat.append((label, idx, block.instrs[idx]))
+        # Add branch conditions: a CBr inside the path must go to the
+        # next path block.
+        conditioned: List[Expr] = []
+        for pos, (label, idx, instr) in enumerate(flat):
+            if isinstance(instr, CBrInst):
+                next_label = None
+                for later_label, later_idx, _ in flat[pos + 1:]:
+                    if later_idx == 0:
+                        next_label = later_label
+                        break
+                if next_label == instr.then_target:
+                    conditioned.append(self._operand_truth(instr.cond))
+                elif next_label == instr.else_target:
+                    conditioned.append(negate_bool(
+                        self._operand_truth(instr.cond)))
+        current = current + conditioned
+        for label, idx, instr in reversed(flat):
+            visited.append((label, idx))
+            current = self.wp_instr(instr, current, lost)
+        return WPResult(precondition=current,
+                        path=[(l, i) for l, i in reversed(visited)],
+                        lost_precision=lost[0])
+
+    # ------------------------------------------------------------------
+
+    def enumerate_failure_paths(self, function: str, crash_block: str,
+                                crash_index: int,
+                                max_paths: int = 64,
+                                max_len: int = 32) -> List[List[str]]:
+        """All acyclic block paths from entry to the crash block — the
+        disjunction a WP tool must consider without a coredump."""
+        func = self.module.function(function)
+        cfg = CFG(func)
+        paths: List[List[str]] = []
+
+        def walk(label: str, acc: List[str]) -> None:
+            if len(paths) >= max_paths or len(acc) > max_len:
+                return
+            acc = [label] + acc
+            if label == func.entry:
+                paths.append(acc)
+                return
+            for pred in cfg.predecessors(label):
+                if pred not in acc:
+                    walk(pred, acc)
+
+        walk(crash_block, [])
+        return paths
+
+    def failure_precondition(self, function: str, crash_block: str,
+                             crash_index: int,
+                             max_paths: int = 64) -> List[WPResult]:
+        """WP of the failure over every entry→crash path (the whole
+        disjunction).  Length of this list = candidate explanations a
+        developer has to consider; E7 compares it with RES's one."""
+        func = self.module.function(function)
+        results: List[WPResult] = []
+        crash_instr = func.block(crash_block).instrs[crash_index]
+        if isinstance(crash_instr, AssertInst):
+            post = [negate_bool(self._operand_truth(crash_instr.cond))]
+        else:
+            post = [Const(1)]
+        for path in self.enumerate_failure_paths(function, crash_block,
+                                                 crash_index, max_paths):
+            triples = []
+            for label in path:
+                block = func.block(label)
+                hi = crash_index if label == crash_block and \
+                    label == path[-1] else len(block.instrs)
+                triples.append((label, 0, hi))
+            results.append(self.wp_path(function, triples, post))
+        return results
+
+    def feasible_paths(self, results: List[WPResult]) -> List[WPResult]:
+        """Filter the disjunction by satisfiability (no coredump data)."""
+        return [r for r in results
+                if self.solver.check_sat(r.precondition)]

@@ -1,0 +1,11 @@
+"""Command-line front end: the RES toolbox as a developer would run it.
+
+``res crash`` produces a coredump from a catalog workload, and the
+analysis commands (``analyze``, ``replay``, ``hwcheck``, ``exploit``,
+``debug``) consume a coredump plus program source — exactly the
+``<C, PS>`` input pair of paper §2.1.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

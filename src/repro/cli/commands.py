@@ -1,0 +1,250 @@
+"""Implementations of the ``res`` subcommands.
+
+Each command returns a process exit code and prints a human-readable
+report; machine consumers should use the library API directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.core.debugger import ReverseDebugger
+from repro.core.exploitability import classify_heuristic, classify_with_res
+from repro.core.hwerror import HardwareVerdict, diagnose
+from repro.core.queries import SuffixQueryEngine
+from repro.core.rootcause import find_root_cause
+from repro.cli.loaders import (
+    CliError,
+    build_config,
+    load_coredump,
+    load_module,
+)
+from repro.workloads import REGISTRY
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    """List the workload catalog."""
+    for name in REGISTRY.names():
+        workload = REGISTRY.get(name)
+        print(f"{name:24s} {workload.expected_trap.value:16s} "
+              f"{workload.description}")
+    return 0
+
+
+def cmd_crash(args: argparse.Namespace) -> int:
+    """Trigger a catalog workload and write its coredump."""
+    workload = REGISTRY.get(args.workload)
+    dump = workload.trigger(lbr_depth=args.lbr_depth)
+    out = Path(args.output)
+    out.write_text(dump.to_json())
+    print(f"crashed {workload.name}: {dump.trap!r}")
+    print(f"coredump written to {out} "
+          f"({len(dump.memory)} memory words, {len(dump.threads)} threads)")
+    return 0
+
+
+def _synthesize_deepest(module, dump, config: RESConfig, limit: int):
+    res = ReverseExecutionSynthesizer(module, dump, config)
+    deepest = None
+    count = 0
+    for item in res.suffixes():
+        deepest = item
+        count += 1
+        if count >= limit:
+            break
+    return res, deepest, count
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Root-cause a coredump: synthesize suffixes and analyze them."""
+    module = load_module(args)
+    dump = load_coredump(args.coredump)
+    config = build_config(args)
+    cause, suffixes = find_root_cause(module, dump, config,
+                                      max_suffixes=args.max_suffixes)
+    print(f"trap: {dump.trap!r}")
+    print(f"suffixes examined: {len(suffixes)}")
+    if cause is None:
+        print("root cause: none found within budget")
+        return 1
+    print(f"root cause: {cause.kind}")
+    print(f"  {cause.description}")
+    if cause.threads:
+        print(f"  threads involved: {sorted(cause.threads)}")
+    for pc in cause.pcs:
+        print(f"  at {pc}")
+    if suffixes:
+        print()
+        print(suffixes[-1].suffix.describe())
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Synthesize and deterministically replay one suffix."""
+    from repro.core.artifact import save_suffix
+
+    module = load_module(args)
+    dump = load_coredump(args.coredump)
+    res, deepest, count = _synthesize_deepest(
+        module, dump, build_config(args), args.max_suffixes)
+    if deepest is None:
+        print("no feasible suffix found", file=sys.stderr)
+        return 1
+    if args.save:
+        target = save_suffix(deepest, args.save)
+        print(f"suffix artifact written to {target}")
+    report = deepest.report
+    print(deepest.suffix.describe())
+    print(f"schedule: {deepest.suffix.schedule()}")
+    print(f"inputs: {report.inputs}")
+    print(f"replay verified: {report.ok}")
+    print(f"read set: {sorted(hex(a) for a in deepest.suffix.read_set())}")
+    print(f"write set: {sorted(hex(a) for a in deepest.suffix.write_set())}")
+    return 0 if report.ok else 1
+
+
+def cmd_hwcheck(args: argparse.Namespace) -> int:
+    """Decide whether the coredump is software- or hardware-caused."""
+    module = load_module(args)
+    dump = load_coredump(args.coredump)
+    diagnosis = diagnose(module, dump, build_config(args))
+    print(f"verdict: {diagnosis.verdict.value}")
+    print(f"rationale: {diagnosis.rationale}")
+    print(f"nodes expanded: {diagnosis.stats.nodes_expanded}, "
+          f"candidates executed: {diagnosis.stats.candidates_executed}")
+    return 0 if diagnosis.verdict is HardwareVerdict.SOFTWARE else 2
+
+
+def cmd_exploit(args: argparse.Namespace) -> int:
+    """Exploitability rating: RES taint verdict vs trap-type heuristic."""
+    module = load_module(args)
+    dump = load_coredump(args.coredump)
+    res_verdict = classify_with_res(module, dump, build_config(args))
+    heuristic = classify_heuristic(dump)
+    print(f"res verdict:       {res_verdict.rating.value}")
+    print(f"  {res_verdict.rationale}")
+    print(f"heuristic verdict: {heuristic.rating.value}")
+    print(f"  {heuristic.rationale}")
+    return 0
+
+
+def cmd_triage(args: argparse.Namespace) -> int:
+    """§3.1 triage campaign on a synthetic report corpus: WER-style
+    call-stack bucketing vs RES root-cause bucketing."""
+    from repro.baselines.wer import triage as wer_triage
+    from repro.core.triage import (
+        TriageEngine,
+        bucket_accuracy,
+        misbucketed_fraction,
+    )
+    from repro.workloads import TRIAGE_PROGRAM, generate_corpus
+
+    reports = generate_corpus(args.reports, seed=args.seed)
+    print(f"corpus: {len(reports)} reports, "
+          f"{len({r.true_cause for r in reports})} true causes")
+
+    wer_results = wer_triage(reports)
+    engine = TriageEngine(TRIAGE_PROGRAM.module,
+                          RESConfig(max_depth=16, max_nodes=4000))
+    res_results = engine.triage(reports)
+
+    for name, results in (("WER (call stacks)", wer_results),
+                          ("RES (root causes)", res_results)):
+        buckets = len({r.bucket for r in results})
+        accuracy = bucket_accuracy(results, reports)
+        misbucketed = misbucketed_fraction(results, reports)
+        print(f"{name:20s} buckets={buckets:3d} "
+              f"pair-accuracy={accuracy:5.1%} "
+              f"misbucketed={misbucketed:5.1%}")
+    return 0
+
+
+def cmd_debug(args: argparse.Namespace) -> int:
+    """Scripted reverse-debugger session over the deepest suffix.
+
+    Commands (semicolon- or newline-separated): ``break FUNC[:BLOCK]``,
+    ``watch GLOBAL``, ``continue``, ``step [N]``, ``rstep [N]``,
+    ``print VAR``, ``backtrace``, ``threads``, ``writes GLOBAL``,
+    ``reads GLOBAL``, ``focus``, ``run``.
+    """
+    from repro.core.artifact import load_suffix
+
+    module = load_module(args)
+    if args.artifact:
+        deepest = load_suffix(module, args.artifact)
+    else:
+        dump = load_coredump(args.coredump)
+        __, deepest, __ = _synthesize_deepest(
+            module, dump, build_config(args), args.max_suffixes)
+    if deepest is None:
+        print("no feasible suffix found", file=sys.stderr)
+        return 1
+    debugger = ReverseDebugger(module, deepest)
+    engine = SuffixQueryEngine(module, deepest)
+    script = args.script.replace(";", "\n")
+    for raw in script.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        print(f"(res-dbg) {line}")
+        code = _run_debug_command(debugger, engine, line)
+        if code is not None:
+            return code
+    return 0
+
+
+def _run_debug_command(debugger: ReverseDebugger,
+                       engine: SuffixQueryEngine,
+                       line: str) -> Optional[int]:
+    parts = line.split()
+    op, rest = parts[0], parts[1:]
+    if op == "break" and rest:
+        spec = rest[0].split(":")
+        debugger.add_breakpoint(spec[0], spec[1] if len(spec) > 1 else None)
+        print(f"  breakpoint at {rest[0]}")
+    elif op == "watch" and rest:
+        wp = debugger.add_watchpoint(rest[0])
+        print(f"  watchpoint on {wp.label} ({wp.addr:#x}), "
+              f"currently {wp.last_value}")
+    elif op == "continue":
+        pc = debugger.continue_()
+        if debugger.last_watch_hit:
+            print(f"  {debugger.last_watch_hit}")
+        print(f"  stopped at {pc} (step {debugger.position})")
+    elif op == "step":
+        pc = debugger.step(int(rest[0]) if rest else 1)
+        print(f"  at {pc} (step {debugger.position})")
+    elif op == "rstep":
+        pc = debugger.reverse_step(int(rest[0]) if rest else 1)
+        print(f"  at {pc} (step {debugger.position})")
+    elif op == "run":
+        pc = debugger.run_to_failure()
+        print(f"  failure at {pc}")
+    elif op == "print" and rest:
+        value = debugger.print_var(rest[0])
+        print(f"  {rest[0]} = {value}")
+    elif op == "backtrace":
+        for depth, pc in enumerate(reversed(debugger.backtrace())):
+            print(f"  #{depth} {pc}")
+    elif op == "threads":
+        for tid, (status, pc) in debugger.info_threads().items():
+            print(f"  t{tid}: {status} at {pc}")
+    elif op == "writes" and rest:
+        for event in engine.writes_to(rest[0]):
+            print(f"  {event.describe()}")
+    elif op == "reads" and rest:
+        for event in engine.reads_from(rest[0]):
+            print(f"  {event.describe()}")
+    elif op == "focus":
+        print(f"  read set:  {sorted(hex(a) for a in debugger.focus_read_set())}")
+        print(f"  write set: {sorted(hex(a) for a in debugger.focus_write_set())}")
+    elif op == "quit":
+        return 0
+    else:
+        print(f"  unknown command: {line}", file=sys.stderr)
+        return 64
+    return None

@@ -1,0 +1,73 @@
+"""Shared input loading for the CLI commands.
+
+Every analysis command takes the paper's input pair ``<C, PS>``:
+a coredump file (JSON, as written by ``res crash``) and the program —
+either a catalog workload name or a MiniC source file.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.ir.module import Module
+from repro.minic import compile_source
+from repro.core import RESConfig
+from repro.vm.coredump import Coredump
+from repro.workloads import REGISTRY
+
+
+class CliError(ReproError):
+    """User-facing command-line failure (bad arguments, missing files)."""
+
+
+def add_program_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--workload", metavar="NAME",
+                       help="catalog workload supplying the program source")
+    group.add_argument("--source", metavar="FILE",
+                       help="MiniC source file of the crashed program")
+
+
+def add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-depth", type=int, default=24,
+                        help="maximum suffix length in segments "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-nodes", type=int, default=8000,
+                        help="backward-search node budget "
+                             "(default: %(default)s)")
+    parser.add_argument("--use-lbr", action="store_true",
+                        help="prune candidates with the coredump's Last "
+                             "Branch Record (§2.4 breadcrumbs)")
+    parser.add_argument("--use-log", action="store_true",
+                        help="bind suffix outputs to the error-log tail")
+
+
+def load_module(args: argparse.Namespace) -> Module:
+    """Program source → compiled module, from either input style."""
+    if args.workload:
+        return REGISTRY.get(args.workload).module
+    path = Path(args.source)
+    if not path.exists():
+        raise CliError(f"source file not found: {path}")
+    return compile_source(path.read_text(), name=path.stem)
+
+
+def load_coredump(path_str: str) -> Coredump:
+    path = Path(path_str)
+    if not path.exists():
+        raise CliError(f"coredump file not found: {path}")
+    try:
+        return Coredump.from_json(path.read_text())
+    except (KeyError, ValueError) as exc:
+        raise CliError(f"malformed coredump {path}: {exc}") from exc
+
+
+def build_config(args: argparse.Namespace) -> RESConfig:
+    return RESConfig(
+        max_depth=args.max_depth,
+        max_nodes=args.max_nodes,
+        use_lbr=args.use_lbr,
+        use_log=args.use_log,
+    )

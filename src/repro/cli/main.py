@@ -1,0 +1,90 @@
+"""Argument parsing and dispatch for the ``res`` command."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.cli import commands
+from repro.cli.loaders import add_config_arguments, add_program_arguments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="res",
+        description="Reverse execution synthesis: post-mortem debugging "
+                    "from coredumps, with no runtime recording "
+                    "(Zamfir et al., HotOS 2013).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_workloads = sub.add_parser(
+        "workloads", help="list the buggy-program catalog")
+    p_workloads.set_defaults(func=commands.cmd_workloads)
+
+    p_crash = sub.add_parser(
+        "crash", help="trigger a catalog workload and save its coredump")
+    p_crash.add_argument("workload", help="catalog workload name")
+    p_crash.add_argument("-o", "--output", default="core.json",
+                         help="coredump output path (default: %(default)s)")
+    p_crash.add_argument("--lbr-depth", type=int, default=16,
+                         help="Last Branch Record depth (default: %(default)s)")
+    p_crash.set_defaults(func=commands.cmd_crash)
+
+    p_triage = sub.add_parser(
+        "triage", help="bucket a synthetic bug-report corpus: WER-style "
+                       "stacks vs RES root causes (§3.1)")
+    p_triage.add_argument("--reports", type=int, default=40,
+                          help="corpus size (default: %(default)s)")
+    p_triage.add_argument("--seed", type=int, default=0,
+                          help="corpus RNG seed (default: %(default)s)")
+    p_triage.set_defaults(func=commands.cmd_triage)
+
+    for name, func, extra in (
+        ("analyze", commands.cmd_analyze,
+         "synthesize suffixes and report the root cause"),
+        ("replay", commands.cmd_replay,
+         "synthesize one suffix and replay it deterministically"),
+        ("hwcheck", commands.cmd_hwcheck,
+         "classify the coredump as software- or hardware-caused"),
+        ("exploit", commands.cmd_exploit,
+         "rate exploitability (RES taint verdict vs heuristic)"),
+        ("debug", commands.cmd_debug,
+         "run a scripted reverse-debugger session over a suffix"),
+    ):
+        p = sub.add_parser(name, help=extra)
+        p.add_argument("coredump", help="coredump JSON (from `res crash`)")
+        add_program_arguments(p)
+        add_config_arguments(p)
+        p.add_argument("--max-suffixes", type=int, default=64,
+                       help="suffix budget (default: %(default)s)")
+        if name == "replay":
+            p.add_argument("--save", metavar="FILE",
+                           help="write the replayed suffix as a reusable "
+                                "artifact file")
+        if name == "debug":
+            p.add_argument("--script", required=True,
+                           help="semicolon-separated debugger commands, "
+                                "e.g. 'break main; continue; print x'")
+            p.add_argument("--artifact", metavar="FILE",
+                           help="debug a saved suffix artifact instead of "
+                                "synthesizing from the coredump")
+        p.set_defaults(func=func)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"res: error: {exc}", file=sys.stderr)
+        return 64
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Reverse Execution Synthesis: the paper's core contribution."""
+
+from repro.core.artifact import (
+    load_suffix,
+    save_suffix,
+    suffix_from_json,
+    suffix_to_json,
+)
+from repro.core.queries import (
+    AccessEvent,
+    PreemptionAnswer,
+    StateObservation,
+    SuffixQueryEngine,
+)
+from repro.core.replay import ReplayReport, SuffixReplayer
+from repro.core.res import (
+    RESConfig,
+    ReverseExecutionSynthesizer,
+    SynthesisStats,
+    SynthesizedSuffix,
+)
+from repro.core.segments import (
+    CandidateEnumerator,
+    Segment,
+    SegmentKind,
+    boundaries,
+)
+from repro.core.slice_exec import OverflowFinding, SegmentExecutor, SegmentResult
+from repro.core.snapshot import SnapFrame, SnapThread, SymbolicSnapshot
+from repro.core.static_filter import StoreSummary, WriterIndexFilter
+from repro.core.suffix import ExecutionSuffix, SuffixStep
+
+__all__ = [
+    "AccessEvent", "CandidateEnumerator", "ExecutionSuffix",
+    "OverflowFinding", "PreemptionAnswer", "StateObservation",
+    "SuffixQueryEngine",
+    "RESConfig", "ReplayReport", "ReverseExecutionSynthesizer", "Segment",
+    "SegmentExecutor", "SegmentKind", "SegmentResult", "SnapFrame",
+    "SnapThread", "SuffixReplayer", "SuffixStep", "SymbolicSnapshot",
+    "StoreSummary", "SynthesisStats", "SynthesizedSuffix",
+    "WriterIndexFilter", "boundaries", "load_suffix", "save_suffix",
+    "suffix_from_json", "suffix_to_json",
+]

@@ -1,0 +1,282 @@
+"""Suffix artifacts: serialize what RES produces so it can be shipped.
+
+The paper's output contract (§2.1): "RES produces a set of execution
+traces T_i ... corresponding to each instruction trace, a partial
+memory image M_i is also provided ... To replay a suffix in a debugger
+like gdb, a special environment is slipped underneath the debugger to
+instantiate M_i and replay T_i."
+
+An artifact file is that ``(T_i, M_i)`` pair — schedule, inputs,
+reconstructed pre-state, constraint set, and the coredump it targets —
+in JSON.  Loading re-verifies the artifact by replaying it against the
+embedded coredump, so a stale or tampered file is rejected instead of
+silently replaying the wrong execution.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import ReplayError
+from repro.ir.instructions import Reg
+from repro.ir.module import Module
+from repro.symex.expr import BinExpr, Const, Expr, Sym
+from repro.symex.memory import SymMemory
+from repro.vm.coredump import Coredump
+from repro.vm.state import PC
+from repro.core.replay import SuffixReplayer
+from repro.core.res import SynthesizedSuffix
+from repro.core.slice_exec import OverflowFinding
+from repro.core.segments import Segment, SegmentKind
+from repro.core.snapshot import SnapFrame, SnapThread, SymbolicSnapshot
+from repro.core.suffix import ExecutionSuffix, SuffixStep
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+def expr_to_obj(expr: Expr) -> Union[int, str, List]:
+    """Expr → JSON-safe object (int / "$name" / ["op", a, b])."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Sym):
+        return f"${expr.name}"
+    if isinstance(expr, BinExpr):
+        return [expr.op, expr_to_obj(expr.a), expr_to_obj(expr.b)]
+    raise ReplayError(f"unserializable expression {expr!r}")
+
+
+def expr_from_obj(obj: Union[int, str, List]) -> Expr:
+    if isinstance(obj, int):
+        return Const(obj)
+    if isinstance(obj, str):
+        if not obj.startswith("$"):
+            raise ReplayError(f"malformed symbol literal {obj!r}")
+        return Sym(obj[1:])
+    if isinstance(obj, list) and len(obj) == 3:
+        return BinExpr(obj[0], expr_from_obj(obj[1]), expr_from_obj(obj[2]))
+    raise ReplayError(f"malformed expression object {obj!r}")
+
+
+# ---------------------------------------------------------------------------
+# Building blocks
+# ---------------------------------------------------------------------------
+
+def _pc_to_obj(pc: PC) -> List:
+    return [pc.function, pc.block, pc.index]
+
+
+def _pc_from_obj(obj: List) -> PC:
+    return PC(obj[0], obj[1], obj[2])
+
+
+def _segment_to_obj(segment: Segment) -> Dict:
+    return {
+        "tid": segment.tid,
+        "function": segment.function,
+        "block": segment.block,
+        "lo": segment.lo,
+        "hi": segment.hi,
+        "kind": segment.kind.value,
+        "depth": segment.depth,
+    }
+
+
+def _segment_from_obj(obj: Dict) -> Segment:
+    return Segment(tid=obj["tid"], function=obj["function"],
+                   block=obj["block"], lo=obj["lo"], hi=obj["hi"],
+                   kind=SegmentKind(obj["kind"]), depth=obj["depth"])
+
+
+def _step_to_obj(step: SuffixStep) -> Dict:
+    return {
+        "segment": _segment_to_obj(step.segment),
+        "instr_count": step.instr_count,
+        "input_syms": [sym.name for sym in step.input_syms],
+        "outputs": [[expr_to_obj(expr), _pc_to_obj(pc)]
+                    for expr, pc in step.outputs],
+        "write_addrs": sorted(step.write_addrs),
+        "read_addrs": sorted(step.read_addrs),
+        "lock_events": [[kind, addr] for kind, addr in step.lock_events],
+        "alloc_bases": list(step.alloc_bases),
+        "free_bases": list(step.free_bases),
+        "tainted_store_addr": step.tainted_store_addr,
+        "overflow": None if step.overflow is None else {
+            "object_kind": step.overflow.object_kind,
+            "object_name": step.overflow.object_name,
+            "store_addr": step.overflow.store_addr,
+            "pc": _pc_to_obj(step.overflow.pc),
+        },
+    }
+
+
+def _step_from_obj(obj: Dict) -> SuffixStep:
+    overflow = None
+    if obj["overflow"] is not None:
+        raw = obj["overflow"]
+        overflow = OverflowFinding(
+            object_kind=raw["object_kind"], object_name=raw["object_name"],
+            store_addr=raw["store_addr"], pc=_pc_from_obj(raw["pc"]))
+    return SuffixStep(
+        segment=_segment_from_obj(obj["segment"]),
+        instr_count=obj["instr_count"],
+        input_syms=[Sym(name) for name in obj["input_syms"]],
+        outputs=[(expr_from_obj(raw), _pc_from_obj(pc))
+                 for raw, pc in obj["outputs"]],
+        write_addrs=set(obj["write_addrs"]),
+        read_addrs=set(obj["read_addrs"]),
+        lock_events=[(kind, addr) for kind, addr in obj["lock_events"]],
+        alloc_bases=list(obj["alloc_bases"]),
+        free_bases=list(obj["free_bases"]),
+        tainted_store_addr=obj["tainted_store_addr"],
+        overflow=overflow,
+    )
+
+
+def _frame_to_obj(frame: SnapFrame) -> Dict:
+    return {
+        "function": frame.function,
+        "block": frame.block,
+        "index": frame.index,
+        "regs": {reg.name: expr_to_obj(expr)
+                 for reg, expr in frame.regs.items()},
+        "frame_base": frame.frame_base,
+        "frame_words": frame.frame_words,
+        "ret_dst": frame.ret_dst.name if frame.ret_dst else None,
+    }
+
+
+def _frame_from_obj(obj: Dict) -> SnapFrame:
+    return SnapFrame(
+        function=obj["function"], block=obj["block"], index=obj["index"],
+        regs={Reg(name): expr_from_obj(raw)
+              for name, raw in obj["regs"].items()},
+        frame_base=obj["frame_base"], frame_words=obj["frame_words"],
+        ret_dst=Reg(obj["ret_dst"]) if obj["ret_dst"] else None,
+    )
+
+
+def _snapshot_to_obj(snapshot: SymbolicSnapshot) -> Dict:
+    return {
+        "overlay": {str(addr): expr_to_obj(expr)
+                    for addr, expr in snapshot.memory.items()},
+        "threads": {
+            str(tid): {
+                "frames": [_frame_to_obj(f) for f in thread.frames],
+                "status": thread.coredump_status.value,
+                "at_boundary": thread.at_boundary,
+                "start_function": thread.start_function,
+                "return_value": thread.return_value,
+            }
+            for tid, thread in snapshot.threads.items()
+        },
+        "constraints": [expr_to_obj(c) for c in snapshot.constraints],
+        "stack_tops": {str(t): v for t, v in snapshot.stack_tops.items()},
+        "remaining_allocs": [[b, s] for b, s in snapshot.remaining_allocs],
+        "live_at_start": {str(b): v
+                          for b, v in snapshot.live_at_start.items()},
+        "lock_owners": {str(a): t for a, t in snapshot.lock_owners.items()},
+        "trap_pending": snapshot.trap_pending,
+        "input_sym_names": list(snapshot.input_sym_names),
+    }
+
+
+def _snapshot_from_obj(module: Module, coredump: Coredump,
+                       obj: Dict) -> SymbolicSnapshot:
+    from repro.vm.state import ThreadStatus
+
+    snapshot = SymbolicSnapshot.initial(module, coredump)
+    memory = SymMemory(base=lambda addr: coredump.memory.get(addr, 0),
+                       known=getattr(coredump, "available", None))
+    for addr_str, raw in obj["overlay"].items():
+        memory.write(int(addr_str), expr_from_obj(raw))
+    threads = {}
+    for tid_str, raw in obj["threads"].items():
+        tid = int(tid_str)
+        threads[tid] = SnapThread(
+            tid=tid,
+            frames=[_frame_from_obj(f) for f in raw["frames"]],
+            coredump_status=ThreadStatus(raw["status"]),
+            at_boundary=raw["at_boundary"],
+            start_function=raw["start_function"],
+            return_value=raw["return_value"],
+        )
+    return SymbolicSnapshot(
+        module=module,
+        coredump=coredump,
+        memory=memory,
+        threads=threads,
+        constraints=[expr_from_obj(c) for c in obj["constraints"]],
+        stack_tops={int(t): v for t, v in obj["stack_tops"].items()},
+        remaining_allocs=[(b, s) for b, s in obj["remaining_allocs"]],
+        live_at_start={int(b): v for b, v in obj["live_at_start"].items()},
+        lock_owners={int(a): t for a, t in obj["lock_owners"].items()},
+        trap_pending=obj["trap_pending"],
+        input_sym_names=list(obj["input_sym_names"]),
+        fresh_counter=snapshot._fresh_counter + 1_000_000,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+def suffix_to_json(suffix: ExecutionSuffix) -> str:
+    """Serialize one execution suffix (with its coredump) to JSON."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "module": suffix.coredump.module_name,
+        "coredump": json.loads(suffix.coredump.to_json()),
+        "snapshot": _snapshot_to_obj(suffix.snapshot),
+        "steps": [_step_to_obj(step) for step in suffix.steps],
+        "constraints": [expr_to_obj(c) for c in suffix.constraints],
+    }
+    return json.dumps(payload, indent=1)
+
+
+def suffix_from_json(module: Module, text: str) -> ExecutionSuffix:
+    payload = json.loads(text)
+    if payload.get("format") != FORMAT_VERSION:
+        raise ReplayError(
+            f"unsupported artifact format {payload.get('format')!r}")
+    if payload["module"] != module.name:
+        raise ReplayError(
+            f"artifact is for module {payload['module']!r}, "
+            f"not {module.name!r}")
+    coredump = Coredump.from_json(json.dumps(payload["coredump"]))
+    snapshot = _snapshot_from_obj(module, coredump, payload["snapshot"])
+    return ExecutionSuffix(
+        coredump=coredump,
+        snapshot=snapshot,
+        steps=[_step_from_obj(raw) for raw in payload["steps"]],
+        constraints=[expr_from_obj(raw) for raw in payload["constraints"]],
+    )
+
+
+def save_suffix(synthesized: SynthesizedSuffix,
+                path: Union[str, Path]) -> Path:
+    """Write a synthesized suffix to an artifact file."""
+    target = Path(path)
+    target.write_text(suffix_to_json(synthesized.suffix))
+    return target
+
+
+def load_suffix(module: Module, path: Union[str, Path]) -> SynthesizedSuffix:
+    """Load an artifact and re-verify it by deterministic replay.
+
+    The replay regenerates the model, inputs, and ground trace, so the
+    loaded object is as capable as a freshly synthesized one (debugger,
+    query engine, triage all work on it).
+    """
+    suffix = suffix_from_json(module, Path(path).read_text())
+    report = SuffixReplayer(module).replay(suffix)
+    if not report.ok:
+        raise ReplayError(
+            "artifact failed replay verification: "
+            + "; ".join(report.mismatches[:3]))
+    return SynthesizedSuffix(suffix=suffix, report=report)

@@ -1,0 +1,96 @@
+"""Hardware-error diagnosis (paper §3.2).
+
+"While analyzing a coredump, RES can discover inconsistencies between
+the coredump and the execution of the program prior to generating the
+coredump, indicating that the likely explanation is a hardware error
+... if on all the possible paths to the coredump the program writes the
+value 1 to a certain memory address, but the coredump contains the
+value 0, this would likely indicate a memory error."
+
+Operationally: run the backward search.  If even the forced trap
+segment is infeasible, or the whole bounded hypothesis space exhausts
+with no verified suffix, no software execution explains the dump —
+verdict *hardware*.  If a verified suffix exists, software suffices.
+The paper's caveat ("diagnosing a hardware error with full accuracy
+requires exploring all possible execution suffixes; this may be
+possible for short suffixes") maps to the ``exhausted`` flag: only an
+exhausted search upgrades "no suffix found" into a hardware verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.ir.module import Module
+from repro.vm.coredump import Coredump
+from repro.core.res import (
+    RESConfig,
+    ReverseExecutionSynthesizer,
+    SynthesisStats,
+    SynthesizedSuffix,
+)
+
+
+class HardwareVerdict(Enum):
+    SOFTWARE = "software"          # a feasible suffix reproduces the dump
+    HARDWARE = "hardware"          # no hypothesis is consistent with the dump
+    SUSPECTED_HARDWARE = "suspected-hardware"  # budget ran out, none found
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class HardwareDiagnosis:
+    verdict: HardwareVerdict
+    rationale: str
+    stats: SynthesisStats
+    witness: Optional[SynthesizedSuffix] = None
+
+
+def diagnose(module: Module, coredump: Coredump,
+             config: Optional[RESConfig] = None) -> HardwareDiagnosis:
+    """Classify a coredump as software- or hardware-caused.
+
+    Policy (§2.1): run the backward search to completion.  If some
+    hypothesis chain reaches every involved thread's start — a full
+    start-to-crash reconstruction — or survives to the depth horizon,
+    software explains the dump.  If *every* chain dies on a
+    contradiction first, no software execution can have produced the
+    coredump: hardware.
+    """
+    config = config or RESConfig(max_depth=24, max_nodes=8000)
+    synthesizer = ReverseExecutionSynthesizer(module, coredump, config)
+    deepest: Optional[SynthesizedSuffix] = None
+    for item in synthesizer.suffixes():
+        if deepest is None or item.depth > deepest.depth:
+            deepest = item
+    stats = synthesizer.stats
+    if stats.first_step_infeasible:
+        return HardwareDiagnosis(
+            HardwareVerdict.HARDWARE,
+            "the coredump is inconsistent with the trapping instruction's "
+            "own basic block: no software execution can produce it",
+            stats)
+    if stats.complete_reconstructions > 0:
+        return HardwareDiagnosis(
+            HardwareVerdict.SOFTWARE,
+            f"{stats.complete_reconstructions} full start-to-crash "
+            f"reconstruction(s) are consistent with the coredump",
+            stats, deepest)
+    if stats.max_depth_hits > 0:
+        return HardwareDiagnosis(
+            HardwareVerdict.SOFTWARE if deepest is not None
+            else HardwareVerdict.INCONCLUSIVE,
+            "consistent hypotheses survive past the search horizon",
+            stats, deepest)
+    if stats.exhausted:
+        return HardwareDiagnosis(
+            HardwareVerdict.HARDWARE,
+            "every backward hypothesis contradicts the coredump before "
+            "reaching any thread start",
+            stats, deepest)
+    return HardwareDiagnosis(
+        HardwareVerdict.SUSPECTED_HARDWARE,
+        "search budget exhausted with no consistent full reconstruction",
+        stats, deepest)

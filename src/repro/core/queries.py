@@ -1,0 +1,297 @@
+"""Hypothesis testing over synthesized suffixes (paper §3.3).
+
+"RES could also be used to automate the testing of various hypotheses
+formulated during debugging, such as 'what was the program state when
+the program was executing at program counter X', or 'was a thread T
+preempted before updating shared memory location M?'"
+
+The query engine answers exactly those two families of questions — plus
+the access-history questions developers derive them from — over one
+verified suffix.  Everything is computed from the deterministic replay:
+state questions re-drive the replay VM to the requested position, and
+event questions read the replay's ground trace.  No recording of the
+original execution is used anywhere (requirement 1 of §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReplayError
+from repro.ir.module import Module
+from repro.vm.state import PC
+from repro.vm.trace import ExecutionTrace, TraceEvent
+from repro.core.debugger import ReverseDebugger
+from repro.core.res import SynthesizedSuffix
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One read or write of a watched address within the suffix."""
+
+    step: int
+    tid: int
+    pc: PC
+    line: int
+    addr: int
+    value: int
+    is_write: bool
+
+    def describe(self) -> str:
+        verb = "wrote" if self.is_write else "read"
+        return (f"step {self.step}: t{self.tid} {verb} {self.value} "
+                f"at {self.addr:#x} ({self.pc}, line {self.line})")
+
+
+@dataclass
+class StateObservation:
+    """Program state captured while control sat at the queried PC."""
+
+    step: int
+    tid: int
+    pc: PC
+    line: int
+    #: source-level variables visible in the stopped frame (locals of the
+    #: current function plus all globals), by name
+    variables: Dict[str, int] = field(default_factory=dict)
+    backtrace: List[PC] = field(default_factory=list)
+
+    def describe(self) -> str:
+        vars_str = ", ".join(f"{k}={v}" for k, v in sorted(self.variables.items()))
+        return f"step {self.step}: t{self.tid} at {self.pc} [{vars_str}]"
+
+
+@dataclass
+class PreemptionAnswer:
+    """Answer to "was thread T preempted before updating M?" (§3.3)."""
+
+    tid: int
+    addr: int
+    #: True iff another thread ran between T's previous action and T's
+    #: update of the address
+    preempted: bool
+    #: the update in question (None when T never writes the address)
+    write: Optional[AccessEvent] = None
+    #: accesses to the same address by *other* threads inside the
+    #: preemption window — the racing accesses a developer looks for
+    interleaved_accesses: List[AccessEvent] = field(default_factory=list)
+    #: threads that ran in the window, whether or not they touched addr
+    interleaving_tids: List[int] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.preempted
+
+    def describe(self) -> str:
+        if self.write is None:
+            return (f"thread {self.tid} never updates {self.addr:#x} "
+                    f"within the suffix")
+        if not self.preempted:
+            return (f"thread {self.tid} was NOT preempted before updating "
+                    f"{self.addr:#x} at step {self.write.step}")
+        racers = ", ".join(e.describe() for e in self.interleaved_accesses)
+        return (f"thread {self.tid} WAS preempted before updating "
+                f"{self.addr:#x} (threads {self.interleaving_tids} ran); "
+                f"interleaved accesses: {racers or 'none touched it'}")
+
+
+class SuffixQueryEngine:
+    """§3.3 debugging queries over one replay-verified suffix.
+
+    The engine needs the suffix's replay trace; suffixes coming out of
+    :class:`~repro.core.res.ReverseExecutionSynthesizer` with
+    verification enabled already carry one.
+    """
+
+    def __init__(self, module: Module, synthesized: SynthesizedSuffix):
+        self.module = module
+        self.synthesized = synthesized
+        trace = synthesized.report.trace
+        if trace is None:
+            raise ReplayError(
+                "suffix has no replay trace; synthesize with verify=True")
+        self.trace: ExecutionTrace = trace
+        self._layout = module.layout()
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def resolve(self, target) -> int:
+        """Accept either a raw address or a global-variable name."""
+        if isinstance(target, int):
+            return target
+        try:
+            return self._layout[target]
+        except KeyError:
+            raise ReplayError(f"unknown global {target!r}") from None
+
+    # ------------------------------------------------------------------
+    # Access-history queries (the raw material of §3.3 hypotheses)
+    # ------------------------------------------------------------------
+
+    def accesses(self, target) -> List[AccessEvent]:
+        """Every read and write of ``target`` within the suffix, in order."""
+        addr = self.resolve(target)
+        out: List[AccessEvent] = []
+        for event in self.trace:
+            for acc in event.reads:
+                if acc.addr == addr:
+                    out.append(self._wrap(event, acc.addr, acc.value, False))
+            for acc in event.writes:
+                if acc.addr == addr:
+                    out.append(self._wrap(event, acc.addr, acc.value, True))
+        return out
+
+    def writes_to(self, target) -> List[AccessEvent]:
+        return [a for a in self.accesses(target) if a.is_write]
+
+    def reads_from(self, target) -> List[AccessEvent]:
+        return [a for a in self.accesses(target) if not a.is_write]
+
+    def last_writer(self, target) -> Optional[AccessEvent]:
+        """Who last wrote the address — the question behind most memory-
+        corruption hypotheses."""
+        writes = self.writes_to(target)
+        return writes[-1] if writes else None
+
+    def value_history(self, target) -> List[Tuple[int, int]]:
+        """``(step, value)`` pairs tracing the address through the suffix."""
+        return [(a.step, a.value) for a in self.writes_to(target)]
+
+    def schedule_legs(self) -> List[Tuple[int, int]]:
+        """The suffix's thread schedule as ``(tid, instructions)`` legs."""
+        return self.synthesized.suffix.schedule()
+
+    # ------------------------------------------------------------------
+    # "What was the program state at PC X?"
+    # ------------------------------------------------------------------
+
+    def state_at(self, function: str, block: Optional[str] = None,
+                 occurrence: int = 0) -> Optional[StateObservation]:
+        """State the first (or ``occurrence``-th) time control reaches
+        the function (and block, when given) during the suffix."""
+        found = self.states_at(function, block, limit=occurrence + 1)
+        return found[occurrence] if len(found) > occurrence else None
+
+    def states_at(self, function: str, block: Optional[str] = None,
+                  limit: Optional[int] = None) -> List[StateObservation]:
+        """All states observed at the PC, replayed deterministically."""
+        debugger = ReverseDebugger(self.module, self.synthesized)
+        out: List[StateObservation] = []
+        while not debugger.at_end:
+            pc = debugger.current_pc()
+            if pc is not None and pc.function == function \
+                    and (block is None or pc.block == block):
+                out.append(self._observe(debugger, pc))
+                if limit is not None and len(out) >= limit:
+                    break
+            debugger.step(1)
+        return out
+
+    def state_when(self, function: str,
+                   predicate: Callable[[StateObservation], bool]
+                   ) -> Optional[StateObservation]:
+        """First state in ``function`` satisfying ``predicate``."""
+        for obs in self.states_at(function):
+            if predicate(obs):
+                return obs
+        return None
+
+    def _observe(self, debugger: ReverseDebugger,
+                 pc: PC) -> StateObservation:
+        variables: Dict[str, int] = {}
+        func = self.module.function(pc.function)
+        for name in list(func.var_regs) + list(func.frame_vars):
+            value = debugger.print_var(name)
+            if value is not None:
+                variables[name] = value
+        for name in self.module.globals:
+            value = debugger.print_var(name)
+            if value is not None:
+                variables[name] = value
+        block = func.block(pc.block)
+        line = (block.instrs[pc.index].line
+                if pc.index < len(block.instrs) else 0)
+        return StateObservation(
+            step=debugger.position,
+            tid=debugger.current_thread(),
+            pc=pc,
+            line=line,
+            variables=variables,
+            backtrace=debugger.backtrace(),
+        )
+
+    # ------------------------------------------------------------------
+    # "Was thread T preempted before updating M?"
+    # ------------------------------------------------------------------
+
+    def was_preempted_before_update(self, tid: int,
+                                    target) -> PreemptionAnswer:
+        """§3.3's preemption hypothesis, answered from the replay trace.
+
+        A thread was "preempted before updating M" when the schedule let
+        other threads run between the thread's previous instruction and
+        its write to M.  The interleaved accesses to M (if any) are the
+        racing accesses — for the paper's data-race workloads they are
+        precisely the root-cause pair.
+        """
+        addr = self.resolve(target)
+        write = next((a for a in self.writes_to(addr) if a.tid == tid), None)
+        if write is None:
+            return PreemptionAnswer(tid=tid, addr=addr, preempted=False)
+
+        # T's last action strictly before the write.
+        prev_step = -1
+        for event in self.trace:
+            if event.step >= write.step:
+                break
+            if event.tid == tid:
+                prev_step = event.step
+
+        window = [e for e in self.trace
+                  if prev_step < e.step < write.step and e.tid != tid]
+        interleaved = [
+            self._wrap(e, acc.addr, acc.value, is_write)
+            for e in window
+            for is_write, accs in ((False, e.reads), (True, e.writes))
+            for acc in accs if acc.addr == addr
+        ]
+        return PreemptionAnswer(
+            tid=tid,
+            addr=addr,
+            preempted=bool(window),
+            write=write,
+            interleaved_accesses=sorted(interleaved, key=lambda a: a.step),
+            interleaving_tids=sorted({e.tid for e in window}),
+        )
+
+    def unprotected_conflicts(self, target) -> List[Tuple[AccessEvent,
+                                                          AccessEvent]]:
+        """Pairs of same-address accesses by different threads where at
+        least one is a write and neither held a common lock — the
+        conflicting-access pattern the root-cause detectors flag."""
+        addr = self.resolve(target)
+        events = [(e, acc, is_write)
+                  for e in self.trace
+                  for is_write, accs in ((False, e.reads), (True, e.writes))
+                  for acc in accs if acc.addr == addr]
+        out: List[Tuple[AccessEvent, AccessEvent]] = []
+        for i, (ev_a, acc_a, w_a) in enumerate(events):
+            for ev_b, acc_b, w_b in events[i + 1:]:
+                if ev_a.tid == ev_b.tid or not (w_a or w_b):
+                    continue
+                if set(ev_a.locks_held) & set(ev_b.locks_held):
+                    continue
+                out.append((self._wrap(ev_a, acc_a.addr, acc_a.value, w_a),
+                            self._wrap(ev_b, acc_b.addr, acc_b.value, w_b)))
+        return out
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _wrap(event: TraceEvent, addr: int, value: int,
+              is_write: bool) -> AccessEvent:
+        return AccessEvent(step=event.step, tid=event.tid, pc=event.pc,
+                           line=event.line, addr=addr, value=value,
+                           is_write=is_write)

@@ -1,0 +1,261 @@
+"""Deterministic replay of synthesized suffixes (paper §2.1).
+
+"To replay a suffix in a debugger like gdb, a special environment is
+slipped underneath the debugger to instantiate M_i and replay T_i; to
+the developer it looks as if the program deterministically runs into
+the same failure."
+
+The replayer is that special environment: it solves the suffix's
+constraint set to concrete values, instantiates a VM mid-execution
+(memory image, thread frames, allocator and lock state), drives the
+schedule leg by leg, and finally verifies that the machine lands
+*exactly* on the coredump — trap, memory image, and failing-thread
+registers.  Verification is also RES's false-positive filter: "any
+execution suffix must match the full coredump exactly" (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.module import Module
+from repro.symex.expr import evaluate
+from repro.symex.solver import Solver
+from repro.vm.coredump import Coredump, TrapKind
+from repro.vm.interpreter import RunResult, RunStatus, VM
+from repro.vm.memory import Allocation
+from repro.vm.state import Frame, Thread, ThreadStatus
+from repro.vm.trace import ExecutionTrace
+from repro.core.suffix import ExecutionSuffix
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one suffix against its coredump."""
+
+    ok: bool
+    mismatches: List[str] = field(default_factory=list)
+    inputs: List[int] = field(default_factory=list)
+    model: Optional[Dict[str, int]] = None
+    trace: Optional[ExecutionTrace] = None
+    vm: Optional[VM] = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class SuffixReplayer:
+    """Materializes and replays :class:`ExecutionSuffix` objects."""
+
+    def __init__(self, module: Module, solver: Optional[Solver] = None):
+        self.module = module
+        self.solver = solver or Solver()
+
+    # ------------------------------------------------------------------
+
+    def replay(self, suffix: ExecutionSuffix) -> ReplayReport:
+        """Solve, instantiate, drive, verify."""
+        result = self.solver.solve(suffix.constraints)
+        if not result.is_sat or result.model is None:
+            return ReplayReport(ok=False, mismatches=[
+                f"cannot materialize suffix: solver says {result.status.value}"
+            ])
+        model = result.model
+        vm = self._instantiate(suffix, model)
+        inputs = list(vm.inputs)
+        report = self._drive(vm, suffix)
+        report.model = model
+        report.inputs = inputs
+        report.trace = vm.trace
+        report.vm = vm
+        return report
+
+    # ------------------------------------------------------------------
+    # Instantiation: build the M_i state inside a fresh VM
+    # ------------------------------------------------------------------
+
+    def _instantiate(self, suffix: ExecutionSuffix,
+                     model: Dict[str, int]) -> VM:
+        coredump = suffix.coredump
+        snapshot = suffix.snapshot
+        inputs = [self._eval(sym, model) for sym in suffix.input_syms()]
+        vm = VM(
+            self.module,
+            inputs=inputs,
+            record_trace=True,
+            check_bounds=coredump.bounds_checked,
+            lbr_depth=0,
+            start_main=False,
+        )
+        # Memory: the coredump image patched with the reconstructed
+        # pre-state expressions, evaluated under the model.
+        words = dict(coredump.memory)
+        for addr, expr in snapshot.memory.items():
+            words[addr] = self._eval(expr, model)
+        vm.memory.words = words
+
+        # Allocator: suffix-born allocations do not exist yet; suffix
+        # frees have not happened yet.
+        suffix_allocs = suffix.alloc_bases()
+        vm.memory.allocations = {}
+        for base, (size, _freed) in coredump.heap.items():
+            if base in suffix_allocs:
+                continue
+            freed = not snapshot.live_at_start.get(base, True)
+            vm.memory.allocations[base] = Allocation(base=base, size=size,
+                                                     freed=freed)
+        vm.memory.heap_cursor = snapshot.heap_cursor()
+        vm.memory.stack_tops = dict(snapshot.stack_tops)
+
+        # Locks held at suffix start.
+        vm.lock_owners = dict(snapshot.lock_owners)
+
+        # Threads.
+        for tid, snap_thread in snapshot.threads.items():
+            frames = [
+                Frame(
+                    function=f.function,
+                    block=f.block,
+                    index=f.index,
+                    regs={reg: self._eval(expr, model)
+                          for reg, expr in f.regs.items()},
+                    frame_base=f.frame_base,
+                    frame_words=f.frame_words,
+                    ret_dst=f.ret_dst,
+                )
+                for f in snap_thread.frames
+            ]
+            status = ThreadStatus.RUNNABLE if frames else ThreadStatus.FINISHED
+            held = [addr for addr, owner in snapshot.lock_owners.items()
+                    if owner == tid]
+            vm.adopt_thread(Thread(tid=tid, frames=frames, status=status,
+                                   held_locks=held,
+                                   start_function=snap_thread.start_function))
+        return vm
+
+    @staticmethod
+    def _eval(expr, model: Dict[str, int]) -> int:
+        value = evaluate(expr, model)
+        return value if value is not None else 0
+
+    # ------------------------------------------------------------------
+    # Driving the schedule
+    # ------------------------------------------------------------------
+
+    def _drive(self, vm: VM, suffix: ExecutionSuffix) -> ReplayReport:
+        coredump = suffix.coredump
+        mismatches: List[str] = []
+        terminal: Optional[RunResult] = None
+        legs = suffix.schedule()
+        total = sum(n for _, n in legs)
+        executed = 0
+        for leg_idx, (tid, count) in enumerate(legs):
+            for step_in_leg in range(count):
+                if terminal is not None:
+                    mismatches.append("program ended before the schedule did")
+                    return ReplayReport(ok=False, mismatches=mismatches)
+                vm.wake_threads()
+                thread = vm.threads.get(tid)
+                if thread is None or thread.status is not ThreadStatus.RUNNABLE:
+                    mismatches.append(
+                        f"thread {tid} not runnable at leg {leg_idx}")
+                    return ReplayReport(ok=False, mismatches=mismatches)
+                before = thread.top.pc if thread.frames else None
+                terminal = vm.step_thread(tid)
+                executed += 1
+                if thread.status in (ThreadStatus.BLOCKED_LOCK,
+                                     ThreadStatus.BLOCKED_JOIN):
+                    # The instruction did not actually execute: this
+                    # schedule is not realizable.
+                    mismatches.append(
+                        f"thread {tid} blocked mid-suffix at {before}")
+                    return ReplayReport(ok=False, mismatches=mismatches)
+                if thread.status is ThreadStatus.FINISHED \
+                        and terminal is None and step_in_leg < count - 1:
+                    mismatches.append(
+                        f"thread {tid} finished with its leg unfinished")
+                    return ReplayReport(ok=False, mismatches=mismatches)
+
+        if coredump.trap.kind is TrapKind.DEADLOCK:
+            return self._verify_deadlock(vm, suffix, mismatches)
+
+        if terminal is None or terminal.status is not RunStatus.TRAPPED \
+                or terminal.coredump is None:
+            mismatches.append("suffix did not end in a trap")
+            return ReplayReport(ok=False, mismatches=mismatches)
+        return self._verify(terminal.coredump, coredump, mismatches)
+
+    def _verify_deadlock(self, vm: VM, suffix: ExecutionSuffix,
+                         mismatches: List[str]) -> ReplayReport:
+        coredump = suffix.coredump
+        tid = coredump.trap.tid
+        vm.wake_threads()
+        thread = vm.threads[tid]
+        if thread.status is ThreadStatus.RUNNABLE:
+            vm.step_thread(tid)
+        if thread.status is not ThreadStatus.BLOCKED_LOCK:
+            mismatches.append("failing thread did not block on its lock")
+            return ReplayReport(ok=False, mismatches=mismatches)
+        if coredump.trap.fault_addr is not None \
+                and thread.blocked_on != coredump.trap.fault_addr:
+            mismatches.append("failing thread blocked on the wrong lock")
+            return ReplayReport(ok=False, mismatches=mismatches)
+        replayed = vm.capture_coredump(coredump.trap)
+        return self._verify(replayed, coredump, mismatches,
+                            check_trap=False)
+
+    # ------------------------------------------------------------------
+    # Verification: the replayed end state must *be* the coredump
+    # ------------------------------------------------------------------
+
+    def _verify(self, replayed: Coredump, expected: Coredump,
+                mismatches: List[str], check_trap: bool = True) -> ReplayReport:
+        if check_trap:
+            got, want = replayed.trap, expected.trap
+            if got.kind is not want.kind or got.tid != want.tid \
+                    or got.pc != want.pc or got.fault_addr != want.fault_addr:
+                mismatches.append(f"trap mismatch: got {got!r}, want {want!r}")
+
+        # Partial dumps (minidumps) can only be matched on the words they
+        # retain; a full coredump is matched exactly, everywhere.
+        available = getattr(expected, "available", None)
+        for addr in set(replayed.memory) | set(expected.memory):
+            if available is not None and not available(addr):
+                continue
+            got_word = replayed.memory.get(addr, 0)
+            want_word = expected.memory.get(addr, 0)
+            if got_word != want_word:
+                mismatches.append(
+                    f"memory mismatch at {addr:#x}: got {got_word}, "
+                    f"want {want_word}")
+                if len(mismatches) > 20:
+                    mismatches.append("... (more mismatches suppressed)")
+                    break
+
+        want_thread = expected.threads[expected.trap.tid]
+        got_thread = replayed.threads.get(expected.trap.tid)
+        if got_thread is None:
+            mismatches.append("failing thread missing from replay")
+        else:
+            if len(got_thread.frames) != len(want_thread.frames):
+                mismatches.append(
+                    f"failing thread has {len(got_thread.frames)} frames, "
+                    f"want {len(want_thread.frames)}")
+            else:
+                for depth, (got_frame, want_frame) in enumerate(
+                        zip(got_thread.frames, want_thread.frames)):
+                    if (got_frame.function, got_frame.block, got_frame.index) != \
+                            (want_frame.function, want_frame.block,
+                             want_frame.index):
+                        mismatches.append(
+                            f"frame {depth} position mismatch: "
+                            f"{got_frame.pc} vs {want_frame.pc}")
+                        continue
+                    for reg, want_val in want_frame.regs.items():
+                        got_val = got_frame.regs.get(reg)
+                        if got_val != want_val:
+                            mismatches.append(
+                                f"frame {depth} register {reg!r}: "
+                                f"got {got_val}, want {want_val}")
+        return ReplayReport(ok=not mismatches, mismatches=mismatches)

@@ -1,0 +1,273 @@
+"""Root-cause analysis of synthesized suffixes (paper §3.1, §4).
+
+The paper's evaluation is phrased in terms of root causes: "In all the
+cases RES was able to identify the correct root cause ... RES only
+produced execution suffixes that reproduced the correct root cause."
+
+Detectors run over the *replayed* suffix — a concrete, deterministic
+execution with full memory-access and lockset information — plus the
+symbolic facts the segment executor gathered (overflow provenance,
+taint).  Each finding carries a stable :meth:`RootCause.signature` used
+by the triage layer to bucket reports by cause rather than by call
+stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.vm.coredump import TrapKind
+from repro.vm.state import PC
+from repro.vm.trace import ExecutionTrace, TraceEvent
+from repro.core.res import SynthesizedSuffix
+
+
+@dataclass(frozen=True)
+class RootCause:
+    """One identified root cause."""
+
+    kind: str  # data-race | atomicity-violation | buffer-overflow |
+    #          # use-after-free | deadlock | div-by-zero | assert-state
+    description: str
+    addr: Optional[int] = None
+    threads: Tuple[int, ...] = ()
+    pcs: Tuple[PC, ...] = ()
+    object_name: str = ""
+
+    def signature(self) -> Tuple:
+        """Stable bucketing key: cause kind + where, not call stack."""
+        pcs = tuple(sorted((pc.function, pc.block) for pc in self.pcs))
+        return (self.kind, self.object_name or self.addr, pcs)
+
+
+@dataclass
+class RootCauseReport:
+    causes: List[RootCause] = field(default_factory=list)
+
+    @property
+    def primary(self) -> Optional[RootCause]:
+        """Highest-confidence cause: concurrency > memory > state."""
+        priority = {"data-race": 0, "atomicity-violation": 1,
+                    "use-after-free": 2, "buffer-overflow": 3,
+                    "double-free": 4, "deadlock": 5, "div-by-zero": 6,
+                    "assert-state": 7}
+        ranked = sorted(self.causes,
+                        key=lambda c: priority.get(c.kind, 99))
+        return ranked[0] if ranked else None
+
+    def kinds(self) -> Set[str]:
+        return {c.kind for c in self.causes}
+
+
+def analyze(synthesized: SynthesizedSuffix) -> RootCauseReport:
+    """Run every detector over a verified suffix."""
+    report = RootCauseReport()
+    suffix = synthesized.suffix
+    trace = synthesized.report.trace
+    trap = suffix.coredump.trap
+
+    for finding in suffix.overflow_findings():
+        report.causes.append(RootCause(
+            kind="buffer-overflow",
+            description=(f"store past the end of {finding.object_kind} "
+                         f"'{finding.object_name}' at {finding.store_addr:#x}"),
+            addr=finding.store_addr,
+            object_name=finding.object_name,
+            pcs=(finding.pc,),
+        ))
+
+    if trap.kind is TrapKind.USE_AFTER_FREE:
+        report.causes.append(RootCause(
+            kind="use-after-free",
+            description=f"access to freed memory at {trap.fault_addr:#x}",
+            addr=trap.fault_addr, pcs=(trap.pc,), threads=(trap.tid,),
+        ))
+    if trap.kind is TrapKind.DOUBLE_FREE:
+        report.causes.append(RootCause(
+            kind="double-free",
+            description=f"double free of {trap.fault_addr:#x}",
+            addr=trap.fault_addr, pcs=(trap.pc,), threads=(trap.tid,),
+        ))
+    if trap.kind is TrapKind.OUT_OF_BOUNDS:
+        report.causes.append(RootCause(
+            kind="buffer-overflow",
+            description=f"out-of-bounds access at {trap.fault_addr:#x}",
+            addr=trap.fault_addr, pcs=(trap.pc,), threads=(trap.tid,),
+        ))
+    if trap.kind is TrapKind.DIV_BY_ZERO:
+        report.causes.append(RootCause(
+            kind="div-by-zero", description="division by zero",
+            pcs=(trap.pc,), threads=(trap.tid,),
+        ))
+    if trap.kind is TrapKind.DEADLOCK:
+        holders = tuple(sorted(suffix.coredump.lock_owners.values()))
+        report.causes.append(RootCause(
+            kind="deadlock",
+            description=f"circular wait among threads {holders}",
+            addr=trap.fault_addr, threads=holders, pcs=(trap.pc,),
+        ))
+
+    if trace is not None:
+        report.causes.extend(_find_races(trace))
+        report.causes.extend(_find_atomicity_violations(trace))
+        if trap.kind is TrapKind.ASSERT_FAIL and not report.causes:
+            report.causes.extend(_assert_state_cause(trace, trap))
+    return report
+
+
+def _find_races(trace: ExecutionTrace) -> List[RootCause]:
+    """Lockset-based race detection over the replayed suffix.
+
+    Two accesses to the same address from different threads, at least
+    one a write, with no lock held in common, form a data race.
+    """
+    causes: List[RootCause] = []
+    seen: Set[Tuple] = set()
+    accesses: Dict[int, List[Tuple[TraceEvent, bool]]] = {}
+    for event in trace:
+        for acc in event.reads:
+            accesses.setdefault(acc.addr, []).append((event, False))
+        for acc in event.writes:
+            accesses.setdefault(acc.addr, []).append((event, True))
+    for addr, events in accesses.items():
+        for i, (ev_a, write_a) in enumerate(events):
+            for ev_b, write_b in events[i + 1:]:
+                if ev_a.tid == ev_b.tid:
+                    continue
+                if not (write_a or write_b):
+                    continue
+                if ev_a.lock_acquired == addr or ev_b.lock_acquired == addr \
+                        or ev_a.lock_released == addr or ev_b.lock_released == addr:
+                    continue  # the lock words themselves are not data
+                if set(ev_a.locks_held) & set(ev_b.locks_held):
+                    continue
+                key = (addr, frozenset({ev_a.tid, ev_b.tid}))
+                if key in seen:
+                    continue
+                seen.add(key)
+                causes.append(RootCause(
+                    kind="data-race",
+                    description=(f"unsynchronized accesses to {addr:#x} by "
+                                 f"threads {ev_a.tid} and {ev_b.tid}"),
+                    addr=addr,
+                    threads=tuple(sorted({ev_a.tid, ev_b.tid})),
+                    pcs=(ev_a.pc, ev_b.pc),
+                ))
+    return causes
+
+
+def _find_atomicity_violations(trace: ExecutionTrace) -> List[RootCause]:
+    """Read–interleaved-write–use patterns on one thread.
+
+    Thread A reads X, thread B writes X, thread A accesses X again —
+    with no common lock spanning A's two accesses (ConSeq-style
+    single-variable atomicity violation).
+    """
+    causes: List[RootCause] = []
+    seen: Set[Tuple] = set()
+    events = list(trace)
+    for i, first in enumerate(events):
+        read_addrs = {a.addr for a in first.reads} | {a.addr for a in first.writes}
+        for addr in read_addrs:
+            interloper: Optional[TraceEvent] = None
+            for later in events[i + 1:]:
+                if later.tid != first.tid:
+                    if any(w.addr == addr for w in later.writes):
+                        interloper = later
+                    continue
+                if not later.touches(addr):
+                    continue
+                # Same thread touches addr again.
+                if interloper is not None:
+                    held_across = set(first.locks_held) & set(later.locks_held) \
+                        & set(interloper.locks_held)
+                    if not held_across and first.lock_acquired != addr \
+                            and later.lock_acquired != addr:
+                        key = (addr, first.tid, interloper.tid)
+                        if key not in seen:
+                            seen.add(key)
+                            causes.append(RootCause(
+                                kind="atomicity-violation",
+                                description=(
+                                    f"thread {interloper.tid} wrote {addr:#x} "
+                                    f"inside thread {first.tid}'s read-use window"),
+                                addr=addr,
+                                threads=(first.tid, interloper.tid),
+                                pcs=(first.pc, interloper.pc, later.pc),
+                            ))
+                break
+    return causes
+
+
+def _assert_state_cause(trace: ExecutionTrace,
+                        trap) -> List[RootCause]:
+    """For semantic (assert) failures with no concurrency cause: point
+    at the last writers of the state the failing check read.
+
+    Returns nothing when the suffix does not (yet) contain any writer —
+    the driver keeps extending the suffix backward in that case, exactly
+    the paper's "continue until the suffix contains the root cause".
+    """
+    events = list(trace)
+    if not events:
+        return []
+    last_reads = set()
+    for event in reversed(events):
+        if event.tid != trap.tid:
+            continue
+        last_reads.update(a.addr for a in event.reads)
+        if len(last_reads) >= 4:
+            break
+    writers: List[PC] = []
+    for addr in sorted(last_reads):
+        writer = trace.last_writer_of(addr)
+        if writer is not None and writer.pc not in writers:
+            writers.append(writer.pc)
+    if not writers:
+        return []
+    return [RootCause(
+        kind="assert-state",
+        description=("assertion failed on state last written at "
+                     + ", ".join(str(pc) for pc in writers[:4])),
+        pcs=tuple(writers[:4]),
+        threads=(trap.tid,),
+    )]
+
+
+def find_root_cause(module, coredump, config=None,
+                    max_suffixes: int = 128) -> Tuple[Optional[RootCause],
+                                                      List[SynthesizedSuffix]]:
+    """Convenience driver: run RES until a suffix exposes a root cause.
+
+    Mirrors the paper's evaluation loop — keep extending suffixes until
+    the root cause is captured, then stop ("as long as developers can
+    replay this suffix and it contains the root cause, it is sufficient
+    to debug it").  Strong causes (races, memory-safety) stop the search
+    immediately; state-based explanations are kept but the search
+    continues in case a deeper suffix reveals a stronger cause.
+    """
+    from repro.core.res import ReverseExecutionSynthesizer
+
+    synthesizer = ReverseExecutionSynthesizer(module, coredump, config)
+    kept: List[SynthesizedSuffix] = []
+    weak: Optional[RootCause] = None
+    for item in synthesizer.suffixes():
+        kept.append(item)
+        report = analyze(item)
+        primary = report.primary
+        if primary is not None and primary.kind != "assert-state":
+            return primary, kept
+        if primary is not None and weak is None:
+            weak = primary
+        if len(kept) >= max_suffixes:
+            break
+    if weak is not None:
+        return weak, kept
+    if kept:
+        trap = coredump.trap
+        return RootCause(kind="assert-state",
+                         description="assertion failed; no writer inside "
+                                     "the reconstructed horizon",
+                         pcs=(trap.pc,), threads=(trap.tid,)), kept
+    return None, kept

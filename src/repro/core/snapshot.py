@@ -1,0 +1,226 @@
+"""Symbolic snapshots — the paper's central data structure (§2.3).
+
+A symbolic snapshot is "a hypothesis of how program state may have
+looked" at a point *before* the coredump: "an image of P's memory state
+in which some locations do not have concrete values, but rather have
+stand-ins for any possible value".
+
+Concretely, a snapshot is:
+
+* a :class:`~repro.symex.memory.SymMemory` whose base is the coredump
+  (concrete) and whose overlay holds the reconstructed pre-state
+  expressions for every location the suffix-so-far overwrites, and
+* per-thread frame stacks whose register files map registers to
+  expressions (concrete coredump values at depth 0 of the search,
+  progressively more symbolic as RES walks backward), and
+* the accumulated path/compatibility constraints, plus concrete
+  allocator and stack bookkeeping needed to rebuild a replayable state.
+
+Snapshots are immutable from the search's point of view: each backward
+step builds a new one (`SymbolicSnapshot.child`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import Reg
+from repro.ir.module import HEAP_BASE, Module
+from repro.symex.expr import Const, Expr, Sym
+from repro.symex.memory import SymMemory
+from repro.vm.coredump import Coredump
+from repro.vm.state import PC, ThreadStatus
+
+
+@dataclass
+class SnapFrame:
+    """One activation in a snapshot; mirrors the VM's Frame but symbolic."""
+
+    function: str
+    block: str
+    index: int  # resume point: next instruction to execute on replay
+    regs: Dict[Reg, Expr]
+    frame_base: int
+    frame_words: int
+    ret_dst: Optional[Reg] = None
+
+    @property
+    def pc(self) -> PC:
+        return PC(self.function, self.block, self.index)
+
+    def copy(self) -> "SnapFrame":
+        return SnapFrame(self.function, self.block, self.index,
+                         dict(self.regs), self.frame_base, self.frame_words,
+                         self.ret_dst)
+
+
+@dataclass
+class SnapThread:
+    """A thread's reconstructed stack plus navigation bookkeeping."""
+
+    tid: int
+    frames: List[SnapFrame]
+    coredump_status: ThreadStatus
+    #: True once backward navigation hit the thread's start (no further
+    #: candidates for this thread).
+    at_boundary: bool = False
+    #: function the thread was spawned with (navigating backward past a
+    #: thread's final ``ret`` re-materializes a root frame of this).
+    start_function: str = ""
+    #: value the thread returned with, if it finished before the dump.
+    return_value: int = 0
+
+    @property
+    def top(self) -> SnapFrame:
+        return self.frames[-1]
+
+    def copy(self) -> "SnapThread":
+        return SnapThread(self.tid, [f.copy() for f in self.frames],
+                          self.coredump_status, self.at_boundary,
+                          self.start_function, self.return_value)
+
+
+class SymbolicSnapshot:
+    """Program state hypothesis at the current backward-search horizon."""
+
+    def __init__(
+        self,
+        module: Module,
+        coredump: Coredump,
+        memory: SymMemory,
+        threads: Dict[int, SnapThread],
+        constraints: List[Expr],
+        stack_tops: Dict[int, int],
+        remaining_allocs: List[Tuple[int, int]],
+        live_at_start: Dict[int, bool],
+        lock_owners: Dict[int, int],
+        fresh_counter: int = 0,
+        trap_pending: bool = True,
+        input_sym_names: Optional[List[str]] = None,
+    ):
+        self.module = module
+        self.coredump = coredump
+        self.memory = memory
+        self.threads = threads
+        self.constraints = constraints
+        self.stack_tops = stack_tops
+        #: coredump allocations not (yet) attributed to the suffix, as
+        #: ``(base, size)`` sorted by base; suffix allocations are always
+        #: the most recent ones, i.e. the tail of this list.
+        self.remaining_allocs = remaining_allocs
+        #: allocation base → liveness at the snapshot point (True = not
+        #: yet freed); starts as the coredump's freed flags inverted and
+        #: is rewound as the suffix absorbs ``free`` operations.
+        self.live_at_start = live_at_start
+        #: lock address → owner tid at the snapshot point.
+        self.lock_owners = lock_owners
+        self._fresh_counter = fresh_counter
+        #: True until the failing thread's trap segment has been absorbed
+        #: (the first backward step is forced to be that segment).
+        self.trap_pending = trap_pending
+        #: names of program-input symbols introduced so far (for taint).
+        self.input_sym_names: List[str] = list(input_sym_names or [])
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def initial(cls, module: Module, coredump: Coredump) -> "SymbolicSnapshot":
+        """The base case of the recursion: S_post := the coredump (§2.4)."""
+        threads: Dict[int, SnapThread] = {}
+        for tid, dump in coredump.threads.items():
+            frames = [
+                SnapFrame(
+                    function=fr.function,
+                    block=fr.block,
+                    index=fr.index,
+                    regs={reg: Const(value) for reg, value in fr.regs.items()},
+                    frame_base=fr.frame_base,
+                    frame_words=fr.frame_words,
+                    ret_dst=fr.ret_dst,
+                )
+                for fr in dump.frames
+            ]
+            threads[tid] = SnapThread(
+                tid=tid, frames=frames, coredump_status=dump.status,
+                at_boundary=not frames and not dump.start_function,
+                start_function=dump.start_function,
+                return_value=dump.return_value,
+            )
+        allocs = sorted((base, size) for base, (size, _) in coredump.heap.items())
+        live = {base: not freed for base, (size, freed) in coredump.heap.items()}
+        # Partial dumps (minidumps, §1) expose an `available` predicate;
+        # words outside it become unconstrained unknowns instead of
+        # trusted concrete values.
+        known = getattr(coredump, "available", None)
+
+        def base_read(addr: int) -> int:
+            return coredump.memory.get(addr, 0)
+
+        return cls(
+            module=module,
+            coredump=coredump,
+            memory=SymMemory(base=base_read, known=known),
+            threads=threads,
+            constraints=[],
+            stack_tops=dict(coredump.stack_tops),
+            remaining_allocs=allocs,
+            live_at_start=live,
+            lock_owners=dict(coredump.lock_owners),
+            trap_pending=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Fresh symbols
+    # ------------------------------------------------------------------
+
+    def fresh(self, prefix: str) -> Sym:
+        self._fresh_counter += 1
+        return Sym(f"{prefix}{self._fresh_counter}")
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def child(self) -> "SymbolicSnapshot":
+        """Mutable working copy for one backward step."""
+        clone = SymbolicSnapshot(
+            module=self.module,
+            coredump=self.coredump,
+            memory=self.memory.copy(),
+            threads={tid: t.copy() for tid, t in self.threads.items()},
+            constraints=list(self.constraints),
+            stack_tops=dict(self.stack_tops),
+            remaining_allocs=list(self.remaining_allocs),
+            live_at_start=dict(self.live_at_start),
+            lock_owners=dict(self.lock_owners),
+            fresh_counter=self._fresh_counter,
+            trap_pending=self.trap_pending,
+            input_sym_names=self.input_sym_names,
+        )
+        return clone
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def heap_cursor(self) -> int:
+        """Bump-allocator cursor implied by the remaining allocations."""
+        if not self.remaining_allocs:
+            return HEAP_BASE
+        base, size = self.remaining_allocs[-1]
+        return base + size + 1
+
+    def reg_value(self, tid: int, depth: int, reg: Reg) -> Optional[Expr]:
+        frame = self.threads[tid].frames[depth]
+        return frame.regs.get(reg)
+
+    def describe(self) -> str:
+        lines = [f"<snapshot: {len(self.constraints)} constraints, "
+                 f"{len(self.memory.overlay)} symbolic words>"]
+        for tid, thread in sorted(self.threads.items()):
+            pcs = " / ".join(str(f.pc) for f in thread.frames) or "(finished)"
+            lines.append(f"  t{tid}: {pcs}{' [boundary]' if thread.at_boundary else ''}")
+        return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Static predecessor filtering — Figure 1's "determines statically
+which predecessors are possible".
+
+"RES starts from the coredump and navigates P's control-flow graph
+backward until it reaches a basic block that has at least two
+predecessors.  At this point, RES determines statically which
+predecessors are possible" (§2.3).  The caption makes the rule
+concrete: "since x = 1 in the coredump, and only Pred1 ever sets x to
+1, then Pred1 must be part of the correct execution suffix".
+
+This module implements that static phase as a candidate filter that
+runs *before* any symbolic execution: scan the candidate segment for
+stores whose address and value are statically known (a tiny constant
+propagation over the segment's instructions), and refute the candidate
+when its final such store contradicts the concrete word the snapshot
+holds at that address.  The filter is sound — any store it cannot
+resolve makes it conservatively keep the candidate — so enabling it
+never changes which suffixes RES finds, only how many candidates reach
+the (much more expensive) segment executor.  E11 measures that saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.ir.instructions import (
+    BinInst,
+    CallInst,
+    ConstInst,
+    GAddrInst,
+    Imm,
+    MovInst,
+    Reg,
+    SpawnInst,
+    StoreInst,
+    to_unsigned,
+)
+from repro.ir.module import Module
+from repro.symex.expr import Const
+from repro.core.segments import Segment
+from repro.core.snapshot import SymbolicSnapshot
+
+#: binary operators the mini constant-folder evaluates
+_FOLDABLE = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+}
+
+
+@dataclass(frozen=True)
+class StoreSummary:
+    """Statically resolved final stores of one segment.
+
+    ``final`` maps address → last statically-known stored value; an
+    address is only present when *no later* unresolvable store could
+    have overwritten it, so each entry is a sound "the word holds this
+    value right after the segment" fact.
+    """
+
+    final: Tuple[Tuple[int, int], ...]
+
+    def contradicts(self, snapshot: SymbolicSnapshot) -> Optional[int]:
+        """Address whose snapshot word refutes this segment, if any."""
+        for addr, value in self.final:
+            post = snapshot.memory.read(addr)
+            if isinstance(post, Const) and post.value != value:
+                return addr
+        return None
+
+
+class WriterIndexFilter:
+    """Per-module cache of segment store summaries."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._layout = module.layout()
+        self._cache: Dict[Tuple[str, str, int, int], StoreSummary] = {}
+
+    def summary(self, segment: Segment) -> StoreSummary:
+        key = (segment.function, segment.block, segment.lo, segment.hi)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._summarize(segment)
+            self._cache[key] = cached
+        return cached
+
+    def refutes(self, snapshot: SymbolicSnapshot,
+                segment: Segment) -> bool:
+        """True when the snapshot's concrete memory proves the segment
+        cannot be the most recent step — the Figure 1 pruning."""
+        return self.summary(segment).contradicts(snapshot) is not None
+
+    # ------------------------------------------------------------------
+
+    def _summarize(self, segment: Segment) -> StoreSummary:
+        block = self.module.function(segment.function).block(segment.block)
+        env: Dict[Reg, int] = {}
+        final: Dict[int, int] = {}
+        # Registers are thread-private, so the block prefix before the
+        # segment contributes register knowledge (a segment frequently
+        # starts at a store whose address register was materialized one
+        # instruction earlier, across the preemption boundary).
+        for instr in block.instrs[:segment.lo]:
+            self._track_regs(env, instr)
+        for instr in block.instrs[segment.lo:segment.hi]:
+            if isinstance(instr, StoreInst):
+                addr = self._resolve(env, instr.addr)
+                if addr is None:
+                    # A store to an unknown address may overwrite any of
+                    # the facts collected so far.
+                    final.clear()
+                    continue
+                value = self._resolve(env, instr.value)
+                if value is None:
+                    final.pop(addr, None)
+                else:
+                    final[addr] = value
+            elif isinstance(instr, (CallInst, SpawnInst)):
+                # Callee code can write any memory; drop every store
+                # fact (register knowledge is updated by _track_regs).
+                final.clear()
+                self._track_regs(env, instr)
+            else:
+                self._track_regs(env, instr)
+        return StoreSummary(final=tuple(sorted(final.items())))
+
+    def _track_regs(self, env: Dict[Reg, int], instr) -> None:
+        """Propagate statically-known register values across ``instr``."""
+        if isinstance(instr, ConstInst):
+            env[instr.dst] = instr.value
+            return
+        if isinstance(instr, GAddrInst):
+            addr = self._layout.get(instr.name)
+            if addr is None:
+                env.pop(instr.dst, None)
+            else:
+                env[instr.dst] = addr
+            return
+        if isinstance(instr, MovInst):
+            value = self._resolve(env, instr.src)
+            if value is None:
+                env.pop(instr.dst, None)
+            else:
+                env[instr.dst] = value
+            return
+        if isinstance(instr, BinInst):
+            value = self._fold(env, instr)
+            if value is None:
+                env.pop(instr.dst, None)
+            else:
+                env[instr.dst] = value
+            return
+        # Anything else that defines a register makes it unknown.
+        for reg in instr.defs():
+            env.pop(reg, None)
+
+    @staticmethod
+    def _resolve(env: Dict[Reg, int], operand) -> Optional[int]:
+        if isinstance(operand, Imm):
+            return operand.value
+        return env.get(operand)
+
+    @classmethod
+    def _fold(cls, env: Dict[Reg, int], instr: BinInst) -> Optional[int]:
+        fold = _FOLDABLE.get(instr.op)
+        if fold is None:
+            return None
+        a = cls._resolve(env, instr.a)
+        b = cls._resolve(env, instr.b)
+        if a is None or b is None:
+            return None
+        return to_unsigned(fold(a, b))

@@ -1,0 +1,127 @@
+"""Execution suffixes — RES's output artifact (paper §2.1).
+
+"RES produces a set of execution traces T_i that end with the program
+counter found in the coredump; corresponding to each instruction trace,
+a partial memory image M_i is also provided ... The execution suffix
+T_i consists of the inputs (e.g., system call returns) and the thread
+schedule required to accomplish this."
+
+Here a suffix is the ordered list of segments (thread schedule at VM
+preemption granularity), the accumulated constraint set whose model
+supplies the inputs and the havocked pre-state words, and the symbolic
+snapshot S_pre from which replay starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.symex.expr import Expr, Sym
+from repro.vm.coredump import Coredump
+from repro.vm.state import PC
+from repro.core.segments import Segment
+from repro.core.slice_exec import OverflowFinding, SegmentResult
+from repro.core.snapshot import SymbolicSnapshot
+
+
+@dataclass
+class SuffixStep:
+    """One scheduled segment of the suffix, with its observable effects."""
+
+    segment: Segment
+    instr_count: int
+    input_syms: List[Sym] = field(default_factory=list)
+    outputs: List[Tuple[Expr, PC]] = field(default_factory=list)
+    write_addrs: Set[int] = field(default_factory=set)
+    read_addrs: Set[int] = field(default_factory=set)
+    lock_events: List[Tuple[str, int]] = field(default_factory=list)
+    alloc_bases: List[int] = field(default_factory=list)
+    free_bases: List[int] = field(default_factory=list)
+    tainted_store_addr: bool = False
+    overflow: Optional[OverflowFinding] = None
+
+    @classmethod
+    def from_result(cls, result: SegmentResult) -> "SuffixStep":
+        return cls(
+            segment=result.segment,
+            instr_count=result.instr_count,
+            input_syms=list(result.input_syms),
+            outputs=list(result.outputs),
+            write_addrs=set(result.write_addrs),
+            read_addrs=set(result.read_addrs),
+            lock_events=list(result.lock_events),
+            alloc_bases=list(result.alloc_bases),
+            free_bases=list(result.free_bases),
+            tainted_store_addr=result.tainted_store_addr,
+            overflow=result.overflow,
+        )
+
+
+@dataclass
+class ExecutionSuffix:
+    """A feasible execution suffix: schedule + inputs + pre-state.
+
+    ``steps`` are in forward (replay) order: ``steps[0]`` executes first
+    and ``steps[-1]`` ends at the coredump's program counter.
+    """
+
+    coredump: Coredump
+    snapshot: SymbolicSnapshot  # S_pre: state just before the suffix
+    steps: List[SuffixStep]
+    constraints: List[Expr]
+
+    @property
+    def depth(self) -> int:
+        return len(self.steps)
+
+    def schedule(self) -> List[Tuple[int, int]]:
+        """``(tid, instruction_count)`` legs, forward order."""
+        return [(s.segment.tid, s.instr_count) for s in self.steps]
+
+    def input_syms(self) -> List[Sym]:
+        """Input symbols in the order the replayed program consumes them."""
+        out: List[Sym] = []
+        for step in self.steps:
+            out.extend(step.input_syms)
+        return out
+
+    def read_set(self) -> Set[int]:
+        """Addresses the suffix reads — what §3.3 focuses developers on."""
+        out: Set[int] = set()
+        for step in self.steps:
+            out |= step.read_addrs
+        return out
+
+    def write_set(self) -> Set[int]:
+        out: Set[int] = set()
+        for step in self.steps:
+            out |= step.write_addrs
+        return out
+
+    def alloc_bases(self) -> Set[int]:
+        out: Set[int] = set()
+        for step in self.steps:
+            out.update(step.alloc_bases)
+        return out
+
+    def threads_involved(self) -> Set[int]:
+        return {s.segment.tid for s in self.steps}
+
+    def overflow_findings(self) -> List[OverflowFinding]:
+        return [s.overflow for s in self.steps if s.overflow is not None]
+
+    def has_tainted_store(self) -> bool:
+        return any(s.tainted_store_addr for s in self.steps)
+
+    def describe(self) -> str:
+        lines = [f"execution suffix: {self.depth} segments, "
+                 f"{sum(s.instr_count for s in self.steps)} instructions, "
+                 f"threads {sorted(self.threads_involved())}"]
+        for i, step in enumerate(self.steps):
+            seg = step.segment
+            lines.append(
+                f"  [{i}] t{seg.tid} {seg.function}:{seg.block}"
+                f"[{seg.lo}:{seg.hi}] ({seg.kind.value}, {step.instr_count} instrs)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Textual rendering of IR modules (for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.module import Function, Module
+
+
+def format_function(func: Function) -> str:
+    lines: List[str] = []
+    params = ", ".join(repr(p) for p in func.params)
+    lines.append(f"func @{func.name}({params}) frame={func.frame_words} {{")
+    ordered = [func.entry] + [l for l in func.blocks if l != func.entry]
+    for label in ordered:
+        block = func.blocks[label]
+        lines.append(f"  {label}:")
+        for instr in block.instrs:
+            lines.append(f"    {instr!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    lines: List[str] = [f"module {module.name}"]
+    layout = module.layout()
+    for name, gvar in module.globals.items():
+        init = f" init={gvar.init}" if gvar.init else ""
+        lines.append(f"global @{name} size={gvar.size} addr={layout[name]:#x}{init}")
+    for func in module.functions.values():
+        lines.append("")
+        lines.append(format_function(func))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,83 @@
+"""Structural verification of IR modules.
+
+Run after compilation and before any analysis: RES's backward search
+assumes an *accurate CFG* (the paper lists a corrupted CFG as an
+explicit non-goal, §6), so we reject malformed modules up front rather
+than misanalyze them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    AbortInst,
+    BrInst,
+    CallInst,
+    CBrInst,
+    HaltInst,
+    RetInst,
+    SpawnInst,
+)
+from repro.ir.module import Function, Module
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`IRError` on the first structural problem found."""
+    problems = collect_problems(module)
+    if problems:
+        raise IRError("; ".join(problems))
+
+
+def collect_problems(module: Module) -> List[str]:
+    """Return every structural problem (empty list means valid)."""
+    problems: List[str] = []
+    if "main" not in module.functions:
+        problems.append("module has no main function")
+    for func in module.functions.values():
+        problems.extend(_verify_function(module, func))
+    return problems
+
+
+def _verify_function(module: Module, func: Function) -> List[str]:
+    problems: List[str] = []
+    where = f"function {func.name}"
+    if func.entry not in func.blocks:
+        problems.append(f"{where}: entry block {func.entry!r} missing")
+        return problems
+    if not func.blocks:
+        problems.append(f"{where}: no blocks")
+        return problems
+
+    for label, block in func.blocks.items():
+        at = f"{where}:{label}"
+        if not block.instrs:
+            problems.append(f"{at}: empty block")
+            continue
+        for idx, instr in enumerate(block.instrs):
+            is_last = idx == len(block.instrs) - 1
+            if instr.is_terminator() and not is_last:
+                problems.append(f"{at}[{idx}]: terminator before end of block")
+            if is_last and not instr.is_terminator():
+                problems.append(f"{at}: block does not end in a terminator")
+            if isinstance(instr, (BrInst,)):
+                if instr.target not in func.blocks:
+                    problems.append(f"{at}[{idx}]: branch to unknown block {instr.target!r}")
+            if isinstance(instr, CBrInst):
+                for target in (instr.then_target, instr.else_target):
+                    if target not in func.blocks:
+                        problems.append(f"{at}[{idx}]: branch to unknown block {target!r}")
+            if isinstance(instr, (CallInst, SpawnInst)):
+                if instr.callee not in module.functions:
+                    problems.append(f"{at}[{idx}]: call to unknown function {instr.callee!r}")
+                else:
+                    callee = module.functions[instr.callee]
+                    if len(instr.args) != len(callee.params):
+                        problems.append(
+                            f"{at}[{idx}]: call to {instr.callee} with "
+                            f"{len(instr.args)} args, expects {len(callee.params)}"
+                        )
+            if isinstance(instr, (RetInst, HaltInst, AbortInst)):
+                pass  # always legal terminators
+    return problems

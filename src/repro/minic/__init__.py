@@ -1,0 +1,31 @@
+"""MiniC: the C-like source language of the reproduction.
+
+The one-call entry point is :func:`compile_source`, which takes MiniC
+text and returns a verified IR :class:`repro.ir.Module` ready for the
+VM, the symbolic executor, and RES.
+"""
+
+from repro.ir.module import Module
+from repro.ir.verify import verify_module
+from repro.minic.lexer import Token, tokenize
+from repro.minic.lower import lower_program
+from repro.minic.parser import parse
+from repro.minic.typecheck import check_program
+
+
+def compile_source(source: str, name: str = "module") -> Module:
+    """Compile MiniC source text into a verified IR module."""
+    program = parse(source)
+    module = lower_program(program, name=name)
+    verify_module(module)
+    return module
+
+
+__all__ = [
+    "Token",
+    "check_program",
+    "compile_source",
+    "lower_program",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,253 @@
+"""Abstract syntax tree of MiniC.
+
+MiniC is the C-like source language of this reproduction: 64-bit ints,
+pointers, arrays, functions, globals, plus the threading primitives the
+paper's workloads need (``spawn``/``join``/``lock``/``unlock``) and the
+failure primitives (``assert``/``abort``).  Every node carries its
+source line so the compiler can thread debug info into the IR and the
+debugger can map suffix steps back to source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class Node:
+    line: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Unary(Expr):
+    """Operators: ``-`` (negate), ``!`` (logical not), ``~`` (bitwise not)."""
+
+    op: str
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class Binary(Expr):
+    """All C binary operators MiniC supports, including short-circuit ones."""
+
+    op: str
+    left: Expr
+    right: Expr
+    line: int = 0
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` — array element or pointer arithmetic deref."""
+
+    base: Expr
+    index: Expr
+    line: int = 0
+
+
+@dataclass
+class Deref(Expr):
+    """``*pointer``."""
+
+    pointer: Expr
+    line: int = 0
+
+
+@dataclass
+class AddrOf(Expr):
+    """``&lvalue`` where lvalue is a Var, Index, or Deref."""
+
+    target: Expr
+    line: int = 0
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class InputExpr(Expr):
+    """``input()`` — one word of external, attacker-controllable input."""
+
+    line: int = 0
+
+
+@dataclass
+class MallocExpr(Expr):
+    """``malloc(n)`` — allocate ``n`` words, yields the base address."""
+
+    size: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class SpawnExpr(Expr):
+    """``spawn f(args)`` — start a thread, yields its tid."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Decl(Stmt):
+    """``int x;`` / ``int x = e;`` / ``int a[N];``"""
+
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    """``lvalue = expr;`` — lvalue is Var, Index, or Deref."""
+
+    target: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body`` — init/step are statements."""
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Assert(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    message: str = ""
+    line: int = 0
+
+
+@dataclass
+class OutputStmt(Stmt):
+    value: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class LockStmt(Stmt):
+    addr: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class UnlockStmt(Stmt):
+    addr: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class JoinStmt(Stmt):
+    tid: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class FreeStmt(Stmt):
+    addr: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class AbortStmt(Stmt):
+    message: str = ""
+    line: int = 0
+
+
+@dataclass
+class HaltStmt(Stmt):
+    code: Optional[Expr] = None
+    line: int = 0
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    params: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[List[int]] = None
+    line: int = 0
+
+
+@dataclass
+class ProgramAST(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

@@ -1,0 +1,127 @@
+"""Hand-written lexer for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int", "global", "func", "if", "else", "while", "for", "return",
+    "assert", "output", "lock", "unlock", "join", "free", "abort", "halt",
+    "input", "malloc", "spawn",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_OPS = ["<<", ">>", "<=", ">=", "==", "!=", "&&", "||"]
+SINGLE_OPS = "+-*/%&|^~!<>=()[]{},;"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "int", "ident", "keyword", "op", "string", "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex MiniC source into tokens; raises :class:`CompileError`."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line, col)
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            yield Token("int", text, line, col)
+            col += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, line, col)
+            col += i - start
+            continue
+        if ch == '"':
+            start = i
+            i += 1
+            chars: List[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\n":
+                    raise CompileError("newline in string literal", line, col)
+                if source[i] == "\\" and i + 1 < n:
+                    escape = source[i + 1]
+                    chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
+                    i += 2
+                else:
+                    chars.append(source[i])
+                    i += 1
+            if i >= n:
+                raise CompileError("unterminated string literal", line, col)
+            i += 1
+            yield Token("string", "".join(chars), line, col)
+            col += i - start
+            continue
+        matched = False
+        for op in MULTI_OPS:
+            if source.startswith(op, i):
+                yield Token("op", op, line, col)
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in SINGLE_OPS:
+            yield Token("op", ch, line, col)
+            i += 1
+            col += 1
+            continue
+        raise CompileError(f"unexpected character {ch!r}", line, col)
+    yield Token("eof", "", line, col)

@@ -1,0 +1,503 @@
+"""Lowering from the MiniC AST to the register IR.
+
+Conventions:
+
+* Scalars live in virtual registers unless their address is taken, in
+  which case they get a stack-frame slot (like LLVM's ``alloca`` +
+  mem2reg in reverse).
+* Local arrays always live in frame slots; global arrays in the global
+  segment.  Evaluating an array name yields its base address (C decay).
+* ``/ % < <= > >=`` and ``>>`` are signed, matching C on ``long``.
+* ``&&``/``||`` short-circuit through control flow.
+
+Debug info: ``Function.var_regs`` and ``Function.frame_vars`` map source
+variable names to their storage, and each emitted instruction carries a
+source line, so the reverse debugger can print source variables from
+reconstructed snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Union
+
+from repro.errors import CompileError
+from repro.ir.instructions import (
+    AbortInst,
+    AllocInst,
+    AssertInst,
+    BinInst,
+    BrInst,
+    CallInst,
+    CBrInst,
+    CmpInst,
+    ConstInst,
+    FrameAddrInst,
+    FreeInst,
+    GAddrInst,
+    HaltInst,
+    Imm,
+    InputInst,
+    JoinInst,
+    LoadInst,
+    LockInst,
+    MovInst,
+    Operand,
+    OutputInst,
+    Reg,
+    RetInst,
+    SpawnInst,
+    StoreInst,
+    UnlockInst,
+)
+from repro.ir.module import Function, GlobalVar, Module
+from repro.minic import ast
+from repro.minic.typecheck import check_program
+
+_CMP_OPS = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+_BIN_OPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr",
+}
+
+
+class _Storage:
+    """Where a local variable lives: a register or a frame slot."""
+
+    __slots__ = ("reg", "frame_offset", "is_array")
+
+    def __init__(self, reg: Optional[Reg] = None,
+                 frame_offset: Optional[int] = None, is_array: bool = False):
+        self.reg = reg
+        self.frame_offset = frame_offset
+        self.is_array = is_array
+
+
+def lower_program(program: ast.ProgramAST, name: str = "module") -> Module:
+    """Lower a checked AST into a verified-shape IR module."""
+    check_program(program)
+    module = Module(name=name)
+    for gvar in program.globals:
+        size = gvar.array_size if gvar.array_size is not None else 1
+        module.add_global(GlobalVar(name=gvar.name, size=size, init=gvar.init))
+    global_arrays = {g.name for g in program.globals if g.array_size is not None}
+    for func_ast in program.functions:
+        module.add_function(
+            _FunctionLowerer(module, func_ast, global_arrays).lower()
+        )
+    return module
+
+
+class _FunctionLowerer:
+    def __init__(self, module: Module, func_ast: ast.FuncDef, global_arrays: Set[str]):
+        self.module = module
+        self.ast = func_ast
+        self.global_arrays = global_arrays
+        self.func = Function(name=func_ast.name)
+        self.scopes: List[Dict[str, _Storage]] = []
+        self.temp_counter = 0
+        self.label_counter = 0
+        self.block = None  # current BasicBlock
+        self.frame_cursor = 0
+        self.address_taken = _address_taken_names(func_ast)
+
+    # -- small builders -------------------------------------------------------
+
+    def _temp(self) -> Reg:
+        self.temp_counter += 1
+        return Reg(f"t{self.temp_counter}")
+
+    def _label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f"{hint}{self.label_counter}"
+
+    def _emit(self, instr) -> None:
+        if self.block is None:
+            # unreachable code after a terminator: drop it into a dead block
+            self.block = self.func.add_block(self._label("dead"))
+        self.block.instrs.append(instr)
+
+    def _start_block(self, label: str) -> None:
+        self.block = self.func.add_block(label)
+
+    def _terminate(self, instr) -> None:
+        self._emit(instr)
+        self.block = None
+
+    def _branch_to(self, label: str, line: int) -> None:
+        if self.block is not None:
+            self._terminate(BrInst(target=label, line=line))
+
+    # -- scope handling -----------------------------------------------------
+
+    def _lookup(self, name: str) -> Optional[_Storage]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _declare_local(self, decl: ast.Decl) -> _Storage:
+        if decl.array_size is not None:
+            storage = _Storage(frame_offset=self.frame_cursor, is_array=True)
+            self.frame_cursor += decl.array_size
+            self.func.frame_vars[decl.name] = storage.frame_offset
+        elif decl.name in self.address_taken:
+            storage = _Storage(frame_offset=self.frame_cursor)
+            self.frame_cursor += 1
+            self.func.frame_vars[decl.name] = storage.frame_offset
+        else:
+            reg = Reg(f"v_{decl.name}_{self.temp_counter}")
+            self.temp_counter += 1
+            storage = _Storage(reg=reg)
+            self.func.var_regs[decl.name] = reg
+        self.scopes[-1][decl.name] = storage
+        return storage
+
+    # -- top level ------------------------------------------------------------
+
+    def lower(self) -> Function:
+        self.scopes.append({})
+        self._start_block("entry")
+        self.func.entry = "entry"
+        for param in self.ast.params:
+            reg = Reg(f"p_{param}")
+            self.func.params.append(reg)
+            if param in self.address_taken:
+                storage = _Storage(frame_offset=self.frame_cursor)
+                self.frame_cursor += 1
+                self.func.frame_vars[param] = storage.frame_offset
+                addr = self._temp()
+                self._emit(FrameAddrInst(dst=addr, offset=storage.frame_offset,
+                                         line=self.ast.line))
+                self._emit(StoreInst(addr=addr, value=reg, line=self.ast.line))
+                self.scopes[-1][param] = storage
+            else:
+                self.func.var_regs[param] = reg
+                self.scopes[-1][param] = _Storage(reg=reg)
+        self._lower_body(self.ast.body)
+        if self.block is not None:
+            self._terminate(RetInst(value=Imm(0), line=self.ast.line))
+        self.func.frame_words = self.frame_cursor
+        return self.func
+
+    def _lower_body(self, body: List[ast.Stmt]) -> None:
+        self.scopes.append({})
+        for stmt in body:
+            self._lower_stmt(stmt)
+        self.scopes.pop()
+
+    # -- statements -------------------------------------------------------------
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Decl):
+            storage = self._declare_local(stmt)
+            if stmt.init is not None:
+                value = self._lower_expr(stmt.init)
+                self._store_to(storage, value, stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            value = self._lower_expr(stmt.value) if stmt.value is not None else Imm(0)
+            self._terminate(RetInst(value=value, line=stmt.line))
+        elif isinstance(stmt, ast.Assert):
+            cond = self._lower_expr(stmt.cond)
+            self._emit(AssertInst(cond=cond, message=stmt.message, line=stmt.line))
+        elif isinstance(stmt, ast.OutputStmt):
+            value = self._lower_expr(stmt.value)
+            self._emit(OutputInst(value=value, line=stmt.line))
+        elif isinstance(stmt, ast.LockStmt):
+            addr = self._lower_expr(stmt.addr)
+            self._emit(LockInst(addr=addr, line=stmt.line))
+        elif isinstance(stmt, ast.UnlockStmt):
+            addr = self._lower_expr(stmt.addr)
+            self._emit(UnlockInst(addr=addr, line=stmt.line))
+        elif isinstance(stmt, ast.JoinStmt):
+            tid = self._lower_expr(stmt.tid)
+            self._emit(JoinInst(tid=tid, line=stmt.line))
+        elif isinstance(stmt, ast.FreeStmt):
+            addr = self._lower_expr(stmt.addr)
+            self._emit(FreeInst(addr=addr, line=stmt.line))
+        elif isinstance(stmt, ast.AbortStmt):
+            self._terminate(AbortInst(message=stmt.message, line=stmt.line))
+        elif isinstance(stmt, ast.HaltStmt):
+            code = self._lower_expr(stmt.code) if stmt.code is not None else Imm(0)
+            self._terminate(HaltInst(code=code, line=stmt.line))
+        else:  # pragma: no cover - typecheck rejects unknown nodes
+            raise CompileError(f"cannot lower {type(stmt).__name__}", stmt.line)
+
+    def _store_to(self, storage: _Storage, value: Operand, line: int) -> None:
+        if storage.reg is not None:
+            self._emit(MovInst(dst=storage.reg, src=value, line=line))
+        else:
+            addr = self._temp()
+            self._emit(FrameAddrInst(dst=addr, offset=storage.frame_offset, line=line))
+            self._emit(StoreInst(addr=addr, value=value, line=line))
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            storage = self._lookup(target.name)
+            if storage is not None:
+                if storage.is_array:
+                    raise CompileError(f"cannot assign to array {target.name!r}", stmt.line)
+                value = self._lower_expr(stmt.value)
+                self._store_to(storage, value, stmt.line)
+                return
+            if target.name in self.module.globals:
+                if target.name in self.global_arrays:
+                    raise CompileError(f"cannot assign to array {target.name!r}", stmt.line)
+                value = self._lower_expr(stmt.value)
+                addr = self._temp()
+                self._emit(GAddrInst(dst=addr, name=target.name, line=stmt.line))
+                self._emit(StoreInst(addr=addr, value=value, line=stmt.line))
+                return
+            raise CompileError(f"assignment to undeclared {target.name!r}", stmt.line)
+        # Index / Deref: compute address, then store.
+        addr = self._lower_address(target)
+        value = self._lower_expr(stmt.value)
+        self._emit(StoreInst(addr=addr, value=value, line=stmt.line))
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        cond = self._lower_expr(stmt.cond)
+        then_label = self._label("then")
+        else_label = self._label("else") if stmt.else_body else None
+        end_label = self._label("endif")
+        self._terminate(CBrInst(cond=cond, then_target=then_label,
+                                else_target=else_label or end_label, line=stmt.line))
+        self._start_block(then_label)
+        self._lower_body(stmt.then_body)
+        self._branch_to(end_label, stmt.line)
+        if else_label is not None:
+            self._start_block(else_label)
+            self._lower_body(stmt.else_body)
+            self._branch_to(end_label, stmt.line)
+        self._start_block(end_label)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        head_label = self._label("while")
+        body_label = self._label("loopbody")
+        end_label = self._label("endloop")
+        self._branch_to(head_label, stmt.line)
+        self._start_block(head_label)
+        cond = self._lower_expr(stmt.cond)
+        self._terminate(CBrInst(cond=cond, then_target=body_label,
+                                else_target=end_label, line=stmt.line))
+        self._start_block(body_label)
+        self._lower_body(stmt.body)
+        self._branch_to(head_label, stmt.line)
+        self._start_block(end_label)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        self.scopes.append({})
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        head_label = self._label("for")
+        body_label = self._label("forbody")
+        end_label = self._label("endfor")
+        self._branch_to(head_label, stmt.line)
+        self._start_block(head_label)
+        if stmt.cond is not None:
+            cond = self._lower_expr(stmt.cond)
+            self._terminate(CBrInst(cond=cond, then_target=body_label,
+                                    else_target=end_label, line=stmt.line))
+        else:
+            self._terminate(BrInst(target=body_label, line=stmt.line))
+        self._start_block(body_label)
+        self._lower_body(stmt.body)
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        self._branch_to(head_label, stmt.line)
+        self._start_block(end_label)
+        self.scopes.pop()
+
+    # -- expressions --------------------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.IntLit):
+            return Imm(expr.value)
+        if isinstance(expr, ast.Var):
+            return self._lower_var(expr)
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Index):
+            addr = self._lower_address(expr)
+            dst = self._temp()
+            self._emit(LoadInst(dst=dst, addr=addr, line=expr.line))
+            return dst
+        if isinstance(expr, ast.Deref):
+            pointer = self._lower_expr(expr.pointer)
+            dst = self._temp()
+            self._emit(LoadInst(dst=dst, addr=pointer, line=expr.line))
+            return dst
+        if isinstance(expr, ast.AddrOf):
+            return self._lower_address(expr.target)
+        if isinstance(expr, ast.Call):
+            args = [self._lower_expr(a) for a in expr.args]
+            dst = self._temp()
+            self._emit(CallInst(dst=dst, callee=expr.name, args=args, line=expr.line))
+            return dst
+        if isinstance(expr, ast.InputExpr):
+            dst = self._temp()
+            self._emit(InputInst(dst=dst, line=expr.line))
+            return dst
+        if isinstance(expr, ast.MallocExpr):
+            size = self._lower_expr(expr.size)
+            dst = self._temp()
+            self._emit(AllocInst(dst=dst, size=size, line=expr.line))
+            return dst
+        if isinstance(expr, ast.SpawnExpr):
+            args = [self._lower_expr(a) for a in expr.args]
+            dst = self._temp()
+            self._emit(SpawnInst(dst=dst, callee=expr.name, args=args, line=expr.line))
+            return dst
+        raise CompileError(f"cannot lower {type(expr).__name__}", expr.line)
+
+    def _lower_var(self, expr: ast.Var) -> Operand:
+        storage = self._lookup(expr.name)
+        if storage is not None:
+            if storage.reg is not None:
+                return storage.reg
+            addr = self._temp()
+            self._emit(FrameAddrInst(dst=addr, offset=storage.frame_offset, line=expr.line))
+            if storage.is_array:
+                return addr  # arrays decay to their base address
+            dst = self._temp()
+            self._emit(LoadInst(dst=dst, addr=addr, line=expr.line))
+            return dst
+        if expr.name in self.module.globals:
+            addr = self._temp()
+            self._emit(GAddrInst(dst=addr, name=expr.name, line=expr.line))
+            if expr.name in self.global_arrays:
+                return addr
+            dst = self._temp()
+            self._emit(LoadInst(dst=dst, addr=addr, line=expr.line))
+            return dst
+        raise CompileError(f"use of undeclared variable {expr.name!r}", expr.line)
+
+    def _lower_address(self, lvalue: ast.Expr) -> Operand:
+        """Address of an lvalue (Var with storage, Index, or Deref)."""
+        if isinstance(lvalue, ast.Var):
+            storage = self._lookup(lvalue.name)
+            if storage is not None:
+                if storage.reg is not None:
+                    raise CompileError(
+                        f"internal: {lvalue.name!r} should have a frame slot", lvalue.line
+                    )
+                addr = self._temp()
+                self._emit(FrameAddrInst(dst=addr, offset=storage.frame_offset,
+                                         line=lvalue.line))
+                return addr
+            if lvalue.name in self.module.globals:
+                addr = self._temp()
+                self._emit(GAddrInst(dst=addr, name=lvalue.name, line=lvalue.line))
+                return addr
+            raise CompileError(f"address of undeclared {lvalue.name!r}", lvalue.line)
+        if isinstance(lvalue, ast.Index):
+            base = self._lower_expr(lvalue.base)
+            index = self._lower_expr(lvalue.index)
+            if isinstance(index, Imm) and index.value == 0:
+                return base
+            addr = self._temp()
+            self._emit(BinInst(op="add", dst=addr, a=base, b=index, line=lvalue.line))
+            return addr
+        if isinstance(lvalue, ast.Deref):
+            return self._lower_expr(lvalue.pointer)
+        raise CompileError("expression is not an lvalue", lvalue.line)
+
+    def _lower_unary(self, expr: ast.Unary) -> Operand:
+        operand = self._lower_expr(expr.operand)
+        dst = self._temp()
+        if expr.op == "-":
+            self._emit(BinInst(op="sub", dst=dst, a=Imm(0), b=operand, line=expr.line))
+        elif expr.op == "!":
+            self._emit(CmpInst(op="eq", dst=dst, a=operand, b=Imm(0), line=expr.line))
+        elif expr.op == "~":
+            self._emit(BinInst(op="xor", dst=dst, a=operand, b=Imm(-1), line=expr.line))
+        else:  # pragma: no cover
+            raise CompileError(f"unknown unary op {expr.op!r}", expr.line)
+        return dst
+
+    def _lower_binary(self, expr: ast.Binary) -> Operand:
+        if expr.op in ("&&", "||"):
+            return self._lower_short_circuit(expr)
+        left = self._lower_expr(expr.left)
+        right = self._lower_expr(expr.right)
+        dst = self._temp()
+        if expr.op in _CMP_OPS:
+            self._emit(CmpInst(op=_CMP_OPS[expr.op], dst=dst, a=left, b=right,
+                               line=expr.line))
+        elif expr.op in _BIN_OPS:
+            self._emit(BinInst(op=_BIN_OPS[expr.op], dst=dst, a=left, b=right,
+                               line=expr.line))
+        else:  # pragma: no cover
+            raise CompileError(f"unknown binary op {expr.op!r}", expr.line)
+        return dst
+
+    def _lower_short_circuit(self, expr: ast.Binary) -> Operand:
+        result = self._temp()
+        rhs_label = self._label("sc_rhs")
+        end_label = self._label("sc_end")
+        left = self._lower_expr(expr.left)
+        left_bool = self._temp()
+        self._emit(CmpInst(op="ne", dst=left_bool, a=left, b=Imm(0), line=expr.line))
+        self._emit(MovInst(dst=result, src=left_bool, line=expr.line))
+        if expr.op == "&&":
+            self._terminate(CBrInst(cond=left_bool, then_target=rhs_label,
+                                    else_target=end_label, line=expr.line))
+        else:
+            self._terminate(CBrInst(cond=left_bool, then_target=end_label,
+                                    else_target=rhs_label, line=expr.line))
+        self._start_block(rhs_label)
+        right = self._lower_expr(expr.right)
+        right_bool = self._temp()
+        self._emit(CmpInst(op="ne", dst=right_bool, a=right, b=Imm(0), line=expr.line))
+        self._emit(MovInst(dst=result, src=right_bool, line=expr.line))
+        self._branch_to(end_label, expr.line)
+        self._start_block(end_label)
+        return result
+
+
+def _address_taken_names(func_ast: ast.FuncDef) -> Set[str]:
+    """Names whose address is taken anywhere in the function body."""
+    names: Set[str] = set()
+
+    def walk_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.AddrOf):
+            target = expr.target
+            if isinstance(target, ast.Var):
+                names.add(target.name)
+            else:
+                walk_expr(target)
+            return
+        for attr in ("operand", "left", "right", "base", "index", "pointer", "size",
+                     "cond"):
+            child = getattr(expr, attr, None)
+            if isinstance(child, ast.Expr):
+                walk_expr(child)
+        for arg in getattr(expr, "args", []) or []:
+            walk_expr(arg)
+
+    def walk_stmt(stmt: ast.Stmt) -> None:
+        for attr in ("init", "cond", "value", "target", "expr", "addr", "tid", "code",
+                     "step"):
+            child = getattr(stmt, attr, None)
+            if isinstance(child, ast.Expr):
+                walk_expr(child)
+            elif isinstance(child, ast.Stmt):
+                walk_stmt(child)
+        for attr in ("body", "then_body", "else_body"):
+            for child in getattr(stmt, attr, []) or []:
+                walk_stmt(child)
+
+    for stmt in func_ast.body:
+        walk_stmt(stmt)
+    return names

@@ -1,0 +1,381 @@
+"""Recursive-descent parser for MiniC with C-style operator precedence."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompileError
+from repro.minic import ast
+from repro.minic.lexer import Token, tokenize
+
+#: Binary operator precedence, C-like (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+def parse(source: str) -> ast.ProgramAST:
+    """Parse MiniC source text into an AST; raises :class:`CompileError`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.cur
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        return self.cur.kind == kind and (text is None or self.cur.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise CompileError(
+                f"expected {want!r}, found {self.cur.text!r}",
+                self.cur.line, self.cur.column,
+            )
+        return self.advance()
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> ast.ProgramAST:
+        program = ast.ProgramAST()
+        while not self.check("eof"):
+            if self.check("keyword", "global"):
+                program.globals.append(self._global_decl())
+            elif self.check("keyword", "func"):
+                program.functions.append(self._func_def())
+            else:
+                raise CompileError(
+                    f"expected 'global' or 'func', found {self.cur.text!r}",
+                    self.cur.line, self.cur.column,
+                )
+        return program
+
+    def _global_decl(self) -> ast.GlobalDecl:
+        start = self.expect("keyword", "global")
+        self.expect("keyword", "int")
+        name = self.expect("ident").text
+        size: Optional[int] = None
+        if self.accept("op", "["):
+            size = self._int_literal()
+            self.expect("op", "]")
+        init: Optional[List[int]] = None
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                init = [self._int_literal()]
+                while self.accept("op", ","):
+                    init.append(self._int_literal())
+                self.expect("op", "}")
+            else:
+                init = [self._int_literal()]
+        self.expect("op", ";")
+        return ast.GlobalDecl(name=name, array_size=size, init=init, line=start.line)
+
+    def _int_literal(self) -> int:
+        negative = bool(self.accept("op", "-"))
+        token = self.expect("int")
+        value = int(token.text, 0)
+        return -value if negative else value
+
+    def _func_def(self) -> ast.FuncDef:
+        start = self.expect("keyword", "func")
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.check("op", ")"):
+            while True:
+                self.expect("keyword", "int")
+                params.append(self.expect("ident").text)
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self._block()
+        return ast.FuncDef(name=name, params=params, body=body, line=start.line)
+
+    # -- statements ----------------------------------------------------------
+
+    def _block(self) -> List[ast.Stmt]:
+        self.expect("op", "{")
+        stmts: List[ast.Stmt] = []
+        while not self.check("op", "}"):
+            stmts.append(self._statement())
+        self.expect("op", "}")
+        return stmts
+
+    def _block_or_stmt(self) -> List[ast.Stmt]:
+        if self.check("op", "{"):
+            return self._block()
+        return [self._statement()]
+
+    def _statement(self) -> ast.Stmt:
+        token = self.cur
+        if token.kind == "keyword":
+            handler = {
+                "int": self._decl_stmt,
+                "if": self._if_stmt,
+                "while": self._while_stmt,
+                "for": self._for_stmt,
+                "return": self._return_stmt,
+                "assert": self._assert_stmt,
+                "output": self._output_stmt,
+                "lock": self._lock_stmt,
+                "unlock": self._unlock_stmt,
+                "join": self._join_stmt,
+                "free": self._free_stmt,
+                "abort": self._abort_stmt,
+                "halt": self._halt_stmt,
+            }.get(token.text)
+            if handler is not None:
+                return handler()
+        return self._assign_or_expr_stmt(require_semi=True)
+
+    def _decl_stmt(self) -> ast.Decl:
+        start = self.expect("keyword", "int")
+        name = self.expect("ident").text
+        size: Optional[int] = None
+        if self.accept("op", "["):
+            size = self._int_literal()
+            self.expect("op", "]")
+        init: Optional[ast.Expr] = None
+        if self.accept("op", "="):
+            init = self._expr()
+        self.expect("op", ";")
+        return ast.Decl(name=name, array_size=size, init=init, line=start.line)
+
+    def _if_stmt(self) -> ast.If:
+        start = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        then_body = self._block_or_stmt()
+        else_body: List[ast.Stmt] = []
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                else_body = [self._if_stmt()]
+            else:
+                else_body = self._block_or_stmt()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body, line=start.line)
+
+    def _while_stmt(self) -> ast.While:
+        start = self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        body = self._block_or_stmt()
+        return ast.While(cond=cond, body=body, line=start.line)
+
+    def _for_stmt(self) -> ast.For:
+        start = self.expect("keyword", "for")
+        self.expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.check("op", ";"):
+            if self.check("keyword", "int"):
+                init = self._decl_stmt()  # consumes the ';'
+            else:
+                init = self._assign_or_expr_stmt(require_semi=True)
+        else:
+            self.expect("op", ";")
+        cond: Optional[ast.Expr] = None
+        if not self.check("op", ";"):
+            cond = self._expr()
+        self.expect("op", ";")
+        step: Optional[ast.Stmt] = None
+        if not self.check("op", ")"):
+            step = self._assign_or_expr_stmt(require_semi=False)
+        self.expect("op", ")")
+        body = self._block_or_stmt()
+        return ast.For(init=init, cond=cond, step=step, body=body, line=start.line)
+
+    def _return_stmt(self) -> ast.Return:
+        start = self.expect("keyword", "return")
+        value: Optional[ast.Expr] = None
+        if not self.check("op", ";"):
+            value = self._expr()
+        self.expect("op", ";")
+        return ast.Return(value=value, line=start.line)
+
+    def _assert_stmt(self) -> ast.Assert:
+        start = self.expect("keyword", "assert")
+        self.expect("op", "(")
+        cond = self._expr()
+        message = ""
+        if self.accept("op", ","):
+            message = self.expect("string").text
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.Assert(cond=cond, message=message, line=start.line)
+
+    def _one_arg_stmt(self, keyword: str, node_cls, attr: str):
+        start = self.expect("keyword", keyword)
+        self.expect("op", "(")
+        value = self._expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        node = node_cls(line=start.line)
+        setattr(node, attr, value)
+        return node
+
+    def _output_stmt(self):
+        return self._one_arg_stmt("output", ast.OutputStmt, "value")
+
+    def _lock_stmt(self):
+        return self._one_arg_stmt("lock", ast.LockStmt, "addr")
+
+    def _unlock_stmt(self):
+        return self._one_arg_stmt("unlock", ast.UnlockStmt, "addr")
+
+    def _join_stmt(self):
+        return self._one_arg_stmt("join", ast.JoinStmt, "tid")
+
+    def _free_stmt(self):
+        return self._one_arg_stmt("free", ast.FreeStmt, "addr")
+
+    def _abort_stmt(self) -> ast.AbortStmt:
+        start = self.expect("keyword", "abort")
+        self.expect("op", "(")
+        message = ""
+        if self.check("string"):
+            message = self.advance().text
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.AbortStmt(message=message, line=start.line)
+
+    def _halt_stmt(self) -> ast.HaltStmt:
+        start = self.expect("keyword", "halt")
+        self.expect("op", "(")
+        code: Optional[ast.Expr] = None
+        if not self.check("op", ")"):
+            code = self._expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.HaltStmt(code=code, line=start.line)
+
+    def _assign_or_expr_stmt(self, require_semi: bool) -> ast.Stmt:
+        start = self.cur
+        expr = self._expr()
+        if self.accept("op", "="):
+            value = self._expr()
+            if require_semi:
+                self.expect("op", ";")
+            if not isinstance(expr, (ast.Var, ast.Index, ast.Deref)):
+                raise CompileError("assignment target is not an lvalue", start.line, start.column)
+            return ast.Assign(target=expr, value=value, line=start.line)
+        if require_semi:
+            self.expect("op", ";")
+        return ast.ExprStmt(expr=expr, line=start.line)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, min_prec: int) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self.cur
+            if token.kind != "op":
+                return left
+            prec = _PRECEDENCE.get(token.text)
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self._binary(prec + 1)
+            left = ast.Binary(op=token.text, left=left, right=right, line=token.line)
+
+    def _unary(self) -> ast.Expr:
+        token = self.cur
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            return ast.Unary(op=token.text, operand=self._unary(), line=token.line)
+        if token.kind == "op" and token.text == "*":
+            self.advance()
+            return ast.Deref(pointer=self._unary(), line=token.line)
+        if token.kind == "op" and token.text == "&":
+            self.advance()
+            target = self._unary()
+            if not isinstance(target, (ast.Var, ast.Index, ast.Deref)):
+                raise CompileError("'&' needs an lvalue", token.line, token.column)
+            return ast.AddrOf(target=target, line=token.line)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            if self.accept("op", "["):
+                index = self._expr()
+                self.expect("op", "]")
+                expr = ast.Index(base=expr, index=index, line=self.cur.line)
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        token = self.cur
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(value=int(token.text, 0), line=token.line)
+        if token.kind == "keyword" and token.text == "input":
+            self.advance()
+            self.expect("op", "(")
+            self.expect("op", ")")
+            return ast.InputExpr(line=token.line)
+        if token.kind == "keyword" and token.text == "malloc":
+            self.advance()
+            self.expect("op", "(")
+            size = self._expr()
+            self.expect("op", ")")
+            return ast.MallocExpr(size=size, line=token.line)
+        if token.kind == "keyword" and token.text == "spawn":
+            self.advance()
+            name = self.expect("ident").text
+            self.expect("op", "(")
+            args: List[ast.Expr] = []
+            if not self.check("op", ")"):
+                args.append(self._expr())
+                while self.accept("op", ","):
+                    args.append(self._expr())
+            self.expect("op", ")")
+            return ast.SpawnExpr(name=name, args=args, line=token.line)
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args = []
+                if not self.check("op", ")"):
+                    args.append(self._expr())
+                    while self.accept("op", ","):
+                        args.append(self._expr())
+                self.expect("op", ")")
+                return ast.Call(name=token.text, args=args, line=token.line)
+            return ast.Var(name=token.text, line=token.line)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            expr = self._expr()
+            self.expect("op", ")")
+            return expr
+        raise CompileError(f"unexpected token {token.text!r}", token.line, token.column)

@@ -1,0 +1,163 @@
+"""Semantic checks for MiniC programs, run before lowering.
+
+MiniC has a single value type (the 64-bit word), so "type checking" is
+really name/arity/shape checking: every variable must be declared before
+use, calls must match function arity, array sizes must be positive, and
+``main`` must exist and take no parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import CompileError
+from repro.minic import ast
+
+
+def check_program(program: ast.ProgramAST) -> None:
+    """Raise :class:`CompileError` on the first semantic problem."""
+    func_arity: Dict[str, int] = {}
+    global_names: Set[str] = set()
+
+    for gvar in program.globals:
+        if gvar.name in global_names:
+            raise CompileError(f"duplicate global {gvar.name!r}", gvar.line)
+        if gvar.array_size is not None and gvar.array_size <= 0:
+            raise CompileError(f"global array {gvar.name!r} has non-positive size", gvar.line)
+        global_names.add(gvar.name)
+
+    for func in program.functions:
+        if func.name in func_arity:
+            raise CompileError(f"duplicate function {func.name!r}", func.line)
+        func_arity[func.name] = len(func.params)
+
+    if "main" not in func_arity:
+        raise CompileError("program has no main function")
+    if func_arity["main"] != 0:
+        raise CompileError("main must take no parameters")
+
+    for func in program.functions:
+        _FunctionChecker(func, func_arity, global_names).check()
+
+
+class _FunctionChecker:
+    def __init__(self, func: ast.FuncDef, func_arity: Dict[str, int], global_names: Set[str]):
+        self.func = func
+        self.func_arity = func_arity
+        self.global_names = global_names
+
+    def check(self) -> None:
+        params = set(self.func.params)
+        if len(params) != len(self.func.params):
+            raise CompileError(f"duplicate parameter in {self.func.name}", self.func.line)
+        self._check_body(self.func.body, [params])
+
+    def _check_body(self, body: List[ast.Stmt], scopes: List[Set[str]]) -> None:
+        scopes = scopes + [set()]
+        for stmt in body:
+            self._check_stmt(stmt, scopes)
+
+    def _declare(self, name: str, line: int, scopes: List[Set[str]]) -> None:
+        if name in scopes[-1]:
+            raise CompileError(f"redeclaration of {name!r} in {self.func.name}", line)
+        scopes[-1].add(name)
+
+    def _is_declared(self, name: str, scopes: List[Set[str]]) -> bool:
+        if name in self.global_names:
+            return True
+        return any(name in scope for scope in scopes)
+
+    def _check_stmt(self, stmt: ast.Stmt, scopes: List[Set[str]]) -> None:
+        if isinstance(stmt, ast.Decl):
+            if stmt.array_size is not None and stmt.array_size <= 0:
+                raise CompileError(f"array {stmt.name!r} has non-positive size", stmt.line)
+            if stmt.init is not None:
+                if stmt.array_size is not None:
+                    raise CompileError(f"array {stmt.name!r} cannot have an initializer", stmt.line)
+                self._check_expr(stmt.init, scopes)
+            self._declare(stmt.name, stmt.line, scopes)
+        elif isinstance(stmt, ast.Assign):
+            self._check_expr(stmt.target, scopes)
+            self._check_expr(stmt.value, scopes)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scopes)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, scopes)
+            self._check_body(stmt.then_body, scopes)
+            self._check_body(stmt.else_body, scopes)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond, scopes)
+            self._check_body(stmt.body, scopes)
+        elif isinstance(stmt, ast.For):
+            inner = scopes + [set()]
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner)
+            self._check_body(stmt.body, inner)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scopes)
+        elif isinstance(stmt, ast.Assert):
+            self._check_expr(stmt.cond, scopes)
+        elif isinstance(stmt, (ast.OutputStmt,)):
+            self._check_expr(stmt.value, scopes)
+        elif isinstance(stmt, (ast.LockStmt, ast.UnlockStmt)):
+            self._check_expr(stmt.addr, scopes)
+        elif isinstance(stmt, ast.JoinStmt):
+            self._check_expr(stmt.tid, scopes)
+        elif isinstance(stmt, ast.FreeStmt):
+            self._check_expr(stmt.addr, scopes)
+        elif isinstance(stmt, (ast.AbortStmt,)):
+            pass
+        elif isinstance(stmt, ast.HaltStmt):
+            if stmt.code is not None:
+                self._check_expr(stmt.code, scopes)
+        else:
+            raise CompileError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _check_expr(self, expr: ast.Expr, scopes: List[Set[str]]) -> None:
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.Var):
+            if not self._is_declared(expr.name, scopes):
+                raise CompileError(
+                    f"use of undeclared variable {expr.name!r} in {self.func.name}", expr.line
+                )
+            return
+        if isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand, scopes)
+            return
+        if isinstance(expr, ast.Binary):
+            self._check_expr(expr.left, scopes)
+            self._check_expr(expr.right, scopes)
+            return
+        if isinstance(expr, ast.Index):
+            self._check_expr(expr.base, scopes)
+            self._check_expr(expr.index, scopes)
+            return
+        if isinstance(expr, ast.Deref):
+            self._check_expr(expr.pointer, scopes)
+            return
+        if isinstance(expr, ast.AddrOf):
+            self._check_expr(expr.target, scopes)
+            return
+        if isinstance(expr, (ast.Call, ast.SpawnExpr)):
+            if expr.name not in self.func_arity:
+                raise CompileError(f"call to unknown function {expr.name!r}", expr.line)
+            if len(expr.args) != self.func_arity[expr.name]:
+                raise CompileError(
+                    f"{expr.name} expects {self.func_arity[expr.name]} args, got {len(expr.args)}",
+                    expr.line,
+                )
+            for arg in expr.args:
+                self._check_expr(arg, scopes)
+            return
+        if isinstance(expr, ast.InputExpr):
+            return
+        if isinstance(expr, ast.MallocExpr):
+            self._check_expr(expr.size, scopes)
+            return
+        raise CompileError(f"unknown expression {type(expr).__name__}", expr.line)

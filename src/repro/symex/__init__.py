@@ -1,0 +1,27 @@
+"""Symbolic execution substrate: expressions, intervals, solver, memory."""
+
+from repro.symex.expr import (
+    BinExpr,
+    Const,
+    Expr,
+    Sym,
+    apply_op,
+    as_expr,
+    bin_expr,
+    evaluate,
+    expr_size,
+    free_syms,
+    negate_bool,
+    substitute,
+    truth_of,
+)
+from repro.symex.interval import IntSet, cmp_domain
+from repro.symex.memory import SymMemory
+from repro.symex.solver import SolveResult, SolveStatus, Solver
+
+__all__ = [
+    "BinExpr", "Const", "Expr", "IntSet", "SolveResult", "SolveStatus",
+    "Solver", "Sym", "SymMemory", "apply_op", "as_expr", "bin_expr",
+    "cmp_domain", "evaluate", "expr_size", "free_syms", "negate_bool",
+    "substitute", "truth_of",
+]

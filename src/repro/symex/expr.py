@@ -1,0 +1,330 @@
+"""Symbolic expressions over 64-bit machine words.
+
+A symbolic snapshot (paper §2.3) is "a mix of known, concrete values and
+currently unknown, symbolic values"; these expressions are the symbolic
+half.  Semantics mirror the concrete VM bit-for-bit (wraparound, signed
+ops), which property tests in ``tests/symex`` enforce: evaluating an
+expression under a model must equal running the same ops on the VM.
+
+Constructors go through :func:`bin_expr`, which constant-folds and
+applies algebraic identities so expressions stay small enough for the
+solver's pattern rules to fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+from repro.ir.instructions import (
+    BINARY_OPS,
+    COMPARE_OPS,
+    to_signed,
+    to_unsigned,
+)
+
+ALL_OPS = tuple(BINARY_OPS) + tuple(COMPARE_OPS)
+
+_COMMUTATIVE = {"add", "mul", "and", "or", "xor", "eq", "ne"}
+
+#: Complement of each comparison (used to negate branch conditions).
+NEGATED_CMP = {
+    "eq": "ne", "ne": "eq",
+    "ult": "uge", "ule": "ugt", "ugt": "ule", "uge": "ult",
+    "slt": "sge", "sle": "sgt", "sgt": "sle", "sge": "slt",
+}
+
+#: Swapped-operand equivalent (a op b == b swap(op) a).
+SWAPPED_CMP = {
+    "eq": "eq", "ne": "ne",
+    "ult": "ugt", "ule": "uge", "ugt": "ult", "uge": "ule",
+    "slt": "sgt", "sle": "sge", "sgt": "slt", "sge": "sle",
+}
+
+
+class Expr:
+    """Base class; all subclasses are immutable and hashable."""
+
+    __slots__ = ()
+
+    def is_const(self) -> bool:
+        return isinstance(self, Const)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", to_unsigned(self.value))
+
+    def __repr__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Sym(Expr):
+    """An unconstrained 64-bit unknown, identified by name."""
+
+    name: str
+
+    def __repr__(self):
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    op: str
+    a: Expr
+    b: Expr
+
+    def __post_init__(self):
+        if self.op not in ALL_OPS:
+            raise ValueError(f"unknown op {self.op!r}")
+
+    def __repr__(self):
+        return f"({self.op} {self.a!r} {self.b!r})"
+
+
+TRUE = Const(1)
+FALSE = Const(0)
+
+
+def apply_op(op: str, a: int, b: int) -> Optional[int]:
+    """Concrete semantics of every op; None on division by zero.
+
+    This is the single source of truth shared by expression folding and
+    model evaluation; it matches the concrete VM exactly.
+    """
+    if op == "add":
+        return to_unsigned(a + b)
+    if op == "sub":
+        return to_unsigned(a - b)
+    if op == "mul":
+        return to_unsigned(a * b)
+    if op == "udiv":
+        return None if b == 0 else to_unsigned(a // b)
+    if op == "urem":
+        return None if b == 0 else to_unsigned(a % b)
+    if op in ("sdiv", "srem"):
+        if b == 0:
+            return None
+        sa, sb = to_signed(a), to_signed(b)
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        return to_unsigned(quotient if op == "sdiv" else sa - quotient * sb)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return to_unsigned(a << (b % 64))
+    if op == "lshr":
+        return a >> (b % 64)
+    if op == "ashr":
+        return to_unsigned(to_signed(a) >> (b % 64))
+    if op in ("slt", "sle", "sgt", "sge"):
+        sa, sb = to_signed(a), to_signed(b)
+        return 1 if {"slt": sa < sb, "sle": sa <= sb,
+                     "sgt": sa > sb, "sge": sa >= sb}[op] else 0
+    return 1 if {"eq": a == b, "ne": a != b,
+                 "ult": a < b, "ule": a <= b,
+                 "ugt": a > b, "uge": a >= b}[op] else 0
+
+
+def bin_expr(op: str, a: Expr, b: Expr) -> Expr:
+    """Build ``a op b`` with folding and identity simplification."""
+    if isinstance(a, Const) and isinstance(b, Const):
+        folded = apply_op(op, a.value, b.value)
+        if folded is not None:
+            return Const(folded)
+        return BinExpr(op, a, b)  # division by zero: keep symbolic shape
+
+    # Canonicalize: constants on the right for commutative ops,
+    # comparisons with a constant left operand get swapped.
+    if isinstance(a, Const) and not isinstance(b, Const):
+        if op in _COMMUTATIVE:
+            a, b = b, a
+        elif op in SWAPPED_CMP:
+            a, b = b, a
+            op = SWAPPED_CMP[op]
+
+    # sub-by-const → add of negation, so constant chains merge.
+    if op == "sub" and isinstance(b, Const):
+        return bin_expr("add", a, Const(-b.value))
+
+    # Distribute mul-by-const over add-by-const so affine chains
+    # normalize to a single (mul x c) + d:  (x + c1) * c2 → x*c2 + c1*c2.
+    if op == "mul" and isinstance(b, Const) and isinstance(a, BinExpr) \
+            and a.op == "add" and isinstance(a.b, Const):
+        return bin_expr("add", bin_expr("mul", a.a, b),
+                        Const(a.b.value * b.value))
+
+    # Reassociate constants outward so chains merge and same-symbol
+    # operands meet:  x + (y + c) → (x + y) + c, likewise for xor.
+    for assoc_op in ("add", "xor"):
+        if op == assoc_op:
+            if isinstance(b, BinExpr) and b.op == assoc_op \
+                    and isinstance(b.b, Const):
+                return bin_expr(assoc_op,
+                                bin_expr(assoc_op, a, b.a), b.b)
+            if isinstance(a, BinExpr) and a.op == assoc_op \
+                    and isinstance(a.b, Const) and not isinstance(b, Const):
+                return bin_expr(assoc_op,
+                                bin_expr(assoc_op, a.a, b), a.b)
+
+    if isinstance(b, Const):
+        c = b.value
+        if c == 0:
+            if op in ("add", "or", "xor", "shl", "lshr", "ashr"):
+                return a
+            if op in ("mul", "and"):
+                return FALSE
+            if op == "sub":
+                return a
+        if c == 1 and op in ("mul", "udiv", "sdiv"):
+            return a
+        # Merge constant chains: (add (add x c1) c2) → (add x c1+c2)
+        if op == "add" and isinstance(a, BinExpr) and a.op == "add" \
+                and isinstance(a.b, Const):
+            return bin_expr("add", a.a, Const(a.b.value + c))
+        if op == "xor" and isinstance(a, BinExpr) and a.op == "xor" \
+                and isinstance(a.b, Const):
+            return bin_expr("xor", a.a, Const(a.b.value ^ c))
+        # Compare of (add x c1) with c2 → compare x with c2-c1 (exact for
+        # eq/ne thanks to modular arithmetic; NOT exact for inequalities).
+        if op in ("eq", "ne") and isinstance(a, BinExpr) and a.op == "add" \
+                and isinstance(a.b, Const):
+            return bin_expr(op, a.a, Const(c - a.b.value))
+        if op in ("eq", "ne") and isinstance(a, BinExpr) and a.op == "xor" \
+                and isinstance(a.b, Const):
+            return bin_expr(op, a.a, Const(c ^ a.b.value))
+
+    if a == b:
+        if op == "add":
+            # x + x → x * 2, which the interval/search layers know how
+            # to invert (a raw self-add they do not).
+            return bin_expr("mul", a, Const(2))
+        if op in ("sub", "xor"):
+            return FALSE
+        if op in ("and", "or"):
+            return a
+        if op in ("eq", "ule", "uge", "sle", "sge"):
+            return TRUE
+        if op in ("ne", "ult", "ugt", "slt", "sgt"):
+            return FALSE
+
+    # Boolean-result simplifications: cmp of a cmp against 0/1.
+    if op in ("eq", "ne") and isinstance(b, Const) and _is_boolean(a):
+        if b.value == 0:
+            return negate_bool(a) if op == "eq" else a
+        if b.value == 1:
+            return a if op == "eq" else negate_bool(a)
+        # A boolean can never equal any other constant.
+        return FALSE if op == "eq" else TRUE
+
+    return BinExpr(op, a, b)
+
+
+def _is_boolean(expr: Expr) -> bool:
+    return isinstance(expr, BinExpr) and expr.op in COMPARE_OPS
+
+
+def negate_bool(expr: Expr) -> Expr:
+    """Logical negation of a truth-valued expression."""
+    if isinstance(expr, Const):
+        return FALSE if expr.value != 0 else TRUE
+    if isinstance(expr, BinExpr) and expr.op in COMPARE_OPS:
+        return bin_expr(NEGATED_CMP[expr.op], expr.a, expr.b)
+    return bin_expr("eq", expr, FALSE)
+
+
+def truth_of(expr: Expr) -> Expr:
+    """Coerce a word-valued expression to a truth-valued one (≠ 0)."""
+    if isinstance(expr, Const):
+        return TRUE if expr.value != 0 else FALSE
+    if _is_boolean(expr):
+        return expr
+    return bin_expr("ne", expr, FALSE)
+
+
+_EMPTY_SYMS: FrozenSet[str] = frozenset()
+
+
+def free_syms(expr: Expr) -> FrozenSet[str]:
+    """Names of all symbolic variables occurring in ``expr``.
+
+    Memoized on the node: expressions are immutable and heavily shared
+    (DAG-shaped after substitution), so the naive tree walk is
+    exponential in practice while this is amortized O(1).
+    """
+    cached = expr.__dict__.get("_syms")
+    if cached is not None:
+        return cached
+    if isinstance(expr, Sym):
+        result = frozenset((expr.name,))
+    elif isinstance(expr, BinExpr):
+        result = free_syms(expr.a) | free_syms(expr.b)
+    else:
+        result = _EMPTY_SYMS
+    object.__setattr__(expr, "_syms", result)
+    return result
+
+
+def substitute(expr: Expr, bindings: Dict[str, Expr]) -> Expr:
+    """Replace symbols by expressions, re-simplifying along the way."""
+    if not free_syms(expr) & bindings.keys():
+        return expr  # nothing to replace anywhere below: share the node
+    if isinstance(expr, Sym):
+        return bindings.get(expr.name, expr)
+    if isinstance(expr, BinExpr):
+        a = substitute(expr.a, bindings)
+        b = substitute(expr.b, bindings)
+        if a is expr.a and b is expr.b:
+            return expr
+        return bin_expr(expr.op, a, b)
+    return expr
+
+
+def evaluate(expr: Expr, model: Dict[str, int]) -> Optional[int]:
+    """Evaluate under a full model; None on division by zero or a
+    symbol missing from the model."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Sym):
+        value = model.get(expr.name)
+        return to_unsigned(value) if value is not None else None
+    if isinstance(expr, BinExpr):
+        a = evaluate(expr.a, model)
+        b = evaluate(expr.b, model)
+        if a is None or b is None:
+            return None
+        return apply_op(expr.op, a, b)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def expr_size(expr: Expr) -> int:
+    """Node count, used for search heuristics and complexity caps.
+
+    Memoized like :func:`free_syms` — shared sub-DAGs are counted once
+    per node, never re-walked.
+    """
+    cached = expr.__dict__.get("_size")
+    if cached is not None:
+        return cached
+    if isinstance(expr, BinExpr):
+        result = 1 + expr_size(expr.a) + expr_size(expr.b)
+    else:
+        result = 1
+    object.__setattr__(expr, "_size", result)
+    return result
+
+
+ExprLike = Union[Expr, int]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    return Const(value) if isinstance(value, int) else value

@@ -1,0 +1,191 @@
+"""Unsigned interval sets over the 64-bit word domain.
+
+The solver's domain representation: a sorted list of disjoint inclusive
+``[lo, hi]`` ranges.  Signed comparisons and modular shifts both map to
+at most two unsigned ranges, so the representation stays exact for
+every constraint pattern the solver propagates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.ir.instructions import WORD_MASK, to_unsigned
+
+SIGN_BIT = 1 << 63
+
+
+@dataclass(frozen=True)
+class IntSet:
+    """Immutable union of disjoint inclusive unsigned ranges."""
+
+    ranges: Tuple[Tuple[int, int], ...]
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def full() -> "IntSet":
+        return IntSet(((0, WORD_MASK),))
+
+    @staticmethod
+    def empty() -> "IntSet":
+        return IntSet(())
+
+    @staticmethod
+    def of(lo: int, hi: int) -> "IntSet":
+        """Range [lo, hi]; empty when lo > hi."""
+        if lo > hi:
+            return IntSet.empty()
+        return IntSet(((max(0, lo), min(WORD_MASK, hi)),))
+
+    @staticmethod
+    def point(value: int) -> "IntSet":
+        value = to_unsigned(value)
+        return IntSet(((value, value),))
+
+    @staticmethod
+    def from_ranges(ranges: Iterable[Tuple[int, int]]) -> "IntSet":
+        """Normalize arbitrary ranges: clip, sort, merge."""
+        clipped = [(max(0, lo), min(WORD_MASK, hi)) for lo, hi in ranges if lo <= hi]
+        clipped.sort()
+        merged: List[Tuple[int, int]] = []
+        for lo, hi in clipped:
+            if merged and lo <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        return IntSet(tuple(merged))
+
+    # -- predicates ---------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.ranges
+
+    def is_full(self) -> bool:
+        return self.ranges == ((0, WORD_MASK),)
+
+    def __contains__(self, value: int) -> bool:
+        value = to_unsigned(value)
+        return any(lo <= value <= hi for lo, hi in self.ranges)
+
+    def size(self) -> int:
+        return sum(hi - lo + 1 for lo, hi in self.ranges)
+
+    def min(self) -> Optional[int]:
+        return self.ranges[0][0] if self.ranges else None
+
+    def max(self) -> Optional[int]:
+        return self.ranges[-1][1] if self.ranges else None
+
+    # -- set algebra ---------------------------------------------------------
+
+    def intersect(self, other: "IntSet") -> "IntSet":
+        out: List[Tuple[int, int]] = []
+        i = j = 0
+        a, b = self.ranges, other.ranges
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntSet(tuple(out))
+
+    def union(self, other: "IntSet") -> "IntSet":
+        return IntSet.from_ranges(list(self.ranges) + list(other.ranges))
+
+    def remove_point(self, value: int) -> "IntSet":
+        value = to_unsigned(value)
+        out: List[Tuple[int, int]] = []
+        for lo, hi in self.ranges:
+            if lo <= value <= hi:
+                if lo <= value - 1:
+                    out.append((lo, value - 1))
+                if value + 1 <= hi:
+                    out.append((value + 1, hi))
+            else:
+                out.append((lo, hi))
+        return IntSet(tuple(out))
+
+    def shift(self, delta: int) -> "IntSet":
+        """Exact image under ``x → (x + delta) mod 2^64`` (may split ranges)."""
+        delta = to_unsigned(delta)
+        if delta == 0:
+            return self
+        pieces: List[Tuple[int, int]] = []
+        for lo, hi in self.ranges:
+            nlo = (lo + delta) & WORD_MASK
+            nhi = (hi + delta) & WORD_MASK
+            if nlo <= nhi:
+                pieces.append((nlo, nhi))
+            else:  # wrapped around the top of the domain
+                pieces.append((nlo, WORD_MASK))
+                pieces.append((0, nhi))
+        return IntSet.from_ranges(pieces)
+
+    # -- iteration -----------------------------------------------------------
+
+    def iter_values(self, limit: Optional[int] = None) -> Iterator[int]:
+        emitted = 0
+        for lo, hi in self.ranges:
+            for value in range(lo, hi + 1):
+                if limit is not None and emitted >= limit:
+                    return
+                yield value
+                emitted += 1
+
+    def sample(self) -> Optional[int]:
+        return self.min()
+
+    def __repr__(self) -> str:
+        if self.is_full():
+            return "IntSet(full)"
+        parts = ", ".join(
+            f"[{lo}]" if lo == hi else f"[{lo},{hi}]" for lo, hi in self.ranges[:8]
+        )
+        more = "…" if len(self.ranges) > 8 else ""
+        return f"IntSet({parts}{more})"
+
+
+def cmp_domain(op: str, bound: int) -> IntSet:
+    """The set of x with ``x <op> bound`` true (all ten comparisons)."""
+    c = to_unsigned(bound)
+    if op == "eq":
+        return IntSet.point(c)
+    if op == "ne":
+        return IntSet.full().remove_point(c)
+    if op == "ult":
+        return IntSet.of(0, c - 1) if c > 0 else IntSet.empty()
+    if op == "ule":
+        return IntSet.of(0, c)
+    if op == "ugt":
+        return IntSet.of(c + 1, WORD_MASK) if c < WORD_MASK else IntSet.empty()
+    if op == "uge":
+        return IntSet.of(c, WORD_MASK)
+    # Signed comparisons: negative words occupy [SIGN_BIT, WORD_MASK] and
+    # are ordered below the non-negative words [0, SIGN_BIT).
+    if op in ("slt", "sle"):
+        hi = c if op == "sle" else c - 1
+        if c & SIGN_BIT:  # bound is negative
+            if op == "slt" and c == SIGN_BIT:
+                return IntSet.empty()
+            return IntSet.of(SIGN_BIT, hi)
+        # bound non-negative: all negatives, plus [0, hi] when hi ≥ 0
+        negatives = IntSet.of(SIGN_BIT, WORD_MASK)
+        if op == "slt" and c == 0:
+            return negatives
+        return negatives.union(IntSet.of(0, min(hi, SIGN_BIT - 1)))
+    if op in ("sgt", "sge"):
+        lo = c if op == "sge" else c + 1
+        if c & SIGN_BIT:  # bound negative: rest of negatives + all non-negatives
+            if op == "sgt" and c == WORD_MASK:
+                return IntSet.of(0, SIGN_BIT - 1)
+            return IntSet.of(lo, WORD_MASK).union(IntSet.of(0, SIGN_BIT - 1))
+        if lo >= SIGN_BIT:  # bound was the largest positive; nothing is greater
+            return IntSet.empty()
+        return IntSet.of(lo, SIGN_BIT - 1)
+    raise ValueError(f"not a comparison: {op!r}")

@@ -1,0 +1,60 @@
+"""Symbolic memory: an expression overlay above a concrete base image.
+
+Used in two roles:
+
+* by the forward symbolic VM (baseline), where the base is the
+  program's initial memory, and
+* by RES snapshots, where the base is the coredump and the overlay
+  holds reconstructed pre-state expressions.
+
+When the base image is *partial* (a minidump, §1), a ``known``
+predicate marks which addresses the base actually contains; reads of
+unknown words materialize a fresh, unconstrained symbolic value that is
+memoized so every later read observes the same unknown.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.symex.expr import Const, Expr, Sym
+
+
+class SymMemory:
+    """Word-addressed map ``addr → Expr`` over a concrete base."""
+
+    def __init__(self, base: Optional[Callable[[int], int]] = None,
+                 known: Optional[Callable[[int], bool]] = None):
+        self.overlay: Dict[int, Expr] = {}
+        self._base = base
+        self._known = known
+
+    def read(self, addr: int) -> Expr:
+        if addr in self.overlay:
+            return self.overlay[addr]
+        if self._base is not None:
+            if self._known is None or self._known(addr):
+                return Const(self._base(addr))
+            # Partial base (minidump): the word was never captured.
+            unknown = Sym(f"md_{addr:x}")
+            self.overlay[addr] = unknown
+            return unknown
+        return Const(0)
+
+    def base_known(self, addr: int) -> bool:
+        """Whether the base image actually holds this word."""
+        return self._known is None or self._known(addr)
+
+    def has_overlay(self, addr: int) -> bool:
+        return addr in self.overlay
+
+    def write(self, addr: int, value: Expr) -> None:
+        self.overlay[addr] = value
+
+    def items(self) -> Iterator[Tuple[int, Expr]]:
+        return iter(self.overlay.items())
+
+    def copy(self) -> "SymMemory":
+        clone = SymMemory(self._base, self._known)
+        clone.overlay = dict(self.overlay)
+        return clone

@@ -1,0 +1,783 @@
+"""A from-scratch constraint solver for RES's compatibility checks.
+
+The paper's prototype leans on a KLEE-style SMT solver; offline we
+build our own, specialized to the constraint fragment RES generates:
+
+* equalities binding block-computed expressions to concrete coredump
+  words (``S' ⊇ S_post`` checks, §2.4),
+* branch-condition comparisons from the block's terminator, and
+* arithmetic chains over havocked symbols and program inputs.
+
+Architecture: (1) rewrite + substitution propagation, (2) exact
+interval-domain propagation for single-symbol comparisons, (3)
+bounded backtracking search over the remaining finite domains.
+
+Verdicts are three-valued.  ``UNSAT`` is only reported with a proof
+(propagation contradiction or exhausted finite domains), so RES can
+safely *prune* on UNSAT; ``UNKNOWN`` keeps a candidate alive, and the
+final replay-verification step (which the paper also relies on: "any
+execution suffix must match the full coredump exactly", §6) weeds out
+wrong survivors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.instructions import COMPARE_OPS, WORD_MASK, to_unsigned
+from repro.symex.expr import (
+    BinExpr,
+    Const,
+    Expr,
+    Sym,
+    bin_expr,
+    evaluate,
+    expr_size,
+    free_syms,
+    substitute,
+    truth_of,
+)
+from repro.symex.interval import IntSet, cmp_domain
+
+
+class SolveStatus(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolveResult:
+    status: SolveStatus
+    model: Optional[Dict[str, int]] = None
+    #: search statistics, exposed for the benchmarks
+    nodes_explored: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SolveStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SolveStatus.UNSAT
+
+
+def _mod_inverse(value: int) -> Optional[int]:
+    """Multiplicative inverse mod 2^64 (exists iff value is odd)."""
+    if value % 2 == 0:
+        return None
+    return pow(value, -1, 1 << 64)
+
+
+@dataclass
+class _State:
+    """Mutable solving state: residual constraints + symbol knowledge."""
+
+    constraints: List[Expr] = field(default_factory=list)
+    bindings: Dict[str, Expr] = field(default_factory=dict)
+    domains: Dict[str, IntSet] = field(default_factory=dict)
+    all_syms: Set[str] = field(default_factory=set)
+
+    def domain(self, name: str) -> IntSet:
+        return self.domains.get(name, IntSet.full())
+
+
+class Solver:
+    """Three-valued solver over 64-bit word constraints.
+
+    Args:
+        max_enum: largest finite domain the search will enumerate
+            exhaustively (exhaustion ⇒ a sound UNSAT).
+        max_nodes: search-node budget before giving up with UNKNOWN.
+    """
+
+    def __init__(self, max_enum: int = 4096, max_nodes: int = 200_000):
+        self.max_enum = max_enum
+        self.max_nodes = max_nodes
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def solve(self, constraints: Sequence[Expr]) -> SolveResult:
+        """Decide satisfiability of the conjunction of ``constraints``."""
+        state = _State()
+        status = self._assert_all(state, constraints)
+        if status is SolveStatus.UNSAT:
+            return SolveResult(SolveStatus.UNSAT)
+        result = self._search(state)
+        if result.is_sat and result.model is not None:
+            # SAT must be trustworthy: re-check the original constraints
+            # under the model and downgrade to UNKNOWN on any miss.
+            for constraint in constraints:
+                value = evaluate(truth_of(constraint), result.model)
+                if value is None or value == 0:
+                    return SolveResult(SolveStatus.UNKNOWN,
+                                       nodes_explored=result.nodes_explored)
+        return result
+
+    def check_sat(self, constraints: Sequence[Expr]) -> bool:
+        """True unless the constraints are *provably* unsatisfiable."""
+        return not self.solve(constraints).is_unsat
+
+    def unique_value(self, constraints: Sequence[Expr],
+                     expr: Expr) -> Tuple[Optional[int], bool]:
+        """Evaluate ``expr`` under the constraints.
+
+        Returns ``(value, unique)``: a feasible value (or None if even
+        one model cannot be found) and whether it is provably the only
+        one — the pointer-concretization query (paper §2.4 leaves
+        symbolic addresses open; we resolve them this way).
+        """
+        first = self.solve(constraints)
+        if not first.is_sat or first.model is None:
+            return None, False
+        value = evaluate(expr, first.model)
+        if value is None:
+            return None, False
+        exclusion = bin_expr("ne", expr, Const(value))
+        second = self.solve(list(constraints) + [exclusion])
+        return value, second.is_unsat
+
+    def feasible_values(self, constraints: Sequence[Expr], expr: Expr,
+                        limit: int = 4) -> List[int]:
+        """Up to ``limit`` distinct feasible values of ``expr`` (fork set)."""
+        values: List[int] = []
+        extra: List[Expr] = []
+        for _ in range(limit):
+            result = self.solve(list(constraints) + extra)
+            if not result.is_sat or result.model is None:
+                break
+            value = evaluate(expr, result.model)
+            if value is None or value in values:
+                break
+            values.append(value)
+            extra.append(bin_expr("ne", expr, Const(value)))
+        return values
+
+    # ------------------------------------------------------------------
+    # Phase 1+2: rewriting, substitution, interval propagation
+    # ------------------------------------------------------------------
+
+    def _assert_all(self, state: _State, constraints: Sequence[Expr]) -> SolveStatus:
+        pending = [truth_of(c) for c in constraints]
+        for constraint in pending:
+            state.all_syms |= free_syms(constraint)
+        while pending:
+            constraint = pending.pop()
+            constraint = substitute(constraint, state.bindings)
+            if isinstance(constraint, Const):
+                if constraint.value == 0:
+                    return SolveStatus.UNSAT
+                continue
+            rewritten = self._rewrite_even_mul(constraint)
+            if rewritten is not None:
+                pending.append(rewritten)
+                continue
+            binding = self._extract_binding(constraint)
+            if binding is not None:
+                name, expr = binding
+                # Only adopt open (non-constant) bindings while they are
+                # small: substituting a large open term into every other
+                # constraint mentioning the symbol grows expressions
+                # multiplicatively and can stall the whole solve.
+                if isinstance(expr, Const) or expr_size(expr) <= 64:
+                    if self._bind(state, name, expr, pending) \
+                            is SolveStatus.UNSAT:
+                        return SolveStatus.UNSAT
+                    continue
+            refinement = self._extract_domain(constraint)
+            if refinement is not None:
+                name, dom = refinement
+                new = state.domain(name).intersect(dom)
+                if new.is_empty():
+                    return SolveStatus.UNSAT
+                state.domains[name] = new
+                if new.size() == 1:
+                    # Domain collapsed: promote to a binding.
+                    if self._bind(state, name, Const(new.min()), pending) \
+                            is SolveStatus.UNSAT:
+                        return SolveStatus.UNSAT
+                    continue
+                # Comparisons fully captured by the domain can be dropped;
+                # keep eq/ne-free comparisons out of the residual set.
+                continue
+            state.constraints.append(constraint)
+        return SolveStatus.UNKNOWN  # not yet decided
+
+    def _bind(self, state: _State, name: str, expr: Expr,
+              pending: List[Expr]) -> SolveStatus:
+        if name in state.bindings:
+            pending.append(bin_expr("eq", state.bindings[name], expr))
+            return SolveStatus.UNKNOWN
+        if isinstance(expr, Const) and expr.value not in state.domain(name):
+            return SolveStatus.UNSAT
+        state.bindings[name] = expr
+        # Re-queue every residual constraint mentioning the symbol.
+        keep: List[Expr] = []
+        for constraint in state.constraints:
+            if name in free_syms(constraint):
+                pending.append(constraint)
+            else:
+                keep.append(constraint)
+        state.constraints = keep
+        return SolveStatus.UNKNOWN
+
+    @classmethod
+    def _peel_eq(cls, constraint: Expr) -> Expr:
+        """Move symbol-free operands of an equality to the constant side
+        (x ∘ k == v → x == v ∘⁻¹ k for the group operations), exposing
+        the symbol-bearing core to the other rewriters."""
+        if not (isinstance(constraint, BinExpr) and constraint.op == "eq"):
+            return constraint
+        lhs, rhs = constraint.a, constraint.b
+        if not isinstance(rhs, Const):
+            if isinstance(lhs, Const):
+                lhs, rhs = rhs, lhs
+            else:
+                return constraint
+        while isinstance(lhs, BinExpr) and lhs.op in ("add", "sub", "xor"):
+            x, y = lhs.a, lhs.b
+            if not free_syms(y):
+                rhs = {"add": lambda: bin_expr("sub", rhs, y),
+                       "sub": lambda: bin_expr("add", rhs, y),
+                       "xor": lambda: bin_expr("xor", rhs, y)}[lhs.op]()
+                lhs = x
+            elif not free_syms(x):
+                rhs = {"add": lambda: bin_expr("sub", rhs, x),
+                       "sub": lambda: bin_expr("sub", x, rhs),
+                       "xor": lambda: bin_expr("xor", rhs, x)}[lhs.op]()
+                lhs = y
+            else:
+                break
+            if not isinstance(rhs, Const):
+                return constraint  # peeled into a non-ground rhs: stop
+        return bin_expr("eq", lhs, rhs)
+
+    @staticmethod
+    def _rewrite_even_mul(constraint: Expr) -> Optional[Expr]:
+        """``X * c == v`` with even ``c`` is exactly ``X & mask == x0``.
+
+        With c = odd * 2^k, the equation has solutions iff 2^k divides
+        v, and then constrains exactly the low 64-k bits of X:
+        X ≡ (v >> k) * inv(odd)  (mod 2^(64-k)).  The rewrite exposes
+        that as an ``and``-with-mask equality the rest of the pipeline
+        (isolation, guesses, bit-fixing) digests.
+        """
+        if not (isinstance(constraint, BinExpr) and constraint.op == "eq"):
+            return None
+        lhs, rhs = constraint.a, constraint.b
+        if not isinstance(rhs, Const):
+            lhs, rhs = rhs, lhs
+        if not (isinstance(rhs, Const) and isinstance(lhs, BinExpr)
+                and lhs.op == "mul" and isinstance(lhs.b, Const)):
+            return None
+        c = lhs.b.value
+        if c == 0 or c % 2 == 1:
+            return None  # odd multipliers invert exactly via _isolate
+        k = (c & -c).bit_length() - 1
+        if rhs.value % (1 << k) != 0:
+            return Const(0)  # no solutions: provably false
+        odd = c >> k
+        modulus = 1 << (64 - k)
+        x0 = ((rhs.value >> k) * pow(odd, -1, modulus)) % modulus
+        return bin_expr("eq", bin_expr("and", lhs.a, Const(modulus - 1)),
+                        Const(x0))
+
+    @classmethod
+    def _extract_binding(cls, constraint: Expr) -> Optional[Tuple[str, Expr]]:
+        """Match ``sym == expr`` patterns the rewriter can solve exactly."""
+        if not (isinstance(constraint, BinExpr) and constraint.op == "eq"):
+            return None
+        a, b = constraint.a, constraint.b
+        # Direct sym == expr matches carry no blow-up risk beyond what
+        # the constraint itself already contains.
+        if isinstance(a, Sym) and a.name not in free_syms(b):
+            return a.name, b
+        if isinstance(b, Sym) and b.name not in free_syms(a):
+            return b.name, a
+        found = cls._isolate(a, b) or cls._isolate(b, a)
+        if found is None:
+            return None
+        name, expr = found
+        # Isolation *builds* the solved-for expression; adopting a large
+        # open term as a binding makes every later substitution rebuild
+        # it into every constraint mentioning the symbol — quadratic
+        # tree growth.  Only adopt ground or tiny results.
+        if isinstance(expr, Const) or expr_size(expr) <= 8:
+            return found
+        return None
+
+    @classmethod
+    def _isolate(cls, lhs: Expr, rhs: Expr) -> Optional[Tuple[str, Expr]]:
+        """Solve ``lhs == rhs`` for one symbol, peeling invertible
+        operations: add/sub/xor are group operations on 64-bit words,
+        and multiplication by an odd constant has a modular inverse."""
+        if isinstance(lhs, Sym):
+            return (lhs.name, rhs) if lhs.name not in free_syms(rhs) else None
+        if not isinstance(lhs, BinExpr):
+            return None
+        x, y = lhs.a, lhs.b
+        if lhs.op in ("add", "sub", "xor"):
+            x_syms, y_syms = free_syms(x), free_syms(y)
+            if x_syms & y_syms:
+                return None  # the symbol occurs on both sides of the op
+            if x_syms:
+                moved = {
+                    "add": lambda: bin_expr("sub", rhs, y),
+                    "sub": lambda: bin_expr("add", rhs, y),
+                    "xor": lambda: bin_expr("xor", rhs, y),
+                }[lhs.op]()
+                found = cls._isolate(x, moved)
+                if found is not None:
+                    return found
+            if y_syms:
+                moved = {
+                    "add": lambda: bin_expr("sub", rhs, x),
+                    "sub": lambda: bin_expr("sub", x, rhs),
+                    "xor": lambda: bin_expr("xor", rhs, x),
+                }[lhs.op]()
+                return cls._isolate(y, moved)
+            return None
+        if lhs.op == "mul" and isinstance(y, Const):
+            inverse = _mod_inverse(y.value)
+            if inverse is not None:
+                return cls._isolate(x, bin_expr("mul", rhs, Const(inverse)))
+        return None
+
+    @staticmethod
+    def _extract_domain(constraint: Expr) -> Optional[Tuple[str, IntSet]]:
+        """Match single-symbol comparisons → exact domain refinement."""
+        if not (isinstance(constraint, BinExpr) and constraint.op in COMPARE_OPS):
+            return None
+        a, b = constraint.a, constraint.b
+        if not isinstance(b, Const):
+            return None
+        if isinstance(a, Sym):
+            return a.name, cmp_domain(constraint.op, b.value)
+        # (op (add sym c) bound): exact for every comparison via a
+        # circular shift of the satisfying set.
+        if isinstance(a, BinExpr) and a.op == "add" \
+                and isinstance(a.a, Sym) and isinstance(a.b, Const):
+            base = cmp_domain(constraint.op, b.value)
+            return a.a.name, base.shift(-a.b.value)
+        return None
+
+    # ------------------------------------------------------------------
+    # Phase 3: bounded search
+    # ------------------------------------------------------------------
+
+    def _search(self, state: _State) -> SolveResult:
+        # Bindings may map symbols to expressions over *other* symbols
+        # (x == y + 1 binds x to an open term), so residual constraints
+        # can still mention bound symbols after one substitution pass.
+        # Resolve the binding map once, in dependency order and with a
+        # size cap (deep chains grow multiplicatively), then substitute
+        # each constraint a single time.  A residual the search never
+        # grounds would otherwise read as an exhausted (empty) search
+        # space and produce a false UNSAT.
+        resolved = self._resolve_bindings(state.bindings)
+        residual: List[Expr] = []
+        for constraint in state.constraints:
+            if free_syms(constraint) & resolved.keys():
+                constraint = substitute(constraint, resolved)
+            if isinstance(constraint, Const):
+                if constraint.value == 0:
+                    return SolveResult(SolveStatus.UNSAT)
+                continue
+            residual.append(constraint)
+        unbound: Set[str] = set()
+        for constraint in residual:
+            unbound |= free_syms(constraint)
+        unbound = {n for n in unbound if n not in state.bindings}
+        if any(free_syms(c) & state.bindings.keys() for c in residual):
+            # Unresolvable chain (cycle or size cap): don't let the
+            # search claim exhaustion over symbols it never assigned.
+            return SolveResult(SolveStatus.UNKNOWN)
+
+        if not residual:
+            model = self._complete_model(state, {})
+            if model is None:
+                return SolveResult(SolveStatus.UNKNOWN)
+            return SolveResult(SolveStatus.SAT, model)
+
+        # Constraints sharing no symbols are independent subproblems;
+        # solving them separately lets the exact single-symbol machinery
+        # apply per component instead of only when the whole residual
+        # mentions one symbol.
+        total_nodes = 0
+        unknown = False
+        combined: Dict[str, int] = {}
+        for comp_constraints, comp_syms in self._components(residual,
+                                                            unbound):
+            result = self._search_component(state, comp_constraints,
+                                            comp_syms)
+            total_nodes += result.nodes_explored
+            if result.status is SolveStatus.UNSAT:
+                return SolveResult(SolveStatus.UNSAT,
+                                   nodes_explored=total_nodes)
+            if result.status is SolveStatus.UNKNOWN or result.model is None:
+                unknown = True
+                continue
+            combined.update(result.model)
+        if unknown:
+            return SolveResult(SolveStatus.UNKNOWN,
+                               nodes_explored=total_nodes)
+        model = self._complete_model(state, combined)
+        if model is None:
+            return SolveResult(SolveStatus.UNKNOWN,
+                               nodes_explored=total_nodes)
+        return SolveResult(SolveStatus.SAT, model,
+                           nodes_explored=total_nodes)
+
+    @staticmethod
+    def _resolve_bindings(bindings: Dict[str, Expr],
+                          size_cap: int = 256) -> Dict[str, Expr]:
+        """Close the binding map under itself, dependency-first.
+
+        Only bindings whose dependencies are already resolved are
+        expanded, and any expansion beyond ``size_cap`` nodes is left
+        open (the caller treats constraints still mentioning bound
+        symbols as UNKNOWN rather than risking exponential growth)."""
+        resolved: Dict[str, Expr] = {
+            name: expr for name, expr in bindings.items()
+            if not (free_syms(expr) & bindings.keys())
+        }
+        blocked: Set[str] = set()
+        for __ in range(len(bindings)):
+            progressed = False
+            for name, expr in bindings.items():
+                if name in resolved or name in blocked:
+                    continue
+                deps = free_syms(expr) & bindings.keys()
+                if deps & blocked or not deps <= resolved.keys():
+                    if deps & blocked:
+                        blocked.add(name)
+                    continue
+                expansion = substitute(expr, resolved)
+                if expr_size(expansion) <= size_cap:
+                    resolved[name] = expansion
+                else:
+                    blocked.add(name)
+                progressed = True
+            if not progressed:
+                break
+        return resolved
+
+    @staticmethod
+    def _components(residual: List[Expr],
+                    unbound: Set[str]) -> List[Tuple[List[Expr], Set[str]]]:
+        """Partition constraints into symbol-connected components."""
+        groups: List[Tuple[List[Expr], Set[str]]] = []
+        for constraint in residual:
+            syms = free_syms(constraint) & unbound
+            merged_constraints = [constraint]
+            merged_syms = set(syms)
+            keep: List[Tuple[List[Expr], Set[str]]] = []
+            for other_constraints, other_syms in groups:
+                if merged_syms & other_syms:
+                    merged_constraints.extend(other_constraints)
+                    merged_syms |= other_syms
+                else:
+                    keep.append((other_constraints, other_syms))
+            keep.append((merged_constraints, merged_syms))
+            groups = keep
+        return groups
+
+    def _search_component(self, state: _State, residual: List[Expr],
+                          unbound: Set[str]) -> SolveResult:
+        """Decide one symbol-connected component of the residual.
+
+        A SAT result carries a *partial* model covering the component's
+        symbols only; the caller merges components and completes."""
+        if len(unbound) == 1:
+            name = next(iter(unbound))
+            verdict = self._bitfix_single_sym(residual, name,
+                                              state.domain(name))
+            if verdict is not None:
+                found, exact = verdict
+                if found is not None:
+                    return SolveResult(SolveStatus.SAT, {name: found})
+                if exact:
+                    return SolveResult(SolveStatus.UNSAT)
+
+        candidates: Dict[str, List[int]] = {}
+        exhaustive: Dict[str, bool] = {}
+        constants = self._constants_in(residual)
+        derived = self._derived_guesses(residual)
+        for name in unbound:
+            domain = state.domain(name)
+            if domain.size() <= self.max_enum:
+                candidates[name] = list(domain.iter_values())
+                exhaustive[name] = True
+            else:
+                guesses: List[int] = []
+                for value in itertools.chain(
+                    derived.get(name, []),
+                    [0, 1, domain.min(), domain.max()],
+                    constants,
+                    (to_unsigned(c + d) for c in constants for d in (-1, 1)),
+                ):
+                    if value is not None and value in domain and value not in guesses:
+                        guesses.append(value)
+                candidates[name] = guesses
+                exhaustive[name] = False
+
+        order = sorted(unbound, key=lambda n: len(candidates[n]))
+        nodes = [0]
+        assignment: Dict[str, int] = {}
+
+        found = self._dfs(residual, order, 0, candidates, assignment, nodes,
+                          {name: state.domain(name) for name in unbound})
+        if found is not None:
+            return SolveResult(SolveStatus.SAT, found,
+                               nodes_explored=nodes[0])
+        if all(exhaustive.get(n, False) for n in order) and nodes[0] < self.max_nodes:
+            return SolveResult(SolveStatus.UNSAT, nodes_explored=nodes[0])
+        return SolveResult(SolveStatus.UNKNOWN, nodes_explored=nodes[0])
+
+    def _dfs(self, constraints: List[Expr], order: List[str], depth: int,
+             candidates: Dict[str, List[int]], assignment: Dict[str, int],
+             nodes: List[int],
+             domains: Dict[str, IntSet]) -> Optional[Dict[str, int]]:
+        if nodes[0] >= self.max_nodes:
+            return None
+        # Evaluate/simplify all constraints under the partial assignment,
+        # then propagate: a partial choice often linearizes a constraint
+        # into a shape the isolation rules solve outright (assigning a
+        # in `2 - a*c == v` leaves a one-symbol linear equation in c).
+        local = dict(assignment)
+        live = list(constraints)
+        # Propagation pays off on small residuals (it solves them
+        # outright); on large ones the per-iteration rewriting dominates.
+        propagate = len(live) <= 32
+        progressed = True
+        while progressed:
+            progressed = False
+            bindings = {name: Const(v) for name, v in local.items()}
+            reduced_live: List[Expr] = []
+            for constraint in live:
+                reduced = substitute(constraint, bindings)
+                if isinstance(reduced, Const):
+                    if reduced.value == 0:
+                        return None
+                    continue
+                if not propagate:
+                    reduced_live.append(reduced)
+                    continue
+                rewritten = self._rewrite_even_mul(self._peel_eq(reduced))
+                if rewritten is not None:
+                    reduced = rewritten
+                    if isinstance(reduced, Const):
+                        if reduced.value == 0:
+                            return None
+                        continue
+                binding = self._extract_binding(reduced)
+                if binding is not None:
+                    name, expr = binding
+                    value = evaluate(expr, local)
+                    if value is not None and name not in local:
+                        if value not in domains.get(name, IntSet.full()):
+                            return None  # forced value outside its domain
+                        local[name] = value
+                        progressed = True
+                        continue
+                reduced_live.append(reduced)
+            live = reduced_live
+        if not live:
+            return local
+        while depth < len(order) and order[depth] in local:
+            depth += 1  # already fixed by propagation
+        if depth >= len(order):
+            return None
+        name = order[depth]
+        # Partial assignments expose new exact solutions (an earlier
+        # choice may linearize a product); re-derive guesses from the
+        # reduced constraints and try them first.
+        domain = domains.get(name, IntSet.full())
+        values = list(candidates[name])
+        for extra in self._derived_guesses(live).get(name, []):
+            if extra in domain and extra not in values:
+                values.insert(0, extra)
+        for constant in self._constants_in(live):
+            if constant in domain and constant not in values:
+                values.append(constant)
+        for value in values:
+            nodes[0] += 1
+            if nodes[0] >= self.max_nodes:
+                return None
+            local[name] = value
+            result = self._dfs(live, order, depth + 1, candidates,
+                               local, nodes, domains)
+            if result is not None:
+                return result
+            del local[name]
+        return None
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    #: operators whose low k output bits depend only on the low k input
+    #: bits — the fragment the bit-fixing solver is exact on.  (Right
+    #: shifts, division, and comparisons move high bits downward.)
+    _LOW_BITS_OPS = frozenset(("add", "sub", "mul", "and", "or", "xor",
+                               "shl"))
+
+    @classmethod
+    def _low_bits_expr(cls, expr: Expr) -> bool:
+        if isinstance(expr, (Const, Sym)):
+            return True
+        if isinstance(expr, BinExpr) and expr.op in cls._LOW_BITS_OPS:
+            if expr.op == "shl" and not isinstance(expr.b, Const):
+                # A symbolic shift amount lets *high* bits of the amount
+                # change low result bits (shl(1, x) is 0 or 1 depending
+                # on all of x): outside the fragment.
+                return False
+            return cls._low_bits_expr(expr.a) and cls._low_bits_expr(expr.b)
+        return False
+
+    def _bitfix_single_sym(self, residual: List[Expr], name: str,
+                           domain: IntSet):
+        """Exact bit-by-bit solving for one symbol (§6's hash chains).
+
+        Every ``e1 == e2`` constraint whose operators keep low bits
+        low-bit-determined becomes ``(e1 - e2) ≡ 0 (mod 2^k)`` for
+        k = 1..64; viable residues double or die at each bit.  Returns
+        ``(value, exact)`` — value None when no residue survives, with
+        ``exact`` True iff the residue set never overflowed the cap (so
+        a miss is a *proof* of UNSAT for the eq-part) and no non-eq
+        constraints were deferred; returns None when the fragment does
+        not apply.
+        """
+        deltas: List[Expr] = []
+        deferred: List[Expr] = []
+        for constraint in residual:
+            if isinstance(constraint, BinExpr) and constraint.op == "eq" \
+                    and self._low_bits_expr(constraint.a) \
+                    and self._low_bits_expr(constraint.b):
+                deltas.append(bin_expr("sub", constraint.a, constraint.b))
+            else:
+                deferred.append(constraint)
+        if not deltas:
+            return None
+
+        cap = 128
+        capped = False
+        residues = [0]
+        for k in range(1, 65):
+            mask = (1 << k) - 1
+            survivors: List[int] = []
+            for residue in residues:
+                for candidate in (residue, residue | (1 << (k - 1))):
+                    values = [evaluate(delta, {name: candidate})
+                              for delta in deltas]
+                    if all(v is not None and v & mask == 0 for v in values):
+                        survivors.append(candidate)
+            if len(survivors) > cap:
+                survivors = survivors[:cap]
+                capped = True
+            residues = survivors
+            if not residues:
+                # When never capped, `residues` was the complete solution
+                # set of the eq-part, so emptiness proves UNSAT even if
+                # other constraints were deferred (they only restrict).
+                return None, not capped
+        for value in residues:
+            if value not in domain:
+                continue
+            if all(evaluate(truth_of(c), {name: value}) == 1
+                   for c in deferred):
+                return value, not capped
+        # Every complete solution of the eq-part fails the domain or a
+        # deferred constraint: UNSAT, provided the set really is complete.
+        return None, not capped
+
+    @staticmethod
+    def _derived_guesses(constraints: Sequence[Expr]) -> Dict[str, List[int]]:
+        """Exact solutions for shapes the rewriter cannot bind uniquely.
+
+        ``sym * c == v`` with even ``c`` has 2^k solutions (k = trailing
+        zero bits of c); binding would lose all but one, but the search
+        can try the canonical one: x0 = (v >> k) * inv(c >> k) modulo
+        2^(64-k).  Division-free and exact when it applies.
+        """
+        out: Dict[str, List[int]] = {}
+        for constraint in constraints:
+            if not (isinstance(constraint, BinExpr) and constraint.op == "eq"):
+                continue
+            lhs, rhs = constraint.a, constraint.b
+            if not isinstance(rhs, Const):
+                lhs, rhs = rhs, lhs
+            if not (isinstance(rhs, Const) and isinstance(lhs, BinExpr)
+                    and lhs.op == "mul" and isinstance(lhs.a, Sym)
+                    and isinstance(lhs.b, Const)):
+                continue
+            c, v = lhs.b.value, rhs.value
+            if c == 0:
+                continue
+            k = (c & -c).bit_length() - 1  # trailing zero bits
+            if v % (1 << k) != 0:
+                continue  # provably no solution; propagation will prune
+            odd = c >> k
+            modulus = 1 << (64 - k)
+            x0 = ((v >> k) * pow(odd, -1, modulus)) % modulus
+            bucket = out.setdefault(lhs.a.name, [])
+            for candidate in (x0, x0 + modulus if k else None):
+                if candidate is not None and candidate < (1 << 64) \
+                        and candidate not in bucket:
+                    bucket.append(candidate)
+        return out
+
+    @staticmethod
+    def _constants_in(constraints: Sequence[Expr]) -> List[int]:
+        seen: List[int] = []
+
+        def walk(expr: Expr) -> None:
+            if isinstance(expr, Const) and expr.value not in seen:
+                seen.append(expr.value)
+            elif isinstance(expr, BinExpr):
+                walk(expr.a)
+                walk(expr.b)
+
+        for constraint in constraints:
+            walk(constraint)
+        return seen
+
+    def _complete_model(self, state: _State,
+                        search_values: Dict[str, int]) -> Optional[Dict[str, int]]:
+        """Fold bindings + domains + search results into a full model."""
+        model: Dict[str, int] = dict(search_values)
+        for name in state.all_syms:
+            if name in model or name in state.bindings:
+                continue
+            sample = state.domain(name).sample()
+            if sample is None:
+                return None
+            model[name] = sample
+        # Bindings may reference each other; iterate to a fixpoint.
+        remaining = dict(state.bindings)
+        for _ in range(len(remaining) + 1):
+            progressed = False
+            for name, expr in list(remaining.items()):
+                value = evaluate(expr, model)
+                if value is not None:
+                    model[name] = value
+                    del remaining[name]
+                    progressed = True
+            if not remaining:
+                break
+            if not progressed:
+                # Cyclic or under-determined bindings: give the free
+                # symbols a default and retry once more.
+                for free in set().union(*(free_syms(e) for e in remaining.values())):
+                    model.setdefault(free, 0)
+        for name, expr in remaining.items():
+            value = evaluate(expr, model)
+            if value is None:
+                return None
+            model[name] = value
+        return model

@@ -1,0 +1,98 @@
+"""Hardware fault injection (paper §3.2).
+
+The paper's hardware-error use case needs coredumps whose contents are
+*inconsistent with every feasible execution suffix*: multi-bit DRAM
+failures, DMA writes from faulty devices, and CPUs that miscompute.
+We model them two ways:
+
+* **Post-hoc corruption** of an otherwise-correct coredump — exactly
+  what a DRAM flip between the last program write and the dump looks
+  like (:func:`flip_bit`, :func:`stray_dma_write`).
+* **Online ALU faults** via the VM's ``alu_fault`` hook — a CPU that
+  returns a wrong result for one arithmetic operation
+  (:class:`ALUFaultInjector`), which then usually *causes* the crash.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ir.instructions import to_unsigned
+from repro.vm.coredump import Coredump
+from repro.vm.state import PC
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Record of what was corrupted, for experiment ground truth."""
+
+    kind: str  # "bit-flip" | "dma" | "alu"
+    addr: Optional[int] = None
+    bit: Optional[int] = None
+    original: Optional[int] = None
+    corrupted: Optional[int] = None
+
+
+def flip_bit(coredump: Coredump, addr: int, bit: int) -> InjectedFault:
+    """Flip one bit of one memory word in a coredump (DRAM error model)."""
+    if not 0 <= bit < 64:
+        raise ValueError("bit must be in [0, 64)")
+    original = coredump.memory.get(addr, 0)
+    corrupted = to_unsigned(original ^ (1 << bit))
+    coredump.memory[addr] = corrupted
+    return InjectedFault(kind="bit-flip", addr=addr, bit=bit,
+                         original=original, corrupted=corrupted)
+
+
+def stray_dma_write(coredump: Coredump, addr: int, value: int) -> InjectedFault:
+    """Overwrite a memory word wholesale (faulty-device DMA model)."""
+    original = coredump.memory.get(addr, 0)
+    corrupted = to_unsigned(value)
+    coredump.memory[addr] = corrupted
+    return InjectedFault(kind="dma", addr=addr, original=original,
+                         corrupted=corrupted)
+
+
+def random_bit_flips(coredump: Coredump, count: int, seed: int = 0,
+                     candidate_addrs: Optional[List[int]] = None) -> List[InjectedFault]:
+    """Flip ``count`` random bits across the coredump's populated words."""
+    rng = random.Random(seed)
+    addrs = candidate_addrs if candidate_addrs is not None else sorted(coredump.memory)
+    if not addrs:
+        return []
+    faults = []
+    for _ in range(count):
+        addr = rng.choice(addrs)
+        bit = rng.randrange(64)
+        faults.append(flip_bit(coredump, addr, bit))
+    return faults
+
+
+class ALUFaultInjector:
+    """VM hook that corrupts the result of the Nth matching ALU operation.
+
+    Example: make the 100th ``add`` executed anywhere return a value
+    that is off by one — the classic "CPU miscomputed an addition"
+    scenario from §3.2 of the paper.
+    """
+
+    def __init__(self, op: str = "add", fire_at: int = 1, xor_mask: int = 1):
+        self.op = op
+        self.fire_at = fire_at
+        self.xor_mask = xor_mask
+        self.seen = 0
+        self.fired: Optional[InjectedFault] = None
+        self.fired_pc: Optional[PC] = None
+
+    def __call__(self, pc: PC, op: str, result: int) -> int:
+        if op != self.op or self.fired is not None:
+            return result
+        self.seen += 1
+        if self.seen < self.fire_at:
+            return result
+        corrupted = to_unsigned(result ^ self.xor_mask)
+        self.fired = InjectedFault(kind="alu", original=result, corrupted=corrupted)
+        self.fired_pc = pc
+        return corrupted

@@ -1,0 +1,66 @@
+"""Last Branch Record simulation (paper §2.4, "Execution breadcrumbs").
+
+Intel's LBR stores the source and destination of the last N taken
+branches in a hardware ring buffer, "with virtually no overhead"; at
+crash time its contents come for free with the coredump.  The paper
+also proposes *extending* the effective depth by filtering branches the
+offline analysis can re-derive from the CFG: we implement that as
+``FILTER_TRIVIAL`` mode, which skips branches whose source block has a
+single successor (those edges are implied by the CFG, so recording them
+wastes ring slots).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Deque, List, Optional, Tuple
+
+from repro.vm.state import PC
+
+
+class LBRMode(Enum):
+    #: Record every control transfer (plain hardware behaviour).
+    ALL = "all"
+    #: Skip transfers inferable from the CFG (single-successor edges),
+    #: stretching the recorded window further back in time.
+    FILTER_TRIVIAL = "filter-trivial"
+
+
+class LastBranchRecord:
+    """Fixed-depth ring buffer of ``(source PC, destination PC)`` pairs."""
+
+    def __init__(self, depth: int = 16, mode: LBRMode = LBRMode.ALL):
+        if depth < 0:
+            raise ValueError("LBR depth must be non-negative")
+        self.depth = depth
+        self.mode = mode
+        self._ring: Deque[Tuple[PC, PC]] = deque(maxlen=depth if depth else 1)
+        self.enabled = depth > 0
+
+    def record(self, src: PC, dst: PC, inferable: bool = False) -> None:
+        """Record one control transfer.
+
+        Args:
+            src: PC of the branch instruction.
+            dst: PC of the first instruction at the target.
+            inferable: True if the offline CFG analysis could derive this
+                transfer without the record (single-successor edge).
+        """
+        if not self.enabled:
+            return
+        if self.mode is LBRMode.FILTER_TRIVIAL and inferable:
+            return
+        self._ring.append((src, dst))
+
+    def contents(self) -> List[Tuple[PC, PC]]:
+        """Oldest-first list of recorded transfers."""
+        return list(self._ring) if self.enabled else []
+
+    def newest(self) -> Optional[Tuple[PC, PC]]:
+        if not self.enabled or not self._ring:
+            return None
+        return self._ring[-1]
+
+    def clear(self) -> None:
+        self._ring.clear()

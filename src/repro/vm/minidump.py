@@ -1,0 +1,88 @@
+"""Minidumps: the truncated crash report RES is *strictly more powerful*
+than (paper §1).
+
+"Unlike execution synthesis, RES interprets the entire coredump, not
+just a minidump, which makes RES strictly more powerful."
+
+A minidump is the WER-style report: the exception record (our trap),
+every thread's register file and call stack, and the memory words of
+the thread stacks themselves — but *no* global or heap image.  This
+module derives one from a full :class:`~repro.vm.coredump.Coredump` so
+the E10 ablation can run the same synthesizer on both and measure what
+the dropped memory was worth.
+
+A :class:`MiniDump` is a drop-in ``Coredump`` whose :meth:`available`
+predicate tells the snapshot layer which words are trustworthy;
+everything else reads back as an unconstrained symbolic unknown, so
+candidate predecessors can no longer be refuted by global/heap values —
+precisely Figure 1's disambiguation failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+from repro.ir.module import STACKS_BASE, STACK_WINDOW
+from repro.vm.coredump import Coredump
+
+
+@dataclass
+class MiniDump(Coredump):
+    """A partial coredump: threads + stacks only.
+
+    ``memory`` holds exactly the retained words; :meth:`available`
+    distinguishes "absent because the word was zero" from "absent
+    because the minidump never contained the region".
+    """
+
+    #: address ranges (lo, hi) that the minidump retains, half-open
+    retained_ranges: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def is_partial(self) -> bool:
+        return True
+
+    def available(self, addr: int) -> bool:
+        return any(lo <= addr < hi for lo, hi in self.retained_ranges)
+
+    def read(self, addr: int) -> int:
+        if not self.available(addr):
+            raise KeyError(
+                f"address {addr:#x} is outside the minidump's retained "
+                f"ranges")
+        return self.memory.get(addr, 0)
+
+
+def minidump_of(coredump: Coredump,
+                keep_breadcrumbs: bool = True) -> MiniDump:
+    """Truncate a full coredump to its WER-style minidump.
+
+    Retains the trap, all thread dumps (registers + frames), the words
+    of every thread's stack window, and the allocator/lock metadata a
+    crash reporter serializes for free.  Drops the global and heap
+    images — the information the paper says makes RES strictly more
+    powerful than minidump-based execution synthesis.
+    """
+    ranges = tuple(
+        (STACKS_BASE + tid * STACK_WINDOW,
+         STACKS_BASE + (tid + 1) * STACK_WINDOW)
+        for tid in sorted(coredump.threads)
+    )
+    retained: Dict[int, int] = {
+        addr: value for addr, value in coredump.memory.items()
+        if any(lo <= addr < hi for lo, hi in ranges)
+    }
+    return MiniDump(
+        module_name=coredump.module_name,
+        trap=coredump.trap,
+        memory=retained,
+        threads={tid: dump for tid, dump in coredump.threads.items()},
+        lock_owners=dict(coredump.lock_owners),
+        lbr=list(coredump.lbr) if keep_breadcrumbs else [],
+        log_tail=list(coredump.log_tail) if keep_breadcrumbs else [],
+        heap=dict(coredump.heap),
+        stack_tops=dict(coredump.stack_tops),
+        bounds_checked=coredump.bounds_checked,
+        retained_ranges=ranges,
+    )

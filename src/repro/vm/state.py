@@ -1,0 +1,104 @@
+"""Thread and frame state of the virtual machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import Reg
+
+
+@dataclass(frozen=True)
+class PC:
+    """A program counter: function, block label, instruction index."""
+
+    function: str
+    block: str
+    index: int
+
+    def __repr__(self) -> str:
+        return f"{self.function}:{self.block}[{self.index}]"
+
+
+@dataclass
+class Frame:
+    """One activation record.
+
+    Attributes:
+        function: function name.
+        block: current basic-block label.
+        index: index of the *next* instruction to execute in the block.
+        regs: virtual register file of this activation.
+        frame_base: base address of the frame's stack slots (0 if none).
+        frame_words: number of stack words reserved.
+        ret_dst: caller register that receives this call's return value.
+    """
+
+    function: str
+    block: str
+    index: int
+    regs: Dict[Reg, int] = field(default_factory=dict)
+    frame_base: int = 0
+    frame_words: int = 0
+    ret_dst: Optional[Reg] = None
+
+    @property
+    def pc(self) -> PC:
+        return PC(self.function, self.block, self.index)
+
+    def copy(self) -> "Frame":
+        return Frame(
+            function=self.function,
+            block=self.block,
+            index=self.index,
+            regs=dict(self.regs),
+            frame_base=self.frame_base,
+            frame_words=self.frame_words,
+            ret_dst=self.ret_dst,
+        )
+
+
+class ThreadStatus(Enum):
+    RUNNABLE = "runnable"
+    BLOCKED_LOCK = "blocked-lock"
+    BLOCKED_JOIN = "blocked-join"
+    FINISHED = "finished"
+
+
+@dataclass
+class Thread:
+    """A guest thread: a stack of frames plus scheduling status."""
+
+    tid: int
+    frames: List[Frame] = field(default_factory=list)
+    status: ThreadStatus = ThreadStatus.RUNNABLE
+    blocked_on: Optional[int] = None  # lock address or joined tid
+    held_locks: List[int] = field(default_factory=list)
+    return_value: int = 0
+    start_function: str = ""
+
+    @property
+    def top(self) -> Frame:
+        return self.frames[-1]
+
+    @property
+    def pc(self) -> Optional[PC]:
+        if not self.frames:
+            return None
+        return self.top.pc
+
+    def call_stack(self) -> List[PC]:
+        """Innermost-last list of PCs (the coredump backtrace)."""
+        return [frame.pc for frame in self.frames]
+
+    def copy(self) -> "Thread":
+        return Thread(
+            tid=self.tid,
+            frames=[frame.copy() for frame in self.frames],
+            status=self.status,
+            blocked_on=self.blocked_on,
+            held_locks=list(self.held_locks),
+            return_value=self.return_value,
+            start_function=self.start_function,
+        )

@@ -1,0 +1,54 @@
+"""Workload catalog: every buggy program the evaluation exercises."""
+
+from repro.workloads.base import TriggerError, Workload, WorkloadRegistry
+from repro.workloads.concurrency import (
+    ATOMICITY_READCHECK,
+    DEADLOCK_ABBA,
+    LOCKED_COUNTER,
+    PAPER_EVAL_BUGS,
+    RACE_COUNTER,
+    RACE_FLAG,
+)
+from repro.workloads.corpus import (
+    CAUSE_NAMES,
+    TRIAGE_PROGRAM,
+    generate_corpus,
+    generate_report,
+)
+from repro.workloads.programs import (
+    BRANCH_CHAIN,
+    BRANCH_CHAIN_ROUNDS,
+    DIV_BY_ZERO,
+    DOUBLE_FREE,
+    FIGURE1_OVERFLOW,
+    HASH_GUARD,
+    HASH_GUARD_DEAD,
+    HW_CANARY,
+    MINIDUMP_BLINDSPOT,
+    SEQUENTIAL_BUGS,
+    WRITER_TAG,
+    TAINTED_OVERFLOW,
+    UNTAINTED_OVERFLOW,
+    USE_AFTER_FREE,
+    long_execution_workload,
+)
+
+REGISTRY = WorkloadRegistry()
+for _w in (RACE_FLAG, RACE_COUNTER, ATOMICITY_READCHECK, LOCKED_COUNTER,
+           DEADLOCK_ABBA, FIGURE1_OVERFLOW, TAINTED_OVERFLOW,
+           UNTAINTED_OVERFLOW, USE_AFTER_FREE, DOUBLE_FREE, DIV_BY_ZERO,
+           HASH_GUARD, HASH_GUARD_DEAD, BRANCH_CHAIN, HW_CANARY,
+           MINIDUMP_BLINDSPOT, WRITER_TAG, TRIAGE_PROGRAM):
+    REGISTRY.register(_w)
+
+__all__ = [
+    "ATOMICITY_READCHECK", "BRANCH_CHAIN", "BRANCH_CHAIN_ROUNDS",
+    "CAUSE_NAMES", "DEADLOCK_ABBA", "DIV_BY_ZERO", "DOUBLE_FREE",
+    "FIGURE1_OVERFLOW", "HASH_GUARD", "HASH_GUARD_DEAD", "HW_CANARY",
+    "LOCKED_COUNTER", "MINIDUMP_BLINDSPOT",
+    "PAPER_EVAL_BUGS", "RACE_COUNTER", "RACE_FLAG", "REGISTRY",
+    "SEQUENTIAL_BUGS", "TAINTED_OVERFLOW", "TRIAGE_PROGRAM", "TriggerError",
+    "UNTAINTED_OVERFLOW", "USE_AFTER_FREE", "WRITER_TAG", "Workload",
+    "WorkloadRegistry",
+    "generate_corpus", "generate_report", "long_execution_workload",
+]

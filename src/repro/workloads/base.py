@@ -1,0 +1,98 @@
+"""Workload plumbing: named buggy programs plus failure triggers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.ir.module import Module
+from repro.minic import compile_source
+from repro.vm.coredump import Coredump, TrapKind
+from repro.vm.interpreter import RunStatus, VM
+from repro.vm.scheduler import RandomPreemptScheduler
+
+
+class TriggerError(ReproError):
+    """No failing execution could be produced for a workload."""
+
+
+@dataclass
+class Workload:
+    """A MiniC program with a seeded bug and a way to make it fail."""
+
+    name: str
+    source: str
+    expected_trap: TrapKind
+    inputs: Sequence[int] = ()
+    check_bounds: bool = True
+    #: seeds to try when the failure is schedule-dependent
+    seed_range: int = 300
+    preempt_prob: float = 0.6
+    description: str = ""
+    _module: Optional[Module] = None
+
+    @property
+    def module(self) -> Module:
+        if self._module is None:
+            self._module = compile_source(self.source, name=self.name)
+        return self._module
+
+    def run_once(self, seed: int = 0,
+                 inputs: Optional[Sequence[int]] = None,
+                 lbr_depth: int = 16):
+        vm = VM(
+            self.module,
+            inputs=list(self.inputs if inputs is None else inputs),
+            scheduler=RandomPreemptScheduler(seed=seed,
+                                             preempt_prob=self.preempt_prob),
+            check_bounds=self.check_bounds,
+            lbr_depth=lbr_depth,
+            record_trace=True,
+        )
+        return vm.run()
+
+    def trigger(self, inputs: Optional[Sequence[int]] = None,
+                lbr_depth: int = 16) -> Coredump:
+        """Produce a coredump of the expected failure (seed sweep)."""
+        for seed in range(self.seed_range):
+            result = self.run_once(seed=seed, inputs=inputs,
+                                   lbr_depth=lbr_depth)
+            if result.status is RunStatus.TRAPPED \
+                    and result.coredump.trap.kind is self.expected_trap:
+                return result.coredump
+        raise TriggerError(
+            f"workload {self.name!r}: no {self.expected_trap.value} trap "
+            f"within {self.seed_range} seeds")
+
+    def trigger_with_seed(self, inputs: Optional[Sequence[int]] = None,
+                          lbr_depth: int = 16):
+        for seed in range(self.seed_range):
+            result = self.run_once(seed=seed, inputs=inputs,
+                                   lbr_depth=lbr_depth)
+            if result.status is RunStatus.TRAPPED \
+                    and result.coredump.trap.kind is self.expected_trap:
+                return result.coredump, seed
+        raise TriggerError(f"workload {self.name!r} never failed")
+
+
+class WorkloadRegistry:
+    """Name → workload map with lazy construction."""
+
+    def __init__(self):
+        self._workloads: Dict[str, Workload] = {}
+
+    def register(self, workload: Workload) -> Workload:
+        if workload.name in self._workloads:
+            raise ReproError(f"duplicate workload {workload.name!r}")
+        self._workloads[workload.name] = workload
+        return workload
+
+    def get(self, name: str) -> Workload:
+        try:
+            return self._workloads[name]
+        except KeyError:
+            raise ReproError(f"unknown workload {name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._workloads)

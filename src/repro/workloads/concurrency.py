@@ -1,0 +1,172 @@
+"""The paper's evaluation workloads (§4): three synthetic concurrency
+bugs whose root causes are data races or atomicity violations.
+
+All three keep the racing thread alive (or just-finished) at crash
+time so the coredump pins its position, matching how such failures
+look in production dumps.
+"""
+
+from repro.vm.coredump import TrapKind
+from repro.workloads.base import Workload
+
+#: Bug 1 — order-violation data race: the producer publishes the ready
+#: flag *before* the payload, so a consumer that trusts the flag reads
+#: stale data.
+RACE_FLAG = Workload(
+    name="race_flag",
+    expected_trap=TrapKind.ASSERT_FAIL,
+    description=("order-violation data race: flag published before data; "
+                 "consumer reads stale payload"),
+    source="""
+global int data;
+global int flag;
+
+func producer(int unused) {
+    flag = 1;         // BUG: payload must be published before the flag
+    data = 42;
+    return 0;
+}
+
+func main() {
+    int t = spawn producer(0);
+    int f = flag;
+    if (f == 1) {
+        int d = data;
+        assert(d == 42, "stale read of data");
+    }
+    join(t);
+    return 0;
+}
+""",
+)
+
+#: Bug 2 — lost-update data race: two unsynchronized read-modify-write
+#: sequences on a shared counter; one thread's update vanishes.
+RACE_COUNTER = Workload(
+    name="race_counter",
+    expected_trap=TrapKind.ASSERT_FAIL,
+    description=("lost-update data race on an unlocked shared counter"),
+    source="""
+global int counter;
+
+func adder(int n) {
+    int i = 0;
+    while (i < n) {
+        int old = counter;      // BUG: read-modify-write without a lock
+        counter = old + 1;
+        i = i + 1;
+    }
+    return 0;
+}
+
+func main() {
+    int t = spawn adder(2);
+    int old = counter;
+    counter = old + 1;
+    int now = counter;
+    assert(now >= 1, "counter went backward");
+    assert(now == old + 1, "lost update");
+    return 0;
+}
+""",
+)
+
+#: Bug 3 — single-variable atomicity violation: a check-then-act window
+#: another thread's write lands inside.
+ATOMICITY_READCHECK = Workload(
+    name="atomicity_readcheck",
+    expected_trap=TrapKind.ASSERT_FAIL,
+    description=("atomicity violation: remote increment lands inside a "
+                 "read-increment-recheck window"),
+    source="""
+global int counter;
+
+func adder(int n) {
+    int i = 0;
+    while (i < n) {
+        int old = counter;
+        counter = old + 1;
+        i = i + 1;
+    }
+    return 0;
+}
+
+func main() {
+    int t = spawn adder(3);
+    int old = counter;
+    counter = old + 1;      // BUG: window not protected by a lock
+    int check = counter;
+    assert(check == old + 1, "atomicity violated");
+    join(t);
+    return 0;
+}
+""",
+)
+
+#: A correctly synchronized variant of the counter (used as the negative
+#: control: RES must find an innocuous suffix and no race).
+LOCKED_COUNTER = Workload(
+    name="locked_counter",
+    expected_trap=TrapKind.ASSERT_FAIL,
+    seed_range=10,
+    description="correctly locked counter; failure is a semantic assert",
+    source="""
+global int counter;
+global int mtx;
+
+func adder(int n) {
+    int i = 0;
+    while (i < n) {
+        lock(&mtx);
+        counter = counter + 1;
+        unlock(&mtx);
+        i = i + 1;
+    }
+    return 0;
+}
+
+func main() {
+    int t = spawn adder(2);
+    lock(&mtx);
+    counter = counter + 1;
+    unlock(&mtx);
+    join(t);
+    assert(counter == 100, "semantic expectation is simply wrong");
+    return 0;
+}
+""",
+)
+
+#: Classic ABBA deadlock: used for deadlock coredumps.
+DEADLOCK_ABBA = Workload(
+    name="deadlock_abba",
+    expected_trap=TrapKind.DEADLOCK,
+    description="ABBA lock-order inversion deadlock",
+    source="""
+global int lock_a;
+global int lock_b;
+global int shared;
+
+func second(int unused) {
+    lock(&lock_b);
+    lock(&lock_a);      // BUG: opposite order from main
+    shared = shared + 1;
+    unlock(&lock_a);
+    unlock(&lock_b);
+    return 0;
+}
+
+func main() {
+    int t = spawn second(0);
+    lock(&lock_a);
+    lock(&lock_b);
+    shared = shared + 1;
+    unlock(&lock_b);
+    unlock(&lock_a);
+    join(t);
+    return 0;
+}
+""",
+)
+
+PAPER_EVAL_BUGS = (RACE_FLAG, RACE_COUNTER, ATOMICITY_READCHECK)

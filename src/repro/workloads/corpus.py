@@ -1,0 +1,134 @@
+"""Synthetic bug-report corpus for the triage experiment (E3, §3.1).
+
+The corpus models the two failure-aliasing phenomena §3.1 describes:
+
+* **one bug, many stacks** — the same root cause reached through
+  different call chains produces different call-stack signatures, so a
+  WER-style bucketer splits it across buckets;
+* **many bugs, one stack** — different root causes crash at the same
+  shared checker, so stack bucketing merges them.
+
+The module contains two genuine root causes — a silent buffer overflow
+into an adjacent global (``arr`` → ``state``) and a logic bug that
+stores a bad value directly — each reachable through several wrapper
+routes, all funnelling into the same ``check`` function whose assert
+fires.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.vm.coredump import TrapKind
+from repro.workloads.base import TriggerError, Workload
+from repro.core.triage import BugReport
+
+TRIAGE_PROGRAM = Workload(
+    name="triage_corpus",
+    expected_trap=TrapKind.ASSERT_FAIL,
+    check_bounds=False,  # the overflow must corrupt silently (Figure 1 style)
+    seed_range=1,
+    description="two root causes × several call routes, one failure point",
+    source="""
+global int arr[4];
+global int state;
+
+func check(int tag) {
+    int s = state;
+    assert(s == 0, "state corrupted");
+    return tag;
+}
+
+func overflow_write(int idx) {
+    arr[idx] = 9;        // BUG A: idx = 4 silently lands on 'state'
+    return 0;
+}
+
+func logic_write(int v) {
+    state = v;           // BUG B: plain wrong store
+    return 0;
+}
+
+func route_a1(int idx) {
+    overflow_write(idx);
+    check(1);
+    return 0;
+}
+
+func route_a2(int idx) {
+    int r = route_a1_inner(idx);
+    return r;
+}
+
+func route_a1_inner(int idx) {
+    overflow_write(idx);
+    check(2);
+    return 0;
+}
+
+func route_b1(int v) {
+    logic_write(v);
+    check(3);
+    return 0;
+}
+
+func route_b2(int v) {
+    int r = route_b1_inner(v);
+    return r;
+}
+
+func route_b1_inner(int v) {
+    logic_write(v);
+    check(4);
+    return 0;
+}
+
+func main() {
+    int cause = input();     // 0 = overflow, 1 = logic
+    int route = input();     // 0 = shallow stack, 1 = deep stack
+    if (cause == 0) {
+        if (route == 0) {
+            route_a1(4);
+        } else {
+            route_a2(4);
+        }
+    } else {
+        if (route == 0) {
+            route_b1(9);
+        } else {
+            route_b2(9);
+        }
+    }
+    return 0;
+}
+""",
+)
+
+CAUSE_NAMES = ("overflow-into-state", "logic-store")
+
+
+def generate_report(cause: int, route: int, report_id: str) -> BugReport:
+    """One failing run of the corpus program, labelled with ground truth."""
+    from repro.vm.interpreter import RunStatus, VM
+
+    vm = VM(TRIAGE_PROGRAM.module, inputs=[cause, route],
+            check_bounds=False, record_trace=False)
+    result = vm.run()
+    if result.status is not RunStatus.TRAPPED:
+        raise TriggerError(
+            f"corpus run (cause={cause}, route={route}) did not fail")
+    return BugReport(report_id=report_id, coredump=result.coredump,
+                     true_cause=CAUSE_NAMES[cause])
+
+
+def generate_corpus(size: int, seed: int = 0) -> List[BugReport]:
+    """A corpus of ``size`` reports over both causes and all routes."""
+    rng = random.Random(seed)
+    reports: List[BugReport] = []
+    for i in range(size):
+        cause = rng.randrange(2)
+        route = rng.randrange(2)
+        reports.append(generate_report(cause, route, report_id=f"r{i:04d}"))
+    return reports

@@ -1,0 +1,90 @@
+"""Hardware-fault scenario builders for experiment E5 (§3.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ir.module import Module
+from repro.vm.coredump import Coredump
+from repro.vm.faults import ALUFaultInjector, InjectedFault, flip_bit
+from repro.vm.interpreter import RunStatus, VM
+from repro.workloads.base import TriggerError, Workload
+from repro.workloads.programs import HW_CANARY
+
+
+@dataclass
+class FaultScenario:
+    """A coredump plus ground truth about whether hardware corrupted it."""
+
+    name: str
+    coredump: Coredump
+    is_hardware: bool
+    #: whether RES is *expected* to detect it (the paper concedes that
+    #: corruption outside every suffix's write set is undetectable
+    #: without exhausting all suffixes)
+    detectable: bool
+    fault: Optional[InjectedFault] = None
+
+
+def clean_scenario() -> FaultScenario:
+    """Control: an honest software failure."""
+    dump = HW_CANARY.trigger()
+    return FaultScenario(name="clean-software-crash", coredump=dump,
+                         is_hardware=False, detectable=True)
+
+
+def flipped_written_word() -> FaultScenario:
+    """DRAM flip in a word the failing suffix provably wrote (``stamp``
+    must be 5): every backward hypothesis contradicts the dump."""
+    dump = HW_CANARY.trigger()
+    layout = HW_CANARY.module.layout()
+    fault = flip_bit(dump, layout["stamp"], bit=1)  # 5 → 7
+    return FaultScenario(name="bit-flip-in-written-word", coredump=dump,
+                         is_hardware=True, detectable=True, fault=fault)
+
+
+def flipped_derived_word() -> FaultScenario:
+    """CPU-style inconsistency: the dump's ``derived`` cannot equal
+    ``v + 1`` for the ``v`` sitting in the register file."""
+    dump = HW_CANARY.trigger()
+    layout = HW_CANARY.module.layout()
+    fault = flip_bit(dump, layout["derived"], bit=5)
+    return FaultScenario(name="bit-flip-in-derived-word", coredump=dump,
+                         is_hardware=True, detectable=True, fault=fault)
+
+
+def flipped_untouched_word() -> FaultScenario:
+    """Flip in memory no short suffix touches: the paper's admitted
+    blind spot (needs all suffixes to rule out)."""
+    from repro.ir.module import HEAP_BASE
+
+    dump = HW_CANARY.trigger()
+    untouched = 0x3000  # unused address far from the suffix's write set
+    dump.memory[untouched] = dump.memory.get(untouched, 0) ^ (1 << 9)
+    fault = InjectedFault(kind="bit-flip", addr=untouched, bit=9)
+    return FaultScenario(name="bit-flip-in-untouched-word", coredump=dump,
+                         is_hardware=True, detectable=False, fault=fault)
+
+
+def alu_miscompute() -> FaultScenario:
+    """Online CPU fault: one ``add`` returns a wrong result, which both
+    causes the crash and leaves an impossible value in the dump."""
+    injector = ALUFaultInjector(op="add", fire_at=1, xor_mask=0b100)
+    vm = VM(HW_CANARY.module, inputs=[4], alu_fault=injector)
+    result = vm.run()
+    if result.status is not RunStatus.TRAPPED:
+        raise TriggerError("ALU fault did not cause a crash")
+    return FaultScenario(name="alu-miscompute", coredump=result.coredump,
+                         is_hardware=True, detectable=True,
+                         fault=injector.fired)
+
+
+def standard_scenarios() -> List[FaultScenario]:
+    return [
+        clean_scenario(),
+        flipped_written_word(),
+        flipped_derived_word(),
+        flipped_untouched_word(),
+        alu_miscompute(),
+    ]

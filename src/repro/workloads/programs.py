@@ -1,0 +1,389 @@
+"""Sequential workloads: Figure 1, memory-safety bugs, hard constructs,
+and the parameterized long-execution programs of experiment E1."""
+
+from __future__ import annotations
+
+from repro.vm.coredump import TrapKind
+from repro.workloads.base import Workload
+
+#: Figure 1 of the paper, transliterated: two predecessor blocks set
+#: ``x`` differently and derive ``y`` from it; the coredump's ``x = 1``
+#: proves only Pred1 can be on the suffix, and Pred1's ``y`` (10)
+#: overflows the 4-word buffer.
+FIGURE1_OVERFLOW = Workload(
+    name="figure1_overflow",
+    expected_trap=TrapKind.OUT_OF_BOUNDS,
+    inputs=(4,),
+    seed_range=1,
+    description="the paper's Figure 1: overflow whose suffix is "
+                "disambiguated by the coredump value of x",
+    source="""
+global int buffer[4];
+global int x;
+global int y;
+
+func main() {
+    int v = input();
+    if (v % 2 == 0) {
+        x = 1;          // Pred1 (the one the coredump proves ran)
+        y = x * 10;     // f(x) == y  →  y = 10
+    } else {
+        x = 2;          // Pred2 (RES must discard it)
+        y = x + 3;      // g(x) == y  →  y = 5
+    }
+    buffer[y] = 1;      // y = 10 overflows the 4-word buffer
+    return 0;
+}
+""",
+)
+
+#: Exploitability workload (§3.1): the overflow index comes straight
+#: from external input — a remotely-steerable write.
+TAINTED_OVERFLOW = Workload(
+    name="tainted_overflow",
+    expected_trap=TrapKind.OUT_OF_BOUNDS,
+    inputs=(9, 77),
+    seed_range=1,
+    description="overflow index supplied by attacker-controlled input",
+    source="""
+global int table[4];
+
+func main() {
+    int n = input();        // attacker-controlled record number
+    int v = input();
+    table[n] = v;           // BUG: unvalidated index
+    return 0;
+}
+""",
+)
+
+#: Non-exploitable twin: same trap kind, but the bad index is a
+#: program-internal miscomputation, not input.
+UNTAINTED_OVERFLOW = Workload(
+    name="untainted_overflow",
+    expected_trap=TrapKind.OUT_OF_BOUNDS,
+    inputs=(3,),
+    seed_range=1,
+    description="overflow from an internal off-by-N, independent of input",
+    source="""
+global int table[4];
+global int count = 3;
+
+func main() {
+    int v = input();
+    int idx = count * 2;    // BUG: internal arithmetic error → 6
+    table[idx] = 1;
+    return 0;
+}
+""",
+)
+
+USE_AFTER_FREE = Workload(
+    name="use_after_free",
+    expected_trap=TrapKind.USE_AFTER_FREE,
+    seed_range=1,
+    description="read through a dangling heap pointer",
+    source="""
+global int sink;
+
+func main() {
+    int p = malloc(2);
+    *p = 5;
+    p[1] = 6;
+    free(p);
+    sink = *p;          // BUG: p is dangling
+    return 0;
+}
+""",
+)
+
+DOUBLE_FREE = Workload(
+    name="double_free",
+    expected_trap=TrapKind.DOUBLE_FREE,
+    seed_range=1,
+    description="same allocation freed twice",
+    source="""
+func main() {
+    int p = malloc(1);
+    *p = 1;
+    free(p);
+    free(p);            // BUG
+    return 0;
+}
+""",
+)
+
+DIV_BY_ZERO = Workload(
+    name="div_by_zero",
+    expected_trap=TrapKind.DIV_BY_ZERO,
+    inputs=(10, 0),
+    seed_range=1,
+    description="input-dependent divisor reaches zero",
+    source="""
+global int ratio;
+
+func main() {
+    int total = input();
+    int parts = input();
+    ratio = total / parts;     // BUG: parts may be 0
+    return 0;
+}
+""",
+)
+
+#: §6's hard construct: a failure guarded by a hash of the input.
+#: Reverse analysis hits the xor/multiply chain; re-execution (the
+#: ``atomic_calls={"mix"}`` strategy) walks straight through because the
+#: hash *input* is still in a register the coredump preserves.
+HASH_GUARD = Workload(
+    name="hash_guard",
+    expected_trap=TrapKind.ASSERT_FAIL,
+    inputs=(35,),
+    seed_range=1,
+    description="failure guarded by a hash; tests the §6 re-execution fallback",
+    source="""
+global int mark;
+global int keep;
+
+func mix(int v) {
+    int h = v;
+    h = h * 31 + 7;
+    h = h ^ (h * 9);
+    h = h * 13 + v;
+    return h;
+}
+
+func main() {
+    int v = input();
+    keep = v;               // "the inputs ... may still be on the stack" (§6)
+    int h = mix(v);
+    if (h % 7 == 0) {
+        mark = 1;
+    } else {
+        mark = 2;
+    }
+    assert(mark == 2, "hash-guarded failure");
+    return 0;
+}
+""",
+)
+
+#: §6's admitted failure mode: the hash input is dead at crash time, so
+#: neither reverse analysis nor re-execution can cross the construct.
+HASH_GUARD_DEAD = Workload(
+    name="hash_guard_dead",
+    expected_trap=TrapKind.ASSERT_FAIL,
+    inputs=(35,),
+    seed_range=1,
+    description="hash guard whose input is dead at crash time",
+    source="""
+global int mark;
+
+func mix(int v) {
+    int h = v;
+    h = h * 31 + 7;
+    h = h ^ (h * 9);
+    h = h * 13 + v;
+    return h;
+}
+
+func main() {
+    int v = input();
+    int h = mix(v);
+    v = 0;                  // kill the hash input before the failure
+    if (h % 7 == 0) {
+        mark = 1;
+    } else {
+        mark = 2;
+    }
+    assert(mark == 2, "hash-guarded failure");
+    output(v);
+    return 0;
+}
+""",
+)
+
+#: E6's branchy program: a chain of input-dependent diamonds.  Every
+#: merge block has two CFG predecessors and *both* are value-compatible
+#: (acc could have come via +3 or +5), so without breadcrumbs the
+#: backward frontier doubles per diamond; the LBR pins the real path.
+BRANCH_CHAIN_ROUNDS = 12
+
+BRANCH_CHAIN = Workload(
+    name="branch_chain",
+    expected_trap=TrapKind.ASSERT_FAIL,
+    inputs=tuple([2] * BRANCH_CHAIN_ROUNDS),
+    seed_range=1,
+    description="diamond chain whose backward frontier explodes without LBR",
+    source=f"""
+global int acc;
+
+func main() {{
+    int i = 0;
+    while (i < {BRANCH_CHAIN_ROUNDS}) {{
+        int b = input();
+        if (b % 2 == 0) {{
+            acc = acc + 3;
+        }} else {{
+            acc = acc + 5;
+        }}
+        i = i + 1;
+    }}
+    assert(acc != {BRANCH_CHAIN_ROUNDS * 3}, "accumulated the flagged value");
+    return 0;
+}}
+""",
+)
+
+
+def long_execution_workload(warmup_iterations: int) -> Workload:
+    """E1's parameterized program: ``warmup_iterations`` of input-
+    dependent branching, then a short deterministic failure.
+
+    Forward synthesis must reconstruct the whole warm-up (its path
+    count grows with N); RES's suffix never needs to leave the last few
+    blocks, so its cost is flat in N — the paper's core claim.
+    """
+    return Workload(
+        name=f"long_exec_{warmup_iterations}",
+        expected_trap=TrapKind.ASSERT_FAIL,
+        inputs=tuple([2] * warmup_iterations + [7]),
+        seed_range=1,
+        description=f"bug after {warmup_iterations} warm-up iterations",
+        source=f"""
+global int x;
+global int y;
+
+func main() {{
+    int acc = 0;
+    int i = 0;
+    while (i < {warmup_iterations}) {{
+        int v = input();
+        if (v % 2 == 0) {{
+            acc = acc + v;
+        }} else {{
+            acc = acc + 1;
+        }}
+        i = i + 1;
+    }}
+    int w = input();
+    if (w > 3) {{
+        x = 1;
+    }} else {{
+        x = 2;
+    }}
+    y = x + 10;
+    assert(y == 12, "x took the wrong branch");
+    return 0;
+}}
+""",
+    )
+
+
+#: E5's CPU-error target: the final segment stores a constant and an
+#: arithmetic result, so a corrupted coredump word is provably
+#: inconsistent with every suffix.
+HW_CANARY = Workload(
+    name="hw_canary",
+    expected_trap=TrapKind.ASSERT_FAIL,
+    inputs=(9,),
+    seed_range=1,
+    description="writes known values right before failing; fault "
+                "injection makes the dump inconsistent",
+    source="""
+global int stamp;
+global int derived;
+
+func main() {
+    int v = input();
+    stamp = 5;                  // the suffix provably writes 5 here
+    derived = v + 1;            // and v+1 here (v is in the register file)
+    assert(derived == 5, "v was not 4");
+    return 0;
+}
+""",
+)
+
+#: E10's minidump blind spot: the branch discriminator ``x`` lives only
+#: in a *global* written by an already-returned frame, so a WER-style
+#: minidump (stacks + registers, no global image) retains no evidence of
+#: it.  Both of pick's branches return the same index, hence identical
+#: stack/register state on both paths; only the full coredump's ``x``
+#: word can refute Pred2 — "RES interprets the entire coredump, not
+#: just a minidump, which makes RES strictly more powerful" (§1).
+MINIDUMP_BLINDSPOT = Workload(
+    name="minidump_blindspot",
+    expected_trap=TrapKind.OUT_OF_BOUNDS,
+    inputs=(4,),
+    seed_range=1,
+    description="branch evidence exists only in global memory, which a "
+                "minidump drops",
+    source="""
+global int x;
+global int buffer[4];
+
+func pick() {
+    int v = input();
+    if (v % 2 == 0) {
+        x = 1;          // Pred1: the branch the execution really took
+    } else {
+        x = 2;          // Pred2: indistinguishable without the globals
+    }
+    return 6;           // same index either way: stacks look identical
+}
+
+func main() {
+    int idx = pick();
+    buffer[idx] = 1;    // overflows the 4-word buffer on both paths
+    return 0;
+}
+""",
+)
+
+#: E11's writer-index target: a state machine whose dispatch arms each
+#: store a distinct *constant* tag, so the Figure 1 caption rule ("only
+#: Pred1 ever sets x to 1") refutes the wrong arms without symbolic
+#: execution.  The dump pins ``state = 40``; the other three arms are
+#: statically impossible as the most recent writer.
+WRITER_TAG = Workload(
+    name="writer_tag",
+    expected_trap=TrapKind.ASSERT_FAIL,
+    inputs=(0, 1, 2, 0, 3, 3),
+    seed_range=1,
+    description="constant-tag state machine: wrong dispatch arms are "
+                "statically refutable from the dump",
+    source="""
+global int state;
+
+func step(int v) {
+    if (v == 0) {
+        state = 10;
+    } else {
+        if (v == 1) {
+            state = 20;
+        } else {
+            if (v == 2) {
+                state = 30;
+            } else {
+                state = 40;
+            }
+        }
+    }
+    return 0;
+}
+
+func main() {
+    int i = 0;
+    while (i < 6) {
+        int v = input();
+        step(v);
+        i = i + 1;
+    }
+    assert(state != 40, "machine ended in the forbidden state");
+    return 0;
+}
+""",
+)
+
+SEQUENTIAL_BUGS = (FIGURE1_OVERFLOW, TAINTED_OVERFLOW, UNTAINTED_OVERFLOW,
+                   USE_AFTER_FREE, DOUBLE_FREE, DIV_BY_ZERO)

@@ -1,0 +1,169 @@
+"""Tests for suffix artifact serialization (`repro.core.artifact`)."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.core.artifact import (
+    expr_from_obj,
+    expr_to_obj,
+    load_suffix,
+    save_suffix,
+    suffix_from_json,
+    suffix_to_json,
+)
+from repro.core.debugger import ReverseDebugger
+from repro.core.queries import SuffixQueryEngine
+from repro.errors import ReplayError
+from repro.symex.expr import BinExpr, Const, Sym, bin_expr
+from repro.workloads import FIGURE1_OVERFLOW, RACE_FLAG, USE_AFTER_FREE
+
+
+def deepest(workload, max_depth=14):
+    dump = workload.trigger()
+    res = ReverseExecutionSynthesizer(
+        workload.module, dump, RESConfig(max_depth=max_depth))
+    best = None
+    for item in res.suffixes():
+        best = item
+    assert best is not None
+    return best
+
+
+@pytest.fixture(scope="module")
+def figure1_suffix():
+    return deepest(FIGURE1_OVERFLOW)
+
+
+# ---------------------------------------------------------------------------
+# Expression round-trips
+# ---------------------------------------------------------------------------
+
+def test_expr_const_round_trip():
+    assert expr_from_obj(expr_to_obj(Const(42))) == Const(42)
+
+
+def test_expr_sym_round_trip():
+    assert expr_from_obj(expr_to_obj(Sym("in3"))) == Sym("in3")
+
+
+def test_expr_tree_round_trip():
+    expr = bin_expr("add", Sym("a"), bin_expr("mul", Const(3), Sym("b")))
+    assert expr_from_obj(expr_to_obj(expr)) == expr
+
+
+def test_expr_malformed_string_rejected():
+    with pytest.raises(ReplayError):
+        expr_from_obj("not-a-symbol")
+
+
+def test_expr_malformed_list_rejected():
+    with pytest.raises(ReplayError):
+        expr_from_obj(["add", 1])
+
+
+_exprs = st.deferred(lambda: st.one_of(
+    st.integers(min_value=0, max_value=2**64 - 1).map(Const),
+    st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).map(Sym),
+    st.tuples(st.sampled_from(["add", "sub", "mul", "xor", "eq", "ult"]),
+              _exprs, _exprs).map(lambda t: BinExpr(t[0], t[1], t[2])),
+))
+
+
+@given(_exprs)
+def test_expr_round_trip_property(expr):
+    restored = expr_from_obj(expr_to_obj(expr))
+    assert restored == expr
+
+
+@given(_exprs)
+def test_expr_obj_is_json_safe(expr):
+    json.dumps(expr_to_obj(expr))
+
+
+# ---------------------------------------------------------------------------
+# Suffix round-trips
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload", (FIGURE1_OVERFLOW, RACE_FLAG,
+                                      USE_AFTER_FREE),
+                         ids=lambda w: w.name)
+def test_suffix_round_trip_replays(workload, tmp_path):
+    original = deepest(workload)
+    path = tmp_path / "suffix.json"
+    save_suffix(original, path)
+    loaded = load_suffix(workload.module, path)
+    assert loaded.report.ok
+    assert loaded.suffix.schedule() == original.suffix.schedule()
+    assert loaded.suffix.read_set() == original.suffix.read_set()
+    assert loaded.suffix.write_set() == original.suffix.write_set()
+
+
+def test_round_trip_preserves_constraints(figure1_suffix):
+    text = suffix_to_json(figure1_suffix.suffix)
+    restored = suffix_from_json(FIGURE1_OVERFLOW.module, text)
+    assert restored.constraints == figure1_suffix.suffix.constraints
+
+
+def test_loaded_suffix_supports_debugger(figure1_suffix, tmp_path):
+    path = tmp_path / "suffix.json"
+    save_suffix(figure1_suffix, path)
+    loaded = load_suffix(FIGURE1_OVERFLOW.module, path)
+    debugger = ReverseDebugger(FIGURE1_OVERFLOW.module, loaded)
+    debugger.run_to_failure()
+    assert debugger.print_var("y") == 10
+
+
+def test_loaded_suffix_supports_queries(figure1_suffix, tmp_path):
+    path = tmp_path / "suffix.json"
+    save_suffix(figure1_suffix, path)
+    loaded = load_suffix(FIGURE1_OVERFLOW.module, path)
+    engine = SuffixQueryEngine(FIGURE1_OVERFLOW.module, loaded)
+    last = engine.last_writer("x")
+    assert last is not None and last.value == 1
+
+
+# ---------------------------------------------------------------------------
+# Rejection paths
+# ---------------------------------------------------------------------------
+
+def test_wrong_module_rejected(figure1_suffix):
+    text = suffix_to_json(figure1_suffix.suffix)
+    with pytest.raises(ReplayError, match="module"):
+        suffix_from_json(RACE_FLAG.module, text)
+
+
+def test_unknown_format_rejected(figure1_suffix):
+    payload = json.loads(suffix_to_json(figure1_suffix.suffix))
+    payload["format"] = 99
+    with pytest.raises(ReplayError, match="format"):
+        suffix_from_json(FIGURE1_OVERFLOW.module, json.dumps(payload))
+
+
+def test_tampered_schedule_fails_verification(figure1_suffix, tmp_path):
+    """A corrupted artifact must be rejected at load, not replayed."""
+    payload = json.loads(suffix_to_json(figure1_suffix.suffix))
+    payload["steps"] = payload["steps"][:-1]  # drop the trap step
+    path = tmp_path / "tampered.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ReplayError, match="verification"):
+        load_suffix(FIGURE1_OVERFLOW.module, path)
+
+
+def test_tampered_memory_fails_verification(figure1_suffix, tmp_path):
+    """Corrupting a word the suffix writes makes the embedded coredump
+    unreachable by the recorded schedule — load must reject it.
+    (Tampering an *unwritten* word is self-consistent: the word becomes
+    part of the instantiated pre-state; only the hwerror diagnosis can
+    catch that, not replay.)"""
+    payload = json.loads(suffix_to_json(figure1_suffix.suffix))
+    written = sorted(figure1_suffix.suffix.write_set())
+    key = str(written[0])
+    memory = payload["coredump"]["memory"]
+    memory[key] = memory.get(key, 0) + 1
+    path = tmp_path / "tampered.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ReplayError):
+        load_suffix(FIGURE1_OVERFLOW.module, path)

@@ -1,0 +1,102 @@
+"""Execution breadcrumbs (§2.4): LBR and error-log guided search."""
+
+import pytest
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.minic import compile_source
+from repro.vm import LastBranchRecord, LBRMode, RunStatus, VM
+from repro.vm.state import PC
+from repro.workloads import BRANCH_CHAIN
+
+
+def test_lbr_ring_keeps_newest():
+    lbr = LastBranchRecord(depth=2)
+    pcs = [PC("f", "b", i) for i in range(6)]
+    lbr.record(pcs[0], pcs[1])
+    lbr.record(pcs[2], pcs[3])
+    lbr.record(pcs[4], pcs[5])
+    contents = lbr.contents()
+    assert len(contents) == 2
+    assert contents[-1] == (pcs[4], pcs[5])
+
+
+def test_lbr_filter_trivial_skips_inferable():
+    lbr = LastBranchRecord(depth=4, mode=LBRMode.FILTER_TRIVIAL)
+    a, b = PC("f", "x", 0), PC("f", "y", 0)
+    lbr.record(a, b, inferable=True)
+    lbr.record(a, b, inferable=False)
+    assert len(lbr.contents()) == 1
+
+
+def test_lbr_disabled_with_zero_depth():
+    lbr = LastBranchRecord(depth=0)
+    lbr.record(PC("f", "a", 0), PC("f", "b", 0))
+    assert lbr.contents() == []
+
+
+def test_vm_populates_lbr_on_branches():
+    module = compile_source("""
+func main() {
+    int i = 0;
+    while (i < 5) { i = i + 1; }
+    assert(0, "stop");
+    return 0;
+}
+""")
+    result = VM(module, lbr_depth=16).run()
+    assert result.trapped
+    assert len(result.coredump.lbr) > 0
+
+
+def test_lbr_trims_backward_search():
+    """§2.4: "LBR provides a precise execution suffix that can
+    substantially trim the search space in RES."""
+    dump = BRANCH_CHAIN.trigger(lbr_depth=16)
+    assert len(dump.lbr) == 16
+
+    def effort(use_lbr):
+        res = ReverseExecutionSynthesizer(
+            BRANCH_CHAIN.module, dump,
+            RESConfig(max_depth=30, max_nodes=4000, use_lbr=use_lbr,
+                      verify=False))
+        for _ in res.suffixes():
+            pass
+        return res.stats
+
+    without = effort(False)
+    with_lbr = effort(True)
+    assert with_lbr.candidates_executed < without.candidates_executed
+    assert with_lbr.pruned_by_lbr > 0
+
+
+def test_lbr_guided_search_still_verifies():
+    dump = BRANCH_CHAIN.trigger(lbr_depth=16)
+    res = ReverseExecutionSynthesizer(
+        BRANCH_CHAIN.module, dump,
+        RESConfig(max_depth=12, max_nodes=4000, use_lbr=True))
+    suffixes = list(res.suffixes())
+    assert suffixes and all(s.report.ok for s in suffixes)
+
+
+def test_log_breadcrumbs_bind_outputs():
+    """Error-log entries anchor the suffix's outputs (§2.4)."""
+    module = compile_source("""
+global int g;
+func main() {
+    int v = input();
+    output(v);
+    g = v;
+    assert(g == 0, "fails on nonzero input");
+    return 0;
+}
+""")
+    result = VM(module, inputs=[123]).run()
+    dump = result.coredump
+    assert dump.log_tail and dump.log_tail[-1][1] == 123
+    res = ReverseExecutionSynthesizer(module, dump,
+                                      RESConfig(max_depth=12, use_log=True))
+    deepest = None
+    for s in res.suffixes():
+        deepest = s
+    assert deepest is not None
+    assert 123 in deepest.report.inputs

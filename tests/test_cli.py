@@ -1,0 +1,241 @@
+"""Tests for the ``res`` command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads import FIGURE1_OVERFLOW, HW_CANARY, TAINTED_OVERFLOW
+from repro.workloads.hwfaults import flipped_written_word
+
+
+@pytest.fixture(scope="module")
+def figure1_core(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cores") / "figure1.json"
+    path.write_text(FIGURE1_OVERFLOW.trigger().to_json())
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def tainted_core(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cores") / "tainted.json"
+    path.write_text(TAINTED_OVERFLOW.trigger().to_json())
+    return str(path)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_analyze_requires_program(figure1_core):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["analyze", figure1_core])
+
+
+def test_parser_workload_and_source_exclusive(figure1_core):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["analyze", figure1_core,
+             "--workload", "a", "--source", "b"])
+
+
+# ---------------------------------------------------------------------------
+# workloads / crash
+# ---------------------------------------------------------------------------
+
+def test_workloads_lists_catalog(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "figure1_overflow" in out
+    assert "race_flag" in out
+
+
+def test_crash_writes_coredump(tmp_path, capsys):
+    out_path = tmp_path / "core.json"
+    code = main(["crash", "figure1_overflow", "-o", str(out_path)])
+    assert code == 0
+    assert out_path.exists()
+    assert "out-of-bounds" in capsys.readouterr().out
+
+
+def test_crash_unknown_workload_fails(tmp_path, capsys):
+    code = main(["crash", "no_such_workload",
+                 "-o", str(tmp_path / "x.json")])
+    assert code == 64
+    assert "error" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# analyze
+# ---------------------------------------------------------------------------
+
+def test_analyze_finds_overflow_cause(figure1_core, capsys):
+    code = main(["analyze", figure1_core, "--workload", "figure1_overflow"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "root cause:" in out
+    assert "buffer-overflow" in out or "assert" in out
+
+
+def test_analyze_missing_coredump(capsys):
+    code = main(["analyze", "/nonexistent/core.json",
+                 "--workload", "figure1_overflow"])
+    assert code == 64
+    assert "not found" in capsys.readouterr().err
+
+
+def test_analyze_with_source_file(figure1_core, tmp_path, capsys):
+    src = tmp_path / "figure1_overflow.mc"
+    src.write_text(FIGURE1_OVERFLOW.source)
+    code = main(["analyze", figure1_core, "--source", str(src)])
+    assert code == 0
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+
+def test_replay_verifies(figure1_core, capsys):
+    code = main(["replay", figure1_core, "--workload", "figure1_overflow",
+                 "--max-suffixes", "8"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "replay verified: True" in out
+    assert "schedule:" in out
+
+
+# ---------------------------------------------------------------------------
+# hwcheck
+# ---------------------------------------------------------------------------
+
+def test_hwcheck_clean_dump_is_software(tmp_path, capsys):
+    dump = HW_CANARY.trigger()
+    path = tmp_path / "clean.json"
+    path.write_text(dump.to_json())
+    code = main(["hwcheck", str(path), "--workload", "hw_canary"])
+    assert code == 0
+    assert "software" in capsys.readouterr().out
+
+
+def test_hwcheck_flipped_dump_is_hardware(tmp_path, capsys):
+    scenario = flipped_written_word()
+    path = tmp_path / "flipped.json"
+    path.write_text(scenario.coredump.to_json())
+    code = main(["hwcheck", str(path), "--workload", "hw_canary"])
+    assert code == 2
+    assert "hardware" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# exploit
+# ---------------------------------------------------------------------------
+
+def test_exploit_tainted_overflow(tainted_core, capsys):
+    code = main(["exploit", tainted_core, "--workload", "tainted_overflow"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "res verdict:" in out
+    assert "exploitable" in out
+
+
+# ---------------------------------------------------------------------------
+# debug
+# ---------------------------------------------------------------------------
+
+def test_debug_scripted_session(figure1_core, capsys):
+    code = main([
+        "debug", figure1_core, "--workload", "figure1_overflow",
+        "--script", "run; print x; print y; backtrace; focus",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "x = 1" in out
+    assert "y = 10" in out
+    assert "#0" in out
+
+
+def test_debug_writes_query(figure1_core, capsys):
+    code = main([
+        "debug", figure1_core, "--workload", "figure1_overflow",
+        "--script", "writes y",
+    ])
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_debug_unknown_command(figure1_core, capsys):
+    code = main([
+        "debug", figure1_core, "--workload", "figure1_overflow",
+        "--script", "frobnicate",
+    ])
+    assert code == 64
+
+
+def test_debug_rstep_round_trip(figure1_core, capsys):
+    code = main([
+        "debug", figure1_core, "--workload", "figure1_overflow",
+        "--script", "step 4; rstep 2; step 1; run",
+    ])
+    assert code == 0
+    assert "failure at" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Suffix artifacts through the CLI
+# ---------------------------------------------------------------------------
+
+def test_replay_save_and_debug_artifact(figure1_core, tmp_path, capsys):
+    artifact = tmp_path / "suffix.json"
+    code = main(["replay", figure1_core, "--workload", "figure1_overflow",
+                 "--max-suffixes", "8", "--save", str(artifact)])
+    assert code == 0
+    assert artifact.exists()
+    assert "artifact written" in capsys.readouterr().out
+
+    code = main(["debug", figure1_core, "--workload", "figure1_overflow",
+                 "--artifact", str(artifact),
+                 "--script", "run; print y"])
+    assert code == 0
+    assert "y = 10" in capsys.readouterr().out
+
+
+def test_debug_artifact_for_wrong_module_fails(tmp_path, capsys):
+    artifact = tmp_path / "suffix.json"
+    core = tmp_path / "core.json"
+    core.write_text(FIGURE1_OVERFLOW.trigger().to_json())
+    assert main(["replay", str(core), "--workload", "figure1_overflow",
+                 "--max-suffixes", "8", "--save", str(artifact)]) == 0
+    capsys.readouterr()
+    code = main(["debug", str(core), "--workload", "race_flag",
+                 "--artifact", str(artifact), "--script", "run"])
+    assert code == 64
+    assert "module" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# triage / watch
+# ---------------------------------------------------------------------------
+
+def test_triage_command_compares_wer_and_res(capsys):
+    code = main(["triage", "--reports", "10", "--seed", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "WER (call stacks)" in out
+    assert "RES (root causes)" in out
+    # RES buckets by root cause: exactly the two seeded causes
+    res_line = next(l for l in out.splitlines() if l.startswith("RES"))
+    assert "buckets=  2" in res_line
+
+
+def test_debug_watch_command(figure1_core, capsys):
+    code = main([
+        "debug", figure1_core, "--workload", "figure1_overflow",
+        "--script", "watch y; continue; print y",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "watchpoint on y" in out
+    assert "-> 10" in out

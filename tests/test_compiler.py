@@ -1,0 +1,190 @@
+"""Type checking and lowering tests: MiniC → IR."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.ir import (
+    AssertInst,
+    CBrInst,
+    FrameAddrInst,
+    LoadInst,
+    StoreInst,
+    verify_module,
+)
+from repro.minic import compile_source, parse
+from repro.minic.typecheck import check_program
+
+
+def test_typecheck_rejects_undeclared_variable():
+    with pytest.raises(CompileError, match="undeclared"):
+        compile_source("func main() { x = 1; return 0; }")
+
+
+def test_typecheck_rejects_bad_arity():
+    with pytest.raises(CompileError, match="expects"):
+        compile_source("""
+func f(int a) { return a; }
+func main() { f(1, 2); return 0; }
+""")
+
+
+def test_typecheck_rejects_unknown_function():
+    with pytest.raises(CompileError, match="unknown function"):
+        compile_source("func main() { g(); return 0; }")
+
+
+def test_typecheck_requires_main():
+    with pytest.raises(CompileError, match="no main"):
+        compile_source("func f() { return 0; }")
+
+
+def test_typecheck_main_no_params():
+    with pytest.raises(CompileError, match="no parameters"):
+        compile_source("func main(int a) { return 0; }")
+
+
+def test_typecheck_rejects_redeclaration_in_same_scope():
+    with pytest.raises(CompileError, match="redeclaration"):
+        compile_source("func main() { int x; int x; return 0; }")
+
+
+def test_shadowing_in_nested_scope_is_allowed():
+    module = compile_source("""
+func main() {
+    int x = 1;
+    if (x) {
+        int x = 2;
+        output(x);
+    }
+    return x;
+}
+""")
+    verify_module(module)
+
+
+def test_block_scoping_expires():
+    with pytest.raises(CompileError, match="undeclared"):
+        compile_source("""
+func main() {
+    if (1) { int y = 2; }
+    return y;
+}
+""")
+
+
+def test_address_taken_local_gets_frame_slot():
+    module = compile_source("""
+func main() {
+    int x = 5;
+    int p = &x;
+    *p = 7;
+    return x;
+}
+""")
+    main = module.function("main")
+    assert main.frame_words >= 1
+    assert "x" in main.frame_vars
+    instrs = [i for _, _, i in main.iter_instrs()]
+    assert any(isinstance(i, FrameAddrInst) for i in instrs)
+
+
+def test_plain_local_stays_in_register():
+    module = compile_source("func main() { int x = 5; return x; }")
+    main = module.function("main")
+    assert main.frame_words == 0
+    assert "x" in main.var_regs
+
+
+def test_local_array_allocates_frame_words():
+    module = compile_source("""
+func main() {
+    int a[6];
+    a[2] = 9;
+    return a[2];
+}
+""")
+    assert module.function("main").frame_words == 6
+
+
+def test_array_name_decays_to_address():
+    module = compile_source("""
+global int g[4];
+func main() {
+    int p = g;
+    p[1] = 3;
+    return g[1];
+}
+""")
+    verify_module(module)
+
+
+def test_cannot_assign_to_array_name():
+    with pytest.raises(CompileError, match="array"):
+        compile_source("""
+global int g[4];
+func main() { g = 1; return 0; }
+""")
+
+
+def test_short_circuit_produces_branches():
+    module = compile_source("""
+func main() {
+    int a = input();
+    int b = input();
+    if (a && b) { output(1); }
+    return 0;
+}
+""")
+    main = module.function("main")
+    cbrs = [i for _, _, i in main.iter_instrs() if isinstance(i, CBrInst)]
+    assert len(cbrs) >= 2  # one for &&, one for the if
+
+
+def test_global_layout_is_deterministic():
+    module = compile_source("""
+global int a;
+global int b[3];
+global int c;
+func main() { return 0; }
+""")
+    layout = module.layout()
+    assert layout["b"] == layout["a"] + 1
+    assert layout["c"] == layout["b"] + 3
+
+
+def test_debug_lines_propagate():
+    module = compile_source("""func main() {
+    int x = 1;
+    assert(x == 1, "m");
+    return 0;
+}""")
+    main = module.function("main")
+    asserts = [i for _, _, i in main.iter_instrs() if isinstance(i, AssertInst)]
+    assert asserts[0].line == 3
+
+
+def test_while_loop_structure():
+    module = compile_source("""
+func main() {
+    int i = 0;
+    while (i < 3) { i = i + 1; }
+    return i;
+}
+""")
+    main = module.function("main")
+    preds = main.predecessors()
+    loop_heads = [l for l, p in preds.items() if len(p) == 2]
+    assert loop_heads, "while loop should create a 2-predecessor head block"
+
+
+def test_compiled_module_always_verifies():
+    module = compile_source("""
+global int g;
+func helper(int a) { return a * 2; }
+func main() {
+    int r = helper(21);
+    g = r;
+    return 0;
+}
+""")
+    verify_module(module)

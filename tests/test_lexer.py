@@ -1,0 +1,83 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"
+
+
+def test_integers_decimal_and_hex():
+    assert kinds("12 0x1f 0") == [("int", "12"), ("int", "0x1f"), ("int", "0")]
+
+
+def test_keywords_vs_identifiers():
+    toks = kinds("int foo while whiles input inputx")
+    assert toks == [
+        ("keyword", "int"), ("ident", "foo"), ("keyword", "while"),
+        ("ident", "whiles"), ("keyword", "input"), ("ident", "inputx"),
+    ]
+
+
+def test_multichar_operators_maximal_munch():
+    toks = kinds("a <= b << c == d != e >= f && g || h")
+    ops = [t for k, t in toks if k == "op"]
+    assert ops == ["<=", "<<", "==", "!=", ">=", "&&", "||"]
+
+
+def test_single_char_operators():
+    toks = kinds("a + b - c * d / e % f & g | h ^ i ~ j ! k")
+    ops = [t for k, t in toks if k == "op"]
+    assert ops == list("+-*/%&|^~!")
+
+
+def test_line_comments_are_skipped():
+    assert kinds("a // comment here\nb") == [("ident", "a"), ("ident", "b")]
+
+
+def test_block_comments_preserve_line_numbers():
+    tokens = tokenize("a /* multi\nline\ncomment */ b")
+    b_token = [t for t in tokens if t.text == "b"][0]
+    assert b_token.line == 3
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(CompileError):
+        tokenize("a /* never closed")
+
+
+def test_string_literals_with_escapes():
+    tokens = tokenize('"hello\\nworld"')
+    assert tokens[0].kind == "string"
+    assert tokens[0].text == "hello\nworld"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(CompileError):
+        tokenize('"oops')
+
+
+def test_newline_in_string_raises():
+    with pytest.raises(CompileError):
+        tokenize('"bad\nstring"')
+
+
+def test_unexpected_character_raises_with_location():
+    with pytest.raises(CompileError) as exc:
+        tokenize("a\n  @")
+    assert "line 2" in str(exc.value)
+
+
+def test_token_positions_track_columns():
+    tokens = tokenize("ab cd")
+    assert tokens[0].column == 1
+    assert tokens[1].column == 4

@@ -1,0 +1,160 @@
+"""Tests for minidump truncation and the §1 full-coredump advantage."""
+
+import pytest
+
+from repro.ir.module import GLOBALS_BASE, STACKS_BASE, STACK_WINDOW
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.core.snapshot import SymbolicSnapshot
+from repro.symex.expr import Const, Sym
+from repro.vm.minidump import MiniDump, minidump_of
+from repro.workloads import FIGURE1_OVERFLOW, MINIDUMP_BLINDSPOT, RACE_FLAG
+
+
+@pytest.fixture(scope="module")
+def blindspot_dump():
+    return MINIDUMP_BLINDSPOT.trigger()
+
+
+@pytest.fixture(scope="module")
+def blindspot_mini(blindspot_dump):
+    return minidump_of(blindspot_dump)
+
+
+# ---------------------------------------------------------------------------
+# Truncation
+# ---------------------------------------------------------------------------
+
+def test_minidump_is_partial(blindspot_mini):
+    assert blindspot_mini.is_partial
+    assert isinstance(blindspot_mini, MiniDump)
+
+
+def test_minidump_drops_globals(blindspot_dump, blindspot_mini):
+    layout = MINIDUMP_BLINDSPOT.module.layout()
+    assert blindspot_dump.read(layout["x"]) == 1
+    assert not blindspot_mini.available(layout["x"])
+    assert layout["x"] not in blindspot_mini.memory
+
+
+def test_minidump_keeps_stack_words(blindspot_mini):
+    lo = STACKS_BASE
+    hi = STACKS_BASE + STACK_WINDOW
+    assert blindspot_mini.available(lo)
+    assert blindspot_mini.available(hi - 1)
+
+
+def test_minidump_keeps_threads_and_trap(blindspot_dump, blindspot_mini):
+    assert blindspot_mini.trap == blindspot_dump.trap
+    assert set(blindspot_mini.threads) == set(blindspot_dump.threads)
+    failing = blindspot_mini.failing_thread
+    assert failing.frames, "register files must survive truncation"
+
+
+def test_minidump_read_raises_outside_ranges(blindspot_mini):
+    with pytest.raises(KeyError):
+        blindspot_mini.read(GLOBALS_BASE)
+
+
+def test_minidump_read_inside_range(blindspot_dump, blindspot_mini):
+    addr = STACKS_BASE  # within thread 0's window
+    assert blindspot_mini.read(addr) == blindspot_dump.read(addr)
+
+
+def test_minidump_ranges_cover_every_thread():
+    dump = RACE_FLAG.trigger()
+    mini = minidump_of(dump)
+    assert len(mini.retained_ranges) == len(dump.threads)
+    for tid in dump.threads:
+        base = STACKS_BASE + tid * STACK_WINDOW
+        assert mini.available(base)
+
+
+def test_minidump_breadcrumbs_optional(blindspot_dump):
+    with_crumbs = minidump_of(blindspot_dump, keep_breadcrumbs=True)
+    without = minidump_of(blindspot_dump, keep_breadcrumbs=False)
+    assert with_crumbs.lbr == blindspot_dump.lbr
+    assert without.lbr == []
+    assert without.log_tail == []
+
+
+# ---------------------------------------------------------------------------
+# Snapshot integration: unknown words become memoized symbols
+# ---------------------------------------------------------------------------
+
+def test_snapshot_reads_unknown_word_as_symbol(blindspot_mini):
+    snap = SymbolicSnapshot.initial(MINIDUMP_BLINDSPOT.module, blindspot_mini)
+    layout = MINIDUMP_BLINDSPOT.module.layout()
+    value = snap.memory.read(layout["x"])
+    assert isinstance(value, Sym)
+
+
+def test_snapshot_unknown_word_is_memoized(blindspot_mini):
+    snap = SymbolicSnapshot.initial(MINIDUMP_BLINDSPOT.module, blindspot_mini)
+    layout = MINIDUMP_BLINDSPOT.module.layout()
+    assert snap.memory.read(layout["x"]) == snap.memory.read(layout["x"])
+
+
+def test_snapshot_known_word_stays_concrete(blindspot_dump, blindspot_mini):
+    snap = SymbolicSnapshot.initial(MINIDUMP_BLINDSPOT.module, blindspot_mini)
+    addr = STACKS_BASE
+    assert snap.memory.read(addr) == Const(blindspot_dump.read(addr))
+
+
+def test_full_dump_snapshot_unaffected(blindspot_dump):
+    snap = SymbolicSnapshot.initial(MINIDUMP_BLINDSPOT.module, blindspot_dump)
+    layout = MINIDUMP_BLINDSPOT.module.layout()
+    assert snap.memory.read(layout["x"]) == Const(1)
+
+
+# ---------------------------------------------------------------------------
+# The §1 claim: full coredump refutes what the minidump cannot
+# ---------------------------------------------------------------------------
+
+def pick_branches_on_suffixes(module, dump, max_depth=16):
+    res = ReverseExecutionSynthesizer(module, dump, RESConfig(max_depth=max_depth))
+    branches = set()
+    for synthesized in res.suffixes():
+        for step in synthesized.suffix.steps:
+            seg = step.segment
+            if seg.function == "pick" and seg.block.startswith(("then", "else")):
+                branches.add(seg.block)
+    return branches, res.stats
+
+
+def test_full_coredump_disambiguates(blindspot_dump):
+    branches, stats = pick_branches_on_suffixes(
+        MINIDUMP_BLINDSPOT.module, blindspot_dump)
+    assert branches == {"then1"}
+    assert stats.pruned_incompatible >= 1
+
+
+def test_minidump_cannot_disambiguate(blindspot_mini):
+    branches, stats = pick_branches_on_suffixes(
+        MINIDUMP_BLINDSPOT.module, blindspot_mini)
+    assert branches == {"then1", "else2"}, \
+        "without the global image both predecessors stay feasible"
+
+
+def test_minidump_suffixes_still_replay(blindspot_mini):
+    """Suffixes synthesized from a minidump are still verified — but
+    only against the words the minidump retains."""
+    res = ReverseExecutionSynthesizer(
+        MINIDUMP_BLINDSPOT.module, blindspot_mini, RESConfig(max_depth=16))
+    suffixes = list(res.suffixes())
+    assert suffixes
+    assert all(s.report.ok for s in suffixes)
+
+
+def test_figure1_minidump_still_solved_by_registers():
+    """Figure 1 is NOT a minidump blind spot in this substrate: the
+    crash frame's register file retains y = 10, which pins Pred1.  The
+    blind spot needs the evidence confined to dropped memory."""
+    dump = FIGURE1_OVERFLOW.trigger()
+    mini = minidump_of(dump)
+    res = ReverseExecutionSynthesizer(
+        FIGURE1_OVERFLOW.module, mini, RESConfig(max_depth=16))
+    blocks = set()
+    for synthesized in res.suffixes():
+        blocks.update(st.segment.block for st in synthesized.suffix.steps)
+    assert "then1" in blocks
+    assert "else2" not in blocks

@@ -1,0 +1,139 @@
+"""Unit tests for the MiniC parser."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic import ast
+from repro.minic.parser import parse
+
+
+def parse_main(body):
+    return parse("func main() { %s }" % body).functions[0]
+
+
+def test_global_scalar_array_and_initializers():
+    program = parse("""
+global int a;
+global int b = 5;
+global int arr[3];
+global int init[3] = {1, 2, 3};
+func main() { return 0; }
+""")
+    names = [(g.name, g.array_size, g.init) for g in program.globals]
+    assert names == [("a", None, None), ("b", None, [5]),
+                     ("arr", 3, None), ("init", 3, [1, 2, 3])]
+
+
+def test_negative_global_initializer():
+    program = parse("global int g = -7;\nfunc main() { return 0; }")
+    assert program.globals[0].init == [-7]
+
+
+def test_function_params():
+    program = parse("func f(int a, int b) { return a; } func main() { return 0; }")
+    assert program.functions[0].params == ["a", "b"]
+
+
+def test_precedence_mul_over_add():
+    func = parse_main("int x = 1 + 2 * 3;")
+    init = func.body[0].init
+    assert isinstance(init, ast.Binary) and init.op == "+"
+    assert isinstance(init.right, ast.Binary) and init.right.op == "*"
+
+
+def test_precedence_comparison_over_logic():
+    func = parse_main("int x = a < 3 && b > 4;")
+    # undeclared names are fine at parse time
+    init = func.body[0].init
+    assert init.op == "&&"
+    assert init.left.op == "<"
+    assert init.right.op == ">"
+
+
+def test_unary_and_deref():
+    func = parse_main("int x = -*p;")
+    init = func.body[0].init
+    assert isinstance(init, ast.Unary) and init.op == "-"
+    assert isinstance(init.operand, ast.Deref)
+
+
+def test_addr_of_requires_lvalue():
+    with pytest.raises(CompileError):
+        parse_main("int x = &(1 + 2);")
+
+
+def test_assignment_requires_lvalue():
+    with pytest.raises(CompileError):
+        parse_main("1 + 2 = 3;")
+
+
+def test_index_chain():
+    func = parse_main("x[1][2] = 3;")
+    target = func.body[0].target
+    assert isinstance(target, ast.Index)
+    assert isinstance(target.base, ast.Index)
+
+
+def test_if_else_if_chain():
+    func = parse_main("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }")
+    stmt = func.body[0]
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.else_body[0], ast.If)
+
+
+def test_for_loop_desugars_components():
+    func = parse_main("for (int i = 0; i < 4; i = i + 1) { output(i); }")
+    stmt = func.body[0]
+    assert isinstance(stmt, ast.For)
+    assert isinstance(stmt.init, ast.Decl)
+    assert stmt.cond.op == "<"
+    assert isinstance(stmt.step, ast.Assign)
+
+
+def test_for_loop_all_parts_optional():
+    func = parse_main("for (;;) { halt(0); }")
+    stmt = func.body[0]
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_spawn_and_join():
+    func = parse_main("int t = spawn worker(1, 2); join(t);")
+    assert isinstance(func.body[0].init, ast.SpawnExpr)
+    assert func.body[0].init.name == "worker"
+    assert isinstance(func.body[1], ast.JoinStmt)
+
+
+def test_assert_with_and_without_message():
+    func = parse_main('assert(x == 1, "boom"); assert(y);')
+    assert func.body[0].message == "boom"
+    assert func.body[1].message == ""
+
+
+def test_builtin_calls():
+    func = parse_main("int a = input(); int p = malloc(4); free(p); output(a);")
+    assert isinstance(func.body[0].init, ast.InputExpr)
+    assert isinstance(func.body[1].init, ast.MallocExpr)
+    assert isinstance(func.body[2], ast.FreeStmt)
+    assert isinstance(func.body[3], ast.OutputStmt)
+
+
+def test_abort_and_halt():
+    func = parse_main('abort("why"); halt(3);')
+    assert func.body[0].message == "why"
+    assert isinstance(func.body[1], ast.HaltStmt)
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(CompileError):
+        parse_main("int x = 1")
+
+
+def test_top_level_junk_raises():
+    with pytest.raises(CompileError):
+        parse("int x;")
+
+
+def test_lock_unlock_statements():
+    func = parse_main("lock(&m); unlock(&m);")
+    assert isinstance(func.body[0], ast.LockStmt)
+    assert isinstance(func.body[1], ast.UnlockStmt)

@@ -1,0 +1,211 @@
+"""Cross-layer property tests: solver soundness, substitution algebra,
+VM determinism, and coredump serialization.
+
+These complement the per-module suites with the invariants the RES
+search silently relies on: a SAT answer always comes with a genuine
+model, deterministic replay really is deterministic, and nothing is
+lost shipping a coredump as JSON.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symex.expr import (
+    BinExpr,
+    Const,
+    Sym,
+    bin_expr,
+    evaluate,
+    free_syms,
+    substitute,
+)
+from repro.symex.solver import Solver
+from repro.vm.coredump import Coredump
+from repro.vm.interpreter import VM
+from repro.vm.scheduler import RandomPreemptScheduler
+from repro.workloads import (
+    DEADLOCK_ABBA,
+    FIGURE1_OVERFLOW,
+    RACE_COUNTER,
+    RACE_FLAG,
+    USE_AFTER_FREE,
+)
+
+WORD = st.integers(min_value=0, max_value=2**64 - 1)
+SYM_NAMES = ("a", "b", "c")
+
+_OPS = ("add", "sub", "mul", "and", "or", "xor", "eq", "ne", "ult", "slt")
+
+
+def _expr_strategy(depth: int):
+    leaf = st.one_of(
+        WORD.map(Const),
+        st.sampled_from(SYM_NAMES).map(Sym),
+    )
+    if depth == 0:
+        return leaf
+    sub = _expr_strategy(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(_OPS), sub, sub)
+        .map(lambda t: bin_expr(t[0], t[1], t[2])),
+    )
+
+
+EXPRS = _expr_strategy(3)
+MODELS = st.fixed_dictionaries({name: WORD for name in SYM_NAMES})
+
+
+# ---------------------------------------------------------------------------
+# Solver soundness: seeded satisfiability
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(MODELS, st.lists(EXPRS, min_size=1, max_size=4))
+def test_seeded_constraints_never_refuted(model, exprs):
+    """Soundness, the property RES pruning depends on: a constraint set
+    with a witness (by construction) must NEVER be answered UNSAT.
+    UNKNOWN is an acceptable answer for the nonlinear multi-symbol
+    cases the bounded search cannot crack (modular square roots and
+    friends); a SAT answer must come with a genuinely satisfying model
+    (`Solver.solve` downgrades to UNKNOWN otherwise, re-checked here)."""
+    constraints = []
+    for expr in exprs:
+        value = evaluate(expr, model)
+        assert value is not None
+        constraints.append(bin_expr("eq", expr, Const(value)))
+    result = Solver().solve(constraints)
+    assert not result.is_unsat, "refuted a satisfiable constraint set"
+    if result.is_sat:
+        assert result.model is not None
+        for constraint in constraints:
+            assert evaluate(constraint, result.model) == 1
+
+
+_SINGLE_SYM_LINEAR = _expr_strategy(3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(WORD, _SINGLE_SYM_LINEAR.map(
+    lambda e: substitute(e, {"b": Const(11), "c": Const(5)})))
+def test_single_symbol_seeded_constraints_are_solved(value_a, expr):
+    """Completeness on the documented fragment: with one free symbol
+    and add/sub/mul/xor/and/or operators, the bit-fixing layer is exact
+    — seeded-satisfiable conjunctions must come back SAT."""
+    witness = {"a": value_a}
+    value = evaluate(expr, witness)
+    assert value is not None
+    constraint = bin_expr("eq", expr, Const(value))
+    result = Solver().solve([constraint])
+    assert result.is_sat, "single-symbol low-bits fragment must be exact"
+    assert evaluate(constraint, result.model) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(MODELS, EXPRS)
+def test_contradictory_pin_is_unsat(model, expr):
+    """expr == v and expr == v+1 cannot both hold."""
+    value = evaluate(expr, model)
+    if free_syms(expr) == frozenset():
+        return  # constant expressions: the second pin is just false
+    constraints = [
+        bin_expr("eq", expr, Const(value)),
+        bin_expr("eq", expr, Const((value + 1) % 2**64)),
+    ]
+    # One expression cannot equal two distinct values under one model,
+    # so a SAT verdict here would be a soundness bug.
+    assert not Solver().solve(constraints).is_sat
+
+
+# ---------------------------------------------------------------------------
+# Substitution algebra
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(MODELS, EXPRS)
+def test_substitute_then_evaluate_matches_direct_evaluation(model, expr):
+    bound = substitute(expr, {name: Const(v) for name, v in model.items()})
+    assert free_syms(bound) == frozenset()
+    assert evaluate(bound, {}) == evaluate(expr, model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(MODELS, EXPRS)
+def test_partial_substitution_composes(model, expr):
+    first = {"a": Const(model["a"])}
+    rest = {k: v for k, v in model.items() if k != "a"}
+    staged = evaluate(substitute(expr, first), rest)
+    assert staged == evaluate(expr, model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(EXPRS)
+def test_substitution_with_nothing_is_identity(expr):
+    assert substitute(expr, {}) == expr
+
+
+# ---------------------------------------------------------------------------
+# VM determinism
+# ---------------------------------------------------------------------------
+
+def run_traced(workload, seed):
+    vm = VM(workload.module, inputs=list(workload.inputs),
+            scheduler=RandomPreemptScheduler(seed=seed, preempt_prob=0.6),
+            record_trace=True)
+    result = vm.run()
+    events = [(e.step, e.tid, e.pc, e.reads, e.writes) for e in vm.trace]
+    return result, events
+
+
+@pytest.mark.parametrize("workload", (RACE_COUNTER, RACE_FLAG),
+                         ids=lambda w: w.name)
+@pytest.mark.parametrize("seed", (0, 7, 23))
+def test_same_seed_same_execution(workload, seed):
+    """The substrate promise under everything: seeded runs are bitwise
+    repeatable (traces, not just outcomes)."""
+    first, events_a = run_traced(workload, seed)
+    second, events_b = run_traced(workload, seed)
+    assert events_a == events_b
+    assert (first.coredump is None) == (second.coredump is None)
+    if first.coredump is not None:
+        assert first.coredump.memory == second.coredump.memory
+        assert first.coredump.trap == second.coredump.trap
+
+
+def test_different_seeds_can_differ():
+    """The racy counter must expose schedule dependence across seeds
+    (otherwise the concurrency workloads would be vacuous)."""
+    outcomes = set()
+    for seed in range(40):
+        result, __ = run_traced(RACE_COUNTER, seed)
+        outcomes.add(result.coredump.trap.kind if result.coredump else None)
+        if len(outcomes) > 1:
+            break
+    assert len(outcomes) > 1
+
+
+# ---------------------------------------------------------------------------
+# Coredump serialization
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload",
+                         (FIGURE1_OVERFLOW, RACE_FLAG, USE_AFTER_FREE,
+                          DEADLOCK_ABBA),
+                         ids=lambda w: w.name)
+def test_coredump_json_round_trip(workload):
+    dump = workload.trigger()
+    restored = Coredump.from_json(dump.to_json())
+    assert restored.module_name == dump.module_name
+    assert restored.trap == dump.trap
+    assert restored.memory == dump.memory
+    assert restored.heap == dump.heap
+    assert restored.lock_owners == dump.lock_owners
+    assert restored.lbr == dump.lbr
+    assert restored.log_tail == dump.log_tail
+    assert set(restored.threads) == set(dump.threads)
+    for tid, thread in dump.threads.items():
+        other = restored.threads[tid]
+        assert other.status == thread.status
+        assert other.held_locks == thread.held_locks
+        assert [f.pc for f in other.frames] == [f.pc for f in thread.frames]
+        assert [f.regs for f in other.frames] == [f.regs for f in thread.frames]

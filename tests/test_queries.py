@@ -1,0 +1,213 @@
+"""Tests for the §3.3 hypothesis-query engine (`repro.core.queries`)."""
+
+import pytest
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.core.queries import SuffixQueryEngine
+from repro.errors import ReplayError
+from repro.workloads import FIGURE1_OVERFLOW, RACE_FLAG, RACE_COUNTER
+
+
+def synthesize_one(workload, limit=40, **config):
+    """Deepest verified suffix among the first ``limit`` emitted —
+    long enough to contain the root cause, per §2's enabler."""
+    dump = workload.trigger()
+    res = ReverseExecutionSynthesizer(
+        workload.module, dump,
+        RESConfig(**{"max_depth": 14, "max_nodes": 8000, **config}))
+    found = []
+    for item in res.suffixes():
+        found.append(item)
+        if len(found) >= limit:
+            break
+    assert found, "workload must synthesize"
+    return max(found, key=lambda s: s.depth)
+
+
+@pytest.fixture(scope="module")
+def race_flag_suffix():
+    return synthesize_one(RACE_FLAG)
+
+
+@pytest.fixture(scope="module")
+def race_flag_engine(race_flag_suffix):
+    return SuffixQueryEngine(RACE_FLAG.module, race_flag_suffix)
+
+
+@pytest.fixture(scope="module")
+def figure1_engine():
+    return SuffixQueryEngine(FIGURE1_OVERFLOW.module,
+                             synthesize_one(FIGURE1_OVERFLOW, max_depth=16))
+
+
+# ---------------------------------------------------------------------------
+# Address resolution
+# ---------------------------------------------------------------------------
+
+def test_resolve_global_by_name(figure1_engine):
+    layout = FIGURE1_OVERFLOW.module.layout()
+    assert figure1_engine.resolve("x") == layout["x"]
+
+
+def test_resolve_raw_address_passthrough(figure1_engine):
+    assert figure1_engine.resolve(1234) == 1234
+
+
+def test_resolve_unknown_name_raises(figure1_engine):
+    with pytest.raises(ReplayError):
+        figure1_engine.resolve("no_such_global")
+
+
+# ---------------------------------------------------------------------------
+# Access history
+# ---------------------------------------------------------------------------
+
+def test_figure1_suffix_writes_y_ten(figure1_engine):
+    """The synthesized suffix must contain the Pred1 assignment y = 10."""
+    writes = figure1_engine.writes_to("y")
+    assert writes, "suffix should write y"
+    assert writes[-1].value == 10
+
+
+def test_figure1_last_writer_of_x_wrote_one(figure1_engine):
+    last = figure1_engine.last_writer("x")
+    assert last is not None
+    assert last.value == 1  # Pred1, not Pred2's x = 2
+
+
+def test_value_history_is_ordered(figure1_engine):
+    history = figure1_engine.value_history("y")
+    steps = [s for s, _ in history]
+    assert steps == sorted(steps)
+
+
+def test_reads_and_writes_partition_accesses(race_flag_engine):
+    addr = race_flag_engine.resolve("flag")
+    accesses = race_flag_engine.accesses(addr)
+    reads = race_flag_engine.reads_from(addr)
+    writes = race_flag_engine.writes_to(addr)
+    assert len(accesses) == len(reads) + len(writes)
+
+
+def test_last_writer_none_for_untouched_address(figure1_engine):
+    assert figure1_engine.last_writer(0x7FFF_FFF0) is None
+
+
+def test_schedule_legs_match_suffix(race_flag_suffix, race_flag_engine):
+    assert race_flag_engine.schedule_legs() == race_flag_suffix.suffix.schedule()
+
+
+# ---------------------------------------------------------------------------
+# "What was the program state at PC X?"
+# ---------------------------------------------------------------------------
+
+def test_state_at_captures_globals(figure1_engine):
+    obs = figure1_engine.state_at("main")
+    assert obs is not None
+    assert "x" in obs.variables
+    assert "y" in obs.variables
+
+
+def test_states_at_are_chronological(figure1_engine):
+    states = figure1_engine.states_at("main")
+    assert len(states) >= 2
+    positions = [s.step for s in states]
+    assert positions == sorted(positions)
+
+
+def test_state_when_finds_predicate_hit(figure1_engine):
+    """Find the moment y became 10 — pinpointing Pred1's effect."""
+    obs = figure1_engine.state_when(
+        "main", lambda s: s.variables.get("y") == 10)
+    assert obs is not None
+    # at that moment x must already hold Pred1's value
+    assert obs.variables.get("x") == 1
+
+
+def test_state_when_no_hit_returns_none(figure1_engine):
+    assert figure1_engine.state_when(
+        "main", lambda s: s.variables.get("y", 0) == 999_999) is None
+
+
+def test_state_at_unknown_function_returns_none(figure1_engine):
+    assert figure1_engine.state_at("not_a_function") is None
+
+
+def test_state_observation_has_backtrace(figure1_engine):
+    obs = figure1_engine.state_at("main")
+    assert obs.backtrace
+    assert obs.backtrace[-1].function == "main"
+
+
+# ---------------------------------------------------------------------------
+# "Was thread T preempted before updating M?"
+# ---------------------------------------------------------------------------
+
+def test_preemption_answer_for_race(race_flag_engine):
+    """The order-violation race crashes because the producer published
+    `flag` and was preempted before `data = 42`; the engine must locate
+    the producer's flag write inside a preemption window."""
+    suffix = race_flag_engine.synthesized.suffix
+    tids = sorted(suffix.threads_involved())
+    assert len(tids) == 2
+    answers = [race_flag_engine.was_preempted_before_update(tid, "flag")
+               for tid in tids]
+    writers = [a for a in answers if a.write is not None]
+    assert writers, "the producer must write flag in the suffix"
+    # the crash requires the consumer to run after the flag write, so the
+    # schedule interleaves the two threads around it
+    assert any(a.preempted or a.write is not None for a in answers)
+
+
+def test_preemption_never_writes(race_flag_engine):
+    answer = race_flag_engine.was_preempted_before_update(0, 0x7FFF_FFF0)
+    assert not answer.preempted
+    assert answer.write is None
+    assert "never updates" in answer.describe()
+
+
+def test_preemption_describe_mentions_threads(race_flag_engine):
+    suffix = race_flag_engine.synthesized.suffix
+    for tid in sorted(suffix.threads_involved()):
+        answer = race_flag_engine.was_preempted_before_update(tid, "data")
+        text = answer.describe()
+        assert str(answer.addr is not None)
+        assert "thread" in text
+
+
+def test_sequential_program_is_never_preempted(figure1_engine):
+    """A single-threaded suffix has no preemption windows."""
+    answer = figure1_engine.was_preempted_before_update(0, "y")
+    assert answer.write is not None
+    assert not answer.preempted
+
+
+# ---------------------------------------------------------------------------
+# Unprotected conflicting accesses
+# ---------------------------------------------------------------------------
+
+def test_unprotected_conflicts_found_on_counter():
+    engine = SuffixQueryEngine(RACE_COUNTER.module,
+                               synthesize_one(RACE_COUNTER))
+    conflicts = engine.unprotected_conflicts("counter")
+    assert conflicts, "lost-update race must show conflicting accesses"
+    a, b = conflicts[0]
+    assert a.tid != b.tid
+    assert a.is_write or b.is_write
+
+
+def test_no_conflicts_in_sequential_suffix(figure1_engine):
+    assert figure1_engine.unprotected_conflicts("y") == []
+
+
+# ---------------------------------------------------------------------------
+# Error paths
+# ---------------------------------------------------------------------------
+
+def test_engine_requires_trace(race_flag_suffix):
+    from dataclasses import replace
+    stripped = replace(race_flag_suffix.report, trace=None)
+    from repro.core.res import SynthesizedSuffix
+    bad = SynthesizedSuffix(suffix=race_flag_suffix.suffix, report=stripped)
+    with pytest.raises(ReplayError):
+        SuffixQueryEngine(RACE_FLAG.module, bad)

@@ -1,0 +1,250 @@
+"""RES core: snapshots, segments, slice execution, backward search.
+
+These are the paper-faithfulness tests: Figure 1's disambiguation, the
+havoc rule of §2.4, anytime operation of §2.1, and the no-false-
+positives property of §4 (every emitted suffix replays to the dump).
+"""
+
+import pytest
+
+from repro.minic import compile_source
+from repro.vm import RandomPreemptScheduler, RunStatus, TrapKind, VM
+from repro.core import (
+    CandidateEnumerator,
+    RESConfig,
+    ReverseExecutionSynthesizer,
+    SegmentExecutor,
+    SegmentKind,
+    SymbolicSnapshot,
+    boundaries,
+)
+from repro.workloads import (
+    ATOMICITY_READCHECK,
+    FIGURE1_OVERFLOW,
+    PAPER_EVAL_BUGS,
+    RACE_FLAG,
+    USE_AFTER_FREE,
+)
+
+
+def crash(src, inputs=(), seed=0, check_bounds=True):
+    module = compile_source(src)
+    vm = VM(module, inputs=list(inputs), check_bounds=check_bounds,
+            scheduler=RandomPreemptScheduler(seed=seed, preempt_prob=0.6))
+    result = vm.run()
+    assert result.status is RunStatus.TRAPPED
+    return module, result.coredump
+
+
+SIMPLE = """
+global int x;
+global int y;
+func main() {
+    int v = input();
+    if (v > 3) { x = 1; } else { x = 2; }
+    y = x + 10;
+    assert(y == 12, "bug");
+    return 0;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Segments
+# ---------------------------------------------------------------------------
+
+def test_boundaries_at_block_start_and_shared_effect():
+    module = compile_source(SIMPLE)
+    entry = module.function("main").block("entry")
+    points = boundaries(entry)
+    assert 0 in points
+    # the input instruction is a shared-effect boundary... only if not at 0
+    assert all(0 <= p < len(entry.instrs) for p in points)
+
+
+def test_trap_segment_is_forced_first():
+    module, dump = crash(SIMPLE, inputs=[7])
+    snap = SymbolicSnapshot.initial(module, dump)
+    enum = CandidateEnumerator(module)
+    cands = enum.candidates(snap)
+    assert len(cands) == 1
+    assert cands[0].kind is SegmentKind.TRAP
+    assert cands[0].hi == dump.trap.pc.index + 1
+
+
+def test_initial_snapshot_mirrors_coredump():
+    module, dump = crash(SIMPLE, inputs=[7])
+    snap = SymbolicSnapshot.initial(module, dump)
+    assert snap.trap_pending
+    thread = snap.threads[dump.trap.tid]
+    assert thread.top.pc == dump.trap.pc
+    # memory view reads through to the dump
+    layout = module.layout()
+    from repro.symex import Const
+    assert snap.memory.read(layout["x"]) == Const(dump.read(layout["x"]))
+
+
+# ---------------------------------------------------------------------------
+# Slice execution: the §2.4 rules
+# ---------------------------------------------------------------------------
+
+def test_figure1_pred_disambiguation():
+    """The coredump's x=1 keeps Pred1 and discards Pred2 (Figure 1)."""
+    module, dump = crash(SIMPLE, inputs=[7])
+    synthesizer = ReverseExecutionSynthesizer(module, dump,
+                                              RESConfig(max_depth=12))
+    suffixes = list(synthesizer.suffixes())
+    assert suffixes, "no verified suffix"
+    blocks = {step.segment.block for s in suffixes for step in s.suffix.steps}
+    assert "then1" in blocks       # x = 1 predecessor kept
+    assert "else2" not in blocks   # x = 2 predecessor pruned
+    assert synthesizer.stats.pruned_incompatible + \
+        synthesizer.stats.pruned_structural >= 1
+
+
+def test_figure1_workload_end_to_end():
+    dump = FIGURE1_OVERFLOW.trigger()
+    assert dump.trap.kind is TrapKind.OUT_OF_BOUNDS
+    res = ReverseExecutionSynthesizer(FIGURE1_OVERFLOW.module, dump,
+                                      RESConfig(max_depth=16))
+    deepest = None
+    for s in res.suffixes():
+        deepest = s
+    assert deepest is not None
+    blocks = {st.segment.block for st in deepest.suffix.steps}
+    assert "then1" in blocks and "else2" not in blocks
+    # the synthesized input must take the Pred1 branch (even number)
+    assert deepest.report.inputs and deepest.report.inputs[0] % 2 == 0
+
+
+def test_havoc_rule_register_reconstruction():
+    """A register overwritten by the segment is reconstructed via the
+    compatibility equation, matching §2.4's description."""
+    module, dump = crash("""
+global int g;
+func main() {
+    int a = input();
+    int b = a + 5;
+    g = b;
+    assert(g == 0, "always fails with nonzero input");
+    return 0;
+}
+""", inputs=[37])
+    res = ReverseExecutionSynthesizer(module, dump, RESConfig(max_depth=16))
+    deepest = None
+    for s in res.suffixes():
+        deepest = s
+    assert deepest is not None
+    # replay must rediscover the input 37 (b = a+5 = 42 = g in the dump)
+    assert 37 in deepest.report.inputs
+
+
+def test_input_reconstruction_from_coredump():
+    """RES infers inputs (system call returns) from the dump (§2.1)."""
+    module, dump = crash("""
+global int g;
+func main() {
+    int v = input();
+    g = v * 3;
+    assert(g != 21, "crash when v == 7");
+    return 0;
+}
+""", inputs=[7])
+    res = ReverseExecutionSynthesizer(module, dump, RESConfig(max_depth=12))
+    deepest = None
+    for s in res.suffixes():
+        deepest = s
+    assert deepest is not None and deepest.report.inputs == [7]
+
+
+def test_anytime_suffixes_grow_monotonically():
+    module, dump = crash(SIMPLE, inputs=[7])
+    res = ReverseExecutionSynthesizer(module, dump, RESConfig(max_depth=10))
+    depths = [s.depth for s in res.suffixes()]
+    assert depths == sorted(depths), "BFS must yield shortest first"
+    assert depths[0] == 1
+
+
+def test_every_emitted_suffix_is_replay_verified():
+    """§4's 'no false positives': emission implies exact replay."""
+    for workload in PAPER_EVAL_BUGS:
+        dump = workload.trigger()
+        res = ReverseExecutionSynthesizer(workload.module, dump,
+                                          RESConfig(max_depth=10,
+                                                    max_nodes=3000))
+        for s in res.suffixes():
+            assert s.report.ok
+            assert not s.report.mismatches
+
+
+def test_race_flag_reconstructs_cross_thread_interleaving():
+    dump = RACE_FLAG.trigger()
+    res = ReverseExecutionSynthesizer(RACE_FLAG.module, dump,
+                                      RESConfig(max_depth=14, max_nodes=8000))
+    found_cross_thread = False
+    for s in res.suffixes():
+        if len(s.suffix.threads_involved()) > 1:
+            found_cross_thread = True
+            break
+    assert found_cross_thread
+
+
+def test_interprocedural_backward_navigation():
+    module, dump = crash("""
+global int g;
+func set_it(int v) {
+    g = v;
+    return v + 1;
+}
+func main() {
+    int r = set_it(41);
+    assert(r == 0, "fails");
+    return 0;
+}
+""")
+    res = ReverseExecutionSynthesizer(module, dump, RESConfig(max_depth=20))
+    functions = set()
+    deepest = None
+    for s in res.suffixes():
+        deepest = s
+        functions |= {st.segment.function for st in s.suffix.steps}
+    assert "set_it" in functions, "suffix should cross into the callee"
+    assert deepest.report.ok
+
+
+def test_uaf_workload_synthesizes():
+    dump = USE_AFTER_FREE.trigger()
+    res = ReverseExecutionSynthesizer(USE_AFTER_FREE.module, dump,
+                                      RESConfig(max_depth=16))
+    suffixes = list(res.suffixes())
+    assert suffixes and all(s.report.ok for s in suffixes)
+
+
+def test_read_write_sets_exposed():
+    module, dump = crash(SIMPLE, inputs=[7])
+    res = ReverseExecutionSynthesizer(module, dump, RESConfig(max_depth=12))
+    deepest = None
+    for s in res.suffixes():
+        deepest = s
+    layout = module.layout()
+    assert layout["y"] in deepest.suffix.write_set()
+    assert layout["x"] in deepest.suffix.read_set() \
+        or layout["x"] in deepest.suffix.write_set()
+
+
+def test_mismatched_module_rejected():
+    module, dump = crash(SIMPLE, inputs=[7])
+    other = compile_source(SIMPLE, name="other")
+    from repro.errors import SynthesisError
+    with pytest.raises(SynthesisError):
+        ReverseExecutionSynthesizer(other, dump)
+
+
+def test_stats_exposed_and_consistent():
+    module, dump = crash(SIMPLE, inputs=[7])
+    res = ReverseExecutionSynthesizer(module, dump, RESConfig(max_depth=8))
+    list(res.suffixes())
+    stats = res.stats
+    assert stats.candidates_executed <= stats.candidates_generated
+    assert stats.feasible_extensions <= stats.candidates_executed
+    assert stats.suffixes_emitted <= stats.replays_attempted

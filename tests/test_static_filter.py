@@ -1,0 +1,225 @@
+"""Tests for the static writer-index filter (`repro.core.static_filter`)."""
+
+import pytest
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.core.segments import Segment, SegmentKind
+from repro.core.snapshot import SymbolicSnapshot
+from repro.core.static_filter import WriterIndexFilter
+from repro.minic import compile_source
+from repro.vm.interpreter import VM
+from repro.workloads import (
+    FIGURE1_OVERFLOW,
+    MINIDUMP_BLINDSPOT,
+    PAPER_EVAL_BUGS,
+    WRITER_TAG,
+)
+
+
+def crash(module, inputs):
+    result = VM(module, inputs=list(inputs)).run()
+    assert result.trapped
+    return result.coredump
+
+
+def whole_block_segment(module, function, block, tid=0, depth=0):
+    instrs = module.function(function).block(block).instrs
+    return Segment(tid=tid, function=function, block=block,
+                   lo=0, hi=len(instrs), kind=SegmentKind.NORMAL,
+                   depth=depth)
+
+
+# ---------------------------------------------------------------------------
+# Store summaries
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tag_module():
+    return WRITER_TAG.module
+
+
+def arm_summary(tag_module, block):
+    filt = WriterIndexFilter(tag_module)
+    return filt.summary(whole_block_segment(tag_module, "step", block))
+
+
+def test_summary_resolves_constant_store(tag_module):
+    layout = tag_module.layout()
+    summary = arm_summary(tag_module, "then1")
+    assert dict(summary.final) == {layout["state"]: 10}
+
+
+def test_each_arm_summarizes_its_tag(tag_module):
+    layout = tag_module.layout()
+    tags = set()
+    for block in ("then1", "then4", "then7", "else8"):
+        summary = arm_summary(tag_module, block)
+        final = dict(summary.final)
+        assert list(final) == [layout["state"]]
+        tags.add(final[layout["state"]])
+    assert tags == {10, 20, 30, 40}
+
+
+def test_summary_is_cached(tag_module):
+    filt = WriterIndexFilter(tag_module)
+    segment = whole_block_segment(tag_module, "step", "then1")
+    assert filt.summary(segment) is filt.summary(segment)
+
+
+def test_summary_drops_unknown_value_store():
+    module = compile_source("""
+global int g;
+
+func main() {
+    int v = input();
+    g = v;          // value not statically known
+    return 0;
+}
+""", name="unknown_value")
+    filt = WriterIndexFilter(module)
+    segment = whole_block_segment(module, "main", "entry")
+    assert filt.summary(segment).final == ()
+
+
+def test_summary_cleared_by_unknown_address_store():
+    module = compile_source("""
+global int g;
+global int table[4];
+
+func main() {
+    int v = input();
+    g = 5;
+    table[v] = 1;   // may alias anything: wipes the g fact
+    return 0;
+}
+""", name="wildcard_store")
+    filt = WriterIndexFilter(module)
+    segment = whole_block_segment(module, "main", "entry")
+    assert filt.summary(segment).final == ()
+
+
+def test_summary_cleared_by_call():
+    module = compile_source("""
+global int g;
+
+func clobber() {
+    g = 99;
+    return 0;
+}
+
+func main() {
+    g = 5;
+    clobber();      // callee writes memory: wipes the g fact
+    return 0;
+}
+""", name="call_clobber")
+    filt = WriterIndexFilter(module)
+    segment = whole_block_segment(module, "main", "entry")
+    assert filt.summary(segment).final == ()
+
+
+def test_summary_folds_address_arithmetic():
+    module = compile_source("""
+global int table[8];
+
+func main() {
+    table[3] = 7;   // constant index: address folds statically
+    return 0;
+}
+""", name="const_index")
+    layout = module.layout()
+    filt = WriterIndexFilter(module)
+    segment = whole_block_segment(module, "main", "entry")
+    assert dict(filt.summary(segment).final) == {layout["table"] + 3: 7}
+
+
+def test_later_store_wins():
+    module = compile_source("""
+global int g;
+
+func main() {
+    g = 1;
+    g = 2;          // the summary must keep only the final value
+    return 0;
+}
+""", name="two_stores")
+    layout = module.layout()
+    filt = WriterIndexFilter(module)
+    segment = whole_block_segment(module, "main", "entry")
+    assert dict(filt.summary(segment).final) == {layout["g"]: 2}
+
+
+# ---------------------------------------------------------------------------
+# Refutation against snapshots
+# ---------------------------------------------------------------------------
+
+def test_wrong_arm_refuted_right_arm_kept(tag_module):
+    dump = WRITER_TAG.trigger()
+    snapshot = SymbolicSnapshot.initial(tag_module, dump)
+    filt = WriterIndexFilter(tag_module)
+    # dump has state = 40: only else6 can be the most recent writer
+    assert not filt.refutes(snapshot,
+                            whole_block_segment(tag_module, "step", "else8"))
+    for block in ("then1", "then4", "then7"):
+        assert filt.refutes(snapshot,
+                            whole_block_segment(tag_module, "step", block))
+
+
+def test_symbolic_word_never_refutes(tag_module):
+    """Once the suffix havocs the word, its pre-value is unknown and no
+    candidate may be statically refuted through it."""
+    dump = WRITER_TAG.trigger()
+    snapshot = SymbolicSnapshot.initial(tag_module, dump)
+    layout = tag_module.layout()
+    snapshot.memory.write(layout["state"], snapshot.fresh("havoc"))
+    filt = WriterIndexFilter(tag_module)
+    for block in ("then1", "then4", "then7", "else8"):
+        assert not filt.refutes(
+            snapshot, whole_block_segment(tag_module, "step", block))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: the filter is a pure optimization
+# ---------------------------------------------------------------------------
+
+def suffix_fingerprints(workload, use_writer_index, max_depth=14):
+    dump = workload.trigger()
+    res = ReverseExecutionSynthesizer(
+        workload.module, dump,
+        RESConfig(max_depth=max_depth, max_nodes=4000,
+                  use_writer_index=use_writer_index))
+    prints = []
+    for item in res.suffixes():
+        prints.append(tuple(
+            (st.segment.tid, st.segment.function, st.segment.block,
+             st.segment.lo, st.segment.hi) for st in item.suffix.steps))
+    return prints, res.stats
+
+
+@pytest.mark.parametrize("workload",
+                         (WRITER_TAG, MINIDUMP_BLINDSPOT, FIGURE1_OVERFLOW),
+                         ids=lambda w: w.name)
+def test_filter_preserves_suffix_set(workload):
+    baseline, __ = suffix_fingerprints(workload, use_writer_index=False)
+    filtered, __ = suffix_fingerprints(workload, use_writer_index=True)
+    assert baseline == filtered
+
+
+def test_filter_reduces_symbolic_executions():
+    __, baseline = suffix_fingerprints(WRITER_TAG, use_writer_index=False,
+                                       max_depth=20)
+    __, filtered = suffix_fingerprints(WRITER_TAG, use_writer_index=True,
+                                       max_depth=20)
+    assert filtered.pruned_by_writer_index > 0
+    assert filtered.candidates_executed < baseline.candidates_executed
+
+
+@pytest.mark.parametrize("workload", PAPER_EVAL_BUGS,
+                         ids=[w.name for w in PAPER_EVAL_BUGS])
+def test_filter_safe_on_concurrency_bugs(workload):
+    """Sound on racy multithreaded workloads too: same suffixes."""
+    baseline, __ = suffix_fingerprints(workload, use_writer_index=False,
+                                       max_depth=8)
+    filtered, __ = suffix_fingerprints(workload, use_writer_index=True,
+                                       max_depth=8)
+    assert baseline == filtered

@@ -1,0 +1,270 @@
+"""Expression, interval, and solver tests — including hypothesis
+property tests tying symbolic semantics to the concrete VM's."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.ir.instructions import BINARY_OPS, COMPARE_OPS, to_signed, to_unsigned
+from repro.symex import (
+    BinExpr,
+    Const,
+    IntSet,
+    SolveStatus,
+    Solver,
+    Sym,
+    bin_expr,
+    cmp_domain,
+    evaluate,
+    free_syms,
+    negate_bool,
+    substitute,
+    truth_of,
+)
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+small = st.integers(min_value=0, max_value=300)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@given(words, words, st.sampled_from(list(BINARY_OPS) + list(COMPARE_OPS)))
+@settings(max_examples=300)
+def test_folding_matches_evaluation(a, b, op):
+    folded = bin_expr(op, Const(a), Const(b))
+    direct = evaluate(BinExpr(op, Const(a), Const(b)), {})
+    if direct is None:  # division by zero stays symbolic
+        assert isinstance(folded, BinExpr)
+    else:
+        assert isinstance(folded, Const)
+        assert folded.value == direct
+
+
+@given(words, words, st.sampled_from(list(BINARY_OPS) + list(COMPARE_OPS)))
+@settings(max_examples=300)
+def test_simplifier_preserves_semantics_on_symbols(a, b, op):
+    x, y = Sym("x"), Sym("y")
+    expr = bin_expr(op, bin_expr("add", x, Const(a)), y)
+    model = {"x": b, "y": a}
+    simplified_val = evaluate(expr, model)
+    raw_val = evaluate(BinExpr(op, BinExpr("add", x, Const(a)), y), model)
+    assert simplified_val == raw_val
+
+
+@given(words)
+def test_negate_bool_flips(v):
+    x = Sym("x")
+    cond = bin_expr("ult", x, Const(500))
+    neg = negate_bool(cond)
+    model = {"x": v}
+    assert evaluate(cond, model) != evaluate(neg, model)
+
+
+def test_identities():
+    x = Sym("x")
+    assert bin_expr("add", x, Const(0)) is x
+    assert bin_expr("mul", x, Const(1)) is x
+    assert bin_expr("mul", x, Const(0)) == Const(0)
+    assert bin_expr("sub", x, x) == Const(0)
+    assert bin_expr("xor", x, x) == Const(0)
+    assert bin_expr("eq", x, x) == Const(1)
+    assert bin_expr("ne", x, x) == Const(0)
+
+
+def test_constant_chain_merging():
+    x = Sym("x")
+    expr = bin_expr("add", bin_expr("add", x, Const(3)), Const(4))
+    assert expr == bin_expr("add", x, Const(7))
+    # sub normalizes into add
+    expr2 = bin_expr("sub", bin_expr("add", x, Const(10)), Const(4))
+    assert expr2 == bin_expr("add", x, Const(6))
+
+
+def test_boolean_cmp_collapse():
+    x = Sym("x")
+    boolish = bin_expr("ult", x, Const(4))
+    assert bin_expr("ne", boolish, Const(0)) is boolish
+    assert bin_expr("eq", boolish, Const(0)) == negate_bool(boolish)
+    assert bin_expr("eq", boolish, Const(77)) == Const(0)
+
+
+def test_free_syms_and_substitute():
+    x, y = Sym("x"), Sym("y")
+    expr = bin_expr("add", x, bin_expr("mul", y, Const(3)))
+    assert free_syms(expr) == {"x", "y"}
+    closed = substitute(expr, {"x": Const(1), "y": Const(2)})
+    assert closed == Const(7)
+
+
+def test_truth_of():
+    assert truth_of(Const(5)) == Const(1)
+    assert truth_of(Const(0)) == Const(0)
+    x = Sym("x")
+    assert truth_of(bin_expr("eq", x, Const(1))) == bin_expr("eq", x, Const(1))
+
+
+# ---------------------------------------------------------------------------
+# Intervals
+# ---------------------------------------------------------------------------
+
+@given(small, small, small)
+def test_intset_membership(lo, hi, v):
+    s = IntSet.of(lo, hi)
+    assert (v in s) == (lo <= v <= hi)
+
+
+@given(small, small, small, small)
+def test_intset_intersection(a1, a2, b1, b2):
+    s1 = IntSet.of(min(a1, a2), max(a1, a2))
+    s2 = IntSet.of(min(b1, b2), max(b1, b2))
+    inter = s1.intersect(s2)
+    for probe in {a1, a2, b1, b2, (a1 + b1) // 2}:
+        assert (probe in inter) == (probe in s1 and probe in s2)
+
+
+@given(small, st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+@settings(max_examples=200)
+def test_cmp_domain_matches_concrete_semantics(v, bound):
+    from repro.symex.expr import apply_op
+
+    bound_u = to_unsigned(bound)
+    for op in COMPARE_OPS:
+        dom = cmp_domain(op, bound_u)
+        concrete = apply_op(op, v, bound_u)
+        assert (v in dom) == bool(concrete), (op, v, bound)
+
+
+@given(small, small, st.integers(min_value=-500, max_value=500))
+def test_intset_shift_is_exact(lo, hi, delta):
+    s = IntSet.of(min(lo, hi), max(lo, hi))
+    shifted = s.shift(delta)
+    for probe in (lo, hi, (lo + hi) // 2):
+        assert to_unsigned(probe + delta) in shifted
+
+
+def test_intset_remove_point_and_size():
+    s = IntSet.of(0, 10).remove_point(5)
+    assert 5 not in s and 4 in s and 6 in s
+    assert s.size() == 10
+
+
+# ---------------------------------------------------------------------------
+# Solver
+# ---------------------------------------------------------------------------
+
+def solve(constraints):
+    return Solver().solve(constraints)
+
+
+def test_binding_chain():
+    x, y = Sym("x"), Sym("y")
+    r = solve([bin_expr("eq", bin_expr("add", x, Const(2)), y),
+               bin_expr("eq", y, Const(9))])
+    assert r.is_sat and r.model["x"] == 7
+
+
+def test_contradiction_is_unsat():
+    x = Sym("x")
+    r = solve([bin_expr("eq", x, Const(1)), bin_expr("eq", x, Const(2))])
+    assert r.is_unsat
+
+
+def test_interval_refinement():
+    x = Sym("x")
+    r = solve([bin_expr("ugt", x, Const(10)), bin_expr("ult", x, Const(12))])
+    assert r.is_sat and r.model["x"] == 11
+
+
+def test_empty_domain_unsat():
+    x = Sym("x")
+    r = solve([bin_expr("ugt", x, Const(10)), bin_expr("ult", x, Const(5))])
+    assert r.is_unsat
+
+
+def test_signed_constraint():
+    x = Sym("x")
+    r = solve([bin_expr("slt", x, Const(0))])
+    assert r.is_sat
+    assert to_signed(r.model["x"]) < 0
+
+
+def test_odd_multiplier_inversion():
+    x = Sym("x")
+    r = solve([bin_expr("eq", bin_expr("mul", x, Const(7)), Const(21))])
+    assert r.is_sat and r.model["x"] == 3
+
+
+def test_wraparound_solution():
+    x = Sym("x")
+    r = solve([bin_expr("eq", bin_expr("add", x, Const(5)), Const(2))])
+    assert r.is_sat
+    assert to_unsigned(r.model["x"] + 5) == 2
+
+
+def test_exhaustive_unsat_on_small_domain():
+    x = Sym("x")
+    r = solve([bin_expr("ule", x, Const(3)),
+               bin_expr("eq", bin_expr("add", x, x), Const(9))])
+    assert r.is_unsat
+
+
+def test_search_over_two_symbols():
+    x, y = Sym("x"), Sym("y")
+    r = solve([
+        bin_expr("ule", x, Const(10)),
+        bin_expr("ule", y, Const(10)),
+        bin_expr("eq", bin_expr("add", x, y), Const(12)),
+        bin_expr("eq", bin_expr("mul", x, Const(2)), y),
+    ])
+    assert r.is_sat
+    assert r.model["x"] + r.model["y"] == 12
+    assert r.model["y"] == 2 * r.model["x"]
+    # and the 3x = 13 variant has no integer solution: provably UNSAT
+    r2 = solve([
+        bin_expr("ule", x, Const(10)),
+        bin_expr("ule", y, Const(10)),
+        bin_expr("eq", bin_expr("add", x, y), Const(13)),
+        bin_expr("eq", bin_expr("mul", x, Const(2)), y),
+    ])
+    assert r2.is_unsat
+
+
+def test_unique_value():
+    x = Sym("x")
+    solver = Solver()
+    value, unique = solver.unique_value(
+        [bin_expr("eq", bin_expr("xor", x, Const(5)), Const(1))], x)
+    assert value == 4 and unique
+    value, unique = solver.unique_value([bin_expr("ule", x, Const(2))], x)
+    assert not unique
+
+
+def test_feasible_values():
+    x = Sym("x")
+    values = Solver().feasible_values([bin_expr("ule", x, Const(2))], x,
+                                      limit=5)
+    assert sorted(values) == [0, 1, 2]
+
+
+@given(st.lists(st.tuples(small, small), min_size=1, max_size=4))
+@settings(max_examples=100)
+def test_sat_models_actually_satisfy(pairs):
+    """Soundness: whenever the solver says SAT, its model checks out."""
+    x = Sym("x")
+    constraints = []
+    for a, b in pairs:
+        constraints.append(bin_expr("ne", bin_expr("add", x, Const(a)),
+                                    Const(b)))
+    result = solve(constraints)
+    if result.is_sat:
+        for c in constraints:
+            assert evaluate(truth_of(c), result.model) == 1
+
+
+@given(small)
+def test_point_constraint_roundtrip(v):
+    x = Sym("x")
+    r = solve([bin_expr("eq", x, Const(v))])
+    assert r.is_sat and r.model["x"] == v

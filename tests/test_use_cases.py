@@ -1,0 +1,228 @@
+"""The paper's three use cases (§3): triage, hardware errors, debugging."""
+
+import pytest
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.core.debugger import ReverseDebugger
+from repro.core.exploitability import (
+    Exploitability,
+    classify_heuristic,
+    classify_with_res,
+)
+from repro.core.hwerror import HardwareVerdict, diagnose
+from repro.core.rootcause import analyze, find_root_cause
+from repro.core.triage import (
+    BugReport,
+    TriageEngine,
+    bucket_accuracy,
+    misbucketed_fraction,
+)
+from repro.baselines.wer import triage as wer_triage
+from repro.workloads import (
+    ATOMICITY_READCHECK,
+    DIV_BY_ZERO,
+    HW_CANARY,
+    PAPER_EVAL_BUGS,
+    RACE_COUNTER,
+    RACE_FLAG,
+    TAINTED_OVERFLOW,
+    UNTAINTED_OVERFLOW,
+    USE_AFTER_FREE,
+    generate_corpus,
+)
+from repro.workloads.hwfaults import (
+    alu_miscompute,
+    clean_scenario,
+    flipped_derived_word,
+    flipped_untouched_word,
+    flipped_written_word,
+)
+
+
+# ---------------------------------------------------------------------------
+# §4: root causes of the three concurrency bugs (the paper's evaluation)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload", PAPER_EVAL_BUGS,
+                         ids=[w.name for w in PAPER_EVAL_BUGS])
+def test_paper_eval_concurrency_root_causes(workload):
+    dump = workload.trigger()
+    cause, suffixes = find_root_cause(
+        workload.module, dump, RESConfig(max_depth=16, max_nodes=8000))
+    assert cause is not None
+    assert cause.kind in ("data-race", "atomicity-violation")
+    assert len(cause.threads) == 2
+    # no false positives: every supporting suffix replays exactly
+    assert all(s.report.ok for s in suffixes)
+
+
+def test_root_cause_use_after_free():
+    dump = USE_AFTER_FREE.trigger()
+    cause, _ = find_root_cause(USE_AFTER_FREE.module, dump,
+                               RESConfig(max_depth=12))
+    assert cause.kind == "use-after-free"
+
+
+def test_root_cause_div_by_zero():
+    dump = DIV_BY_ZERO.trigger()
+    cause, _ = find_root_cause(DIV_BY_ZERO.module, dump,
+                               RESConfig(max_depth=12))
+    assert cause.kind == "div-by-zero"
+
+
+def test_root_cause_signature_is_stable():
+    dump = RACE_FLAG.trigger()
+    causes = set()
+    for _ in range(2):
+        cause, _ = find_root_cause(RACE_FLAG.module, dump,
+                                   RESConfig(max_depth=14, max_nodes=6000))
+        causes.add(cause.signature())
+    assert len(causes) == 1
+
+
+# ---------------------------------------------------------------------------
+# §3.1: triage
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(12, seed=1)
+
+
+def test_wer_splits_causes_across_stack_buckets(corpus):
+    from repro.workloads import TRIAGE_PROGRAM
+
+    results = wer_triage(corpus)
+    buckets = {r.bucket for r in results}
+    causes = {r.true_cause for r in corpus}
+    # more buckets than causes: the stack aliasing WER suffers from
+    assert len(buckets) > len(causes)
+
+
+def test_res_triage_beats_wer(corpus):
+    from repro.workloads import TRIAGE_PROGRAM
+
+    engine = TriageEngine(TRIAGE_PROGRAM.module,
+                          RESConfig(max_depth=24, max_nodes=4000))
+    res_results = engine.triage(corpus)
+    wer_results = wer_triage(corpus)
+    res_acc = bucket_accuracy(res_results, corpus)
+    wer_acc = bucket_accuracy(wer_results, corpus)
+    assert res_acc > wer_acc
+    assert misbucketed_fraction(res_results, corpus) \
+        <= misbucketed_fraction(wer_results, corpus)
+
+
+# ---------------------------------------------------------------------------
+# §3.1: exploitability
+# ---------------------------------------------------------------------------
+
+def test_res_flags_tainted_overflow_exploitable():
+    dump = TAINTED_OVERFLOW.trigger()
+    verdict = classify_with_res(TAINTED_OVERFLOW.module, dump,
+                                RESConfig(max_depth=12))
+    assert verdict.rating is Exploitability.EXPLOITABLE
+
+
+def test_res_clears_untainted_overflow():
+    dump = UNTAINTED_OVERFLOW.trigger()
+    verdict = classify_with_res(UNTAINTED_OVERFLOW.module, dump,
+                                RESConfig(max_depth=12))
+    assert verdict.rating is Exploitability.PROBABLY_NOT
+
+
+def test_heuristic_baseline_false_positives():
+    """!exploitable-style rating is fooled by the untainted twin."""
+    dump = UNTAINTED_OVERFLOW.trigger()
+    assert classify_heuristic(dump).rating is Exploitability.EXPLOITABLE
+
+
+# ---------------------------------------------------------------------------
+# §3.2: hardware errors
+# ---------------------------------------------------------------------------
+
+def test_clean_coredump_is_software():
+    sc = clean_scenario()
+    assert diagnose(HW_CANARY.module, sc.coredump).verdict \
+        is HardwareVerdict.SOFTWARE
+
+
+def test_bit_flip_in_written_word_detected():
+    sc = flipped_written_word()
+    assert diagnose(HW_CANARY.module, sc.coredump).verdict \
+        is HardwareVerdict.HARDWARE
+
+
+def test_cpu_style_inconsistency_detected():
+    sc = flipped_derived_word()
+    assert diagnose(HW_CANARY.module, sc.coredump).verdict \
+        is HardwareVerdict.HARDWARE
+
+
+def test_alu_miscompute_detected():
+    sc = alu_miscompute()
+    assert diagnose(HW_CANARY.module, sc.coredump).verdict \
+        is HardwareVerdict.HARDWARE
+
+
+def test_untouched_flip_is_the_admitted_blind_spot():
+    """The paper concedes full accuracy needs all suffixes; corruption
+    outside every suffix's write set passes as software."""
+    sc = flipped_untouched_word()
+    assert diagnose(HW_CANARY.module, sc.coredump).verdict \
+        is HardwareVerdict.SOFTWARE
+
+
+# ---------------------------------------------------------------------------
+# §3.3: reverse debugging
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def debug_session():
+    dump = RACE_FLAG.trigger()
+    res = ReverseExecutionSynthesizer(RACE_FLAG.module, dump,
+                                      RESConfig(max_depth=14, max_nodes=8000))
+    chosen = None
+    for s in res.suffixes():
+        chosen = s
+        if len(s.suffix.threads_involved()) > 1:
+            break
+    return ReverseDebugger(RACE_FLAG.module, chosen)
+
+
+def test_debugger_runs_to_failure(debug_session):
+    dbg = debug_session
+    pc = dbg.run_to_failure()
+    assert pc == dbg.suffix.coredump.trap.pc
+    dbg.reverse_step(dbg.total_steps)
+
+
+def test_debugger_reverse_step_is_deterministic(debug_session):
+    dbg = debug_session
+    dbg.run_to_failure()
+    end_pc = dbg.current_pc()
+    dbg.reverse_step(2)
+    dbg.step(2)
+    assert dbg.current_pc() == end_pc
+    dbg.reverse_step(dbg.total_steps)
+
+
+def test_debugger_prints_source_variables(debug_session):
+    dbg = debug_session
+    dbg.run_to_failure()
+    # 'd' holds the stale read of data (the assert's operand)
+    value = dbg.print_var("d", tid=dbg.suffix.coredump.trap.tid)
+    assert value is not None and value != 42
+    dbg.reverse_step(dbg.total_steps)
+
+
+def test_debugger_focus_sets(debug_session):
+    dbg = debug_session
+    layout = RACE_FLAG.module.layout()
+    touched = dbg.focus_read_set() | dbg.focus_write_set()
+    assert layout["flag"] in touched or layout["data"] in touched
+
+
+def test_debugger_info_threads(debug_session):
+    info = debug_session.info_threads()
+    assert 0 in info

@@ -1,0 +1,108 @@
+"""Tests for debugger watchpoints (§3.3's gdb `watch` over a suffix)."""
+
+import pytest
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.core.debugger import ReverseDebugger
+from repro.errors import ReplayError
+from repro.workloads import FIGURE1_OVERFLOW, RACE_FLAG
+
+
+def deepest(workload, max_depth=16):
+    dump = workload.trigger()
+    res = ReverseExecutionSynthesizer(
+        workload.module, dump, RESConfig(max_depth=max_depth))
+    best = None
+    for item in res.suffixes():
+        best = item
+    assert best is not None
+    return best
+
+
+@pytest.fixture()
+def figure1_debugger():
+    return ReverseDebugger(FIGURE1_OVERFLOW.module, deepest(FIGURE1_OVERFLOW))
+
+
+def test_watchpoint_on_global_by_name(figure1_debugger):
+    wp = figure1_debugger.add_watchpoint("y")
+    assert wp.label == "y"
+    assert wp.addr == FIGURE1_OVERFLOW.module.layout()["y"]
+
+
+def test_watchpoint_on_raw_address(figure1_debugger):
+    addr = FIGURE1_OVERFLOW.module.layout()["x"]
+    wp = figure1_debugger.add_watchpoint(addr)
+    assert wp.addr == addr
+
+
+def test_watchpoint_unknown_global_rejected(figure1_debugger):
+    with pytest.raises(ReplayError):
+        figure1_debugger.add_watchpoint("no_such_global")
+
+
+def test_continue_stops_on_watched_write(figure1_debugger):
+    figure1_debugger.add_watchpoint("y")
+    figure1_debugger.continue_()
+    assert figure1_debugger.last_watch_hit is not None
+    assert "y" in figure1_debugger.last_watch_hit
+    assert "-> 10" in figure1_debugger.last_watch_hit
+    # stopped strictly before the failure
+    assert not figure1_debugger.at_end
+
+
+def test_continue_resumes_past_watch_hit(figure1_debugger):
+    figure1_debugger.add_watchpoint("y")
+    figure1_debugger.continue_()
+    first_stop = figure1_debugger.position
+    figure1_debugger.continue_()   # no further change: runs to the end
+    assert figure1_debugger.at_end
+    assert figure1_debugger.position > first_stop
+
+
+def test_watchpoint_sees_each_change():
+    """In the deepest Figure 1 suffix x is written once; the watch
+    fires exactly once across the whole run."""
+    debugger = ReverseDebugger(FIGURE1_OVERFLOW.module,
+                               deepest(FIGURE1_OVERFLOW))
+    debugger.add_watchpoint("x")
+    hits = []
+    while not debugger.at_end:
+        debugger.continue_()
+        if debugger.last_watch_hit:
+            hits.append(debugger.last_watch_hit)
+    assert len(hits) == 1
+
+
+def test_reverse_step_resyncs_watchpoints(figure1_debugger):
+    wp = figure1_debugger.add_watchpoint("y")
+    figure1_debugger.continue_()          # y: 0 -> 10
+    assert wp.last_value == 10
+    figure1_debugger.reverse_step(figure1_debugger.position)
+    assert wp.last_value == 0             # rewound with the state
+    figure1_debugger.continue_()
+    assert figure1_debugger.last_watch_hit is not None
+
+
+def test_watchpoint_across_threads():
+    """The watch fires when *another* thread writes the watched word."""
+    synthesized = deepest(RACE_FLAG, max_depth=14)
+    debugger = ReverseDebugger(RACE_FLAG.module, synthesized)
+    if len(synthesized.suffix.threads_involved()) < 2:
+        pytest.skip("suffix did not interleave threads")
+    debugger.add_watchpoint("flag")
+    debugger.continue_()
+    if debugger.last_watch_hit is None:
+        pytest.skip("flag already set before the suffix horizon")
+    assert "flag" in debugger.last_watch_hit
+
+
+def test_breakpoint_and_watchpoint_compose(figure1_debugger):
+    figure1_debugger.add_breakpoint("main", "endif3")
+    figure1_debugger.add_watchpoint("y")
+    figure1_debugger.continue_()
+    # the y write happens inside then1, before endif3
+    assert figure1_debugger.last_watch_hit is not None
+    figure1_debugger.continue_()
+    pc = figure1_debugger.current_pc()
+    assert pc is not None and pc.block == "endif3"

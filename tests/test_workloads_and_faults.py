@@ -1,0 +1,91 @@
+"""Workload catalog integrity and fault injection."""
+
+import pytest
+
+from repro.ir.verify import verify_module
+from repro.vm import ALUFaultInjector, RunStatus, TrapKind, VM, flip_bit
+from repro.vm.faults import random_bit_flips, stray_dma_write
+from repro.workloads import REGISTRY, generate_corpus
+from repro.workloads.hwfaults import standard_scenarios
+
+
+@pytest.mark.parametrize("name", REGISTRY.names())
+def test_every_workload_compiles_and_verifies(name):
+    workload = REGISTRY.get(name)
+    verify_module(workload.module)
+
+
+@pytest.mark.parametrize("name", REGISTRY.names())
+def test_every_workload_triggers_its_expected_trap(name):
+    workload = REGISTRY.get(name)
+    if name == "triage_corpus":
+        pytest.skip("driven via generate_corpus")
+    dump = workload.trigger()
+    assert dump.trap.kind is workload.expected_trap
+
+
+def test_registry_rejects_duplicates():
+    from repro.errors import ReproError
+    from repro.workloads import Workload, WorkloadRegistry
+
+    reg = WorkloadRegistry()
+    w = REGISTRY.get("race_flag")
+    reg.register(w)
+    with pytest.raises(ReproError):
+        reg.register(w)
+
+
+def test_corpus_generation_is_deterministic_and_labelled():
+    a = generate_corpus(6, seed=3)
+    b = generate_corpus(6, seed=3)
+    assert [r.true_cause for r in a] == [r.true_cause for r in b]
+    assert {r.true_cause for r in a} <= {"overflow-into-state", "logic-store"}
+    for report in a:
+        assert report.coredump.trap.kind is TrapKind.ASSERT_FAIL
+
+
+def test_flip_bit_changes_exactly_one_bit():
+    from repro.workloads import HW_CANARY
+
+    dump = HW_CANARY.trigger()
+    addr = HW_CANARY.module.layout()["stamp"]
+    original = dump.read(addr)
+    fault = flip_bit(dump, addr, bit=3)
+    assert dump.read(addr) == original ^ 8
+    assert fault.original == original
+
+
+def test_stray_dma_write_overwrites():
+    from repro.workloads import HW_CANARY
+
+    dump = HW_CANARY.trigger()
+    addr = HW_CANARY.module.layout()["stamp"]
+    stray_dma_write(dump, addr, 0xDEAD)
+    assert dump.read(addr) == 0xDEAD
+
+
+def test_random_bit_flips_reproducible():
+    from repro.workloads import HW_CANARY
+
+    dump_a = HW_CANARY.trigger()
+    dump_b = HW_CANARY.trigger()
+    faults_a = random_bit_flips(dump_a, 3, seed=5)
+    faults_b = random_bit_flips(dump_b, 3, seed=5)
+    assert [(f.addr, f.bit) for f in faults_a] == \
+        [(f.addr, f.bit) for f in faults_b]
+
+
+def test_alu_injector_fires_once():
+    from repro.workloads import HW_CANARY
+
+    injector = ALUFaultInjector(op="add", fire_at=1, xor_mask=2)
+    result = VM(HW_CANARY.module, inputs=[4], alu_fault=injector).run()
+    assert injector.fired is not None
+    assert injector.fired.corrupted == injector.fired.original ^ 2
+
+
+def test_standard_scenarios_cover_both_truths():
+    scenarios = standard_scenarios()
+    assert any(s.is_hardware for s in scenarios)
+    assert any(not s.is_hardware for s in scenarios)
+    assert any(s.is_hardware and not s.detectable for s in scenarios)
