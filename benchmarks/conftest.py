@@ -4,11 +4,107 @@ Each ``test_*`` module regenerates one table/figure of the paper (see
 DESIGN.md's experiment index).  Measured rows are printed with the
 ``[ROW]`` prefix so EXPERIMENTS.md can be cross-checked against a run's
 output directly.
+
+Performance trajectory: every benchmark test is timed by an autouse
+fixture that appends a row to ``BENCH_res.json`` at the repo root, so
+the perf history is machine-readable from PR 1 onward.  Structured
+results (the throughput benchmark's before/after numbers) land in the
+same file under their own keys via :func:`bench_record`.
 """
 
 from __future__ import annotations
+
+import fcntl
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_res.json"
+
+#: cap on retained per-test timing rows (oldest dropped first)
+_MAX_TIMINGS = 500
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: macro performance benchmark (throughput / speedup "
+        "measurements recorded in BENCH_res.json)")
 
 
 def emit_row(experiment: str, **fields) -> None:
     parts = " ".join(f"{key}={value}" for key, value in fields.items())
     print(f"\n[ROW] {experiment}: {parts}")
+
+
+# ---------------------------------------------------------------------------
+# BENCH_res.json bookkeeping
+# ---------------------------------------------------------------------------
+
+def _load_bench() -> dict:
+    if BENCH_PATH.exists():
+        try:
+            return json.loads(BENCH_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass
+    return {}
+
+
+def _save_bench(payload: dict) -> None:
+    # Atomic replace: an interrupted write must never leave a truncated
+    # file behind (a corrupt file would reset the whole history on the
+    # next load).
+    fd, tmp_path = tempfile.mkstemp(dir=BENCH_PATH.parent,
+                                    prefix=BENCH_PATH.name + ".")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp_path, BENCH_PATH)
+    except BaseException:
+        os.unlink(tmp_path)
+        raise
+
+
+def _update_bench(mutate) -> None:
+    """Locked read-modify-write so concurrent pytest runs (xdist
+    workers, parallel terminals) never lose each other's rows."""
+    lock_path = BENCH_PATH.parent / f".{BENCH_PATH.name}.lock"
+    with open(lock_path, "w") as lock:
+        fcntl.flock(lock, fcntl.LOCK_EX)
+        payload = _load_bench()
+        mutate(payload)
+        _save_bench(payload)
+
+
+def bench_record(section: str, entry: dict) -> None:
+    """Append a structured result row under ``section``."""
+
+    def mutate(payload: dict) -> None:
+        payload.setdefault(section, []).append(
+            dict(entry, recorded_at=round(time.time(), 1)))
+
+    _update_bench(mutate)
+
+
+@pytest.fixture(autouse=True)
+def perf_timer(request):
+    """Time every benchmark test and append the wall clock to
+    ``BENCH_res.json`` — the machine-readable perf trajectory."""
+    start = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - start
+
+    def mutate(payload: dict) -> None:
+        timings = payload.setdefault("timings", [])
+        timings.append({
+            "test": request.node.nodeid,
+            "seconds": round(elapsed, 4),
+            "recorded_at": round(time.time(), 1),
+        })
+        del timings[:-_MAX_TIMINGS]
+
+    _update_bench(mutate)

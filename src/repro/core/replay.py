@@ -54,9 +54,19 @@ class SuffixReplayer:
 
     # ------------------------------------------------------------------
 
-    def replay(self, suffix: ExecutionSuffix) -> ReplayReport:
-        """Solve, instantiate, drive, verify."""
-        result = self.solver.solve(suffix.constraints)
+    def replay(self, suffix: ExecutionSuffix,
+               presolved=None) -> ReplayReport:
+        """Solve, instantiate, drive, verify.
+
+        ``presolved`` short-circuits the constraint solve with a
+        :class:`~repro.symex.solver.SolveResult` the backward search
+        already computed for exactly this suffix's conjunction — the
+        emit path then costs only instantiation + drive + verify
+        instead of re-solving a suffix-deep constraint set per emitted
+        suffix.
+        """
+        result = presolved if presolved is not None \
+            else self.solver.solve(suffix.constraints)
         if not result.is_sat or result.model is None:
             return ReplayReport(ok=False, mismatches=[
                 f"cannot materialize suffix: solver says {result.status.value}"

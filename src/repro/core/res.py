@@ -24,20 +24,26 @@ error-log tail, shrinking both the search space and the solution space.
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.errors import SynthesisError
-from repro.ir.instructions import BrInst, CBrInst
+from repro.ir.instructions import BrInst, CallInst, CBrInst
 from repro.ir.module import Module
-from repro.symex.expr import Const, bin_expr
+from repro.symex.expr import Const, Expr, bin_expr
 from repro.symex.solver import Solver
 from repro.vm.coredump import Coredump
 from repro.vm.lbr import LBRMode
 from repro.vm.state import PC
 from repro.core.replay import ReplayReport, SuffixReplayer
-from repro.core.segments import CandidateEnumerator, Segment, SegmentKind
+from repro.core.segments import (
+    CandidateEnumerator,
+    Segment,
+    SegmentKind,
+    prev_boundary,
+)
 from repro.core.slice_exec import SegmentExecutor, SegmentResult
 from repro.core.snapshot import SymbolicSnapshot
 from repro.core.static_filter import WriterIndexFilter
@@ -66,6 +72,13 @@ class RESConfig:
     #: snapshot before symbolically executing them (Figure 1's
     #: "determines statically which predecessors are possible")
     use_writer_index: bool = False
+    #: incremental hot path: copy-on-write child snapshots, per-node
+    #: solver contexts extended with only each candidate's delta
+    #: constraints, a search-wide solver verdict cache, and model reuse
+    #: on the replay path.  Disable to run the original from-scratch
+    #: pipeline (the A/B baseline for the throughput benchmark); both
+    #: modes must produce identical suffixes and prune counters.
+    incremental: bool = True
 
 
 @dataclass
@@ -92,6 +105,16 @@ class SynthesisStats:
     complete_reconstructions: int = 0
     #: nodes that hit the depth horizon while still consistent
     max_depth_hits: int = 0
+    #: solver effort (incremental-mode observability): total solve
+    #: queries issued by this synthesizer and how many were answered
+    #: from the shared verdict cache without a search
+    solver_calls: int = 0
+    solver_cache_hits: int = 0
+    #: per-phase wall-clock seconds (candidate enumeration + static
+    #: filters, symbolic segment execution, replay verification)
+    time_enumerate: float = 0.0
+    time_execute: float = 0.0
+    time_replay: float = 0.0
 
 
 @dataclass
@@ -133,15 +156,20 @@ class ReverseExecutionSynthesizer:
         self.coredump = coredump
         self.config = config or RESConfig()
         self.solver = solver or Solver()
-        self.enumerator = CandidateEnumerator(
+        self.enumerator = CandidateEnumerator.for_module(
             module, atomic_fns=self.config.atomic_calls)
         self.executor = SegmentExecutor(
             module, solver=self.solver,
-            atomic_calls=self.config.atomic_calls)
+            atomic_calls=self.config.atomic_calls,
+            incremental=self.config.incremental)
         self.replayer = SuffixReplayer(module, solver=self.solver)
-        self.writer_index = WriterIndexFilter(module) \
+        self.writer_index = WriterIndexFilter.for_module(module) \
             if self.config.use_writer_index else None
         self.stats = SynthesisStats()
+        # The solver may be shared/injected: report only this
+        # synthesizer's share of its counters.
+        self._solver_calls_base = self.solver.stat_calls
+        self._solver_hits_base = self.solver.stat_cache_hits
 
     # ------------------------------------------------------------------
     # Public API
@@ -153,23 +181,32 @@ class ReverseExecutionSynthesizer:
                                                        self.coredump),
                      steps_backward=[])
         queue: Deque[_Node] = deque([root])
-        while queue:
-            if self.stats.nodes_expanded >= self.config.max_nodes:
-                return
-            node = queue.popleft()
-            if node.depth >= self.config.max_depth:
-                self.stats.max_depth_hits += 1
-                continue
-            self.stats.nodes_expanded += 1
-            children = self._expand(node)
-            if not children and node.depth == 0:
-                self.stats.first_step_infeasible = True
-            for child in children:
-                emitted = self._maybe_emit(child)
-                if emitted is not None:
-                    yield emitted
-                queue.append(child)
-        self.stats.exhausted = True
+        try:
+            while queue:
+                if self.stats.nodes_expanded >= self.config.max_nodes:
+                    return
+                node = queue.popleft()
+                if node.depth >= self.config.max_depth:
+                    self.stats.max_depth_hits += 1
+                    continue
+                self.stats.nodes_expanded += 1
+                children = self._expand(node)
+                if not children and node.depth == 0:
+                    self.stats.first_step_infeasible = True
+                for child in children:
+                    emitted = self._maybe_emit(child)
+                    if emitted is not None:
+                        yield emitted
+                    queue.append(child)
+            self.stats.exhausted = True
+        finally:
+            self._sync_solver_stats()
+
+    def _sync_solver_stats(self) -> None:
+        self.stats.solver_calls = self.solver.stat_calls \
+            - self._solver_calls_base
+        self.stats.solver_cache_hits = self.solver.stat_cache_hits \
+            - self._solver_hits_base
 
     def synthesize(self, min_depth: int = 1,
                    max_suffixes: int = 1) -> List[SynthesizedSuffix]:
@@ -198,6 +235,7 @@ class ReverseExecutionSynthesizer:
 
     def _expand(self, node: _Node) -> List[_Node]:
         children: List[_Node] = []
+        phase_start = time.perf_counter()
         candidates = self.enumerator.candidates(node.snapshot)
         if not candidates and node.depth > 0:
             # Every thread is at its start: a full reconstruction.
@@ -215,7 +253,9 @@ class ReverseExecutionSynthesizer:
                     self.stats.pruned_by_lbr += 1
                     continue
             self.stats.candidates_executed += 1
+            self.stats.time_enumerate += time.perf_counter() - phase_start
             result = self._execute_extending(node.snapshot, segment)
+            phase_start = time.perf_counter()
             if not result.feasible:
                 if "incompatible" in result.reason:
                     self.stats.pruned_incompatible += 1
@@ -235,6 +275,7 @@ class ReverseExecutionSynthesizer:
                     continue
             self.stats.feasible_extensions += 1
             children.append(child)
+        self.stats.time_enumerate += time.perf_counter() - phase_start
         return children
 
     def _execute_extending(self, snapshot: SymbolicSnapshot,
@@ -249,26 +290,27 @@ class ReverseExecutionSynthesizer:
         to the previous boundary and retry.  Extension stops at block
         start and at call-landing boundaries (frame structure changes).
         """
-        from dataclasses import replace
-
-        from repro.ir.instructions import CallInst
-        from repro.core.segments import prev_boundary
-
-        while True:
-            result = self.executor.execute(snapshot, segment)
-            if result.feasible or "symbolic" not in result.reason:
-                return result
-            if segment.lo == 0:
-                return result
-            block = self.module.function(segment.function).block(segment.block)
-            prev_instr = block.instrs[segment.lo - 1]
-            if isinstance(prev_instr, CallInst) \
-                    and prev_instr.callee not in self.config.atomic_calls:
-                return result  # cannot extend across a call landing
-            new_lo = prev_boundary(block, segment.lo, self.config.atomic_calls)
-            if new_lo >= segment.lo:
-                return result
-            segment = replace(segment, lo=new_lo)
+        phase_start = time.perf_counter()
+        try:
+            while True:
+                result = self.executor.execute(snapshot, segment)
+                if result.feasible or "symbolic" not in result.reason:
+                    return result
+                if segment.lo == 0:
+                    return result
+                block = self.module.function(segment.function).block(
+                    segment.block)
+                prev_instr = block.instrs[segment.lo - 1]
+                if isinstance(prev_instr, CallInst) \
+                        and prev_instr.callee not in self.config.atomic_calls:
+                    return result  # cannot extend across a call landing
+                new_lo = prev_boundary(block, segment.lo,
+                                       self.config.atomic_calls)
+                if new_lo >= segment.lo:
+                    return result
+                segment = replace(segment, lo=new_lo)
+        finally:
+            self.stats.time_execute += time.perf_counter() - phase_start
 
     # ------------------------------------------------------------------
     # Breadcrumbs
@@ -333,18 +375,35 @@ class ReverseExecutionSynthesizer:
         return True, 1
 
     def _bind_log(self, child: _Node, result: SegmentResult) -> bool:
-        """Bind the segment's outputs to the error-log tail (backward)."""
+        """Bind the segment's outputs to the error-log tail (backward).
+
+        The bindings are collected first and appended through the
+        snapshot's constraint API only once the whole tail matches:
+        the child snapshot structurally shares state with its parent
+        and siblings, so in-place mutation of its constraint list
+        would corrupt every node sharing it (and would leak partial
+        bindings from rejected candidates).
+        """
         tail = self.coredump.log_tail
+        bound: List[Expr] = []
+        cursor = child.log_cursor
         for expr, pc in reversed(result.outputs):
-            idx = len(tail) - 1 - child.log_cursor
+            idx = len(tail) - 1 - cursor
             if idx < 0:
                 break  # older than the retained log: unconstrained
             tid, value, logged_pc = tail[idx]
             if tid != result.segment.tid or logged_pc != pc:
                 return False
-            child.snapshot.constraints.append(
-                bin_expr("eq", expr, Const(value)))
-            child.log_cursor += 1
+            bound.append(bin_expr("eq", expr, Const(value)))
+            cursor += 1
+        child.log_cursor = cursor
+        if bound:
+            ctx = child.snapshot.solver_ctx
+            if self.config.incremental and ctx is not None:
+                child.snapshot.append_constraints(
+                    bound, solver_ctx=self.solver.extend_context(ctx, bound))
+            else:
+                child.snapshot.append_constraints(bound)
         return True
 
     # ------------------------------------------------------------------
@@ -359,7 +418,19 @@ class ReverseExecutionSynthesizer:
                                      report=ReplayReport(ok=False, mismatches=[
                                          "verification disabled"]))
         self.stats.replays_attempted += 1
-        report = self.replayer.replay(suffix)
+        # The compatibility check that admitted this node already solved
+        # exactly this conjunction; reuse its model instead of paying a
+        # suffix-deep re-solve per emitted suffix.
+        presolved = None
+        if self.config.incremental:
+            ctx = node.snapshot.solver_ctx
+            if ctx is not None and ctx.result is not None \
+                    and ctx.result.is_sat \
+                    and len(ctx.constraints) == len(suffix.constraints):
+                presolved = ctx.result
+        phase_start = time.perf_counter()
+        report = self.replayer.replay(suffix, presolved=presolved)
+        self.stats.time_replay += time.perf_counter() - phase_start
         if not report.ok:
             self.stats.replays_failed += 1
             return None

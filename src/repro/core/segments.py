@@ -81,7 +81,19 @@ def boundaries(block: BasicBlock,
     Calls to ``atomic_fns`` do not create an after-call boundary: the
     whole call is re-executed inline by the segment executor (the §6
     hard-construct fallback), so backward navigation never stops inside.
+
+    The result is a pure function of the (immutable-once-compiled)
+    block, so it is memoized on the block per atomic set — candidate
+    enumeration and segment widening query it for every expansion.
+    Callers must not mutate the returned list.
     """
+    cache = getattr(block, "_boundary_cache", None)
+    if cache is None:
+        cache = {}
+        block._boundary_cache = cache  # type: ignore[attr-defined]
+    points = cache.get(atomic_fns)
+    if points is not None:
+        return points
     points = [0]
     for k, instr in enumerate(block.instrs):
         if k > 0 and isinstance(instr, SHARED_EFFECT_INSTRS):
@@ -89,7 +101,9 @@ def boundaries(block: BasicBlock,
         if k > 0 and isinstance(block.instrs[k - 1], CallInst) \
                 and block.instrs[k - 1].callee not in atomic_fns:
             points.append(k)
-    return sorted(set(points))
+    points = sorted(set(points))
+    cache[atomic_fns] = points
+    return points
 
 
 def prev_boundary(block: BasicBlock, index: int,
@@ -120,6 +134,23 @@ class CandidateEnumerator:
         self.module = module
         self.atomic_fns = atomic_fns
         self._cfgs: Dict[str, CFG] = {}
+
+    @classmethod
+    def for_module(cls, module: Module,
+                   atomic_fns: frozenset = frozenset()
+                   ) -> "CandidateEnumerator":
+        """Shared per-module enumerator (CFGs and boundary tables are a
+        pure function of the module, so every synthesizer for the same
+        program reuses one instance instead of rebuilding them)."""
+        cache = getattr(module, "_candidate_enum_cache", None)
+        if cache is None:
+            cache = {}
+            module._candidate_enum_cache = cache  # type: ignore[attr-defined]
+        inst = cache.get(atomic_fns)
+        if inst is None:
+            inst = cls(module, atomic_fns)
+            cache[atomic_fns] = inst
+        return inst
 
     def _cfg(self, function: str) -> CFG:
         if function not in self._cfgs:

@@ -148,18 +148,33 @@ class SegmentExecutor:
 
     def __init__(self, module: Module, solver: Optional[Solver] = None,
                  atomic_calls: FrozenSet[str] = frozenset(),
-                 max_fixpoint: int = 16, atomic_budget: int = 50_000):
+                 max_fixpoint: int = 16, atomic_budget: int = 50_000,
+                 incremental: bool = True):
         self.module = module
         self.solver = solver or Solver()
         self.atomic_calls = atomic_calls
         self.max_fixpoint = max_fixpoint
         self.atomic_budget = atomic_budget
+        #: incremental mode: COW child snapshots + per-node solver
+        #: contexts + the delta-verdict cache (RESConfig.incremental)
+        self.incremental = incremental
+        self._layout = module.layout()
 
     # ------------------------------------------------------------------
 
+    def _context(self, snapshot: SymbolicSnapshot):
+        """The snapshot's solver context, built lazily on first use."""
+        ctx = snapshot.solver_ctx
+        if ctx is None:
+            ctx = self.solver.context_for(snapshot.constraints)
+            snapshot.solver_ctx = ctx
+        return ctx
+
     def execute(self, snapshot: SymbolicSnapshot,
                 segment: Segment) -> SegmentResult:
-        child = snapshot.child()
+        if self.incremental:
+            self._context(snapshot)  # materialize before children share it
+        child = snapshot.child(cow=self.incremental)
         force_fresh: Dict[int, Sym] = {}
         attempt: Optional[_Attempt] = None
         try:
@@ -186,8 +201,13 @@ class SegmentExecutor:
                                  reason="lock state inconsistent with segment")
         new_constraints = self._compatibility(snapshot, child, segment,
                                               attempt, force_fresh)
-        all_constraints = child.constraints + new_constraints
-        verdict = self.solver.solve(all_constraints)
+        child_ctx = None
+        if self.incremental:
+            verdict, child_ctx = self.solver.solve_extended(
+                self._context(snapshot), tuple(new_constraints))
+        else:
+            verdict = self.solver.solve(
+                list(child.constraints) + new_constraints)
         if verdict.is_unsat:
             return SegmentResult(segment=segment, feasible=False,
                                  reason="incompatible (S' does not cover S_post)",
@@ -195,7 +215,7 @@ class SegmentExecutor:
                                  solver_nodes=verdict.nodes_explored)
 
         self._build_pre_state(snapshot, child, segment, attempt, force_fresh,
-                              new_constraints, lock_pre)
+                              new_constraints, lock_pre, child_ctx)
         return SegmentResult(
             segment=segment, feasible=True, snapshot=child,
             new_constraints=new_constraints,
@@ -380,14 +400,15 @@ class SegmentExecutor:
                          child: SymbolicSnapshot, segment: Segment,
                          attempt: _Attempt, force_fresh: Dict[int, Sym],
                          new_constraints: List[Expr],
-                         lock_pre: Dict[int, Optional[int]]) -> None:
-        thread = child.threads[segment.tid]
+                         lock_pre: Dict[int, Optional[int]],
+                         child_ctx=None) -> None:
+        thread = child.thread_for_write(segment.tid)
 
         if segment.kind is SegmentKind.ENTER_CALL:
             callee = thread.frames.pop()
-            child.stack_tops[segment.tid] = (
-                child.stack_tops.get(segment.tid,
-                                     _stack_base(segment.tid))
+            child.set_stack_top(
+                segment.tid,
+                child.stack_tops.get(segment.tid, _stack_base(segment.tid))
                 - callee.frame_words)
         elif segment.kind is SegmentKind.RETURN:
             func = self.module.function(segment.function)
@@ -405,7 +426,7 @@ class SegmentExecutor:
                 regs={}, frame_base=old_top, frame_words=func.frame_words,
                 ret_dst=ret_dst,
             )
-            child.stack_tops[segment.tid] = old_top + func.frame_words
+            child.set_stack_top(segment.tid, old_top + func.frame_words)
             thread.frames.append(remat)
             if attempt.caller_dst_written is not None:
                 depth, reg = attempt.caller_dst_written
@@ -429,21 +450,17 @@ class SegmentExecutor:
         # Rewind allocator and liveness bookkeeping.
         if attempt.alloc_bases:
             consumed = set(attempt.alloc_bases)
-            child.remaining_allocs = [
-                (b, s) for b, s in child.remaining_allocs if b not in consumed
-            ]
+            child.set_remaining_allocs(
+                (b, s) for b, s in child.remaining_allocs if b not in consumed)
         for base in attempt.free_bases:
-            child.live_at_start[base] = True
+            child.set_live_at_start(base, True)
 
         # Rewind lock ownership to the segment's required pre-state.
         for addr, owner in lock_pre.items():
-            if owner is None:
-                child.lock_owners.pop(addr, None)
-            else:
-                child.lock_owners[addr] = owner
+            child.set_lock_owner(addr, owner)
 
-        child.constraints = child.constraints + new_constraints
-        child.input_sym_names = ([s.name for s in attempt.input_syms]
+        child.append_constraints(new_constraints, solver_ctx=child_ctx)
+        child.input_sym_names = (tuple(s.name for s in attempt.input_syms)
                                  + child.input_sym_names)
         if segment.kind is SegmentKind.TRAP:
             child.trap_pending = False
@@ -513,12 +530,18 @@ class _ExecContext:
                         value_hint: Optional[Expr] = None) -> int:
         if isinstance(expr, Const):
             return expr.value
-        constraints = self.child.constraints + self.attempt.constraints
-        value, unique = self.solver.unique_value(constraints, expr)
+        if self.executor.incremental:
+            value, unique = self.solver.unique_value_extended(
+                self.snapshot.solver_ctx, tuple(self.attempt.constraints),
+                expr)
+        else:
+            constraints = (list(self.child.constraints)
+                           + self.attempt.constraints)
+            value, unique = self.solver.unique_value(constraints, expr)
         if value is None:
             raise _Prune(f"unsolvable symbolic {what} address")
         if not unique:
-            pinned = self._value_guided_address(expr, value_hint, constraints)
+            pinned = self._value_guided_address(expr, value_hint)
             if pinned is None:
                 raise _Prune(f"ambiguous symbolic {what} address")
             value = pinned
@@ -526,9 +549,19 @@ class _ExecContext:
         self.attempt.constraints.append(bin_expr("eq", expr, Const(value)))
         return value
 
+    def _probe_feasible(self, probe_delta: List[Expr]) -> bool:
+        """Is ``snapshot constraints + attempt constraints + probe`` not
+        provably UNSAT?"""
+        delta = tuple(self.attempt.constraints) + tuple(probe_delta)
+        if self.executor.incremental:
+            result, _ = self.solver.solve_extended(
+                self.snapshot.solver_ctx, delta, want_context=False)
+            return not result.is_unsat
+        constraints = list(self.child.constraints) + list(delta)
+        return not self.solver.solve(constraints).is_unsat
+
     def _value_guided_address(self, addr_expr: Expr,
-                              value_hint: Optional[Expr],
-                              constraints: List[Expr]) -> Optional[int]:
+                              value_hint: Optional[Expr]) -> Optional[int]:
         """Resolve an under-constrained store address via the coredump.
 
         The paper omits symbolic-pointer handling; our rule: the store's
@@ -545,8 +578,7 @@ class _ExecContext:
         for addr, word in self.snapshot.coredump.memory.items():
             if word != want or addr in overlay:
                 continue
-            probe = constraints + [bin_expr("eq", addr_expr, Const(addr))]
-            if not self.solver.solve(probe).is_unsat:
+            if self._probe_feasible([bin_expr("eq", addr_expr, Const(addr))]):
                 candidates.append(addr)
                 if len(candidates) > 1:
                     return None
@@ -578,7 +610,7 @@ class _ExecContext:
         taint_sources.update(s.name for s in self.attempt.input_syms)
         if free_syms(addr_expr) & taint_sources:
             self.attempt.tainted_store = True
-        layout = self.module.layout()
+        layout = self.executor._layout
         for tag in prov:
             kind, _, name = tag.partition(":")
             if kind == "g" and name in self.module.globals:
@@ -602,8 +634,7 @@ class _ExecContext:
         if isinstance(instr, ConstInst):
             self.set_reg(instr.dst, Const(instr.value))
         elif isinstance(instr, GAddrInst):
-            layout = self.module.layout()
-            self.set_reg(instr.dst, Const(layout[instr.name]),
+            self.set_reg(instr.dst, Const(self.executor._layout[instr.name]),
                          frozenset([f"g:{instr.name}"]))
         elif isinstance(instr, FrameAddrInst):
             self.set_reg(instr.dst, Const(self.frame.frame_base + instr.offset),

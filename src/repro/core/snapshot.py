@@ -18,12 +18,22 @@ Concretely, a snapshot is:
 
 Snapshots are immutable from the search's point of view: each backward
 step builds a new one (`SymbolicSnapshot.child`).
+
+Derivation is copy-on-write: ``child()`` shares the parent's memory
+overlay (layered), thread objects, bookkeeping dicts, and constraint
+tuple, and copies a piece only when the segment executor first mutates
+it through the ``set_*`` / ``thread_for_write`` / ``append_constraints``
+APIs below.  That makes spawning a search node O(delta) in the
+backward step instead of O(accumulated state) — the difference between
+per-node cost that is flat and per-node cost that grows with suffix
+depth.  ``child(cow=False)`` keeps the original eager deep copy for
+A/B-testing the optimization (``RESConfig.incremental``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ir.instructions import Reg
 from repro.ir.module import HEAP_BASE, Module
@@ -31,6 +41,10 @@ from repro.symex.expr import Const, Expr, Sym
 from repro.symex.memory import SymMemory
 from repro.vm.coredump import Coredump
 from repro.vm.state import PC, ThreadStatus
+
+#: snapshot fields guarded by copy-on-write ownership tracking
+_COW_FIELDS = ("stack_tops", "remaining_allocs", "live_at_start",
+               "lock_owners")
 
 
 @dataclass
@@ -90,20 +104,23 @@ class SymbolicSnapshot:
         coredump: Coredump,
         memory: SymMemory,
         threads: Dict[int, SnapThread],
-        constraints: List[Expr],
+        constraints: Iterable[Expr],
         stack_tops: Dict[int, int],
         remaining_allocs: List[Tuple[int, int]],
         live_at_start: Dict[int, bool],
         lock_owners: Dict[int, int],
         fresh_counter: int = 0,
         trap_pending: bool = True,
-        input_sym_names: Optional[List[str]] = None,
+        input_sym_names: Optional[Iterable[str]] = None,
     ):
         self.module = module
         self.coredump = coredump
         self.memory = memory
         self.threads = threads
-        self.constraints = constraints
+        #: accumulated path/compatibility constraints; an immutable
+        #: tuple so structural sharing between search nodes is safe —
+        #: grow it only through :meth:`append_constraints`.
+        self.constraints: Tuple[Expr, ...] = tuple(constraints)
         self.stack_tops = stack_tops
         #: coredump allocations not (yet) attributed to the suffix, as
         #: ``(base, size)`` sorted by base; suffix allocations are always
@@ -120,7 +137,15 @@ class SymbolicSnapshot:
         #: (the first backward step is forced to be that segment).
         self.trap_pending = trap_pending
         #: names of program-input symbols introduced so far (for taint).
-        self.input_sym_names: List[str] = list(input_sym_names or [])
+        self.input_sym_names: Tuple[str, ...] = tuple(input_sym_names or ())
+        #: incremental solver context whose conjunction is exactly
+        #: ``self.constraints`` (set by the segment executor; None means
+        #: the executor rebuilds it lazily).
+        self.solver_ctx = None
+        # Freshly-constructed snapshots own all their containers; COW
+        # children reset these after construction.
+        self._owned = set(_COW_FIELDS)
+        self._owned_threads = set(threads)
 
     # ------------------------------------------------------------------
     # Construction
@@ -164,7 +189,7 @@ class SymbolicSnapshot:
             coredump=coredump,
             memory=SymMemory(base=base_read, known=known),
             threads=threads,
-            constraints=[],
+            constraints=(),
             stack_tops=dict(coredump.stack_tops),
             remaining_allocs=allocs,
             live_at_start=live,
@@ -184,14 +209,38 @@ class SymbolicSnapshot:
     # Derivation
     # ------------------------------------------------------------------
 
-    def child(self) -> "SymbolicSnapshot":
-        """Mutable working copy for one backward step."""
-        clone = SymbolicSnapshot(
+    def child(self, cow: bool = True) -> "SymbolicSnapshot":
+        """Working copy for one backward step.
+
+        With ``cow`` (the default) the child structurally shares every
+        container with its parent and copies only what it mutates; with
+        ``cow=False`` it eagerly deep-copies the whole state (the
+        original behavior, kept as the A/B baseline).
+        """
+        if cow:
+            clone = SymbolicSnapshot(
+                module=self.module,
+                coredump=self.coredump,
+                memory=self.memory.copy(cow=True),
+                threads=dict(self.threads),
+                constraints=self.constraints,
+                stack_tops=self.stack_tops,
+                remaining_allocs=self.remaining_allocs,
+                live_at_start=self.live_at_start,
+                lock_owners=self.lock_owners,
+                fresh_counter=self._fresh_counter,
+                trap_pending=self.trap_pending,
+                input_sym_names=self.input_sym_names,
+            )
+            clone._owned = set()
+            clone._owned_threads = set()
+            return clone
+        return SymbolicSnapshot(
             module=self.module,
             coredump=self.coredump,
-            memory=self.memory.copy(),
+            memory=self.memory.copy(cow=False),
             threads={tid: t.copy() for tid, t in self.threads.items()},
-            constraints=list(self.constraints),
+            constraints=self.constraints,
             stack_tops=dict(self.stack_tops),
             remaining_allocs=list(self.remaining_allocs),
             live_at_start=dict(self.live_at_start),
@@ -200,7 +249,55 @@ class SymbolicSnapshot:
             trap_pending=self.trap_pending,
             input_sym_names=self.input_sym_names,
         )
-        return clone
+
+    # ------------------------------------------------------------------
+    # Mutation API (copy-on-write)
+    # ------------------------------------------------------------------
+
+    def _own(self, name: str):
+        """Return the named container, copying it first if still shared."""
+        if name not in self._owned:
+            current = getattr(self, name)
+            setattr(self, name,
+                    dict(current) if isinstance(current, dict)
+                    else list(current))
+            self._owned.add(name)
+        return getattr(self, name)
+
+    def thread_for_write(self, tid: int) -> SnapThread:
+        """The thread object, privately copied on first mutation."""
+        if tid not in self._owned_threads:
+            self.threads[tid] = self.threads[tid].copy()
+            self._owned_threads.add(tid)
+        return self.threads[tid]
+
+    def set_stack_top(self, tid: int, top: int) -> None:
+        self._own("stack_tops")[tid] = top
+
+    def set_remaining_allocs(self, allocs: Iterable[Tuple[int, int]]) -> None:
+        self.remaining_allocs = list(allocs)
+        self._owned.add("remaining_allocs")
+
+    def set_live_at_start(self, base: int, live: bool) -> None:
+        self._own("live_at_start")[base] = live
+
+    def set_lock_owner(self, addr: int, owner: Optional[int]) -> None:
+        owners = self._own("lock_owners")
+        if owner is None:
+            owners.pop(addr, None)
+        else:
+            owners[addr] = owner
+
+    def append_constraints(self, exprs: Iterable[Expr],
+                           solver_ctx=None) -> None:
+        """Grow the constraint conjunction (the only sanctioned way).
+
+        ``solver_ctx``, when provided, must be an incremental context
+        for exactly the extended conjunction; otherwise any stale
+        context is dropped and rebuilt lazily by the executor.
+        """
+        self.constraints = self.constraints + tuple(exprs)
+        self.solver_ctx = solver_ctx
 
     # ------------------------------------------------------------------
     # Queries

@@ -78,6 +78,16 @@ class WriterIndexFilter:
         self._layout = module.layout()
         self._cache: Dict[Tuple[str, str, int, int], StoreSummary] = {}
 
+    @classmethod
+    def for_module(cls, module: Module) -> "WriterIndexFilter":
+        """Shared per-module filter: segment store summaries depend only
+        on the module, so synthesizer instances reuse one table."""
+        inst = getattr(module, "_writer_index_cache", None)
+        if inst is None:
+            inst = cls(module)
+            module._writer_index_cache = inst  # type: ignore[attr-defined]
+        return inst
+
     def summary(self, segment: Segment) -> StoreSummary:
         key = (segment.function, segment.block, segment.lo, segment.hi)
         cached = self._cache.get(key)

@@ -86,6 +86,21 @@ class BinExpr(Expr):
         return f"({self.op} {self.a!r} {self.b!r})"
 
 
+def _binexpr_hash(self: "BinExpr") -> int:
+    """Structural hash memoized on the node (same value the generated
+    dataclass hash produces).  Constraint fingerprinting hashes whole
+    expression DAGs repeatedly; without the memo every lookup re-walks
+    the tree."""
+    cached = self.__dict__.get("_h")
+    if cached is None:
+        cached = hash((self.op, self.a, self.b))
+        object.__setattr__(self, "_h", cached)
+    return cached
+
+
+BinExpr.__hash__ = _binexpr_hash  # type: ignore[method-assign]
+
+
 TRUE = Const(1)
 FALSE = Const(0)
 

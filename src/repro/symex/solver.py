@@ -80,9 +80,49 @@ class _State:
     bindings: Dict[str, Expr] = field(default_factory=dict)
     domains: Dict[str, IntSet] = field(default_factory=dict)
     all_syms: Set[str] = field(default_factory=set)
+    #: closed binding map computed by the last search over this state;
+    #: read-only once set (children use it to seed their own resolution).
+    resolved_cache: Optional[Dict[str, Expr]] = None
 
     def domain(self, name: str) -> IntSet:
         return self.domains.get(name, IntSet.full())
+
+    def clone(self) -> "_State":
+        """O(|state|) structural copy — the containers are copied but the
+        expressions inside are immutable and shared.  Far cheaper than
+        re-propagating the constraints that produced the state."""
+        return _State(
+            constraints=list(self.constraints),
+            bindings=dict(self.bindings),
+            domains=dict(self.domains),
+            all_syms=set(self.all_syms),
+            resolved_cache=self.resolved_cache,
+        )
+
+
+@dataclass
+class SolverContext:
+    """Persistent solving context for one constraint prefix.
+
+    RES's backward search grows one conjunction per node: a child's
+    constraint set is its parent's plus a small delta.  A context keeps
+    the *propagated* form of the prefix (bindings + interval domains
+    already applied), so deciding the child costs only the delta's
+    propagation plus the residual search — instead of re-asserting the
+    whole suffix-deep conjunction from scratch at every candidate.
+    """
+
+    #: propagated state after asserting every constraint in ``constraints``
+    state: _State
+    #: the full conjunction this context represents, in assertion order
+    constraints: Tuple[Expr, ...]
+    #: True when propagation already proved the prefix unsatisfiable
+    unsat: bool = False
+    #: cache-key namespace for deltas extending this context
+    token: int = 0
+    #: verdict of solving exactly ``constraints`` (set by solve_extended);
+    #: lets downstream consumers (suffix replay) reuse the model
+    result: Optional[SolveResult] = None
 
 
 class Solver:
@@ -97,6 +137,24 @@ class Solver:
     def __init__(self, max_enum: int = 4096, max_nodes: int = 200_000):
         self.max_enum = max_enum
         self.max_nodes = max_nodes
+        #: verdicts of previously-decided (context, delta) conjunctions.
+        #: Keyed by the context's token plus the *structural* delta set,
+        #: so sibling candidates that raise identical compatibility
+        #: checks against the same parent never re-solve.
+        self._delta_cache: Dict[Tuple[int, frozenset], SolveResult] = {}
+        self._delta_cache_cap = 65536
+        #: partial models for symbol-connected residual components.
+        #: A component search is a pure function of the *ordered*
+        #: component constraints, its symbols' domains, and the solver
+        #: caps, so identical components recurring across search nodes
+        #: (the parent's residual re-surfacing in every child) are
+        #: answered without re-searching.  Exact keys — never fuzzy.
+        self._component_cache: Dict[tuple, SolveResult] = {}
+        self._component_cache_cap = 65536
+        self._next_token = itertools.count(1)
+        #: counters exposed to SynthesisStats
+        self.stat_calls = 0
+        self.stat_cache_hits = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -104,20 +162,108 @@ class Solver:
 
     def solve(self, constraints: Sequence[Expr]) -> SolveResult:
         """Decide satisfiability of the conjunction of ``constraints``."""
+        self.stat_calls += 1
         state = _State()
         status = self._assert_all(state, constraints)
         if status is SolveStatus.UNSAT:
             return SolveResult(SolveStatus.UNSAT)
         result = self._search(state)
+        return self._recheck(result, constraints)
+
+    def _recheck(self, result: SolveResult,
+                 constraints: Sequence[Expr]) -> SolveResult:
+        """SAT must be trustworthy: re-check the original constraints
+        under the model and downgrade to UNKNOWN on any miss."""
         if result.is_sat and result.model is not None:
-            # SAT must be trustworthy: re-check the original constraints
-            # under the model and downgrade to UNKNOWN on any miss.
             for constraint in constraints:
                 value = evaluate(truth_of(constraint), result.model)
                 if value is None or value == 0:
                     return SolveResult(SolveStatus.UNKNOWN,
                                        nodes_explored=result.nodes_explored)
         return result
+
+    # ------------------------------------------------------------------
+    # Incremental API: contexts + delta solving
+    # ------------------------------------------------------------------
+
+    def context_for(self, constraints: Sequence[Expr]) -> SolverContext:
+        """Build a context by asserting ``constraints`` from scratch."""
+        state = _State()
+        status = self._assert_all(state, constraints)
+        return SolverContext(state=state, constraints=tuple(constraints),
+                             unsat=status is SolveStatus.UNSAT,
+                             token=next(self._next_token))
+
+    def extend_context(self, ctx: SolverContext,
+                       delta: Sequence[Expr]) -> SolverContext:
+        """Child context for ``ctx.constraints + delta``.
+
+        Only the delta is propagated; the parent's bindings and domains
+        are cloned, not recomputed — O(|state| copy + |delta| assert)
+        instead of O(total conjunction)."""
+        constraints = ctx.constraints + tuple(delta)
+        if ctx.unsat:
+            return SolverContext(state=ctx.state, constraints=constraints,
+                                 unsat=True, token=next(self._next_token))
+        if not delta:
+            return SolverContext(state=ctx.state, constraints=constraints,
+                                 unsat=False, token=next(self._next_token))
+        state = ctx.state.clone()
+        state.resolved_cache = None
+        status = self._assert_all(state, delta)
+        return SolverContext(state=state, constraints=constraints,
+                             unsat=status is SolveStatus.UNSAT,
+                             token=next(self._next_token))
+
+    def solve_extended(self, ctx: SolverContext, delta: Sequence[Expr],
+                       want_context: bool = True
+                       ) -> Tuple[SolveResult, Optional[SolverContext]]:
+        """Decide ``ctx.constraints + delta`` incrementally.
+
+        Returns the verdict plus (when ``want_context``) a child context
+        for the combined conjunction, ready for further extension.
+        Verdicts are cached per (context, delta-set): sibling candidates
+        generating identical checks hit the cache and skip the search.
+        """
+        self.stat_calls += 1
+        key = (ctx.token, frozenset(delta))
+        cached = self._delta_cache.get(key)
+        if cached is not None:
+            self.stat_cache_hits += 1
+            if not want_context:
+                return cached, None
+            child = self.extend_context(ctx, delta)
+            child.result = cached
+            return cached, child
+        child = self.extend_context(ctx, delta)
+        if child.unsat:
+            result = SolveResult(SolveStatus.UNSAT)
+        else:
+            seed = ctx.state.resolved_cache
+            result = self._recheck(
+                self._search(child.state, seed, use_component_cache=True),
+                child.constraints)
+        if len(self._delta_cache) < self._delta_cache_cap:
+            self._delta_cache[key] = result
+        child.result = result
+        if not want_context:
+            return result, None
+        return result, child
+
+    def unique_value_extended(self, ctx: SolverContext,
+                              delta: Sequence[Expr],
+                              expr: Expr) -> Tuple[Optional[int], bool]:
+        """Incremental form of :meth:`unique_value` over ``ctx + delta``."""
+        first, _ = self.solve_extended(ctx, tuple(delta), want_context=False)
+        if not first.is_sat or first.model is None:
+            return None, False
+        value = evaluate(expr, first.model)
+        if value is None:
+            return None, False
+        exclusion = bin_expr("ne", expr, Const(value))
+        second, _ = self.solve_extended(ctx, tuple(delta) + (exclusion,),
+                                        want_context=False)
+        return value, second.is_unsat
 
     def check_sat(self, constraints: Sequence[Expr]) -> bool:
         """True unless the constraints are *provably* unsatisfiable."""
@@ -370,7 +516,9 @@ class Solver:
     # Phase 3: bounded search
     # ------------------------------------------------------------------
 
-    def _search(self, state: _State) -> SolveResult:
+    def _search(self, state: _State,
+                resolved_seed: Optional[Dict[str, Expr]] = None,
+                use_component_cache: bool = False) -> SolveResult:
         # Bindings may map symbols to expressions over *other* symbols
         # (x == y + 1 binds x to an open term), so residual constraints
         # can still mention bound symbols after one substitution pass.
@@ -379,7 +527,8 @@ class Solver:
         # each constraint a single time.  A residual the search never
         # grounds would otherwise read as an exhausted (empty) search
         # space and produce a false UNSAT.
-        resolved = self._resolve_bindings(state.bindings)
+        resolved = self._resolve_bindings(state.bindings, seed=resolved_seed)
+        state.resolved_cache = resolved
         residual: List[Expr] = []
         for constraint in state.constraints:
             if free_syms(constraint) & resolved.keys():
@@ -413,8 +562,24 @@ class Solver:
         combined: Dict[str, int] = {}
         for comp_constraints, comp_syms in self._components(residual,
                                                             unbound):
-            result = self._search_component(state, comp_constraints,
-                                            comp_syms)
+            key = None
+            if use_component_cache:
+                key = (tuple(comp_constraints),
+                       tuple(sorted((name, state.domain(name).ranges)
+                                    for name in comp_syms)))
+                cached = self._component_cache.get(key)
+                if cached is not None:
+                    result = cached
+                    key = None  # already stored
+                else:
+                    result = self._search_component(state, comp_constraints,
+                                                    comp_syms)
+            else:
+                result = self._search_component(state, comp_constraints,
+                                                comp_syms)
+            if key is not None \
+                    and len(self._component_cache) < self._component_cache_cap:
+                self._component_cache[key] = result
             total_nodes += result.nodes_explored
             if result.status is SolveStatus.UNSAT:
                 return SolveResult(SolveStatus.UNSAT,
@@ -435,17 +600,30 @@ class Solver:
 
     @staticmethod
     def _resolve_bindings(bindings: Dict[str, Expr],
-                          size_cap: int = 256) -> Dict[str, Expr]:
+                          size_cap: int = 256,
+                          seed: Optional[Dict[str, Expr]] = None
+                          ) -> Dict[str, Expr]:
         """Close the binding map under itself, dependency-first.
 
         Only bindings whose dependencies are already resolved are
         expanded, and any expansion beyond ``size_cap`` nodes is left
         open (the caller treats constraints still mentioning bound
-        symbols as UNKNOWN rather than risking exponential growth)."""
+        symbols as UNKNOWN rather than risking exponential growth).
+
+        ``seed`` carries already-closed entries from a parent context.
+        Bindings are append-only across context extension, so a parent
+        expansion is still the fixpoint answer for the child — *unless*
+        it mentions a symbol the child has since bound (the expansion is
+        no longer closed); those entries are dropped and recomputed."""
         resolved: Dict[str, Expr] = {
             name: expr for name, expr in bindings.items()
             if not (free_syms(expr) & bindings.keys())
         }
+        if seed:
+            for name, expr in seed.items():
+                if name in bindings \
+                        and not (free_syms(expr) & bindings.keys()):
+                    resolved[name] = expr
         blocked: Set[str] = set()
         for __ in range(len(bindings)):
             progressed = False
@@ -670,31 +848,91 @@ class Solver:
         residues = [0]
         for k in range(1, 65):
             mask = (1 << k) - 1
-            survivors: List[int] = []
+            survivors: List[Tuple[int, int]] = []
             for residue in residues:
                 for candidate in (residue, residue | (1 << (k - 1))):
                     values = [evaluate(delta, {name: candidate})
                               for delta in deltas]
                     if all(v is not None and v & mask == 0 for v in values):
-                        survivors.append(candidate)
+                        # Rank by how far beyond the required k bits the
+                        # deltas already vanish (min across deltas).
+                        rank = min(64 if v == 0
+                                   else (v & -v).bit_length() - 1
+                                   for v in values)
+                        survivors.append((rank, candidate))
             if len(survivors) > cap:
+                # Keep the highest-ranked survivors (stable order).
+                # Hensel's lemma makes delta valuation the right merit:
+                # a prefix of a true root has delta ≡ 0 to roughly
+                # k + v₂(derivative) bits, while a generic spurious
+                # survivor sits at exactly k — so true-root families
+                # outrank the chaff that merely doubles along (x^8 == c
+                # has hundreds of thousands of residues mod 2^64, far
+                # beyond any cap, but its root prefixes rank on top).
+                survivors.sort(key=lambda ranked: -ranked[0])
                 survivors = survivors[:cap]
                 capped = True
-            residues = survivors
+            residues = [candidate for _, candidate in survivors]
             if not residues:
+                if capped:
+                    # Truncation may have dropped viable residues:
+                    # emptiness proves nothing, but a depth-first pass
+                    # can still recover a witness.
+                    found = self._bitfix_dfs(deltas, name, domain, deferred)
+                    return found, False
                 # When never capped, `residues` was the complete solution
                 # set of the eq-part, so emptiness proves UNSAT even if
                 # other constraints were deferred (they only restrict).
-                return None, not capped
+                return None, True
         for value in residues:
             if value not in domain:
                 continue
             if all(evaluate(truth_of(c), {name: value}) == 1
                    for c in deferred):
                 return value, not capped
+        if capped:
+            # The kept prefix produced no witness, but the dropped
+            # residues might: solution sets of low-bits equalities can
+            # legitimately exceed any level cap (x^8 == c has hundreds
+            # of thousands of roots mod 2^64).  A bounded depth-first
+            # walk of the residue tree visits one branch at a time —
+            # O(64) memory — and in the solution-rich cases that
+            # overflow the cap it reaches a leaf almost immediately.
+            return self._bitfix_dfs(deltas, name, domain, deferred), False
         # Every complete solution of the eq-part fails the domain or a
         # deferred constraint: UNSAT, provided the set really is complete.
-        return None, not capped
+        return None, True
+
+    def _bitfix_dfs(self, deltas: List[Expr], name: str, domain: IntSet,
+                    deferred: List[Expr],
+                    budget: int = 20_000) -> Optional[int]:
+        """Depth-first witness search over the bit-fixing residue tree.
+
+        Explores ``value mod 2^k`` prefixes low-bit first, extending a
+        prefix only while every delta stays ≡ 0 mod 2^k, and accepts the
+        first full word inside the domain that satisfies the deferred
+        constraints.  Completeness fallback only — never used to prove
+        UNSAT (the budget makes exhaustion unprovable)."""
+        stack: List[Tuple[int, int]] = [(0, 1)]
+        nodes = 0
+        while stack and nodes < budget:
+            residue, k = stack.pop()
+            if k == 65:
+                if residue in domain \
+                        and all(evaluate(truth_of(c), {name: residue}) == 1
+                                for c in deferred):
+                    return residue
+                continue
+            mask = (1 << k) - 1
+            # Pushed high-bit-set first so the plain prefix pops first:
+            # matches the breadth-first candidate order.
+            for candidate in (residue | (1 << (k - 1)), residue):
+                nodes += 1
+                values = (evaluate(delta, {name: candidate})
+                          for delta in deltas)
+                if all(v is not None and v & mask == 0 for v in values):
+                    stack.append((candidate, k + 1))
+        return None
 
     @staticmethod
     def _derived_guesses(constraints: Sequence[Expr]) -> Dict[str, List[int]]:

@@ -82,12 +82,30 @@ def test_seeded_constraints_never_refuted(model, exprs):
             assert evaluate(constraint, result.model) == 1
 
 
-_SINGLE_SYM_LINEAR = _expr_strategy(3)
+#: the bit-fixing layer's documented fragment: operators whose low k
+#: output bits depend only on the low k input bits (Solver._LOW_BITS_OPS
+#: minus shifts).  Comparisons are excluded on purpose — the exactness
+#: claim below holds only for this fragment.
+_LOW_BITS_TEST_OPS = ("add", "sub", "mul", "and", "or", "xor")
+
+
+def _low_bits_expr_strategy(depth: int):
+    leaf = st.one_of(WORD.map(Const), st.just(Sym("a")))
+    if depth == 0:
+        return leaf
+    sub = _low_bits_expr_strategy(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(_LOW_BITS_TEST_OPS), sub, sub)
+        .map(lambda t: bin_expr(t[0], t[1], t[2])),
+    )
+
+
+_SINGLE_SYM_LINEAR = _low_bits_expr_strategy(3)
 
 
 @settings(max_examples=60, deadline=None)
-@given(WORD, _SINGLE_SYM_LINEAR.map(
-    lambda e: substitute(e, {"b": Const(11), "c": Const(5)})))
+@given(WORD, _SINGLE_SYM_LINEAR)
 def test_single_symbol_seeded_constraints_are_solved(value_a, expr):
     """Completeness on the documented fragment: with one free symbol
     and add/sub/mul/xor/and/or operators, the bit-fixing layer is exact

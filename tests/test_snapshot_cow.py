@@ -1,0 +1,217 @@
+"""Copy-on-write snapshot isolation: a child's mutations — memory,
+registers, constraints, allocator/lock/stack bookkeeping — must never
+be visible in its parent or in sibling snapshots, in either derivation
+mode (structural sharing and eager deep copy).
+
+These are the invariants the RES search relies on when
+``RESConfig.incremental`` shares state between nodes: every search node
+is an independent hypothesis, so corruption across siblings would
+silently merge hypotheses.
+"""
+
+import pytest
+
+from repro.core import RESConfig, ReverseExecutionSynthesizer
+from repro.core.snapshot import SymbolicSnapshot
+from repro.ir.instructions import Reg
+from repro.symex.expr import Const, Sym
+from repro.symex.memory import SymMemory
+from repro.vm import VM
+from repro.minic import compile_source
+
+SOURCE = """
+global int g;
+global int h;
+
+func main() {
+    int v = input();
+    g = v;
+    h = g + 1;
+    assert(g == 0, "boom");
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def crash():
+    module = compile_source(SOURCE, name="cow_fixture")
+    result = VM(module, inputs=[5]).run()
+    assert result.trapped
+    return module, result.coredump
+
+
+@pytest.fixture(params=[True, False], ids=["cow", "eager"])
+def derive(request):
+    """Child-derivation mode under test."""
+    mode = request.param
+    return lambda snapshot: snapshot.child(cow=mode)
+
+
+def initial(crash):
+    module, coredump = crash
+    return SymbolicSnapshot.initial(module, coredump)
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+
+def test_child_memory_writes_invisible_to_parent_and_sibling(crash, derive):
+    parent = initial(crash)
+    parent.memory.write(0x9000, Const(7))
+    left, right = derive(parent), derive(parent)
+    left.memory.write(0x9000, Sym("left"))
+    left.memory.write(0x9100, Sym("left2"))
+
+    assert parent.memory.read(0x9000) == Const(7)
+    assert right.memory.read(0x9000) == Const(7)
+    assert not parent.memory.has_overlay(0x9100)
+    assert not right.memory.has_overlay(0x9100)
+    assert left.memory.read(0x9000) == Sym("left")
+    assert left.memory.read(0x9100) == Sym("left2")
+
+
+def test_child_sees_parent_overlay_through_sharing(crash, derive):
+    parent = initial(crash)
+    parent.memory.write(0x9000, Sym("pre"))
+    child = derive(parent)
+    assert child.memory.read(0x9000) == Sym("pre")
+    grandchild = derive(child)
+    assert grandchild.memory.read(0x9000) == Sym("pre")
+    assert dict(grandchild.memory.items())[0x9000] == Sym("pre")
+
+
+def test_deep_chains_flatten_without_losing_words():
+    memory = SymMemory(base=lambda addr: 0)
+    node = memory
+    for i in range(40):  # far beyond the flattening threshold
+        node.write(i, Const(i + 1))
+        node = node.copy(cow=True)
+    for i in range(40):
+        assert node.read(i) == Const(i + 1)
+
+
+def test_minidump_unknowns_are_deterministic_across_layers():
+    memory = SymMemory(base=lambda addr: 0, known=lambda addr: False)
+    child_a = memory.copy(cow=True)
+    child_b = memory.copy(cow=True)
+    # Each layer materializes the unknown independently but the symbol
+    # is a pure function of the address: all observers agree.
+    assert child_a.read(0x40) == child_b.read(0x40) == memory.read(0x40)
+
+
+# ---------------------------------------------------------------------------
+# Threads and registers
+# ---------------------------------------------------------------------------
+
+def test_thread_mutation_invisible_to_parent_and_sibling(crash, derive):
+    parent = initial(crash)
+    tid = next(iter(parent.threads))
+    parent_pc = parent.threads[tid].top.pc
+    parent_regs = dict(parent.threads[tid].top.regs)
+
+    left, right = derive(parent), derive(parent)
+    thread = left.thread_for_write(tid)
+    thread.top.regs[Reg("clobber")] = Sym("x")
+    thread.top.index = 0
+    thread.top.block = "entry"
+
+    assert parent.threads[tid].top.pc == parent_pc
+    assert parent.threads[tid].top.regs == parent_regs
+    assert right.threads[tid].top.pc == parent_pc
+    assert right.threads[tid].top.regs == parent_regs
+    assert left.threads[tid].top.regs[Reg("clobber")] == Sym("x")
+
+
+def test_frame_stack_push_pop_isolated(crash, derive):
+    parent = initial(crash)
+    tid = next(iter(parent.threads))
+    depth = len(parent.threads[tid].frames)
+    child = derive(parent)
+    child.thread_for_write(tid).frames.pop()
+    assert len(parent.threads[tid].frames) == depth
+    assert len(child.threads[tid].frames) == depth - 1
+
+
+# ---------------------------------------------------------------------------
+# Constraints
+# ---------------------------------------------------------------------------
+
+def test_append_constraints_isolated(crash, derive):
+    parent = initial(crash)
+    parent.append_constraints([Const(1)])
+    left, right = derive(parent), derive(parent)
+    left.append_constraints([Sym("only_left")])
+
+    assert parent.constraints == (Const(1),)
+    assert right.constraints == (Const(1),)
+    assert left.constraints == (Const(1), Sym("only_left"))
+
+
+def test_constraints_are_immutable_tuples(crash):
+    snapshot = initial(crash)
+    with pytest.raises(AttributeError):
+        snapshot.constraints.append(Const(1))  # type: ignore[attr-defined]
+
+
+# ---------------------------------------------------------------------------
+# Bookkeeping dicts
+# ---------------------------------------------------------------------------
+
+def test_bookkeeping_mutations_isolated(crash, derive):
+    parent = initial(crash)
+    tid = next(iter(parent.threads))
+    before_tops = dict(parent.stack_tops)
+    before_allocs = list(parent.remaining_allocs)
+    before_live = dict(parent.live_at_start)
+    before_locks = dict(parent.lock_owners)
+
+    left, right = derive(parent), derive(parent)
+    left.set_stack_top(tid, 0xDEAD)
+    left.set_remaining_allocs([(0x100, 4)])
+    left.set_live_at_start(0x100, False)
+    left.set_lock_owner(0x200, tid)
+    left.set_lock_owner(0x300, None)
+
+    for snapshot in (parent, right):
+        assert snapshot.stack_tops == before_tops
+        assert snapshot.remaining_allocs == before_allocs
+        assert snapshot.live_at_start == before_live
+        assert snapshot.lock_owners == before_locks
+    assert left.stack_tops[tid] == 0xDEAD
+    assert left.remaining_allocs == [(0x100, 4)]
+    assert left.live_at_start[0x100] is False
+    assert left.lock_owners[0x200] == tid
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: both modes synthesize identical suffixes
+# ---------------------------------------------------------------------------
+
+def _fingerprints(module, coredump, incremental):
+    config = RESConfig(max_depth=12, max_nodes=2000,
+                       incremental=incremental)
+    res = ReverseExecutionSynthesizer(module, coredump, config)
+    out = []
+    for synthesized in res.suffixes():
+        suffix = synthesized.suffix
+        out.append((
+            tuple((s.segment.tid, s.segment.function, s.segment.block,
+                   s.segment.lo, s.segment.hi, s.segment.kind.value,
+                   s.instr_count) for s in suffix.steps),
+            tuple(repr(c) for c in suffix.constraints),
+        ))
+    return out, res.stats
+
+
+def test_cow_and_eager_modes_synthesize_identically(crash):
+    module, coredump = crash
+    eager_suffixes, eager_stats = _fingerprints(module, coredump, False)
+    cow_suffixes, cow_stats = _fingerprints(module, coredump, True)
+    assert eager_suffixes, "fixture workload must synthesize"
+    assert cow_suffixes == eager_suffixes
+    skip = ("solver_calls", "solver_cache_hits",
+            "time_enumerate", "time_execute", "time_replay")
+    assert {k: v for k, v in vars(cow_stats).items() if k not in skip} \
+        == {k: v for k, v in vars(eager_stats).items() if k not in skip}

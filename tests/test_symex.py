@@ -268,3 +268,114 @@ def test_point_constraint_roundtrip(v):
     x = Sym("x")
     r = solve([bin_expr("eq", x, Const(v))])
     assert r.is_sat and r.model["x"] == v
+
+
+# ---------------------------------------------------------------------------
+# Incremental solving + verdict cache soundness
+# ---------------------------------------------------------------------------
+
+def _decidable_constraints(draw_values):
+    """Small constraint set over x/y the solver decides exactly
+    (bindings, domains, and linear search — no UNKNOWN outcomes), so a
+    fresh solve and an incremental solve must agree verdict-for-verdict.
+    """
+    x, y = Sym("x"), Sym("y")
+    shapes = [
+        lambda a, b: bin_expr("eq", bin_expr("add", x, Const(a)), Const(b)),
+        lambda a, b: bin_expr("eq", bin_expr("xor", x, Const(a)), Const(b)),
+        lambda a, b: bin_expr("ult", x, Const(a + 1)),
+        lambda a, b: bin_expr("ugt", x, Const(a)),
+        lambda a, b: bin_expr("eq", bin_expr("add", x, y), Const(a)),
+        lambda a, b: bin_expr("eq", y, Const(b)),
+        lambda a, b: bin_expr("ne", x, Const(a)),
+    ]
+    return [shapes[i % len(shapes)](a, b) for i, a, b in draw_values]
+
+
+_TRIPLES = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=6), small, small),
+    min_size=1, max_size=6)
+
+
+@given(_TRIPLES, st.integers(min_value=0, max_value=6))
+@settings(max_examples=120, deadline=None)
+def test_incremental_solve_agrees_with_fresh(triples, split):
+    """Incremental (context + delta) and uncached solving of the same
+    conjunction must never contradict each other: both verdicts are
+    *proofs* when they are SAT or UNSAT, so SAT⟷UNSAT disagreement is a
+    soundness bug (UNKNOWN may differ — propagation order affects only
+    completeness).  Cached re-asks must repeat the first verdict
+    exactly, and SAT models must genuinely satisfy the conjunction."""
+    constraints = _decidable_constraints(triples)
+    split = min(split, len(constraints))
+    fresh = Solver().solve(constraints)
+
+    shared = Solver()
+    ctx = shared.context_for(constraints[:split])
+    first, child = shared.solve_extended(ctx, constraints[split:])
+    again, _ = shared.solve_extended(ctx, constraints[split:])
+
+    assert not (first.is_unsat and fresh.is_sat), \
+        "incremental refuted a conjunction the fresh solver satisfied"
+    assert not (first.is_sat and fresh.is_unsat), \
+        "incremental satisfied a conjunction the fresh solver refuted"
+    assert again.status == first.status, "cache returned a different verdict"
+    assert shared.stat_cache_hits >= 1, "identical delta must hit the cache"
+    for result in (first, fresh):
+        if result.is_sat:
+            for constraint in constraints:
+                assert evaluate(truth_of(constraint), result.model) == 1
+    # The child context must stay extensible and sound: a contradictory
+    # probe must never come back SAT.
+    if child is not None and not first.is_unsat:
+        x = Sym("x")
+        probe = bin_expr("eq", bin_expr("add", x, Const(1)),
+                         bin_expr("add", x, Const(2)))  # always false
+        deeper, _ = shared.solve_extended(child, [probe])
+        assert not deeper.is_sat
+
+
+@given(_TRIPLES, _TRIPLES)
+@settings(max_examples=80, deadline=None)
+def test_unsat_is_never_served_from_stale_context(t1, t2):
+    """An UNSAT answer for one delta must never leak to a different
+    constraint set sharing the same context (stale-cache soundness)."""
+    base = _decidable_constraints(t1)
+    other = _decidable_constraints(t2)
+    solver = Solver()
+    ctx = solver.context_for(base)
+    x = Sym("x")
+    contradiction = [bin_expr("eq", x, Const(1)),
+                     bin_expr("eq", x, Const(2))]
+    poisoned, _ = solver.solve_extended(ctx, contradiction)
+    assert poisoned.is_unsat
+    # A different delta over the same context must be re-decided; a
+    # stale UNSAT would contradict a fresh SAT proof outright.  (A
+    # fresh UNKNOWN does not contradict an incremental UNSAT — the
+    # incremental order may legitimately prove more.)
+    verdict, _ = solver.solve_extended(ctx, other)
+    fresh = Solver().solve(base + other)
+    assert not (verdict.is_unsat and fresh.is_sat), \
+        "stale UNSAT served for a different constraint set"
+    assert not (verdict.is_sat and fresh.is_unsat)
+    if verdict.is_sat:
+        for constraint in base + other:
+            assert evaluate(truth_of(constraint), verdict.model) == 1
+    # And the original (non-contradictory) conjunction still answers
+    # without UNSAT bleed-through.
+    clean, _ = solver.solve_extended(ctx, [])
+    assert not (clean.is_unsat and Solver().solve(base).is_sat)
+
+
+def test_verdict_cache_is_per_context():
+    """The same textual delta under *different* contexts must not share
+    verdicts: (x==1)+(x==2) is UNSAT, ()+(x==2) is SAT."""
+    x = Sym("x")
+    solver = Solver()
+    bound = solver.context_for([bin_expr("eq", x, Const(1))])
+    unbound = solver.context_for([])
+    delta = [bin_expr("eq", x, Const(2))]
+    first, _ = solver.solve_extended(bound, delta)
+    second, _ = solver.solve_extended(unbound, delta)
+    assert first.is_unsat
+    assert second.is_sat and second.model["x"] == 2
