@@ -1,0 +1,23 @@
+# Convenience entry points; every target assumes the repo root as cwd.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test perf fuzz-smoke fuzz-test
+
+# Tier-1 verification (fuzz-marked tests are deselected by pytest.ini).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# P1 throughput benchmark (appends rows to BENCH_res.json).
+perf:
+	$(PYTHON) -m pytest benchmarks/test_p1_res_throughput.py -q
+
+# The 200-program differential campaign with the fixed smoke seed.
+# Exit code 1 + artifacts under fuzz-artifacts/ on any divergence.
+fuzz-smoke:
+	$(PYTHON) -m repro.cli fuzz --seed 0 --count 200 --jobs 4 --shrink
+
+# Same campaign driven through pytest (the `fuzz` marker).
+fuzz-test:
+	$(PYTHON) -m pytest tests/test_fuzz.py -q -m fuzz

@@ -90,6 +90,21 @@ def bench_record(section: str, entry: dict) -> None:
     _update_bench(mutate)
 
 
+def record_timing(payload: dict, nodeid: str, seconds: float,
+                  recorded_at: float) -> None:
+    """Append one per-test timing row, keeping only the newest
+    ``_MAX_TIMINGS`` entries — the append-only log must stay bounded no
+    matter how many runs accumulate (regression-tested in
+    ``tests/test_bench_log.py``)."""
+    timings = payload.setdefault("timings", [])
+    timings.append({
+        "test": nodeid,
+        "seconds": round(seconds, 4),
+        "recorded_at": round(recorded_at, 1),
+    })
+    del timings[:-_MAX_TIMINGS]
+
+
 @pytest.fixture(autouse=True)
 def perf_timer(request):
     """Time every benchmark test and append the wall clock to
@@ -97,14 +112,5 @@ def perf_timer(request):
     start = time.perf_counter()
     yield
     elapsed = time.perf_counter() - start
-
-    def mutate(payload: dict) -> None:
-        timings = payload.setdefault("timings", [])
-        timings.append({
-            "test": request.node.nodeid,
-            "seconds": round(elapsed, 4),
-            "recorded_at": round(time.time(), 1),
-        })
-        del timings[:-_MAX_TIMINGS]
-
-    _update_bench(mutate)
+    _update_bench(lambda payload: record_timing(
+        payload, request.node.nodeid, elapsed, time.time()))

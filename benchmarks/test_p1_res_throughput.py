@@ -28,39 +28,12 @@ from repro.core import RESConfig, ReverseExecutionSynthesizer
 from repro.minic import compile_source
 from repro.vm import VM
 from repro.workloads import long_execution_workload
+# The byte-exact comparison helpers are shared with the differential
+# fuzzing campaign (PR 2), which runs the same equivalence check across
+# thousands of generated programs.
+from repro.fuzz.oracles import behavioral_counters, suffix_fingerprint
 
 from conftest import bench_record, emit_row
-
-#: stats fields that describe effort/timing rather than search behavior
-_NON_BEHAVIORAL_STATS = ("solver_calls", "solver_cache_hits",
-                         "time_enumerate", "time_execute", "time_replay")
-
-
-def suffix_fingerprint(synthesized) -> tuple:
-    """Canonical, byte-exact description of one emitted suffix."""
-    suffix = synthesized.suffix
-    return (
-        tuple(
-            (step.segment.tid, step.segment.function, step.segment.block,
-             step.segment.lo, step.segment.hi, step.segment.kind.value,
-             step.segment.depth, step.instr_count,
-             tuple(sym.name for sym in step.input_syms),
-             tuple((repr(expr), str(pc)) for expr, pc in step.outputs),
-             tuple(sorted(step.write_addrs)),
-             tuple(sorted(step.read_addrs)),
-             tuple(step.lock_events),
-             tuple(step.alloc_bases),
-             tuple(step.free_bases),
-             step.tainted_store_addr)
-            for step in suffix.steps
-        ),
-        tuple(repr(c) for c in suffix.constraints),
-    )
-
-
-def behavioral_counters(stats) -> dict:
-    return {key: value for key, value in vars(stats).items()
-            if key not in _NON_BEHAVIORAL_STATS}
 
 
 def run_engine(module, coredump, config) -> dict:

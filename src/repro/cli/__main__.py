@@ -1,0 +1,8 @@
+"""``python -m repro.cli`` — the ``res`` command without installation."""
+
+import sys
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

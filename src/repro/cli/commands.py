@@ -163,6 +163,59 @@ def cmd_triage(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing campaign (see :mod:`repro.fuzz`).
+
+    Exit code 0 when every generated program passed every oracle;
+    1 when divergences were recorded (artifact paths are printed).
+    """
+    from repro.fuzz.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        seed=args.seed,
+        count=args.count,
+        jobs=args.jobs,
+        max_depth=args.max_depth,
+        max_nodes=args.max_nodes,
+        max_suffixes=args.max_suffixes,
+        threads_prob=args.threads_prob,
+        hw_fault_prob=args.hw_fault_prob,
+        alu_fault_prob=args.alu_fault_prob,
+        check_forward=args.check_forward,
+        force_divergence=args.force_divergence,
+        shrink=args.shrink,
+        artifact_dir=args.artifacts,
+    )
+    done = [0]
+
+    def progress(verdict) -> None:
+        done[0] += 1
+        if done[0] % 50 == 0:
+            print(f"  ... {done[0]}/{config.count} programs")
+
+    result = run_campaign(config, progress=progress)
+    summary = result.summary()
+    print(f"campaign: {summary['programs']} programs from seed "
+          f"{config.seed} in {result.elapsed:.1f}s "
+          f"({summary['programs'] / max(result.elapsed, 1e-9):.1f}/s)")
+    print(f"  trapped: {summary['trapped']}  threaded: "
+          f"{summary['threaded']}  hw-faulted: {summary['hw_faulted']}  "
+          f"alu-faulted: {summary['alu_faulted']}")
+    print(f"  suffixes cross-checked: {summary['suffixes']}  "
+          f"independent replays: {summary['replays_checked']}  "
+          f"wp checks: {summary['wp_checked']}")
+    if summary["no_trap"]:
+        print(f"  no-trap runs (fault-defused): {summary['no_trap']}")
+    if not result.divergent:
+        print("divergences: none")
+        return 0
+    print(f"divergences: {summary['divergent']}")
+    for verdict, path in zip(result.divergent, result.artifacts):
+        kinds = ", ".join(sorted({k for k, _ in verdict.divergences}))
+        print(f"  seed {verdict.seed}: {kinds} -> {path}")
+    return 1
+
+
 def cmd_debug(args: argparse.Namespace) -> int:
     """Scripted reverse-debugger session over the deepest suffix.
 
@@ -175,6 +228,8 @@ def cmd_debug(args: argparse.Namespace) -> int:
 
     module = load_module(args)
     if args.artifact:
+        if not Path(args.artifact).exists():
+            raise CliError(f"artifact file not found: {args.artifact}")
         deepest = load_suffix(module, args.artifact)
     else:
         dump = load_coredump(args.coredump)

@@ -42,6 +42,48 @@ def build_parser() -> argparse.ArgumentParser:
                           help="corpus RNG seed (default: %(default)s)")
     p_triage.set_defaults(func=commands.cmd_triage)
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing campaign: generated programs "
+                     "cross-checked against independent oracles")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="first program seed (default: %(default)s)")
+    p_fuzz.add_argument("--count", type=int, default=200,
+                        help="number of programs (default: %(default)s)")
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="multiprocessing fan-out (default: %(default)s)")
+    p_fuzz.add_argument("--max-depth", type=int, default=8,
+                        help="RES suffix depth per oracle run "
+                             "(default: %(default)s)")
+    p_fuzz.add_argument("--max-nodes", type=int, default=300,
+                        help="RES node budget per oracle run "
+                             "(default: %(default)s)")
+    p_fuzz.add_argument("--max-suffixes", type=int, default=12,
+                        help="suffixes compared per program "
+                             "(default: %(default)s)")
+    p_fuzz.add_argument("--threads-prob", type=float, default=0.25,
+                        help="probability a program spawns threads "
+                             "(default: %(default)s)")
+    p_fuzz.add_argument("--hw-fault-prob", type=float, default=0.05,
+                        help="probability of a post-hoc coredump bit flip "
+                             "(default: %(default)s)")
+    p_fuzz.add_argument("--alu-fault-prob", type=float, default=0.03,
+                        help="probability of an online ALU miscompute "
+                             "(default: %(default)s)")
+    p_fuzz.add_argument("--check-forward", action="store_true",
+                        help="also run the forward-synthesis baseline "
+                             "(slow; informational only)")
+    p_fuzz.add_argument("--shrink", action="store_true",
+                        help="delta-debug divergent programs to minimal "
+                             "repros before writing artifacts")
+    p_fuzz.add_argument("--artifacts", default="fuzz-artifacts",
+                        help="divergence artifact directory "
+                             "(default: %(default)s)")
+    p_fuzz.add_argument("--force-divergence", action="store_true",
+                        help="test hook: corrupt the naive oracle so every "
+                             "suffix-emitting program diverges (validates "
+                             "the artifact/shrink pipeline)")
+    p_fuzz.set_defaults(func=commands.cmd_fuzz)
+
     for name, func, extra in (
         ("analyze", commands.cmd_analyze,
          "synthesize suffixes and report the root cause"),

@@ -205,6 +205,16 @@ class SegmentExecutor:
         if self.incremental:
             verdict, child_ctx = self.solver.solve_extended(
                 self._context(snapshot), tuple(new_constraints))
+            if not verdict.is_sat and not verdict.is_unsat:
+                # The chained context's propagation state is order-built
+                # and can be weaker than a from-scratch solve of the
+                # same conjunction; align on UNKNOWN so the incremental
+                # engine never admits a candidate the naive engine can
+                # refute (differential-fuzzer finding).
+                verdict = self.solver.solve(
+                    list(child.constraints) + new_constraints)
+                if child_ctx is not None:
+                    child_ctx.result = verdict
         else:
             verdict = self.solver.solve(
                 list(child.constraints) + new_constraints)
@@ -556,7 +566,10 @@ class _ExecContext:
         if self.executor.incremental:
             result, _ = self.solver.solve_extended(
                 self.snapshot.solver_ctx, delta, want_context=False)
-            return not result.is_unsat
+            if result.is_sat or result.is_unsat:
+                return not result.is_unsat
+            # UNKNOWN: fall through to the flat solve so both engine
+            # modes prune identically.
         constraints = list(self.child.constraints) + list(delta)
         return not self.solver.solve(constraints).is_unsat
 

@@ -1,0 +1,272 @@
+"""AST-level delta-debugging shrinker for divergent MiniC programs.
+
+Given a program and a predicate ("is it still divergent?"), the
+shrinker parses the source, applies reduction passes, and keeps every
+candidate the predicate accepts:
+
+* drop whole functions and globals,
+* delta-debug statement lists (chunked deletion, halving down to
+  single statements, in every body including nested blocks),
+* flatten ``if`` statements into one arm and unwrap loop bodies,
+* substitute declaration/assignment right-hand sides with constants
+  drawn from the program's own literal pool — the pass that collapses
+  a calibrated probe computation into ``int probe = <literal>;`` and
+  thereby unlocks deleting everything upstream of it.
+
+The predicate sees *source text* and is expected to be total: any
+exception it raises counts as "not divergent".  All passes run to a
+fixed point under a test budget.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.minic import ast
+from repro.minic.parser import parse
+from repro.minic.unparse import unparse
+
+
+# ---------------------------------------------------------------------------
+# Shrinker
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShrinkResult:
+    source: str
+    lines: int
+    tests_run: int
+    improved: bool
+
+    @staticmethod
+    def count_lines(source: str) -> int:
+        return sum(1 for line in source.splitlines() if line.strip())
+
+
+#: (statement-index, body-attribute) steps below a function's top body
+_BodyPath = Tuple[int, Tuple[Tuple[int, str], ...]]
+
+
+def _body_paths(program: ast.ProgramAST) -> List[_BodyPath]:
+    paths: List[_BodyPath] = []
+
+    def walk(body: List[ast.Stmt], fi: int,
+             steps: Tuple[Tuple[int, str], ...]) -> None:
+        paths.append((fi, steps))
+        for si, stmt in enumerate(body):
+            if isinstance(stmt, ast.If):
+                walk(stmt.then_body, fi, steps + ((si, "then_body"),))
+                if stmt.else_body:
+                    walk(stmt.else_body, fi, steps + ((si, "else_body"),))
+            elif isinstance(stmt, (ast.While, ast.For)):
+                walk(stmt.body, fi, steps + ((si, "body"),))
+
+    for fi, func in enumerate(program.functions):
+        walk(func.body, fi, ())
+    return paths
+
+
+def _resolve(program: ast.ProgramAST, path: _BodyPath) -> List[ast.Stmt]:
+    """Body list at ``path``, or ``[]`` when mutations made it stale.
+
+    A stale path is harmless: every candidate is judged solely by the
+    predicate, so resolving "the wrong body" can only waste a try, and
+    the empty-list fallback makes the pass loops skip it instead of
+    crashing.
+    """
+    fi, steps = path
+    try:
+        body = program.functions[fi].body
+        for si, attr in steps:
+            body = getattr(body[si], attr)
+    except (IndexError, AttributeError):
+        return []
+    return body if isinstance(body, list) else []
+
+
+class _Shrinker:
+    def __init__(self, source: str, predicate: Callable[[str], bool],
+                 max_tests: int):
+        self.predicate = predicate
+        self.max_tests = max_tests
+        self.tests = 0
+        self.best_src = source
+        self.best_ast = parse(source)
+
+    def exhausted(self) -> bool:
+        return self.tests >= self.max_tests
+
+    def _try(self, candidate: ast.ProgramAST) -> bool:
+        if self.exhausted():
+            return False
+        try:
+            src = unparse(candidate)
+        except TypeError:
+            return False
+        if src == self.best_src:
+            return False
+        self.tests += 1
+        try:
+            ok = bool(self.predicate(src))
+        except Exception:
+            ok = False
+        if ok:
+            self.best_src = src
+            self.best_ast = parse(src)
+        return ok
+
+    # -- passes ------------------------------------------------------------
+
+    def drop_functions(self) -> bool:
+        improved = False
+        fi = len(self.best_ast.functions) - 1
+        while fi >= 0 and not self.exhausted():
+            if self.best_ast.functions[fi].name != "main":
+                cand = copy.deepcopy(self.best_ast)
+                del cand.functions[fi]
+                improved |= self._try(cand)
+            fi = min(fi - 1, len(self.best_ast.functions) - 1)
+        return improved
+
+    def drop_globals(self) -> bool:
+        improved = False
+        gi = len(self.best_ast.globals) - 1
+        while gi >= 0 and not self.exhausted():
+            cand = copy.deepcopy(self.best_ast)
+            del cand.globals[gi]
+            improved |= self._try(cand)
+            gi = min(gi - 1, len(self.best_ast.globals) - 1)
+        return improved
+
+    def delete_statements(self) -> bool:
+        """ddmin-style chunked deletion over every body, to fixpoint."""
+        improved = False
+        progress = True
+        while progress and not self.exhausted():
+            progress = False
+            for path in _body_paths(self.best_ast):
+                body_len = len(_resolve(self.best_ast, path))
+                chunk = max(1, body_len // 2)
+                while chunk >= 1 and not self.exhausted():
+                    start = 0
+                    while start < len(_resolve(self.best_ast, path)):
+                        cand = copy.deepcopy(self.best_ast)
+                        body = _resolve(cand, path)
+                        if start >= len(body):
+                            break
+                        del body[start:start + chunk]
+                        if self._try(cand):
+                            progress = improved = True
+                        else:
+                            start += chunk
+                        if self.exhausted():
+                            break
+                    chunk //= 2
+        return improved
+
+    def flatten_blocks(self) -> bool:
+        """Replace an If by one arm, a loop by its body (run once)."""
+        improved = True
+        any_improved = False
+        while improved and not self.exhausted():
+            improved = False
+            for path in _body_paths(self.best_ast):
+                body = _resolve(self.best_ast, path)
+                for si, stmt in enumerate(body):
+                    replacements: List[List[ast.Stmt]] = []
+                    if isinstance(stmt, ast.If):
+                        replacements = [stmt.then_body, stmt.else_body]
+                    elif isinstance(stmt, (ast.While, ast.For)):
+                        replacements = [stmt.body]
+                    for repl in replacements:
+                        cand = copy.deepcopy(self.best_ast)
+                        cand_body = _resolve(cand, path)
+                        cand_body[si:si + 1] = copy.deepcopy(repl)
+                        if self._try(cand):
+                            improved = any_improved = True
+                            break
+                    if improved:
+                        break
+                if improved:
+                    break
+        return any_improved
+
+    def literal_pool(self) -> List[int]:
+        pool = set()
+
+        def walk_expr(expr: ast.Expr) -> None:
+            if isinstance(expr, ast.IntLit):
+                pool.add(expr.value)
+            for attr in ("operand", "left", "right", "base", "index",
+                         "pointer", "target", "size", "cond", "value"):
+                child = getattr(expr, attr, None)
+                if isinstance(child, ast.Expr):
+                    walk_expr(child)
+            for child in getattr(expr, "args", []):
+                walk_expr(child)
+
+        for path in _body_paths(self.best_ast):
+            for stmt in _resolve(self.best_ast, path):
+                for attr in ("init", "value", "cond", "expr", "addr",
+                             "tid", "code", "target"):
+                    child = getattr(stmt, attr, None)
+                    if isinstance(child, ast.Expr):
+                        walk_expr(child)
+        pool.update((0, 1))
+        # Largest magnitude first: the calibrated probe constant is the
+        # one whose substitution collapses the program.
+        return sorted(pool, key=abs, reverse=True)[:12]
+
+    def substitute_constants(self) -> bool:
+        improved = False
+        pool = self.literal_pool()
+        for path in _body_paths(self.best_ast):
+            if self.exhausted():
+                break
+            for si, stmt in enumerate(_resolve(self.best_ast, path)):
+                attr = None
+                if isinstance(stmt, ast.Decl) and stmt.init is not None:
+                    attr = "init"
+                elif isinstance(stmt, ast.Assign):
+                    attr = "value"
+                if attr is None or isinstance(getattr(stmt, attr),
+                                              ast.IntLit):
+                    continue
+                for value in pool:
+                    cand = copy.deepcopy(self.best_ast)
+                    cand_body = _resolve(cand, path)
+                    setattr(cand_body[si], attr, ast.IntLit(value=value))
+                    if self._try(cand):
+                        improved = True
+                        break
+                    if self.exhausted():
+                        break
+        return improved
+
+
+def shrink_program(source: str, predicate: Callable[[str], bool],
+                   max_tests: int = 500) -> ShrinkResult:
+    """Minimize ``source`` while ``predicate(candidate_source)`` holds.
+
+    The input program itself is assumed divergent (callers should check
+    ``predicate(source)`` first if unsure); the result is the smallest
+    accepted candidate found within ``max_tests`` predicate runs.
+    """
+    shrinker = _Shrinker(source, predicate, max_tests)
+    original = shrinker.best_src
+    progress = True
+    while progress and not shrinker.exhausted():
+        progress = False
+        progress |= shrinker.drop_functions()
+        progress |= shrinker.drop_globals()
+        progress |= shrinker.delete_statements()
+        progress |= shrinker.substitute_constants()
+        progress |= shrinker.flatten_blocks()
+    return ShrinkResult(
+        source=shrinker.best_src,
+        lines=ShrinkResult.count_lines(shrinker.best_src),
+        tests_run=shrinker.tests,
+        improved=shrinker.best_src != original,
+    )

@@ -11,6 +11,7 @@ from repro.minic.lexer import Token, tokenize
 from repro.minic.lower import lower_program
 from repro.minic.parser import parse
 from repro.minic.typecheck import check_program
+from repro.minic.unparse import unparse
 
 
 def compile_source(source: str, name: str = "module") -> Module:
@@ -28,4 +29,5 @@ __all__ = [
     "lower_program",
     "parse",
     "tokenize",
+    "unparse",
 ]

@@ -1,0 +1,156 @@
+"""MiniC unparser: AST → parseable source text.
+
+The inverse of :func:`repro.minic.parser.parse`, up to formatting:
+``unparse`` is a fixed point of ``parse`` (``unparse(parse(s))`` ==
+``unparse(parse(unparse(parse(s))))``), and its output compiles to the
+same IR.  Expressions are fully parenthesized — safe in every context,
+including lvalues, because the parser unwraps parentheses before the
+lvalue check.
+
+Consumers: the fuzz shrinker rewrites programs AST-to-AST and needs
+source back out; tooling that wants to pretty-print or transform
+workloads can use it the same way.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minic import ast
+
+
+def expr_src(expr: ast.Expr) -> str:
+    """Fully parenthesized expression text."""
+    if isinstance(expr, ast.IntLit):
+        return f"({expr.value})" if expr.value < 0 else str(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{expr_src(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        return f"({expr_src(expr.left)} {expr.op} {expr_src(expr.right)})"
+    if isinstance(expr, ast.Index):
+        base = expr_src(expr.base)
+        if not isinstance(expr.base, ast.Var):
+            base = f"({base})"
+        return f"{base}[{expr_src(expr.index)}]"
+    if isinstance(expr, ast.Deref):
+        return f"(*({expr_src(expr.pointer)}))"
+    if isinstance(expr, ast.AddrOf):
+        return f"(&({expr_src(expr.target)}))"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(expr_src(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.InputExpr):
+        return "input()"
+    if isinstance(expr, ast.MallocExpr):
+        return f"malloc({expr_src(expr.size)})"
+    if isinstance(expr, ast.SpawnExpr):
+        args = ", ".join(expr_src(a) for a in expr.args)
+        return f"spawn {expr.name}({args})"
+    raise TypeError(f"cannot unparse expression {type(expr).__name__}")
+
+
+def stmt_src(stmt: ast.Stmt, indent: str, out: List[str]) -> None:
+    """Append the source lines of one statement to ``out``."""
+    if isinstance(stmt, ast.Decl):
+        if stmt.array_size is not None:
+            out.append(f"{indent}int {stmt.name}[{stmt.array_size}];")
+        elif stmt.init is not None:
+            out.append(f"{indent}int {stmt.name} = {expr_src(stmt.init)};")
+        else:
+            out.append(f"{indent}int {stmt.name};")
+    elif isinstance(stmt, ast.Assign):
+        out.append(f"{indent}{expr_src(stmt.target)} = "
+                   f"{expr_src(stmt.value)};")
+    elif isinstance(stmt, ast.ExprStmt):
+        out.append(f"{indent}{expr_src(stmt.expr)};")
+    elif isinstance(stmt, ast.If):
+        out.append(f"{indent}if ({expr_src(stmt.cond)}) {{")
+        for s in stmt.then_body:
+            stmt_src(s, indent + "    ", out)
+        if stmt.else_body:
+            out.append(f"{indent}}} else {{")
+            for s in stmt.else_body:
+                stmt_src(s, indent + "    ", out)
+        out.append(f"{indent}}}")
+    elif isinstance(stmt, ast.While):
+        out.append(f"{indent}while ({expr_src(stmt.cond)}) {{")
+        for s in stmt.body:
+            stmt_src(s, indent + "    ", out)
+        out.append(f"{indent}}}")
+    elif isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            tmp: List[str] = []
+            stmt_src(stmt.init, "", tmp)
+            init = tmp[0]
+        else:
+            init = ";"
+        cond = expr_src(stmt.cond) if stmt.cond is not None else ""
+        step = ""
+        if stmt.step is not None:
+            tmp = []
+            stmt_src(stmt.step, "", tmp)
+            step = tmp[0].rstrip(";")
+        out.append(f"{indent}for ({init} {cond}; {step}) {{")
+        for s in stmt.body:
+            stmt_src(s, indent + "    ", out)
+        out.append(f"{indent}}}")
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            out.append(f"{indent}return {expr_src(stmt.value)};")
+        else:
+            out.append(f"{indent}return;")
+    elif isinstance(stmt, ast.Assert):
+        if stmt.message:
+            out.append(f"{indent}assert({expr_src(stmt.cond)}, "
+                       f"\"{stmt.message}\");")
+        else:
+            out.append(f"{indent}assert({expr_src(stmt.cond)});")
+    elif isinstance(stmt, ast.OutputStmt):
+        out.append(f"{indent}output({expr_src(stmt.value)});")
+    elif isinstance(stmt, ast.LockStmt):
+        out.append(f"{indent}lock({expr_src(stmt.addr)});")
+    elif isinstance(stmt, ast.UnlockStmt):
+        out.append(f"{indent}unlock({expr_src(stmt.addr)});")
+    elif isinstance(stmt, ast.JoinStmt):
+        out.append(f"{indent}join({expr_src(stmt.tid)});")
+    elif isinstance(stmt, ast.FreeStmt):
+        out.append(f"{indent}free({expr_src(stmt.addr)});")
+    elif isinstance(stmt, ast.AbortStmt):
+        if stmt.message:
+            out.append(f"{indent}abort(\"{stmt.message}\");")
+        else:
+            out.append(f"{indent}abort();")
+    elif isinstance(stmt, ast.HaltStmt):
+        if stmt.code is not None:
+            out.append(f"{indent}halt({expr_src(stmt.code)});")
+        else:
+            out.append(f"{indent}halt();")
+    else:
+        raise TypeError(f"cannot unparse statement {type(stmt).__name__}")
+
+
+def unparse(program: ast.ProgramAST) -> str:
+    """Render a program AST back to parseable MiniC source."""
+    out: List[str] = []
+    for gvar in program.globals:
+        decl = f"global int {gvar.name}"
+        if gvar.array_size is not None:
+            decl += f"[{gvar.array_size}]"
+        if gvar.init is not None:
+            if len(gvar.init) == 1 and gvar.array_size is None:
+                decl += f" = {gvar.init[0]}"
+            else:
+                decl += " = {" + ", ".join(str(v) for v in gvar.init) + "}"
+        out.append(decl + ";")
+    if program.globals:
+        out.append("")
+    for func in program.functions:
+        params = ", ".join(f"int {p}" for p in func.params)
+        out.append(f"func {func.name}({params}) {{")
+        for stmt in func.body:
+            stmt_src(stmt, "    ", out)
+        out.append("}")
+        out.append("")
+    return "\n".join(out).rstrip() + "\n"

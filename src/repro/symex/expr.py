@@ -171,6 +171,22 @@ def bin_expr(op: str, a: Expr, b: Expr) -> Expr:
     if op == "sub" and isinstance(b, Const):
         return bin_expr("add", a, Const(-b.value))
 
+    # Cancellation (exact in modular arithmetic): (a - b) + b → a and
+    # (a + b) - b → a.  Substitution chains build these shapes — e.g. a
+    # loop round-trip resolving to (c - x) + x — and an unfolded
+    # tautology sent to the bit-fixing layer makes every residue
+    # survive every level, the worst case of its enumeration.
+    if op == "add":
+        if isinstance(a, BinExpr) and a.op == "sub" and a.b == b:
+            return a.a
+        if isinstance(b, BinExpr) and b.op == "sub" and b.b == a:
+            return b.a
+    if op == "sub" and isinstance(a, BinExpr) and a.op == "add":
+        if a.b == b:
+            return a.a
+        if a.a == b:
+            return a.b
+
     # Distribute mul-by-const over add-by-const so affine chains
     # normalize to a single (mul x c) + d:  (x + c1) * c2 → x*c2 + c1*c2.
     if op == "mul" and isinstance(b, Const) and isinstance(a, BinExpr) \

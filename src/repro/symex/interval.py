@@ -9,9 +9,9 @@ every constraint pattern the solver propagates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.ir.instructions import WORD_MASK, to_unsigned
+from repro.ir.instructions import WORD_MASK, to_signed, to_unsigned
 
 SIGN_BIT = 1 << 63
 
@@ -149,6 +149,165 @@ class IntSet:
         )
         more = "…" if len(self.ranges) > 8 else ""
         return f"IntSet({parts}{more})"
+
+
+def _bits_upper(value: int) -> int:
+    """Smallest all-ones word covering ``value`` (0 → 0)."""
+    return (1 << value.bit_length()) - 1
+
+
+def _signed_bounds(iv: IntSet) -> Tuple[int, int]:
+    """(smin, smax) of a non-empty set under signed interpretation."""
+    neg = iv.intersect(IntSet.of(SIGN_BIT, WORD_MASK))
+    pos = iv.intersect(IntSet.of(0, SIGN_BIT - 1))
+    if neg.is_empty():
+        return pos.min(), pos.max()
+    if pos.is_empty():
+        return to_signed(neg.min()), to_signed(neg.max())
+    return to_signed(neg.min()), pos.max()
+
+
+_BOOL = IntSet(((0, 1),))
+
+
+def _order_truth(always: bool, never: bool) -> IntSet:
+    if always:
+        return IntSet.point(1)
+    if never:
+        return IntSet.point(0)
+    return _BOOL
+
+
+def cmp_truth(op: str, ia: IntSet, ib: IntSet) -> IntSet:
+    """Over-approximation of the truth value of ``a <op> b`` given
+    over-approximations of both operands (a subset of {0, 1})."""
+    if ia.is_empty() or ib.is_empty():
+        return IntSet.empty()
+    if op == "eq" or op == "ne":
+        if ia.intersect(ib).is_empty():
+            certain: Optional[int] = 0
+        elif ia.size() == 1 and ib.size() == 1:
+            certain = 1
+        else:
+            return _BOOL
+        if op == "ne":
+            certain = 1 - certain
+        return IntSet.point(certain)
+    if op in ("ult", "ule", "ugt", "uge"):
+        amin, amax = ia.min(), ia.max()
+        bmin, bmax = ib.min(), ib.max()
+    elif op in ("slt", "sle", "sgt", "sge"):
+        amin, amax = _signed_bounds(ia)
+        bmin, bmax = _signed_bounds(ib)
+    else:
+        raise ValueError(f"not a comparison: {op!r}")
+    if op in ("ult", "slt"):
+        return _order_truth(amax < bmin, amin >= bmax)
+    if op in ("ule", "sle"):
+        return _order_truth(amax <= bmin, amin > bmax)
+    if op in ("ugt", "sgt"):
+        return _order_truth(amin > bmax, amax <= bmin)
+    return _order_truth(amin >= bmax, amax < bmin)
+
+
+_NONNEG = IntSet(((0, SIGN_BIT - 1),))
+
+
+def expr_range(expr, domain_of: Callable[[str], IntSet]) -> IntSet:
+    """Conservative over-approximation of the values ``expr`` can take
+    when each symbol ranges over ``domain_of(name)``.
+
+    Soundness contract (property-tested against :func:`~repro.symex.\
+expr.evaluate`): for every model assigning each symbol a value inside
+    its domain, the evaluated result lies inside the returned set.
+    ``full()`` is always a legal answer; precision is best-effort —
+    exactly what the solver needs to refute residual constraints like
+    ``((n & 3) + 1) > 5000`` that its enumeration cannot reach.
+    """
+    from repro.symex.expr import BinExpr, Const, Sym
+
+    memo: Dict[int, IntSet] = {}
+
+    def walk(node) -> IntSet:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        result = compute(node)
+        memo[id(node)] = result
+        return result
+
+    def compute(node) -> IntSet:
+        if isinstance(node, Const):
+            return IntSet.point(node.value)
+        if isinstance(node, Sym):
+            return domain_of(node.name)
+        if not isinstance(node, BinExpr):
+            return IntSet.full()
+        ia = walk(node.a)
+        ib = walk(node.b)
+        if ia.is_empty() or ib.is_empty():
+            return IntSet.empty()
+        op = node.op
+        if op in ("eq", "ne", "ult", "ule", "ugt", "uge",
+                  "slt", "sle", "sgt", "sge"):
+            return cmp_truth(op, ia, ib)
+        amin, amax = ia.min(), ia.max()
+        bmin, bmax = ib.min(), ib.max()
+        if op == "and":
+            return IntSet.of(0, min(amax, bmax))
+        if op == "or":
+            return IntSet.of(max(amin, bmin), _bits_upper(amax | bmax))
+        if op == "xor":
+            return IntSet.of(0, _bits_upper(amax | bmax))
+        if op == "add":
+            if ib.size() == 1:
+                return ia.shift(bmin)
+            if ia.size() == 1:
+                return ib.shift(amin)
+            if amax + bmax <= WORD_MASK:
+                return IntSet.of(amin + bmin, amax + bmax)
+            return IntSet.full()
+        if op == "sub":
+            if ib.size() == 1:
+                return ia.shift(-bmin)
+            if amin >= bmax:
+                return IntSet.of(amin - bmax, amax - bmin)
+            return IntSet.full()
+        if op == "mul":
+            if amax * bmax <= WORD_MASK:
+                return IntSet.of(amin * bmin, amax * bmax)
+            return IntSet.full()
+        if op == "udiv":
+            if bmin > 0:
+                return IntSet.of(amin // bmax, amax // bmin)
+            return IntSet.full()
+        if op == "urem":
+            if bmin > 0:
+                return IntSet.of(0, bmax - 1)
+            return IntSet.full()
+        if op in ("sdiv", "srem"):
+            # Non-negative operands degenerate to the unsigned case.
+            nonneg = amax < SIGN_BIT and bmax < SIGN_BIT
+            if nonneg and bmin > 0:
+                if op == "sdiv":
+                    return IntSet.of(amin // bmax, amax // bmin)
+                return IntSet.of(0, bmax - 1)
+            return IntSet.full()
+        if op == "shl":
+            if bmax <= 63 and (amax << bmax) <= WORD_MASK:
+                return IntSet.of(amin << bmin, amax << bmax)
+            return IntSet.full()
+        if op == "lshr":
+            if bmax <= 63:
+                return IntSet.of(amin >> bmax, amax >> bmin)
+            return IntSet.full()
+        if op == "ashr":
+            if bmax <= 63 and amax < SIGN_BIT:
+                return IntSet.of(amin >> bmax, amax >> bmin)
+            return IntSet.full()
+        return IntSet.full()
+
+    return walk(expr)
 
 
 def cmp_domain(op: str, bound: int) -> IntSet:

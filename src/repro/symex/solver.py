@@ -40,7 +40,7 @@ from repro.symex.expr import (
     substitute,
     truth_of,
 )
-from repro.symex.interval import IntSet, cmp_domain
+from repro.symex.interval import IntSet, cmp_domain, expr_range
 
 
 class SolveStatus(Enum):
@@ -151,6 +151,9 @@ class Solver:
         #: answered without re-searching.  Exact keys — never fuzzy.
         self._component_cache: Dict[tuple, SolveResult] = {}
         self._component_cache_cap = 65536
+        #: interval over-approximations per (expr, relevant domains)
+        self._range_cache: Dict[tuple, IntSet] = {}
+        self._range_cache_cap = 65536
         self._next_token = itertools.count(1)
         #: counters exposed to SynthesisStats
         self.stat_calls = 0
@@ -253,16 +256,30 @@ class Solver:
     def unique_value_extended(self, ctx: SolverContext,
                               delta: Sequence[Expr],
                               expr: Expr) -> Tuple[Optional[int], bool]:
-        """Incremental form of :meth:`unique_value` over ``ctx + delta``."""
+        """Incremental form of :meth:`unique_value` over ``ctx + delta``.
+
+        Both queries fall back to a from-scratch solve when the chained
+        context cannot decide them: the incremental path must never be
+        *less* able to find a model or prove uniqueness than the flat
+        path, or the two engine modes concretize addresses differently
+        (differential-fuzzer finding).
+        """
         first, _ = self.solve_extended(ctx, tuple(delta), want_context=False)
         if not first.is_sat or first.model is None:
-            return None, False
+            if first.is_unsat:
+                return None, False
+            first = self.solve(list(ctx.constraints) + list(delta))
+            if not first.is_sat or first.model is None:
+                return None, False
         value = evaluate(expr, first.model)
         if value is None:
             return None, False
         exclusion = bin_expr("ne", expr, Const(value))
         second, _ = self.solve_extended(ctx, tuple(delta) + (exclusion,),
                                         want_context=False)
+        if not second.is_sat and not second.is_unsat:
+            second = self.solve(list(ctx.constraints) + list(delta)
+                                + [exclusion])
         return value, second.is_unsat
 
     def check_sat(self, constraints: Sequence[Expr]) -> bool:
@@ -315,6 +332,20 @@ class Solver:
         while pending:
             constraint = pending.pop()
             constraint = substitute(constraint, state.bindings)
+            # Binding values may themselves mention symbols that were
+            # bound *later* (t1 ↦ f(t2) recorded before t2 ↦ 0), so one
+            # substitution pass can re-introduce bound symbols.  Iterate
+            # to a fixpoint so contradictions fold to Const(0) instead
+            # of leaking a stale symbol into the domain/residual paths —
+            # a leak that made the verdict depend on assertion order
+            # (found by the differential fuzzer: from-scratch solves
+            # returned UNKNOWN where incremental extension proved
+            # UNSAT).  The cap guards against cyclic bindings, which
+            # _isolate should never produce.
+            for _ in range(8):
+                if not (free_syms(constraint) & state.bindings.keys()):
+                    break
+                constraint = substitute(constraint, state.bindings)
             if isinstance(constraint, Const):
                 if constraint.value == 0:
                     return SolveStatus.UNSAT
@@ -338,6 +369,15 @@ class Solver:
             refinement = self._extract_domain(constraint)
             if refinement is not None:
                 name, dom = refinement
+                bound = state.bindings.get(name)
+                if isinstance(bound, Const):
+                    # Defense in depth: a refinement for an already
+                    # const-bound symbol is a membership test, not a
+                    # domain update (the fixpoint above should make
+                    # this unreachable).
+                    if bound.value not in dom:
+                        return SolveStatus.UNSAT
+                    continue
                 new = state.domain(name).intersect(dom)
                 if new.is_empty():
                     return SolveStatus.UNSAT
@@ -514,6 +554,24 @@ class Solver:
 
     # ------------------------------------------------------------------
     # Phase 3: bounded search
+    def _range_of(self, expr: Expr, state: _State) -> IntSet:
+        """Memoized :func:`expr_range` over the state's domains.
+
+        The naive engine re-solves suffix-deep conjunctions whose
+        constraint expressions are shared across nodes, so the same
+        (expression, relevant domains) pair recurs constantly; the key
+        covers exactly the domains the answer depends on.
+        """
+        key = (expr, tuple(sorted(
+            (name, state.domain(name).ranges)
+            for name in free_syms(expr))))
+        cached = self._range_cache.get(key)
+        if cached is None:
+            cached = expr_range(expr, state.domain)
+            if len(self._range_cache) < self._range_cache_cap:
+                self._range_cache[key] = cached
+        return cached
+
     # ------------------------------------------------------------------
 
     def _search(self, state: _State,
@@ -529,6 +587,22 @@ class Solver:
         # space and produce a false UNSAT.
         resolved = self._resolve_bindings(state.bindings, seed=resolved_seed)
         state.resolved_cache = resolved
+        # A symbol can acquire a domain refinement (x ≠ 0) and *then* an
+        # open binding (x ↦ f(y)); the domain knowledge is not folded
+        # into the binding at assert time, so once the binding resolves
+        # it must be checked against the domain or the contradiction is
+        # silently dropped (another order-dependent UNKNOWN the
+        # differential fuzzer surfaced).  Iterate the (small) domain
+        # map, not the (large) binding map.
+        for name, dom in state.domains.items():
+            if dom.is_full():
+                continue
+            expr = resolved.get(name)
+            if expr is None:
+                continue
+            image = self._range_of(expr, state)
+            if image.intersect(dom).is_empty():
+                return SolveResult(SolveStatus.UNSAT)
         residual: List[Expr] = []
         for constraint in state.constraints:
             if free_syms(constraint) & resolved.keys():
@@ -537,6 +611,18 @@ class Solver:
                 if constraint.value == 0:
                     return SolveResult(SolveStatus.UNSAT)
                 continue
+            # Interval refutation: an over-approximation of the
+            # constraint's value decides it when the bounded search
+            # cannot (e.g. ((n & 3) + 1) > 5000 over a full 2^64
+            # domain).  Shared by the flat and incremental paths, this
+            # keeps verdicts from depending on which assertion order
+            # happened to propagate a domain first — the differential
+            # fuzzer found exactly such order-dependent UNKNOWNs.
+            truth = self._range_of(constraint, state)
+            if truth.is_empty() or truth.max() == 0:
+                return SolveResult(SolveStatus.UNSAT)
+            if 0 not in truth:
+                continue  # tautological under the domains: drop
             residual.append(constraint)
         unbound: Set[str] = set()
         for constraint in residual:

@@ -14,6 +14,7 @@ from repro.workloads.corpus import (
     TRIAGE_PROGRAM,
     generate_corpus,
     generate_report,
+    sample_corpus_params,
 )
 from repro.workloads.programs import (
     BRANCH_CHAIN,
@@ -51,4 +52,5 @@ __all__ = [
     "UNTAINTED_OVERFLOW", "USE_AFTER_FREE", "WRITER_TAG", "Workload",
     "WorkloadRegistry",
     "generate_corpus", "generate_report", "long_execution_workload",
+    "sample_corpus_params",
 ]

@@ -123,12 +123,25 @@ def generate_report(cause: int, route: int, report_id: str) -> BugReport:
                      true_cause=CAUSE_NAMES[cause])
 
 
-def generate_corpus(size: int, seed: int = 0) -> List[BugReport]:
-    """A corpus of ``size`` reports over both causes and all routes."""
-    rng = random.Random(seed)
-    reports: List[BugReport] = []
-    for i in range(size):
-        cause = rng.randrange(2)
-        route = rng.randrange(2)
-        reports.append(generate_report(cause, route, report_id=f"r{i:04d}"))
-    return reports
+def sample_corpus_params(size: int,
+                         rng: random.Random) -> List[Tuple[int, int]]:
+    """The ``(cause, route)`` draws for a corpus, taken from an explicit
+    RNG so triage-corpus generation is reproducible and composable (a
+    caller can thread one RNG through several corpora)."""
+    return [(rng.randrange(2), rng.randrange(2)) for _ in range(size)]
+
+
+def generate_corpus(size: int, seed: int = 0,
+                    rng: Optional[random.Random] = None) -> List[BugReport]:
+    """A corpus of ``size`` reports over both causes and all routes.
+
+    Determinism contract: the same ``seed`` (or an equally-seeded
+    explicit ``rng``) always yields byte-identical reports — never the
+    module-level ``random`` state, which repeated runs would perturb.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    return [
+        generate_report(cause, route, report_id=f"r{i:04d}")
+        for i, (cause, route) in enumerate(sample_corpus_params(size, rng))
+    ]

@@ -1,0 +1,57 @@
+"""Regression tests for the BENCH_res.json timing log's growth bound.
+
+``benchmarks/`` is not a package, so the conftest under test is loaded
+by file path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_CONFTEST = Path(__file__).resolve().parent.parent / "benchmarks" / "conftest.py"
+
+
+@pytest.fixture()
+def bench_conftest():
+    spec = importlib.util.spec_from_file_location("bench_conftest", _CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_record_timing_bounds_log_growth(bench_conftest):
+    payload = {}
+    total = bench_conftest._MAX_TIMINGS + 137
+    for i in range(total):
+        bench_conftest.record_timing(payload, f"test_{i}", i * 0.001,
+                                     recorded_at=1000.0 + i)
+    timings = payload["timings"]
+    assert len(timings) == bench_conftest._MAX_TIMINGS
+    # Oldest entries were dropped, newest retained, order preserved.
+    assert timings[0]["test"] == f"test_{total - bench_conftest._MAX_TIMINGS}"
+    assert timings[-1]["test"] == f"test_{total - 1}"
+
+
+def test_record_timing_bound_holds_across_saved_files(bench_conftest,
+                                                      tmp_path,
+                                                      monkeypatch):
+    """The bound must hold through the real read-modify-write path, not
+    just on an in-memory dict: repeated appends across 'runs' keep the
+    persisted file at the cap."""
+    bench_path = tmp_path / "BENCH_res.json"
+    monkeypatch.setattr(bench_conftest, "BENCH_PATH", bench_path)
+    cap = bench_conftest._MAX_TIMINGS
+    for i in range(cap + 40):
+        bench_conftest._update_bench(
+            lambda payload, i=i: bench_conftest.record_timing(
+                payload, f"run_{i}", 0.5, recorded_at=2000.0 + i))
+    stored = json.loads(bench_path.read_text())
+    assert len(stored["timings"]) == cap
+    assert stored["timings"][-1]["test"] == f"run_{cap + 39}"
+    # Other sections survive alongside the capped log.
+    bench_conftest.bench_record("res_throughput", {"workload": "x"})
+    stored = json.loads(bench_path.read_text())
+    assert len(stored["timings"]) == cap
+    assert stored["res_throughput"][0]["workload"] == "x"

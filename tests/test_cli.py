@@ -239,3 +239,95 @@ def test_debug_watch_command(figure1_core, capsys):
     out = capsys.readouterr().out
     assert "watchpoint on y" in out
     assert "-> 10" in out
+
+
+# ---------------------------------------------------------------------------
+# Loader error paths
+# ---------------------------------------------------------------------------
+
+def test_analyze_missing_source_file(figure1_core, capsys):
+    code = main(["analyze", figure1_core,
+                 "--source", "/nonexistent/prog.mc"])
+    assert code == 64
+    assert "source file not found" in capsys.readouterr().err
+
+
+def test_analyze_malformed_coredump(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"module\": \"x\"}")
+    code = main(["analyze", str(bad), "--workload", "figure1_overflow"])
+    assert code == 64
+    assert "malformed coredump" in capsys.readouterr().err
+
+
+def test_analyze_coredump_not_json(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("this is not json")
+    code = main(["analyze", str(bad), "--workload", "figure1_overflow"])
+    assert code == 64
+    assert "malformed coredump" in capsys.readouterr().err
+
+
+def test_analyze_coredump_for_wrong_module(figure1_core, capsys):
+    code = main(["analyze", figure1_core, "--workload", "race_flag"])
+    assert code == 64
+    err = capsys.readouterr().err
+    assert "figure1_overflow" in err and "race_flag" in err
+
+
+def test_analyze_source_with_compile_error(figure1_core, tmp_path, capsys):
+    src = tmp_path / "broken.mc"
+    src.write_text("func main() { int x = ; }")
+    code = main(["analyze", figure1_core, "--source", str(src)])
+    assert code == 64
+    assert "error" in capsys.readouterr().err
+
+
+def test_unknown_workload_in_analyze(figure1_core, capsys):
+    code = main(["analyze", figure1_core, "--workload", "no_such"])
+    assert code == 64
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_debug_missing_artifact_file(figure1_core, capsys):
+    code = main(["debug", figure1_core, "--workload", "figure1_overflow",
+                 "--artifact", "/nonexistent/suffix.json",
+                 "--script", "run"])
+    assert code == 64
+
+
+def test_hwcheck_wrong_trap_kind_coredump(tmp_path, capsys):
+    """A coredump whose trap kind does not match what the workload
+    would produce still analyzes (RES is trap-agnostic), but against
+    the wrong module name it is rejected."""
+    dump = TAINTED_OVERFLOW.trigger()
+    path = tmp_path / "mismatch.json"
+    path.write_text(dump.to_json())
+    code = main(["hwcheck", str(path), "--workload", "hw_canary"])
+    assert code == 64
+    assert "tainted_overflow" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# fuzz
+# ---------------------------------------------------------------------------
+
+def test_fuzz_small_campaign_through_cli(tmp_path, capsys):
+    code = main(["fuzz", "--seed", "0", "--count", "4",
+                 "--artifacts", str(tmp_path / "artifacts")])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "campaign: 4 programs" in out
+    assert "divergences: none" in out
+    assert not (tmp_path / "artifacts").exists()
+
+
+def test_fuzz_forced_divergence_exit_code_and_artifacts(tmp_path, capsys):
+    code = main(["fuzz", "--seed", "0", "--count", "2",
+                 "--force-divergence", "--hw-fault-prob", "0",
+                 "--alu-fault-prob", "0",
+                 "--artifacts", str(tmp_path / "artifacts")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "incremental-vs-naive" in out
+    assert list((tmp_path / "artifacts").glob("div-*.json"))

@@ -379,3 +379,127 @@ def test_verdict_cache_is_per_context():
     second, _ = solver.solve_extended(unbound, delta)
     assert first.is_unsat
     assert second.is_sat and second.model["x"] == 2
+
+
+def test_assert_order_independence_of_chained_bindings():
+    """Found by the differential fuzzer (PR 2, program seed 1132): with
+    the assertion order (t2 != 0) == t1 before t2 == 0 before t1 == 1,
+    the binding t1 ↦ (t2 != 0) was recorded before t2 ↦ 0, and a single
+    substitution pass re-introduced the bound t2 — the contradiction
+    then leaked into a domain refinement instead of folding to false,
+    so from-scratch solves said UNKNOWN where incremental extension
+    proved UNSAT.  Every assertion order must now agree on UNSAT."""
+    import itertools
+
+    t1, t2 = Sym("t1"), Sym("t2")
+    constraints = [
+        bin_expr("eq", t1, Const(1)),
+        bin_expr("eq", t2, Const(0)),
+        bin_expr("eq", bin_expr("ne", t2, Const(0)), t1),
+    ]
+    for perm in itertools.permutations(constraints):
+        assert Solver().solve(list(perm)).is_unsat, \
+            f"order {perm} not refuted"
+    # And the incremental path agrees, whichever split builds the context.
+    for split in range(3):
+        solver = Solver()
+        ctx = solver.context_for(constraints[:split])
+        verdict, _ = solver.solve_extended(ctx, tuple(constraints[split:]))
+        assert verdict.is_unsat
+
+
+def test_expr_range_is_a_sound_over_approximation():
+    """Property: for random expressions and random in-domain models,
+    the evaluated value always lies inside expr_range's answer."""
+    import random as _random
+
+    from repro.symex.interval import IntSet, expr_range
+
+    rng = _random.Random(1234)
+    ops = ["add", "sub", "mul", "udiv", "urem", "sdiv", "srem",
+           "and", "or", "xor", "shl", "lshr", "ashr",
+           "eq", "ne", "ult", "ule", "ugt", "uge",
+           "slt", "sle", "sgt", "sge"]
+
+    def random_domain():
+        kind = rng.random()
+        if kind < 0.3:
+            return IntSet.full()
+        if kind < 0.5:
+            v = rng.randrange(1 << 64)
+            return IntSet.point(v)
+        lo = rng.randrange(0, 1 << rng.choice((4, 8, 32, 64)))
+        hi = lo + rng.randrange(0, 1 << rng.choice((2, 8, 16)))
+        return IntSet.of(lo, min(hi, (1 << 64) - 1))
+
+    def random_expr(depth, syms):
+        roll = rng.random()
+        if depth <= 0 or roll < 0.25:
+            if rng.random() < 0.6:
+                return Sym(rng.choice(syms))
+            return Const(rng.randrange(-64, 1 << 16))
+        return BinExpr(rng.choice(ops),
+                       random_expr(depth - 1, syms),
+                       random_expr(depth - 1, syms))
+
+    for trial in range(300):
+        syms = [f"s{i}" for i in range(rng.randint(1, 3))]
+        domains = {name: random_domain() for name in syms}
+        expr = random_expr(rng.randint(1, 4), syms)
+        approx = expr_range(expr, lambda n: domains[n])
+        for _ in range(8):
+            model = {}
+            for name, dom in domains.items():
+                lo, hi = rng.choice(dom.ranges)
+                model[name] = rng.randint(lo, hi)
+            value = evaluate(expr, model)
+            if value is None:
+                continue  # division by zero along this valuation
+            assert value in approx, (
+                f"trial {trial}: {expr!r} evaluated to {value} outside "
+                f"{approx!r} under {model} with domains {domains}")
+
+
+def test_cancellation_identities_fold():
+    """(a - b) + b and (a + b) - b must fold away (modular-exact): an
+    unfolded round-trip tautology sent to the bit-fixing layer makes
+    every residue survive every level — found as an 8x naive-engine
+    slowdown by the differential fuzzer's E1 comparison."""
+    x = Sym("x")
+    c = Const(158)
+    assert bin_expr("add", bin_expr("sub", c, x), x) == c
+    assert bin_expr("add", x, bin_expr("sub", c, x)) == c
+    assert bin_expr("sub", bin_expr("add", c, x), x) == c
+    assert bin_expr("sub", bin_expr("add", x, c), x) == c
+
+
+def test_domain_refinement_survives_open_binding():
+    """Found by the differential fuzzer (program seed 2262): a symbol
+    with a refined domain (t11 != 0) that later receives an open
+    binding (t11 ↦ (t12 != 0)) must still be checked against the domain
+    once the binding resolves — here to 0, a contradiction."""
+    t11, t12 = Sym("t11"), Sym("t12")
+    constraints = [
+        bin_expr("ne", t11, Const(0)),
+        bin_expr("eq", bin_expr("ne", t12, Const(0)), t11),
+        bin_expr("eq", t12, Const(0)),
+    ]
+    import itertools
+    for perm in itertools.permutations(constraints):
+        assert Solver().solve(list(perm)).is_unsat
+    solver = Solver()
+    ctx = solver.context_for(constraints[:1])
+    verdict, _ = solver.solve_extended(ctx, tuple(constraints[1:]))
+    assert verdict.is_unsat
+
+
+def test_interval_refutation_of_masked_comparison():
+    """Found by the differential fuzzer (program seed 2082): a residual
+    like ((n & 3) + 1) > 5000 is beyond the enumeration's reach (full
+    2^64 domain) but trivially refutable by interval evaluation."""
+    n = Sym("n")
+    masked = bin_expr("add", bin_expr("and", n, Const(3)), Const(1))
+    assert Solver().solve([bin_expr("sgt", masked, Const(5000))]).is_unsat
+    # And the tautological direction is dropped, not left to block SAT.
+    result = Solver().solve([bin_expr("sle", masked, Const(5000))])
+    assert result.is_sat
