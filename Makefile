@@ -3,15 +3,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test perf fuzz-smoke fuzz-test
+.PHONY: test perf triage-bench fuzz-smoke fuzz-test
 
-# Tier-1 verification (fuzz-marked tests are deselected by pytest.ini).
+# Tier-1 verification (fuzz- and perf-marked tests are deselected by
+# pytest.ini; run them via the targets below).
 test:
 	$(PYTHON) -m pytest -x -q
 
 # P1 throughput benchmark (appends rows to BENCH_res.json).
 perf:
-	$(PYTHON) -m pytest benchmarks/test_p1_res_throughput.py -q
+	$(PYTHON) -m pytest benchmarks/test_p1_res_throughput.py -q -m perf
+
+# P3 batch-triage throughput benchmark: sharded service vs serial
+# sweep on a labeled fuzz corpus (appends `triage_throughput` rows).
+triage-bench:
+	$(PYTHON) -m pytest benchmarks/test_p3_triage_throughput.py -q -m perf
 
 # The 200-program differential campaign with the fixed smoke seed.
 # Exit code 1 + artifacts under fuzz-artifacts/ on any divergence.

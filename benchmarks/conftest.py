@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import fcntl
 import json
-import os
-import tempfile
 import time
 from pathlib import Path
 
 import pytest
+
+from repro.ioutil import atomic_write_json
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_res.json"
 
@@ -58,15 +58,7 @@ def _save_bench(payload: dict) -> None:
     # Atomic replace: an interrupted write must never leave a truncated
     # file behind (a corrupt file would reset the whole history on the
     # next load).
-    fd, tmp_path = tempfile.mkstemp(dir=BENCH_PATH.parent,
-                                    prefix=BENCH_PATH.name + ".")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        os.replace(tmp_path, BENCH_PATH)
-    except BaseException:
-        os.unlink(tmp_path)
-        raise
+    atomic_write_json(BENCH_PATH, payload, indent=2)
 
 
 def _update_bench(mutate) -> None:

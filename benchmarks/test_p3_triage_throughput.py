@@ -1,0 +1,108 @@
+"""P3 — triage-at-scale throughput: the sharded batch triage service
+vs the serial per-report sweep (paper §3.1 under report traffic).
+
+Corpus: labeled reports synthesized from fuzz seeds (armed failure
+class = ground truth), duplicated the way production crash streams are
+— the service's fingerprint dedup, per-worker module-cache sharing, and
+process fan-out all get exercised.  The speedup must never change the
+answer: the sharded run buckets byte-identically to the serial run and
+to a plain engine sweep, with identical accuracy metrics.
+
+Rows land in ``BENCH_res.json`` under ``triage_throughput``.
+"""
+
+import time
+
+import pytest
+
+from repro.core import RESConfig
+from repro.core.triage import (
+    TriageEngine,
+    bucket_accuracy,
+    misbucketed_fraction,
+)
+from repro.core.triage_service import TriageServiceConfig, triage_corpus
+from repro.fuzz.triage_corpus import build_labeled_corpus
+
+from conftest import bench_record, emit_row
+
+pytestmark = pytest.mark.perf
+
+#: unique armed programs; x DUPLICATES reports (ISSUE floor: >= 50)
+SEEDS = range(9000, 9016)
+DUPLICATES = 4
+JOBS = 4
+MAX_DEPTH = 8
+MAX_NODES = 300
+MIN_SPEEDUP = 2.0
+
+
+def _serial_sweep(corpus):
+    """The pre-service code path: one engine per program, one
+    ``triage_one`` per report, no dedup, no sharding."""
+    engines = {}
+    results = []
+    start = time.perf_counter()
+    for entry in corpus.entries:
+        engine = engines.get(entry.program_key)
+        if engine is None:
+            spec = corpus.programs[entry.program_key]
+            engine = TriageEngine(
+                spec.compile(),
+                RESConfig(max_depth=MAX_DEPTH, max_nodes=MAX_NODES))
+            engines[entry.program_key] = engine
+        results.append(engine.triage_one(entry.report))
+    return results, time.perf_counter() - start
+
+
+def test_p3_triage_throughput():
+    corpus = build_labeled_corpus(SEEDS, duplicates=DUPLICATES,
+                                  shuffle_seed=11)
+    reports = corpus.reports
+    assert len(reports) >= 50, "ISSUE floor: a >= 50-report corpus"
+
+    serial_results, serial_wall = _serial_sweep(corpus)
+
+    config = dict(max_depth=MAX_DEPTH, max_nodes=MAX_NODES)
+    service_serial = triage_corpus(
+        corpus, TriageServiceConfig(jobs=1, **config))
+    sharded = triage_corpus(
+        corpus, TriageServiceConfig(jobs=JOBS, **config))
+
+    # Determinism before speed: all three pipelines agree byte-for-byte.
+    serial_buckets = [r.bucket for r in serial_results]
+    assert [r.bucket for r in service_serial.results] == serial_buckets
+    assert [r.bucket for r in sharded.results] == serial_buckets
+    assert [r.report_id for r in sharded.results] \
+        == [r.report_id for r in serial_results]
+
+    accuracy = bucket_accuracy(serial_results, reports)
+    assert bucket_accuracy(service_serial.results, reports) == accuracy
+    assert bucket_accuracy(sharded.results, reports) == accuracy
+    misbucketed = misbucketed_fraction(sharded.results, reports)
+
+    speedup = serial_wall / sharded.elapsed
+    row = {
+        "reports": len(reports),
+        "programs": len(corpus.programs),
+        "duplicates": DUPLICATES,
+        "jobs": JOBS,
+        "max_depth": MAX_DEPTH,
+        "max_nodes": MAX_NODES,
+        "serial_wall": round(serial_wall, 3),
+        "service_serial_wall": round(service_serial.elapsed, 3),
+        "sharded_wall": round(sharded.elapsed, 3),
+        "serial_reports_per_sec": round(len(reports) / serial_wall, 2),
+        "sharded_reports_per_sec": round(sharded.throughput(), 2),
+        "speedup": round(speedup, 2),
+        "dedup_hits": sharded.dedup_hits,
+        "bucket_accuracy": round(accuracy, 4),
+        "misbucketed_fraction": round(misbucketed, 4),
+    }
+    bench_record("triage_throughput", row)
+    emit_row("P3", **row)
+
+    assert sharded.dedup_hits == len(reports) - len(corpus.programs)
+    assert speedup >= MIN_SPEEDUP, (
+        f"sharded triage only {speedup:.2f}x over serial "
+        f"(serial {serial_wall:.2f}s, sharded {sharded.elapsed:.2f}s)")

@@ -133,24 +133,57 @@ def cmd_exploit(args: argparse.Namespace) -> int:
 
 
 def cmd_triage(args: argparse.Namespace) -> int:
-    """§3.1 triage campaign on a synthetic report corpus: WER-style
-    call-stack bucketing vs RES root-cause bucketing."""
+    """§3.1 triage at scale: bucket a corpus of bug reports through the
+    sharded triage service and compare against WER-style call stacks.
+
+    The corpus comes from (first match wins): ``--corpus-dir`` (a saved
+    directory of coredump JSONs + manifest), ``--fuzz-count`` (labeled
+    reports synthesized from fuzz seeds), or the synthetic §3.1
+    corpus (``--reports``/``--seed``).
+    """
     from repro.baselines.wer import triage as wer_triage
-    from repro.core.triage import (
-        TriageEngine,
-        bucket_accuracy,
-        misbucketed_fraction,
+    from repro.core.triage import bucket_accuracy, misbucketed_fraction
+    from repro.core.triage_service import (
+        TriageCorpus,
+        TriageServiceConfig,
+        triage_corpus,
     )
-    from repro.workloads import TRIAGE_PROGRAM, generate_corpus
 
-    reports = generate_corpus(args.reports, seed=args.seed)
+    if args.corpus_dir:
+        corpus = TriageCorpus.load(args.corpus_dir)
+    elif args.fuzz_count:
+        from repro.fuzz.triage_corpus import build_labeled_corpus
+
+        corpus = build_labeled_corpus(
+            range(args.fuzz_seed, args.fuzz_seed + args.fuzz_count),
+            duplicates=args.fuzz_duplicates,
+            shuffle_seed=args.seed)
+    else:
+        from repro.workloads import service_corpus
+
+        corpus = service_corpus(args.reports, seed=args.seed)
+
+    if args.save_corpus:
+        manifest = corpus.save(args.save_corpus)
+        print(f"corpus saved to {manifest}")
+
+    reports = corpus.reports
+    causes = {r.true_cause for r in reports if r.true_cause is not None}
     print(f"corpus: {len(reports)} reports, "
-          f"{len({r.true_cause for r in reports})} true causes")
+          f"{len(corpus.programs)} programs, {len(causes)} true causes")
 
+    config = TriageServiceConfig(jobs=args.jobs,
+                                 max_depth=args.max_depth,
+                                 max_nodes=args.max_nodes,
+                                 store_path=args.store)
+    service_result = triage_corpus(corpus, config)
+    res_results = service_result.results
+    if service_result.interrupted:
+        print(f"triage interrupted after {len(res_results)}/"
+              f"{len(reports)} reports; partial results follow")
+        done = {r.report_id for r in res_results}
+        reports = [r for r in reports if r.report_id in done]
     wer_results = wer_triage(reports)
-    engine = TriageEngine(TRIAGE_PROGRAM.module,
-                          RESConfig(max_depth=16, max_nodes=4000))
-    res_results = engine.triage(reports)
 
     for name, results in (("WER (call stacks)", wer_results),
                           ("RES (root causes)", res_results)):
@@ -160,7 +193,14 @@ def cmd_triage(args: argparse.Namespace) -> int:
         print(f"{name:20s} buckets={buckets:3d} "
               f"pair-accuracy={accuracy:5.1%} "
               f"misbucketed={misbucketed:5.1%}")
-    return 0
+    print(f"service: {service_result.triaged} triaged, "
+          f"{service_result.dedup_hits} dedup hits, "
+          f"{service_result.elapsed:.1f}s "
+          f"({service_result.throughput():.1f} reports/s, "
+          f"jobs={config.jobs})")
+    if args.store:
+        print(f"report store written to {args.store}")
+    return 130 if service_result.interrupted else 0
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -195,6 +235,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
     result = run_campaign(config, progress=progress)
     summary = result.summary()
+    if result.interrupted:
+        print(f"campaign interrupted after {summary['programs']}/"
+              f"{config.count} programs; partial results follow")
     print(f"campaign: {summary['programs']} programs from seed "
           f"{config.seed} in {result.elapsed:.1f}s "
           f"({summary['programs'] / max(result.elapsed, 1e-9):.1f}/s)")
@@ -208,7 +251,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"  no-trap runs (fault-defused): {summary['no_trap']}")
     if not result.divergent:
         print("divergences: none")
-        return 0
+        return 130 if result.interrupted else 0
     print(f"divergences: {summary['divergent']}")
     for verdict, path in zip(result.divergent, result.artifacts):
         kinds = ", ".join(sorted({k for k, _ in verdict.divergences}))

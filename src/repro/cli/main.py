@@ -34,12 +34,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_crash.set_defaults(func=commands.cmd_crash)
 
     p_triage = sub.add_parser(
-        "triage", help="bucket a synthetic bug-report corpus: WER-style "
-                       "stacks vs RES root causes (§3.1)")
+        "triage", help="bucket a bug-report corpus through the sharded "
+                       "triage service: WER-style stacks vs RES root "
+                       "causes (§3.1)")
     p_triage.add_argument("--reports", type=int, default=40,
-                          help="corpus size (default: %(default)s)")
+                          help="synthetic corpus size (default: %(default)s)")
     p_triage.add_argument("--seed", type=int, default=0,
                           help="corpus RNG seed (default: %(default)s)")
+    p_triage.add_argument("--jobs", type=int, default=1,
+                          help="triage worker processes "
+                               "(default: %(default)s)")
+    p_triage.add_argument("--max-depth", type=int, default=16,
+                          help="RES suffix depth per report "
+                               "(default: %(default)s)")
+    p_triage.add_argument("--max-nodes", type=int, default=4000,
+                          help="RES node budget per report "
+                               "(default: %(default)s)")
+    p_triage.add_argument("--corpus-dir", metavar="DIR",
+                          help="triage a saved corpus directory "
+                               "(coredump JSONs + manifest) instead of "
+                               "synthesizing one")
+    p_triage.add_argument("--fuzz-count", type=int, default=0,
+                          metavar="N",
+                          help="synthesize a labeled corpus from N fuzz "
+                               "seeds (armed failure class = true cause)")
+    p_triage.add_argument("--fuzz-seed", type=int, default=0,
+                          help="first fuzz corpus seed "
+                               "(default: %(default)s)")
+    p_triage.add_argument("--fuzz-duplicates", type=int, default=3,
+                          metavar="K",
+                          help="file each fuzz crash K times to exercise "
+                               "dedup (default: %(default)s)")
+    p_triage.add_argument("--save-corpus", metavar="DIR",
+                          help="save the corpus (coredumps + manifest) "
+                               "before triaging it")
+    p_triage.add_argument("--store", metavar="FILE",
+                          help="persistent JSON report store, rewritten "
+                               "atomically as results stream in")
     p_triage.set_defaults(func=commands.cmd_triage)
 
     p_fuzz = sub.add_parser(

@@ -20,8 +20,8 @@ from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.ir.module import Module
 from repro.vm.coredump import Coredump
-from repro.core.res import RESConfig
-from repro.core.rootcause import RootCause, find_root_cause
+from repro.core.res import RESConfig, ReverseExecutionSynthesizer
+from repro.core.rootcause import RootCause, analyze
 
 
 @dataclass
@@ -56,16 +56,68 @@ class TriageEngine:
 
     def __init__(self, module: Module, config: Optional[RESConfig] = None,
                  annotations: Optional[List[TriageAnnotation]] = None,
-                 stack_depth: int = 8):
+                 stack_depth: int = 8, max_suffixes: int = 128,
+                 taint_suffixes: int = 8):
         self.module = module
         self.config = config or RESConfig(max_depth=24, max_nodes=4000)
         self.annotations = annotations or []
         self.stack_depth = stack_depth
+        #: suffix budget while hunting the root cause
+        self.max_suffixes = max_suffixes
+        #: extra suffixes consumed after the cause settles, hunting
+        #: taint evidence only (a strong cause often appears before the
+        #: tainted input enters the horizon — stopping there made
+        #: ``exploitable`` a dead flag for memory-safety traps)
+        self.taint_suffixes = taint_suffixes
+
+    def _drive(self, report: BugReport
+               ) -> Tuple[Optional[RootCause], bool]:
+        """One backward search serving both signals: the root cause
+        (identical stopping rule to :func:`find_root_cause`, so buckets
+        are unchanged) and the §3.1 exploitability flag (the same taint
+        evidence ``classify_with_res`` uses, scanned across up to
+        ``taint_suffixes`` additional suffixes once the cause settles).
+        """
+        from repro.core.exploitability import suffix_has_tainted_store
+
+        synthesizer = ReverseExecutionSynthesizer(
+            self.module, report.coredump, self.config)
+        cause: Optional[RootCause] = None
+        weak: Optional[RootCause] = None
+        exploitable = False
+        kept = 0
+        extra = 0
+        for item in synthesizer.suffixes():
+            kept += 1
+            if not exploitable and (
+                    item.suffix.has_tainted_store()
+                    or suffix_has_tainted_store(self.module, item.suffix)):
+                exploitable = True
+            if cause is None:
+                primary = analyze(item).primary
+                if primary is not None and primary.kind != "assert-state":
+                    cause = primary
+                elif primary is not None and weak is None:
+                    weak = primary
+                if cause is None and kept >= self.max_suffixes:
+                    break
+            else:
+                extra += 1
+            if cause is not None and (exploitable
+                                      or extra >= self.taint_suffixes):
+                break
+        if cause is None:
+            cause = weak
+        if cause is None and kept:
+            trap = report.coredump.trap
+            cause = RootCause(kind="assert-state",
+                              description="assertion failed; no writer "
+                                          "inside the reconstructed horizon",
+                              pcs=(trap.pc,), threads=(trap.tid,))
+        return cause, exploitable
 
     def triage_one(self, report: BugReport) -> TriageResult:
-        cause, suffixes = find_root_cause(self.module, report.coredump,
-                                          self.config)
-        exploitable = any(s.suffix.has_tainted_store() for s in suffixes)
+        cause, exploitable = self._drive(report)
         if cause is not None:
             for annotation in self.annotations:
                 if annotation.matcher(cause):
@@ -94,9 +146,14 @@ def bucket_accuracy(results: List[TriageResult],
     Pair-counting accuracy (Rand index): for every pair of reports,
     "same bucket" should equal "same true cause".  This is the metric
     WER-style bucketing gets wrong for up to 37% of reports (§3.1).
+
+    Unlabeled reports (``true_cause=None``) carry no ground truth, so
+    they contribute no pairs: counting them would treat two unknowns as
+    having the *same* cause (``None == None``) and inflate accuracy.
     """
     truth = {r.report_id: r.true_cause for r in reports}
-    items = [(res.report_id, res.bucket) for res in results]
+    items = [(res.report_id, res.bucket) for res in results
+             if truth.get(res.report_id) is not None]
     if len(items) < 2:
         return 1.0
     agree = total = 0
@@ -114,20 +171,25 @@ def bucket_accuracy(results: List[TriageResult],
 
 def misbucketed_fraction(results: List[TriageResult],
                          reports: List[BugReport]) -> float:
-    """Fraction of reports not bucketed with the majority of their true
-    cause — the paper's "WER can incorrectly bucket up to 37%" figure."""
+    """Fraction of labeled reports not bucketed with the majority of
+    their true cause — the paper's "WER can incorrectly bucket up to
+    37%" figure.
+
+    Unlabeled reports are excluded from both the majority-bucket map
+    and the numerator/denominator: lumping every ``true_cause=None``
+    report into one pseudo-cause would elect a bogus majority bucket
+    and skew the fraction both ways.
+    """
     truth = {r.report_id: r.true_cause for r in reports}
+    labeled = [res for res in results
+               if truth.get(res.report_id) is not None]
     by_cause: Dict[str, Dict[Hashable, int]] = {}
-    assignment: Dict[str, Hashable] = {}
-    for res in results:
+    for res in labeled:
         cause = truth[res.report_id]
         by_cause.setdefault(cause, {})
         by_cause[cause][res.bucket] = by_cause[cause].get(res.bucket, 0) + 1
-        assignment[res.report_id] = res.bucket
     majority = {cause: max(buckets, key=buckets.get)
                 for cause, buckets in by_cause.items()}
-    wrong = sum(
-        1 for res in results
-        if assignment[res.report_id] != majority[truth[res.report_id]]
-    )
-    return wrong / len(results) if results else 0.0
+    wrong = sum(1 for res in labeled
+                if res.bucket != majority[truth[res.report_id]])
+    return wrong / len(labeled) if labeled else 0.0

@@ -1,0 +1,484 @@
+"""Batch triage service: sharded, multiprocess triage over coredump
+corpora (paper §3.1 at production scale).
+
+The single-report :class:`repro.core.triage.TriageEngine` answers "what
+bucket does this coredump belong to?".  This module answers the same
+question for a *corpus* under report traffic, with three scaling layers
+stacked on top of the engine:
+
+* **dedup by coredump fingerprint** — production report streams are
+  dominated by duplicate crashes (that is why bucketing exists at all);
+  reports whose :meth:`repro.vm.coredump.Coredump.fingerprint` matches
+  an already-triaged report short-circuit to the cached verdict and
+  never touch RES;
+* **sharding by program** — unique reports are grouped by the program
+  they crash, and groups are fanned across worker processes.  Within a
+  worker every report of the same program reuses one compiled module
+  and one :class:`TriageEngine`, so the per-module RES caches
+  (candidate enumerator, writer index, block boundaries, solver verdict
+  cache) are shared across reports instead of rebuilt per report;
+* **anytime streaming + a persistent report store** — finished groups
+  are streamed to a ``progress`` callback as they land, and the JSON
+  report store on disk is atomically rewritten as results accumulate,
+  so an operator can watch buckets fill while the batch is running and
+  an interrupted run leaves a readable partial store behind.
+
+Determinism contract: for the same corpus and budgets, the sharded run
+buckets **byte-identically** to the serial run (``jobs=1``) and to a
+plain per-report ``TriageEngine.triage`` sweep — parallelism is an
+execution strategy, never a semantic change.  Enforced by
+``tests/test_triage.py`` and ``benchmarks/test_p3_triage_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.ioutil import atomic_write_json
+from repro.minic import compile_source
+from repro.vm.coredump import Coredump
+from repro.core.res import RESConfig
+from repro.core.triage import (
+    BugReport,
+    TriageAnnotation,
+    TriageEngine,
+    TriageResult,
+    bucket_accuracy,
+    misbucketed_fraction,
+)
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Picklable handle for a program a corpus crashes.
+
+    Workers compile the source themselves (a :class:`Module` carries
+    per-module caches and closures that must not cross process
+    boundaries); compiling once per worker is exactly what lets those
+    caches be shared across every report of the same program.
+    """
+
+    key: str
+    source: str
+    name: str = ""
+
+    def compile(self):
+        return compile_source(self.source, name=self.name or self.key)
+
+
+@dataclass
+class CorpusEntry:
+    """One incoming report plus the program it crashes."""
+
+    report: BugReport
+    program_key: str
+
+
+@dataclass
+class TriageCorpus:
+    """A corpus of bug reports over one or more programs."""
+
+    programs: Dict[str, ProgramSpec]
+    entries: List[CorpusEntry]
+
+    def __post_init__(self) -> None:
+        for entry in self.entries:
+            if entry.program_key not in self.programs:
+                raise ReproError(
+                    f"corpus entry {entry.report.report_id!r} references "
+                    f"unknown program {entry.program_key!r}")
+
+    @property
+    def reports(self) -> List[BugReport]:
+        return [entry.report for entry in self.entries]
+
+    def labeled_count(self) -> int:
+        return sum(1 for e in self.entries
+                   if e.report.true_cause is not None)
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, directory: str) -> str:
+        """Write the corpus as a directory of coredump JSONs plus a
+        manifest (the on-disk interchange format of ``res triage``)."""
+        root = Path(directory)
+        (root / "cores").mkdir(parents=True, exist_ok=True)
+        (root / "programs").mkdir(parents=True, exist_ok=True)
+        manifest = {"programs": {}, "entries": []}
+        for key, spec in sorted(self.programs.items()):
+            rel = f"programs/{key}.minic"
+            (root / rel).write_text(spec.source)
+            manifest["programs"][key] = {"name": spec.name or key,
+                                         "file": rel}
+        for entry in self.entries:
+            rel = f"cores/{entry.report.report_id}.json"
+            (root / rel).write_text(entry.report.coredump.to_json())
+            manifest["entries"].append({
+                "report_id": entry.report.report_id,
+                "program": entry.program_key,
+                "true_cause": entry.report.true_cause,
+                "core": rel,
+            })
+        atomic_write_json(root / "manifest.json", manifest)
+        return str(root / "manifest.json")
+
+    @classmethod
+    def load(cls, directory: str) -> "TriageCorpus":
+        root = Path(directory)
+        manifest_path = root / "manifest.json"
+        if not manifest_path.exists():
+            raise ReproError(f"no corpus manifest at {manifest_path}")
+        manifest = json.loads(manifest_path.read_text())
+        programs = {
+            key: ProgramSpec(key=key, name=meta["name"],
+                             source=(root / meta["file"]).read_text())
+            for key, meta in manifest["programs"].items()
+        }
+        entries = [
+            CorpusEntry(
+                report=BugReport(
+                    report_id=item["report_id"],
+                    coredump=Coredump.from_json(
+                        (root / item["core"]).read_text()),
+                    true_cause=item["true_cause"]),
+                program_key=item["program"])
+            for item in manifest["entries"]
+        ]
+        return cls(programs=programs, entries=entries)
+
+
+@dataclass
+class TriageServiceConfig:
+    """Tuning knobs of a batch triage run; must stay picklable.
+
+    ``annotations`` ride along to the workers, so with ``jobs > 1``
+    their matchers must be picklable (module-level functions).
+    """
+
+    jobs: int = 1
+    max_depth: int = 8
+    max_nodes: int = 300
+    stack_depth: int = 8
+    incremental: bool = True
+    annotations: Optional[List[TriageAnnotation]] = None
+    #: persistent JSON report store (None disables the store)
+    store_path: Optional[str] = None
+    #: rewrite the store every N finished groups (anytime visibility
+    #: vs. fsync traffic)
+    flush_every: int = 4
+
+    def res_config(self) -> RESConfig:
+        return RESConfig(max_depth=self.max_depth,
+                         max_nodes=self.max_nodes,
+                         incremental=self.incremental)
+
+
+@dataclass
+class TriagedReport:
+    """One service verdict: the engine result plus service metadata."""
+
+    result: TriageResult
+    program_key: str
+    fingerprint: str
+    seconds: float = 0.0
+    #: report_id of the representative this verdict was copied from
+    #: (None when this report was actually triaged)
+    dedup_of: Optional[str] = None
+
+
+@dataclass
+class TriageServiceResult:
+    """Everything a batch run produced, in corpus order."""
+
+    reports: List[TriagedReport]
+    elapsed: float = 0.0
+    triaged: int = 0
+    dedup_hits: int = 0
+    interrupted: bool = False
+
+    @property
+    def results(self) -> List[TriageResult]:
+        return [r.result for r in self.reports]
+
+    def buckets(self) -> Dict[Hashable, List[str]]:
+        out: Dict[Hashable, List[str]] = {}
+        for item in self.reports:
+            out.setdefault(item.result.bucket, []).append(
+                item.result.report_id)
+        return out
+
+    def throughput(self) -> float:
+        return len(self.reports) / self.elapsed if self.elapsed else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: per-process state: compiled modules and engines, keyed by program
+#: (populated lazily, shared across every group the worker processes)
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(programs: Dict[str, ProgramSpec],
+                 config: TriageServiceConfig) -> None:
+    _WORKER["programs"] = programs
+    _WORKER["config"] = config
+    _WORKER["engines"] = {}
+
+
+def _worker_engine(program_key: str) -> TriageEngine:
+    engines: Dict[str, TriageEngine] = _WORKER["engines"]  # type: ignore
+    engine = engines.get(program_key)
+    if engine is None:
+        config: TriageServiceConfig = _WORKER["config"]  # type: ignore
+        spec: ProgramSpec = _WORKER["programs"][program_key]  # type: ignore
+        engine = TriageEngine(spec.compile(), config.res_config(),
+                              annotations=config.annotations,
+                              stack_depth=config.stack_depth)
+        engines[program_key] = engine
+    return engine
+
+
+def _triage_group(group: Tuple[str, List[Tuple[int, BugReport]]]
+                  ) -> List[Tuple[int, TriageResult, float]]:
+    """Triage one (program, reports) group; runs inside a worker (or
+    inline for ``jobs=1`` — same code path, so serial and sharded runs
+    cannot diverge)."""
+    program_key, items = group
+    engine = _worker_engine(program_key)
+    out: List[Tuple[int, TriageResult, float]] = []
+    for index, report in items:
+        started = time.perf_counter()
+        result = engine.triage_one(report)
+        out.append((index, result, time.perf_counter() - started))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The service driver
+# ---------------------------------------------------------------------------
+
+def triage_corpus(corpus: TriageCorpus,
+                  config: Optional[TriageServiceConfig] = None,
+                  progress: Optional[Callable[[List[TriagedReport]],
+                                              None]] = None
+                  ) -> TriageServiceResult:
+    """Triage a whole corpus: dedup, shard, stream, persist.
+
+    ``progress`` is invoked with each finished group's verdicts (plus,
+    at the end, the dedup copies) as they land — the anytime interface.
+    """
+    config = config or TriageServiceConfig()
+    started = time.perf_counter()
+    store = _TriageStore(config) if config.store_path else None
+
+    # 1. Fingerprint + dedup: the first occurrence of each
+    #    (program, fingerprint) pair is the representative; later
+    #    occurrences short-circuit to its verdict.
+    fingerprints: List[str] = [
+        entry.report.coredump.fingerprint() for entry in corpus.entries]
+    representative: Dict[Tuple[str, str], int] = {}
+    duplicate_of: Dict[int, int] = {}
+    for index, entry in enumerate(corpus.entries):
+        key = (entry.program_key, fingerprints[index])
+        if key in representative:
+            duplicate_of[index] = representative[key]
+        else:
+            representative[key] = index
+
+    # 2. Shard: group unique reports by program (first-appearance
+    #    order), so each group rides one engine and its module caches.
+    #    Large groups are then split into chunks — otherwise a
+    #    single-program corpus (the common production shape) would
+    #    serialize on one worker and make ``jobs`` a silent no-op.
+    groups: Dict[str, List[Tuple[int, BugReport]]] = {}
+    for index, entry in enumerate(corpus.entries):
+        if index in duplicate_of:
+            continue
+        groups.setdefault(entry.program_key, []).append(
+            (index, entry.report))
+    work: List[Tuple[str, List[Tuple[int, BugReport]]]] = []
+    if config.jobs > 1:
+        unique_total = sum(len(items) for items in groups.values())
+        chunk = max(1, -(-unique_total // (config.jobs * 4)))
+        for key, items in groups.items():
+            for lo in range(0, len(items), chunk):
+                work.append((key, items[lo:lo + chunk]))
+    else:
+        work = list(groups.items())
+
+    # 3. Fan out (or run inline through the identical group function).
+    slots: List[Optional[TriagedReport]] = [None] * len(corpus.entries)
+    finished_groups = 0
+    interrupted = False
+
+    def land(group_out: List[Tuple[int, TriageResult, float]]) -> None:
+        nonlocal finished_groups
+        landed: List[TriagedReport] = []
+        for index, result, seconds in group_out:
+            entry = corpus.entries[index]
+            item = TriagedReport(result=result,
+                                 program_key=entry.program_key,
+                                 fingerprint=fingerprints[index],
+                                 seconds=seconds)
+            slots[index] = item
+            landed.append(item)
+        finished_groups += 1
+        if progress is not None:
+            progress(landed)
+        if store is not None and finished_groups % config.flush_every == 0:
+            store.flush(_partial_result(slots, corpus, started),
+                        corpus, complete=False)
+
+    if config.jobs > 1 and len(work) > 1:
+        import multiprocessing as mp
+
+        pool = mp.Pool(config.jobs, initializer=_init_worker,
+                       initargs=(corpus.programs, config))
+        try:
+            for group_out in pool.imap_unordered(_triage_group, work):
+                land(group_out)
+            pool.close()
+        except KeyboardInterrupt:
+            interrupted = True
+            pool.terminate()
+        except BaseException:
+            # Errors from workers, the progress callback, or a store
+            # flush must not leak live workers (and a join() on a
+            # running pool would raise, masking the cause).
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+    else:
+        _init_worker(corpus.programs, config)
+        try:
+            for group in work:
+                land(_triage_group(group))
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            _WORKER.clear()
+
+    # 4. Resolve duplicates against their representative's verdict.
+    copies: List[TriagedReport] = []
+    for index, rep_index in sorted(duplicate_of.items()):
+        rep = slots[rep_index]
+        if rep is None:
+            continue  # representative never landed (interrupted run)
+        entry = corpus.entries[index]
+        result = rep.result
+        slots[index] = TriagedReport(
+            result=TriageResult(report_id=entry.report.report_id,
+                                bucket=result.bucket,
+                                cause=result.cause,
+                                used_fallback=result.used_fallback,
+                                exploitable=result.exploitable),
+            program_key=entry.program_key,
+            fingerprint=fingerprints[index],
+            seconds=0.0,
+            dedup_of=result.report_id)
+        copies.append(slots[index])
+    if copies and progress is not None:
+        progress(copies)
+
+    result = _partial_result(slots, corpus, started)
+    result.interrupted = interrupted
+    if store is not None:
+        store.flush(result, corpus, complete=not interrupted)
+    return result
+
+
+def _partial_result(slots: Sequence[Optional[TriagedReport]],
+                    corpus: TriageCorpus,
+                    started: float) -> TriageServiceResult:
+    reports = [item for item in slots if item is not None]
+    return TriageServiceResult(
+        reports=reports,
+        elapsed=time.perf_counter() - started,
+        triaged=sum(1 for r in reports if r.dedup_of is None),
+        dedup_hits=sum(1 for r in reports if r.dedup_of is not None),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The persistent report store
+# ---------------------------------------------------------------------------
+
+class _TriageStore:
+    """Serializes a service run into the on-disk JSON report store."""
+
+    def __init__(self, config: TriageServiceConfig):
+        self.path = Path(config.store_path)
+        self.config = config
+
+    def flush(self, result: TriageServiceResult, corpus: TriageCorpus,
+              complete: bool) -> None:
+        atomic_write_json(self.path,
+                          store_payload(result, corpus, self.config,
+                                        complete=complete))
+
+
+def store_payload(result: TriageServiceResult, corpus: TriageCorpus,
+                  config: TriageServiceConfig, complete: bool) -> dict:
+    """The report-store document: buckets → report ids, per-report rows,
+    accuracy vs. ground truth (labeled subset only), and timing."""
+    buckets = {
+        repr(bucket): ids for bucket, ids in result.buckets().items()
+    }
+    rows = [
+        {
+            "report_id": item.result.report_id,
+            "program": item.program_key,
+            "bucket": repr(item.result.bucket),
+            "cause_kind": item.result.cause.kind
+            if item.result.cause else None,
+            "used_fallback": item.result.used_fallback,
+            "exploitable": item.result.exploitable,
+            "fingerprint": item.fingerprint,
+            "seconds": round(item.seconds, 4),
+            "dedup_of": item.dedup_of,
+        }
+        for item in result.reports
+    ]
+    payload = {
+        "complete": complete,
+        "interrupted": result.interrupted,
+        "config": {
+            "jobs": config.jobs,
+            "max_depth": config.max_depth,
+            "max_nodes": config.max_nodes,
+            "stack_depth": config.stack_depth,
+            "incremental": config.incremental,
+        },
+        "corpus": {
+            "entries": len(corpus.entries),
+            "programs": len(corpus.programs),
+            "labeled": corpus.labeled_count(),
+        },
+        "buckets": buckets,
+        "results": rows,
+        "timing": {
+            "elapsed": round(result.elapsed, 4),
+            "triaged": result.triaged,
+            "dedup_hits": result.dedup_hits,
+            "reports_per_sec": round(result.throughput(), 3),
+        },
+    }
+    if corpus.labeled_count() >= 2 and result.reports:
+        done_ids = {r.result.report_id for r in result.reports}
+        reports = [e.report for e in corpus.entries
+                   if e.report.report_id in done_ids]
+        payload["accuracy"] = {
+            "bucket_accuracy": round(
+                bucket_accuracy(result.results, reports), 4),
+            "misbucketed_fraction": round(
+                misbucketed_fraction(result.results, reports), 4),
+        }
+    return payload

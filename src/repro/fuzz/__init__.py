@@ -18,6 +18,9 @@ package buys that coverage at scale:
   artifacts, with optional multiprocessing fan-out.
 * :mod:`repro.fuzz.shrink` — an AST-level delta-debugging shrinker that
   minimizes a divergent program while preserving its divergence.
+* :mod:`repro.fuzz.triage_corpus` — labeled triage corpora built from
+  fuzz seeds (armed failure class = ground-truth cause), feeding the
+  batch triage service and its throughput benchmark.
 """
 
 from repro.fuzz.campaign import (
@@ -40,11 +43,12 @@ from repro.fuzz.oracles import (
     suffix_fingerprint,
 )
 from repro.fuzz.shrink import ShrinkResult, shrink_program, unparse
+from repro.fuzz.triage_corpus import ARM_CAUSE_NAMES, build_labeled_corpus
 
 __all__ = [
-    "CampaignConfig", "CampaignResult", "GenConfig", "GeneratedProgram",
-    "GeneratorError", "OracleReport", "ProgramVerdict", "ShrinkResult",
-    "behavioral_counters", "collect_suffixes", "fuzz_one",
-    "generate_program", "run_campaign", "shrink_program",
-    "suffix_fingerprint", "unparse",
+    "ARM_CAUSE_NAMES", "CampaignConfig", "CampaignResult", "GenConfig",
+    "GeneratedProgram", "GeneratorError", "OracleReport", "ProgramVerdict",
+    "ShrinkResult", "behavioral_counters", "build_labeled_corpus",
+    "collect_suffixes", "fuzz_one", "generate_program", "run_campaign",
+    "shrink_program", "suffix_fingerprint", "unparse",
 ]

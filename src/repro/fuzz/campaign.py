@@ -16,7 +16,6 @@ artifact writing and shrinking (both parent-side).
 
 from __future__ import annotations
 
-import json
 import random
 import time
 from dataclasses import asdict, dataclass, field
@@ -24,6 +23,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.ioutil import atomic_write_json
 from repro.ir.module import GLOBALS_BASE, HEAP_BASE
 from repro.minic import compile_source
 from repro.vm.coredump import TrapKind
@@ -111,6 +111,9 @@ class CampaignResult:
     verdicts: List[ProgramVerdict]
     artifacts: List[str] = field(default_factory=list)
     elapsed: float = 0.0
+    #: the campaign was cut short (Ctrl-C); verdicts hold the programs
+    #: that finished before the interrupt, and are still summarized
+    interrupted: bool = False
 
     @property
     def divergent(self) -> List[ProgramVerdict]:
@@ -366,9 +369,12 @@ def reproduce_command(program_seed: int, config: CampaignConfig) -> str:
 
 def write_artifact(verdict: ProgramVerdict, config: CampaignConfig,
                    shrunk: Optional[ShrinkResult] = None) -> str:
-    """One JSON artifact per divergent program, reproducible by seed."""
+    """One JSON artifact per divergent program, reproducible by seed.
+
+    Written atomically (temp file + ``os.replace``): an interrupted
+    campaign must never leave a truncated artifact behind — a partial
+    JSON would fail to parse, and with it the divergence repro."""
     directory = Path(config.artifact_dir)
-    directory.mkdir(parents=True, exist_ok=True)
     kind = verdict.divergences[0][0] if verdict.divergences else "unknown"
     path = directory / f"div-{verdict.seed}-{kind}.json"
     payload = {
@@ -390,8 +396,7 @@ def write_artifact(verdict: ProgramVerdict, config: CampaignConfig,
         payload["shrunk_source"] = shrunk.source
         payload["shrunk_lines"] = shrunk.lines
         payload["shrink_tests"] = shrunk.tests_run
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    return str(path)
+    return atomic_write_json(path, payload, indent=2, sort_keys=False)
 
 
 # ---------------------------------------------------------------------------
@@ -401,30 +406,52 @@ def write_artifact(verdict: ProgramVerdict, config: CampaignConfig,
 def run_campaign(config: CampaignConfig,
                  progress=None) -> CampaignResult:
     """Run the full campaign; ``progress`` is an optional callable
-    invoked with each :class:`ProgramVerdict` as it lands."""
+    invoked with each :class:`ProgramVerdict` as it lands.
+
+    Ctrl-C is a first-class outcome, not a crash: the worker pool is
+    terminated (no zombie workers), the verdicts that already landed are
+    kept, their divergences still get (atomic) artifacts, and the
+    result comes back flagged ``interrupted`` so callers can summarize
+    the partial run."""
     start = time.perf_counter()
     seeds = [config.seed + i for i in range(config.count)]
+    verdicts: List[ProgramVerdict] = []
+    interrupted = False
     if config.jobs > 1:
         import multiprocessing as mp
 
-        with mp.Pool(config.jobs) as pool:
-            verdicts = []
+        pool = mp.Pool(config.jobs)
+        try:
             for verdict in pool.imap_unordered(
                     _pool_worker, [(s, config) for s in seeds],
                     chunksize=max(1, len(seeds) // (config.jobs * 8))):
                 verdicts.append(verdict)
                 if progress is not None:
                     progress(verdict)
+            pool.close()
+        except KeyboardInterrupt:
+            interrupted = True
+            pool.terminate()
+        except BaseException:
+            # Any other error still must not leak live workers (and a
+            # join() on a running pool would raise, masking the cause).
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
         verdicts.sort(key=lambda v: v.seed)
     else:
-        verdicts = []
-        for seed in seeds:
-            verdict = fuzz_one(seed, config)
-            verdicts.append(verdict)
-            if progress is not None:
-                progress(verdict)
+        try:
+            for seed in seeds:
+                verdict = fuzz_one(seed, config)
+                verdicts.append(verdict)
+                if progress is not None:
+                    progress(verdict)
+        except KeyboardInterrupt:
+            interrupted = True
 
-    result = CampaignResult(config=config, verdicts=verdicts)
+    result = CampaignResult(config=config, verdicts=verdicts,
+                            interrupted=interrupted)
     for verdict in result.divergent:
         shrunk = shrink_verdict(verdict, config) if config.shrink else None
         result.artifacts.append(write_artifact(verdict, config, shrunk))

@@ -1,0 +1,76 @@
+"""Labeled triage corpora synthesized from fuzz seeds.
+
+The PR 2 generator mass-produces armed programs whose failure class is
+known by construction (`arm_kind`), which makes it a ground-truth
+factory for the triage service: every coredump a seed produces is
+labeled with its armed failure class — same armed-failure class, same
+``true_cause`` — without any human labeling.  Duplicate reports (the
+same crash reported ``duplicates`` times, as production traffic does)
+exercise the service's fingerprint dedup without changing the
+ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.errors import ReproError
+from repro.vm.interpreter import RunStatus, VM
+from repro.core.triage import BugReport
+from repro.core.triage_service import CorpusEntry, ProgramSpec, TriageCorpus
+from repro.fuzz.generator import GenConfig, generate_program
+
+#: ``arm_kind`` → the corpus ground-truth label (the §3.1 "true root
+#: cause" of every report the armed program files)
+ARM_CAUSE_NAMES = {
+    "assert": "armed-assert",
+    "oob": "armed-oob",
+    "div": "armed-div",
+    "abort": "armed-abort",
+}
+
+#: VM step budget for one armed run (matches the campaign's backstop)
+_RUN_BUDGET = 500_000
+
+
+def build_labeled_corpus(seeds: Iterable[int],
+                         gen_config: Optional[GenConfig] = None,
+                         duplicates: int = 1,
+                         shuffle_seed: Optional[int] = None) -> TriageCorpus:
+    """One labeled report per (seed, duplicate): generate the armed
+    program, run it to its deterministic coredump, and label the report
+    with the armed failure class.
+
+    ``duplicates`` files each crash that many times (same coredump →
+    same fingerprint → dedup short-circuit in the service).  With
+    ``shuffle_seed`` the report order is deterministically shuffled so
+    duplicates interleave like real traffic instead of arriving
+    back-to-back.
+    """
+    if duplicates < 1:
+        raise ReproError(f"duplicates must be >= 1, got {duplicates}")
+    programs = {}
+    entries: List[CorpusEntry] = []
+    for seed in seeds:
+        try:
+            gen = generate_program(seed, gen_config)
+        except ReproError:
+            continue  # a generator refusal is not a corpus bug
+        vm = VM(gen.module, inputs=gen.inputs,
+                scheduler=gen.make_scheduler(), lbr_depth=16)
+        result = vm.run(max_steps=_RUN_BUDGET)
+        if result.status is not RunStatus.TRAPPED or result.coredump is None:
+            continue
+        key = gen.name
+        programs[key] = ProgramSpec(key=key, source=gen.source, name=key)
+        cause = ARM_CAUSE_NAMES[gen.arm_kind]
+        for copy in range(duplicates):
+            entries.append(CorpusEntry(
+                report=BugReport(report_id=f"s{seed}-r{copy}",
+                                 coredump=result.coredump,
+                                 true_cause=cause),
+                program_key=key))
+    if shuffle_seed is not None:
+        random.Random(shuffle_seed).shuffle(entries)
+    return TriageCorpus(programs=programs, entries=entries)

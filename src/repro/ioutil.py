@@ -1,0 +1,41 @@
+"""Small shared I/O helpers (durable file writes).
+
+Anything the system persists incrementally — fuzz divergence artifacts,
+the triage report store, the benchmark log — must never be observable
+half-written: an interrupted ``--jobs`` run that leaves a truncated
+JSON file behind produces artifacts that later fail to parse or
+reproduce.  The pattern is always the same: write to a temp file in the
+target directory, then ``os.replace`` (atomic on POSIX within one
+filesystem).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> str:
+    """Durably write ``text`` to ``path``; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=str(target.parent),
+                                    prefix=target.name + ".")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, str(target))
+    except BaseException:
+        os.unlink(tmp_path)
+        raise
+    return str(target)
+
+
+def atomic_write_json(path: Union[str, Path], payload: dict,
+                      indent: int = 1, sort_keys: bool = True) -> str:
+    """Durably write ``payload`` as JSON to ``path``."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n")

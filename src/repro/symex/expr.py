@@ -234,6 +234,21 @@ def bin_expr(op: str, a: Expr, b: Expr) -> Expr:
                 and isinstance(a.b, Const):
             return bin_expr(op, a.a, Const(c ^ a.b.value))
 
+    # x == x + c (c ≢ 0 mod 2^64) is a modular-arithmetic contradiction
+    # (exact for eq/ne only — inequalities can wrap).  Substitution
+    # chains through loop counters build exactly this shape (i+1 == i
+    # after a round of bindings), and leaving it as a residual made the
+    # verdict depend on which engine's propagation order met it: the
+    # chained incremental context refuted it while the from-scratch
+    # solve returned UNKNOWN (differential-fuzzer finding, seed 7059).
+    if op in ("eq", "ne"):
+        for x, y in ((a, b), (b, a)):
+            if isinstance(y, BinExpr) and y.op == "add" \
+                    and isinstance(y.b, Const) and y.a == x:
+                if to_unsigned(y.b.value) != 0:
+                    return FALSE if op == "eq" else TRUE
+                return TRUE if op == "eq" else FALSE
+
     if a == b:
         if op == "add":
             # x + x → x * 2, which the interval/search layers know how

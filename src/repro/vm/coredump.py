@@ -11,6 +11,7 @@ schedule it ran — reconstructing those is RES's whole job.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from enum import Enum
@@ -110,6 +111,18 @@ class Coredump:
         stack = self.failing_thread.call_stack()
         top_first = list(reversed(stack))[:depth]
         return tuple(f"{pc.function}:{pc.block}" for pc in top_first)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the whole dump (module, trap, memory,
+        threads, breadcrumbs).  Two reports with equal fingerprints are
+        byte-identical crashes, so a triage verdict for one is valid for
+        the other — the dedup key of the batch triage service.  The hash
+        is computed over the key-sorted JSON form, so it is invariant
+        under dict insertion order and survives a to_json/from_json
+        round trip."""
+        canonical = json.dumps(json.loads(self.to_json()),
+                               sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # -- serialization ------------------------------------------------------
 

@@ -15,6 +15,7 @@ from repro.workloads.corpus import (
     generate_corpus,
     generate_report,
     sample_corpus_params,
+    service_corpus,
 )
 from repro.workloads.programs import (
     BRANCH_CHAIN,
@@ -52,5 +53,5 @@ __all__ = [
     "UNTAINTED_OVERFLOW", "USE_AFTER_FREE", "WRITER_TAG", "Workload",
     "WorkloadRegistry",
     "generate_corpus", "generate_report", "long_execution_workload",
-    "sample_corpus_params",
+    "sample_corpus_params", "service_corpus",
 ]

@@ -145,3 +145,20 @@ def generate_corpus(size: int, seed: int = 0,
         generate_report(cause, route, report_id=f"r{i:04d}")
         for i, (cause, route) in enumerate(sample_corpus_params(size, rng))
     ]
+
+
+def service_corpus(size: int, seed: int = 0):
+    """The synthetic §3.1 corpus packaged for the batch triage service
+    (one program, ``size`` labeled reports)."""
+    from repro.core.triage_service import (
+        CorpusEntry,
+        ProgramSpec,
+        TriageCorpus,
+    )
+
+    spec = ProgramSpec(key=TRIAGE_PROGRAM.name, source=TRIAGE_PROGRAM.source,
+                       name=TRIAGE_PROGRAM.name)
+    return TriageCorpus(
+        programs={spec.key: spec},
+        entries=[CorpusEntry(report=report, program_key=spec.key)
+                 for report in generate_corpus(size, seed)])

@@ -136,6 +136,49 @@ def test_forced_divergence_shrinks_to_small_repro(tmp_path):
     assert predicate(payload["shrunk_source"])
 
 
+def test_campaign_serial_interrupt_keeps_partial_results(tmp_path):
+    """Ctrl-C mid-campaign: the verdicts that landed are kept, the
+    result is flagged interrupted, and artifacts are still written for
+    divergences seen so far."""
+    hits = []
+
+    def interrupting_progress(verdict):
+        hits.append(verdict)
+        if len(hits) == 2:
+            raise KeyboardInterrupt
+
+    config = CampaignConfig(seed=0, count=6, force_divergence=True,
+                            hw_fault_prob=0.0, alu_fault_prob=0.0,
+                            artifact_dir=str(tmp_path / "artifacts"))
+    result = run_campaign(config, progress=interrupting_progress)
+    assert result.interrupted
+    assert len(result.verdicts) == 2
+    assert result.summary()["programs"] == 2
+    # divergences that landed before the interrupt still get artifacts
+    assert len(result.artifacts) == len(result.divergent)
+    for path in result.artifacts:
+        json.loads(open(path).read())  # complete, parseable JSON
+
+
+def test_campaign_pool_interrupt_terminates_workers(tmp_path):
+    """The --jobs pool shuts down cleanly on Ctrl-C: no zombie workers,
+    partial verdicts preserved and summarized."""
+    import multiprocessing as mp
+
+    def interrupting_progress(verdict):
+        raise KeyboardInterrupt
+
+    config = CampaignConfig(seed=0, count=8, jobs=2,
+                            artifact_dir=str(tmp_path / "artifacts"))
+    before = {p.pid for p in mp.active_children()}
+    result = run_campaign(config, progress=interrupting_progress)
+    leaked = [p for p in mp.active_children() if p.pid not in before]
+    assert not leaked, f"zombie pool workers: {leaked}"
+    assert result.interrupted
+    assert 1 <= len(result.verdicts) < 8
+    assert result.summary()["programs"] == len(result.verdicts)
+
+
 def test_shrink_verdict_skips_unshrinkable_kinds():
     config = CampaignConfig()
     verdict = fuzz_one(0, CampaignConfig(hw_fault_prob=0.0,
@@ -221,8 +264,10 @@ def test_shrinker_respects_budget():
 #: program seeds whose campaigns exposed real engine/solver bugs during
 #: PR 2 (assertion-order-dependent solver verdicts, orphaned domain
 #: refinements, weaker chained contexts, unfolded cancellation
-#: tautologies); each must stay divergence-free
-REGRESSION_SEEDS = (1132, 2082, 2262, 2304, 2699)
+#: tautologies) and PR 3 (seed 7059: the loop-counter contradiction
+#: ``i+1 == i`` left as a residual, refuted by the chained context but
+#: UNKNOWN to the from-scratch solve); each must stay divergence-free
+REGRESSION_SEEDS = (1132, 2082, 2262, 2304, 2699, 7059)
 
 
 @pytest.mark.parametrize("seed", REGRESSION_SEEDS)

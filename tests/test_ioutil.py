@@ -1,0 +1,59 @@
+"""Durable-write helpers: a failed write must never leave a truncated
+target or temp litter behind."""
+
+import json
+
+import pytest
+
+from repro.ioutil import atomic_write_json, atomic_write_text
+
+
+def test_atomic_write_creates_parents_and_content(tmp_path):
+    target = tmp_path / "nested" / "out.json"
+    atomic_write_json(target, {"b": 2, "a": 1})
+    payload = json.loads(target.read_text())
+    assert payload == {"a": 1, "b": 2}
+    assert [p.name for p in (tmp_path / "nested").iterdir()] == ["out.json"]
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "one")
+    atomic_write_text(target, "two")
+    assert target.read_text() == "two"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_failed_write_leaves_no_trace(tmp_path):
+    """An exception mid-serialization must leave neither a truncated
+    target nor a temp file — the divergence-artifact durability bug."""
+    target = tmp_path / "out.json"
+    atomic_write_text(target, "intact")
+
+    class Boom:
+        def __iter__(self):
+            raise RuntimeError("serializer died")
+
+    with pytest.raises(TypeError):
+        atomic_write_json(target, {"x": Boom()})
+    assert target.read_text() == "intact"  # old content untouched
+    assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+def test_interrupted_replace_cleans_temp_file(tmp_path, monkeypatch):
+    """A failure between temp-write and rename (the window a Ctrl-C
+    lands in) must remove the temp file and keep the old content."""
+    import os as os_module
+
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "intact")
+
+    def exploding_replace(src, dst):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(os_module, "replace", exploding_replace)
+    with pytest.raises(KeyboardInterrupt):
+        atomic_write_text(target, "half-done")
+    monkeypatch.undo()
+    assert target.read_text() == "intact"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]

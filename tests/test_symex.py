@@ -473,6 +473,26 @@ def test_cancellation_identities_fold():
     assert bin_expr("sub", bin_expr("add", x, c), x) == c
 
 
+def test_self_offset_comparison_folds():
+    """Found by the differential fuzzer (program seed 7059): a
+    loop-counter substitution chain leaves ``i + 1 == i`` as a residual
+    constraint.  The modular contradiction must fold at construction —
+    left unfolded, the chained incremental context refuted it while the
+    from-scratch solve returned UNKNOWN, splitting the prune counters."""
+    x = Sym("x")
+    for shifted in (bin_expr("add", x, Const(1)),
+                    bin_expr("add", x, Const(-7))):
+        assert bin_expr("eq", shifted, x) == Const(0)
+        assert bin_expr("eq", x, shifted) == Const(0)
+        assert bin_expr("ne", shifted, x) == Const(1)
+        assert bin_expr("ne", x, shifted) == Const(1)
+    # c ≡ 0 mod 2^64 wraps to equality, not contradiction
+    wrapped = bin_expr("add", x, Const(1 << 64))
+    assert bin_expr("eq", wrapped, x) == Const(1)
+    # inequalities are NOT exact under wraparound: no fold
+    assert bin_expr("ult", bin_expr("add", x, Const(1)), x) != Const(0)
+
+
 def test_domain_refinement_survives_open_binding():
     """Found by the differential fuzzer (program seed 2262): a symbol
     with a refined domain (t11 != 0) that later receives an open

@@ -1,0 +1,334 @@
+"""TriageEngine paths, the §3.1 accuracy metrics, and the batch triage
+service (dedup, sharding, store, serial-vs-parallel equality)."""
+
+import json
+
+import pytest
+
+from repro.core import RESConfig
+from repro.core.triage import (
+    BugReport,
+    TriageAnnotation,
+    TriageEngine,
+    TriageResult,
+    bucket_accuracy,
+    misbucketed_fraction,
+)
+from repro.core.triage_service import (
+    CorpusEntry,
+    ProgramSpec,
+    TriageCorpus,
+    TriageServiceConfig,
+    triage_corpus,
+)
+from repro.fuzz.triage_corpus import ARM_CAUSE_NAMES, build_labeled_corpus
+from repro.workloads import TAINTED_OVERFLOW, TRIAGE_PROGRAM, service_corpus
+
+
+# ---------------------------------------------------------------------------
+# TriageEngine paths
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return service_corpus(8, seed=3)
+
+
+def test_annotation_match_bucketing(small_corpus):
+    """Developer feedback (§3.1): a matched cause lands in the named
+    annotation bucket instead of its raw signature bucket."""
+    engine = TriageEngine(
+        TRIAGE_PROGRAM.module, RESConfig(max_depth=24, max_nodes=4000),
+        annotations=[TriageAnnotation(
+            name="known-overflow",
+            matcher=lambda cause: any(pc.function == "check"
+                                      for pc in cause.pcs))])
+    overflow = next(e.report for e in small_corpus.entries
+                    if e.report.true_cause == "overflow-into-state")
+    result = engine.triage_one(overflow)
+    assert result.bucket == ("annotated", "known-overflow")
+    assert not result.used_fallback
+    assert result.cause is not None
+    # the logic-store cause does not match: raw signature bucket
+    logic = next(e.report for e in small_corpus.entries
+                 if e.report.true_cause == "logic-store")
+    other = engine.triage_one(logic)
+    assert other.bucket == other.cause.signature()
+
+
+def test_wer_fallback_on_unexplainable_report(small_corpus):
+    """Graceful degradation: when RES cannot explain a report within
+    budget, triage falls back to the WER-style stack signature."""
+    report = small_corpus.entries[0].report
+    engine = TriageEngine(TRIAGE_PROGRAM.module,
+                          RESConfig(max_depth=0, max_nodes=1),
+                          stack_depth=5)
+    result = engine.triage_one(report)
+    assert result.used_fallback
+    assert result.cause is None
+    assert result.bucket == (
+        "stack", report.coredump.call_stack_signature(5))
+
+
+def test_exploitable_propagates_to_result():
+    """A suffix with a tainted store must mark the triage result
+    exploitable (the §3.1 prioritization signal)."""
+    dump = TAINTED_OVERFLOW.trigger()
+    engine = TriageEngine(TAINTED_OVERFLOW.module,
+                          RESConfig(max_depth=12, max_nodes=4000))
+    result = engine.triage_one(
+        BugReport(report_id="x1", coredump=dump))
+    assert result.exploitable
+
+
+def test_unexploitable_report_not_flagged(small_corpus):
+    engine = TriageEngine(TRIAGE_PROGRAM.module,
+                          RESConfig(max_depth=24, max_nodes=4000))
+    logic = next(e.report for e in small_corpus.entries
+                 if e.report.true_cause == "logic-store")
+    assert not engine.triage_one(logic).exploitable
+
+
+# ---------------------------------------------------------------------------
+# Accuracy-metric regressions (unlabeled reports must not count)
+# ---------------------------------------------------------------------------
+
+def _report(rid, cause):
+    return BugReport(report_id=rid, coredump=None, true_cause=cause)
+
+
+def _result(rid, bucket):
+    return TriageResult(report_id=rid, bucket=bucket, cause=None,
+                        used_fallback=False)
+
+
+def test_bucket_accuracy_ignores_unlabeled_pairs():
+    """Two unlabeled reports do NOT share a true cause: ``None == None``
+    must not count as an agreeing (or disagreeing) pair."""
+    reports = [_report("a", "c1"), _report("b", "c1"),
+               _report("u1", None), _report("u2", None)]
+    # labeled pair bucketed together (correct); unlabeled pair split
+    results = [_result("a", "B1"), _result("b", "B1"),
+               _result("u1", "B2"), _result("u2", "B3")]
+    assert bucket_accuracy(results, reports) == 1.0
+    # the old metric scored the same corpus 3/6 by counting None==None
+    # pairs as shared-cause and unlabeled-vs-labeled as distinct-cause
+    together = [_result("a", "B1"), _result("b", "B1"),
+                _result("u1", "B2"), _result("u2", "B2")]
+    assert bucket_accuracy(together, reports) == 1.0
+
+
+def test_bucket_accuracy_all_unlabeled_is_vacuous():
+    reports = [_report("u1", None), _report("u2", None)]
+    results = [_result("u1", "B1"), _result("u2", "B2")]
+    assert bucket_accuracy(results, reports) == 1.0
+
+
+def test_bucket_accuracy_still_penalizes_labeled_mistakes():
+    reports = [_report("a", "c1"), _report("b", "c2"),
+               _report("u", None)]
+    results = [_result("a", "B1"), _result("b", "B1"),
+               _result("u", "B1")]  # merged distinct causes: wrong
+    assert bucket_accuracy(results, reports) == 0.0
+
+
+def test_misbucketed_fraction_excludes_unlabeled():
+    """Unlabeled reports must join neither the majority map (they are
+    not one shared pseudo-cause) nor the numerator/denominator."""
+    reports = [_report("a", "c1"), _report("b", "c1"),
+               _report("u1", None), _report("u2", None),
+               _report("u3", None)]
+    results = [_result("a", "B1"), _result("b", "B1"),
+               _result("u1", "B2"), _result("u2", "B3"),
+               _result("u3", "B4")]
+    assert misbucketed_fraction(results, reports) == 0.0
+
+
+def test_misbucketed_fraction_counts_labeled_minority():
+    reports = [_report(r, "c1") for r in ("a", "b", "c")] \
+        + [_report("u", None)]
+    results = [_result("a", "B1"), _result("b", "B1"),
+               _result("c", "B2"), _result("u", "B9")]
+    # 1 of 3 labeled reports off the majority bucket
+    assert misbucketed_fraction(results, reports) == pytest.approx(1 / 3)
+
+
+def test_misbucketed_fraction_all_unlabeled_is_zero():
+    reports = [_report("u1", None), _report("u2", None)]
+    results = [_result("u1", "B1"), _result("u2", "B2")]
+    assert misbucketed_fraction(results, reports) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Coredump fingerprints
+# ---------------------------------------------------------------------------
+
+def test_fingerprint_stable_across_json_round_trip(small_corpus):
+    from repro.vm.coredump import Coredump
+
+    dump = small_corpus.entries[0].report.coredump
+    round_tripped = Coredump.from_json(dump.to_json())
+    assert dump.fingerprint() == round_tripped.fingerprint()
+
+
+def test_fingerprint_distinguishes_dumps(small_corpus):
+    dumps = [e.report.coredump for e in small_corpus.entries]
+    causes = {e.report.true_cause for e in small_corpus.entries}
+    prints = {d.fingerprint() for d in dumps}
+    # 2 causes x 2 routes of deterministic runs: >= |causes| distinct
+    # dumps, and every repeat of the same (cause, route) collides
+    assert len(prints) >= len(causes)
+    assert len(prints) < len(dumps)
+
+
+# ---------------------------------------------------------------------------
+# The batch triage service
+# ---------------------------------------------------------------------------
+
+def test_service_matches_plain_engine(small_corpus):
+    """The service (dedup + groups) must bucket exactly like a plain
+    per-report engine sweep."""
+    engine = TriageEngine(TRIAGE_PROGRAM.module,
+                          RESConfig(max_depth=16, max_nodes=4000))
+    plain = engine.triage([e.report for e in small_corpus.entries])
+    service = triage_corpus(
+        small_corpus, TriageServiceConfig(jobs=1, max_depth=16,
+                                          max_nodes=4000))
+    assert [r.bucket for r in service.results] == [r.bucket for r in plain]
+    assert [r.report_id for r in service.results] \
+        == [r.report_id for r in plain]
+    assert [r.exploitable for r in service.results] \
+        == [r.exploitable for r in plain]
+
+
+def test_service_dedups_identical_coredumps(small_corpus):
+    service = triage_corpus(
+        small_corpus, TriageServiceConfig(jobs=1, max_depth=16,
+                                          max_nodes=4000))
+    assert service.dedup_hits > 0
+    assert service.triaged + service.dedup_hits == len(small_corpus.entries)
+    for item in service.reports:
+        if item.dedup_of is not None:
+            assert item.seconds == 0.0
+            rep = next(r for r in service.reports
+                       if r.result.report_id == item.dedup_of)
+            assert rep.dedup_of is None
+            assert rep.result.bucket == item.result.bucket
+            assert rep.fingerprint == item.fingerprint
+
+
+def test_serial_and_parallel_buckets_identical_on_mixed_corpus():
+    """ISSUE acceptance: parallel triage buckets byte-identically to
+    serial triage on a corpus mixing fuzz programs with the synthetic
+    §3.1 program."""
+    fuzz_part = build_labeled_corpus(range(9100, 9106), duplicates=2,
+                                     shuffle_seed=5)
+    synth_part = service_corpus(6, seed=2)
+    mixed = TriageCorpus(
+        programs={**fuzz_part.programs, **synth_part.programs},
+        entries=fuzz_part.entries + synth_part.entries)
+    serial = triage_corpus(mixed, TriageServiceConfig(jobs=1))
+    parallel = triage_corpus(mixed, TriageServiceConfig(jobs=2))
+    assert [r.bucket for r in serial.results] \
+        == [r.bucket for r in parallel.results]
+    assert [r.report_id for r in serial.results] \
+        == [r.report_id for r in parallel.results]
+    reports = mixed.reports
+    assert bucket_accuracy(serial.results, reports) \
+        == bucket_accuracy(parallel.results, reports)
+
+
+def test_single_program_corpus_shards_across_jobs(small_corpus):
+    """A one-program corpus (the common production shape) must still
+    fan out: groups are chunked, not one-shard-per-program — and the
+    chunked run stays byte-identical to serial."""
+    serial = triage_corpus(small_corpus,
+                           TriageServiceConfig(jobs=1, max_depth=16,
+                                               max_nodes=4000))
+    parallel = triage_corpus(small_corpus,
+                             TriageServiceConfig(jobs=2, max_depth=16,
+                                                 max_nodes=4000))
+    assert [r.bucket for r in serial.results] \
+        == [r.bucket for r in parallel.results]
+    assert [r.report_id for r in serial.results] \
+        == [r.report_id for r in parallel.results]
+
+
+def test_pool_error_propagates_without_leaking_workers(small_corpus):
+    """A failing progress callback must surface its own error (not a
+    masked pool shutdown error) and leave no live workers behind."""
+    import multiprocessing as mp
+
+    before = {p.pid for p in mp.active_children()}
+
+    def exploding_progress(landed):
+        raise RuntimeError("progress died")
+
+    with pytest.raises(RuntimeError, match="progress died"):
+        triage_corpus(small_corpus,
+                      TriageServiceConfig(jobs=2, max_depth=16,
+                                          max_nodes=4000),
+                      progress=exploding_progress)
+    leaked = [p for p in mp.active_children() if p.pid not in before]
+    assert not leaked, f"zombie triage workers: {leaked}"
+
+
+def test_service_streams_anytime_results(small_corpus):
+    seen = []
+    triage_corpus(small_corpus,
+                  TriageServiceConfig(jobs=1, max_depth=16,
+                                      max_nodes=4000),
+                  progress=lambda landed: seen.append(len(landed)))
+    # every report lands through the stream exactly once
+    assert sum(seen) == len(small_corpus.entries)
+
+
+def test_report_store_is_written_and_complete(small_corpus, tmp_path):
+    store = tmp_path / "store.json"
+    service = triage_corpus(
+        small_corpus,
+        TriageServiceConfig(jobs=1, max_depth=16, max_nodes=4000,
+                            store_path=str(store), flush_every=1))
+    payload = json.loads(store.read_text())
+    assert payload["complete"] is True
+    assert payload["timing"]["dedup_hits"] == service.dedup_hits
+    assert sum(len(ids) for ids in payload["buckets"].values()) \
+        == len(small_corpus.entries)
+    assert len(payload["results"]) == len(small_corpus.entries)
+    assert payload["accuracy"]["bucket_accuracy"] == pytest.approx(
+        bucket_accuracy(service.results, small_corpus.reports))
+    # no stray temp files from the atomic writes
+    assert [p.name for p in tmp_path.iterdir()] == ["store.json"]
+
+
+def test_corpus_save_load_round_trip(tmp_path):
+    corpus = build_labeled_corpus(range(9100, 9103), duplicates=2,
+                                  shuffle_seed=0)
+    corpus.save(str(tmp_path / "corpus"))
+    loaded = TriageCorpus.load(str(tmp_path / "corpus"))
+    assert {k for k in loaded.programs} == {k for k in corpus.programs}
+    assert [e.report.report_id for e in loaded.entries] \
+        == [e.report.report_id for e in corpus.entries]
+    assert [e.report.true_cause for e in loaded.entries] \
+        == [e.report.true_cause for e in corpus.entries]
+    a = triage_corpus(corpus, TriageServiceConfig(jobs=1))
+    b = triage_corpus(loaded, TriageServiceConfig(jobs=1))
+    assert [r.bucket for r in a.results] == [r.bucket for r in b.results]
+
+
+def test_labeled_corpus_causes_follow_arm_kind():
+    corpus = build_labeled_corpus(range(9100, 9110))
+    causes = {e.report.true_cause for e in corpus.entries}
+    assert causes <= set(ARM_CAUSE_NAMES.values())
+    assert len(corpus.entries) == len(corpus.programs) > 0
+
+
+def test_corpus_rejects_unknown_program_key():
+    from repro.errors import ReproError
+
+    spec = ProgramSpec(key="p", source="func main() { return 0; }")
+    report = BugReport(report_id="r", coredump=None)
+    with pytest.raises(ReproError):
+        TriageCorpus(programs={spec.key: spec},
+                     entries=[CorpusEntry(report=report,
+                                          program_key="other")])
