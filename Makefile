@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test perf triage-bench fuzz-smoke fuzz-test
+.PHONY: test perf triage-bench warm-bench fuzz-smoke fuzz-test fuzz-pinned
 
 # Tier-1 verification (fuzz- and perf-marked tests are deselected by
 # pytest.ini; run them via the targets below).
@@ -19,6 +19,11 @@ perf:
 triage-bench:
 	$(PYTHON) -m pytest benchmarks/test_p3_triage_throughput.py -q -m perf
 
+# P4 warm-start triage benchmark: warm (cached) vs cold re-triage of
+# an evolved 64-report corpus (appends `warm_triage` rows).
+warm-bench:
+	$(PYTHON) -m pytest benchmarks/test_p4_warm_triage.py -q -m perf
+
 # The 200-program differential campaign with the fixed smoke seed.
 # Exit code 1 + artifacts under fuzz-artifacts/ on any divergence.
 fuzz-smoke:
@@ -27,3 +32,8 @@ fuzz-smoke:
 # Same campaign driven through pytest (the `fuzz` marker).
 fuzz-test:
 	$(PYTHON) -m pytest tests/test_fuzz.py -q -m fuzz
+
+# Replay only the pinned fuzzer-found bug seeds (fast CI gate: every
+# seed that ever exposed a real solver/engine bug stays divergence-free).
+fuzz-pinned:
+	$(PYTHON) -m pytest "tests/test_fuzz.py::test_fuzzer_found_bug_seeds_stay_fixed" -q

@@ -1,0 +1,125 @@
+"""P4 — warm-start triage: re-triaging an evolved corpus from the
+persistent cross-run result cache vs paying the full backward-search
+cost again (paper §3.1 under *repeat* report traffic).
+
+Scenario: a 64-report corpus was triaged yesterday (the cache-populating
+prior run); overnight one program churned out of the corpus and a new
+one appeared, so ~94% of today's reports carry unchanged cache keys.
+The warm run must short-circuit exactly those and recompute only the
+new program's reports — at least ``MIN_SPEEDUP``× faster than a cold
+run over the same evolved corpus — while producing a **byte-identical**
+verdict view (buckets, per-report rows, accuracy metrics; see
+:func:`repro.core.triage_service.verdict_view`).  A sharded warm run
+must match too.
+
+Rows land in ``BENCH_res.json`` under ``warm_triage``.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.triage_service import (
+    TriageServiceConfig,
+    store_payload,
+    triage_corpus,
+    verdict_view,
+)
+from repro.fuzz.triage_corpus import build_labeled_corpus
+
+from conftest import bench_record, emit_row
+
+pytestmark = pytest.mark.perf
+
+#: yesterday's corpus: 16 armed programs × DUPLICATES reports = 64
+PRIOR_SEEDS = range(9000, 9016)
+#: today's corpus: program 9000 churned out, program 9016 appeared —
+#: 60 of 64 reports (~94%) carry unchanged cache keys
+EVOLVED_SEEDS = range(9001, 9017)
+DUPLICATES = 4
+MAX_DEPTH = 8
+MAX_NODES = 300
+MIN_SPEEDUP = 5.0
+MIN_UNCHANGED = 0.90
+
+
+def _config(jobs=1, cache_dir=None):
+    return TriageServiceConfig(jobs=jobs, max_depth=MAX_DEPTH,
+                               max_nodes=MAX_NODES, cache_dir=cache_dir)
+
+
+def _view(result, corpus, config):
+    return json.dumps(
+        verdict_view(store_payload(result, corpus, config, complete=True)),
+        sort_keys=True)
+
+
+def test_p4_warm_triage(tmp_path):
+    prior = build_labeled_corpus(PRIOR_SEEDS, duplicates=DUPLICATES,
+                                 shuffle_seed=11)
+    evolved = build_labeled_corpus(EVOLVED_SEEDS, duplicates=DUPLICATES,
+                                   shuffle_seed=11)
+    assert len(prior.entries) == len(evolved.entries) == 64, \
+        "ISSUE floor: a 64-report corpus"
+    unchanged_programs = set(prior.programs) & set(evolved.programs)
+    unchanged = sum(1 for e in evolved.entries
+                    if e.program_key in unchanged_programs)
+    unchanged_fraction = unchanged / len(evolved.entries)
+    assert unchanged_fraction >= MIN_UNCHANGED, \
+        f"only {unchanged_fraction:.0%} of the corpus is unchanged"
+
+    cache_dir = str(tmp_path / "rescache")
+
+    # Yesterday's run populates the cache (not part of the measurement).
+    triage_corpus(prior, _config(cache_dir=cache_dir))
+
+    # Cold: the pre-PR-4 world — the evolved corpus re-pays everything.
+    start = time.perf_counter()
+    cold = triage_corpus(evolved, _config())
+    cold_wall = time.perf_counter() - start
+    assert cold.cache_hits == 0
+
+    # Warm: unchanged keys short-circuit; only the new program computes.
+    start = time.perf_counter()
+    warm = triage_corpus(evolved, _config(cache_dir=cache_dir))
+    warm_wall = time.perf_counter() - start
+    unique_unchanged = {
+        (e.program_key, e.report.coredump.fingerprint())
+        for e in evolved.entries if e.program_key in unchanged_programs}
+    assert warm.cache_hits == len(unique_unchanged)
+    assert warm.triaged == len(evolved.programs) - len(unchanged_programs)
+
+    # Determinism before speed: cold, warm, and sharded warm agree
+    # byte-for-byte on the semantic store content.
+    cold_view = _view(cold, evolved, _config())
+    assert _view(warm, evolved, _config()) == cold_view
+    sharded_warm = triage_corpus(evolved,
+                                 _config(jobs=4, cache_dir=cache_dir))
+    assert _view(sharded_warm, evolved, _config()) == cold_view
+
+    speedup = cold_wall / warm_wall
+    cold_payload = store_payload(cold, evolved, _config(), complete=True)
+    row = {
+        "reports": len(evolved.entries),
+        "programs": len(evolved.programs),
+        "duplicates": DUPLICATES,
+        "max_depth": MAX_DEPTH,
+        "max_nodes": MAX_NODES,
+        "unchanged_fraction": round(unchanged_fraction, 4),
+        "cold_wall": round(cold_wall, 3),
+        "warm_wall": round(warm_wall, 3),
+        "speedup": round(speedup, 2),
+        "cache_hits": warm.cache_hits,
+        "recomputed": warm.triaged,
+        "dedup_hits": warm.dedup_hits,
+        "bucket_accuracy": cold_payload["accuracy"]["bucket_accuracy"],
+        "misbucketed_fraction":
+            cold_payload["accuracy"]["misbucketed_fraction"],
+    }
+    bench_record("warm_triage", row)
+    emit_row("P4", **row)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm re-triage only {speedup:.2f}x over cold "
+        f"(cold {cold_wall:.2f}s, warm {warm_wall:.2f}s)")

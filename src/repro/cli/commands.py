@@ -175,7 +175,9 @@ def cmd_triage(args: argparse.Namespace) -> int:
     config = TriageServiceConfig(jobs=args.jobs,
                                  max_depth=args.max_depth,
                                  max_nodes=args.max_nodes,
-                                 store_path=args.store)
+                                 store_path=args.store,
+                                 cache_dir=args.cache_dir,
+                                 warm_from=tuple(args.warm_from))
     service_result = triage_corpus(corpus, config)
     res_results = service_result.results
     if service_result.interrupted:
@@ -195,12 +197,34 @@ def cmd_triage(args: argparse.Namespace) -> int:
               f"misbucketed={misbucketed:5.1%}")
     print(f"service: {service_result.triaged} triaged, "
           f"{service_result.dedup_hits} dedup hits, "
+          f"{service_result.cache_hits} cache hits, "
           f"{service_result.elapsed:.1f}s "
           f"({service_result.throughput():.1f} reports/s, "
           f"jobs={config.jobs})")
     if args.store:
         print(f"report store written to {args.store}")
+    if args.cache_dir:
+        print(f"result cache at {args.cache_dir}")
     return 130 if service_result.interrupted else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect (`stats`) or compact (`gc`) a cross-run result cache."""
+    from repro.core.rescache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        width = max(len(key) for key in stats)
+        for key, value in stats.items():
+            print(f"{key:{width}s}  {value}")
+        return 0
+    outcome = cache.gc()
+    before, after = outcome["before"], outcome["after"]
+    print(f"compacted {before['rows']} row(s) -> {after['rows']} "
+          f"({before['rows_bytes']} -> {after['rows_bytes']} bytes, "
+          f"{after['entries']} live entries)")
+    return 0
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -222,6 +246,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         hw_fault_prob=args.hw_fault_prob,
         alu_fault_prob=args.alu_fault_prob,
         check_forward=args.check_forward,
+        check_cache=not args.no_check_cache,
         force_divergence=args.force_divergence,
         shrink=args.shrink,
         artifact_dir=args.artifacts,

@@ -71,7 +71,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_triage.add_argument("--store", metavar="FILE",
                           help="persistent JSON report store, rewritten "
                                "atomically as results stream in")
+    p_triage.add_argument("--cache-dir", metavar="DIR",
+                          help="cross-run RES result cache: verdicts for "
+                               "unchanged (module, coredump, config) keys "
+                               "are reused; new verdicts are appended")
+    p_triage.add_argument("--warm-from", metavar="DIR", action="append",
+                          default=[],
+                          help="additional read-only cache directory "
+                               "consulted on a miss (repeatable)")
     p_triage.set_defaults(func=commands.cmd_triage)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or compact a cross-run RES result cache")
+    p_cache.add_argument("action", choices=("stats", "gc"),
+                         help="stats: entry/size/health summary; "
+                              "gc: compact rows (last write per key, "
+                              "stale schemas dropped)")
+    p_cache.add_argument("--cache-dir", required=True, metavar="DIR",
+                         help="cache directory (as given to "
+                              "`res triage --cache-dir`)")
+    p_cache.set_defaults(func=commands.cmd_cache)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing campaign: generated programs "
@@ -103,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--check-forward", action="store_true",
                         help="also run the forward-synthesis baseline "
                              "(slow; informational only)")
+    p_fuzz.add_argument("--no-check-cache", action="store_true",
+                        help="skip the warm-start oracle (cache-primed "
+                             "re-run must be byte-identical; on by "
+                             "default)")
     p_fuzz.add_argument("--shrink", action="store_true",
                         help="delta-debug divergent programs to minimal "
                              "repros before writing artifacts")

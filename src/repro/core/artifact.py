@@ -22,7 +22,14 @@ from typing import Dict, List, Union
 from repro.errors import ReplayError
 from repro.ir.instructions import Reg
 from repro.ir.module import Module
-from repro.symex.expr import BinExpr, Const, Expr, Sym
+from repro.symex.expr import (
+    BinExpr,
+    Const,
+    Expr,
+    Sym,
+    expr_from_obj as _expr_from_obj,
+    expr_to_obj as _expr_to_obj,
+)
 from repro.symex.memory import SymMemory
 from repro.vm.coredump import Coredump
 from repro.vm.state import PC
@@ -41,26 +48,22 @@ FORMAT_VERSION = 1
 # ---------------------------------------------------------------------------
 
 def expr_to_obj(expr: Expr) -> Union[int, str, List]:
-    """Expr → JSON-safe object (int / "$name" / ["op", a, b])."""
-    if isinstance(expr, Const):
-        return expr.value
-    if isinstance(expr, Sym):
-        return f"${expr.name}"
-    if isinstance(expr, BinExpr):
-        return [expr.op, expr_to_obj(expr.a), expr_to_obj(expr.b)]
-    raise ReplayError(f"unserializable expression {expr!r}")
+    """Expr → JSON-safe object (int / "$name" / ["op", a, b]).
+
+    Canonical implementation lives in :mod:`repro.symex.expr` (shared
+    with the solver-cache export); artifacts keep their ReplayError
+    contract."""
+    try:
+        return _expr_to_obj(expr)
+    except (TypeError, ValueError) as exc:
+        raise ReplayError(str(exc))
 
 
 def expr_from_obj(obj: Union[int, str, List]) -> Expr:
-    if isinstance(obj, int):
-        return Const(obj)
-    if isinstance(obj, str):
-        if not obj.startswith("$"):
-            raise ReplayError(f"malformed symbol literal {obj!r}")
-        return Sym(obj[1:])
-    if isinstance(obj, list) and len(obj) == 3:
-        return BinExpr(obj[0], expr_from_obj(obj[1]), expr_from_obj(obj[2]))
-    raise ReplayError(f"malformed expression object {obj!r}")
+    try:
+        return _expr_from_obj(obj)
+    except (TypeError, ValueError) as exc:
+        raise ReplayError(str(exc))
 
 
 # ---------------------------------------------------------------------------

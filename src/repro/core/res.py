@@ -208,6 +208,25 @@ class ReverseExecutionSynthesizer:
         self.stats.solver_cache_hits = self.solver.stat_cache_hits \
             - self._solver_hits_base
 
+    def export_solver_cache(self) -> dict:
+        """JSON-safe snapshot of the solver's residual-component cache.
+
+        Component verdicts are pure functions of their keys, so a
+        snapshot taken after one search can prime another synthesizer
+        over the same module (a warm triage worker, a resumed session)
+        without any possibility of changing what that search finds —
+        the warm-start contract the differential fuzzer's
+        ``cache-primed`` oracle enforces."""
+        return self.solver.export_component_cache()
+
+    def prime_solver_cache(self, snapshot: Optional[dict]) -> int:
+        """Adopt a previously exported component-cache snapshot into
+        this synthesizer's solver; returns rows adopted (0 on None or
+        mismatched solver caps — never a partial import)."""
+        if not snapshot:
+            return 0
+        return self.solver.import_component_cache(snapshot)
+
     def synthesize(self, min_depth: int = 1,
                    max_suffixes: int = 1) -> List[SynthesizedSuffix]:
         """Collect up to ``max_suffixes`` verified suffixes of depth ≥

@@ -1,0 +1,463 @@
+"""Persistent cross-run RES result cache (warm-start triage, PR 4).
+
+The paper's triage use case (§3.1) is not a one-shot batch job: the
+same coredump corpus is re-triaged every time the engine, the corpus,
+or the build evolves.  Before this module, every ``res triage`` run
+re-paid the full backward-search cost because all RES/solver caches and
+triage dedup state died with the process.  The result cache makes the
+synthesized verdict itself durable, keyed so strictly that a stale
+entry can never be *mistaken* for a fresh one:
+
+    key = sha256(CACHE_SCHEMA_VERSION,
+                 module fingerprint,      # program source + name
+                 coredump fingerprint,    # Coredump.fingerprint()
+                 config fingerprint)      # every RESConfig knob + the
+                                          # triage drive budgets + the
+                                          # solver caps
+
+A cached verdict is a pure function of that key — the root cause the
+drive settled on, the exploitability flag, the digests of the suffixes
+it examined, and the search-effort stats.  Deliberately *not* in the
+key: developer annotations and the WER fallback stack depth — those
+only affect how a cause maps to a bucket, and the bucket mapping is
+re-derived from the cached cause on every warm hit (so annotation
+changes retro-actively re-bucket cached verdicts, exactly like cold
+runs).
+
+Correctness contract (regression-tested by ``tests/test_rescache.py``):
+
+* **any** fingerprint mismatch — edited program, different coredump,
+  bumped ``RESConfig`` knob, bumped ``CACHE_SCHEMA_VERSION`` — is a
+  miss, never a partial hit;
+* a corrupt or truncated cache file is skipped with a warning, never a
+  crash and never a wrong hit (the row log is append-only, so a crash
+  mid-append can tear at most the final line);
+* a warm run over an unchanged corpus is byte-identical to a cold run
+  (buckets, rows, accuracy) — enforced by ``tests/test_triage.py`` and
+  ``benchmarks/test_p4_warm_triage.py``.
+
+On-disk layout (all writes durable via :mod:`repro.ioutil`)::
+
+    <cache-dir>/
+      meta.json           # schema version, informational
+      rescache.jsonl      # append-only verdict rows, compacted by gc
+      solver/<module_fp>.json   # exported residual-component caches
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import warnings
+from dataclasses import dataclass, fields
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.ioutil import append_line, atomic_write_json
+from repro.vm.state import PC
+from repro.core.res import RESConfig
+from repro.core.rootcause import RootCause
+
+#: bump on ANY change to verdict synthesis, solver semantics, or the
+#: row format — old rows become unreachable (pure misses), never
+#: misread.  History: 1 = PR 4 initial format.
+CACHE_SCHEMA_VERSION = 1
+
+ROWS_FILE = "rescache.jsonl"
+META_FILE = "meta.json"
+SOLVER_DIR = "solver"
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def module_fingerprint(source: str, name: str = "") -> str:
+    """Identity of the program under triage: its source text plus the
+    module name it compiles under (the name participates in coredump →
+    module matching, so it is part of the verdict's input)."""
+    return _digest(f"module\x00{name}\x00{source}")
+
+
+def res_config_fingerprint(config: RESConfig,
+                           **extra: Union[int, float, str, bool]) -> str:
+    """Fingerprint of *every* knob the verdict depends on.
+
+    Walks the dataclass fields of :class:`RESConfig` (so a newly added
+    knob can never be silently left out of the key) and folds in any
+    ``extra`` driver-level budgets (triage suffix budgets, solver caps).
+    """
+    payload: Dict[str, object] = {}
+    for spec in fields(config):
+        value = getattr(config, spec.name)
+        if isinstance(value, Enum):
+            value = value.value
+        elif isinstance(value, frozenset):
+            value = sorted(value)
+        payload[spec.name] = value
+    for key, value in extra.items():
+        payload[f"extra.{key}"] = value
+    return _digest("resconfig\x00"
+                   + json.dumps(payload, sort_keys=True))
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The strict four-part key of one cached verdict."""
+
+    module_fp: str
+    coredump_fp: str
+    config_fp: str
+    schema: int = CACHE_SCHEMA_VERSION
+
+    def digest(self) -> str:
+        return _digest(f"{self.schema}\x00{self.module_fp}"
+                       f"\x00{self.coredump_fp}\x00{self.config_fp}")
+
+
+# ---------------------------------------------------------------------------
+# Cached verdicts
+# ---------------------------------------------------------------------------
+
+def _cause_to_obj(cause: Optional[RootCause]) -> Optional[dict]:
+    if cause is None:
+        return None
+    return {
+        "kind": cause.kind,
+        "description": cause.description,
+        "addr": cause.addr,
+        "threads": list(cause.threads),
+        "pcs": [[pc.function, pc.block, pc.index] for pc in cause.pcs],
+        "object_name": cause.object_name,
+    }
+
+
+def _cause_from_obj(obj: Optional[dict]) -> Optional[RootCause]:
+    if obj is None:
+        return None
+    return RootCause(
+        kind=obj["kind"],
+        description=obj["description"],
+        addr=obj["addr"],
+        threads=tuple(obj["threads"]),
+        pcs=tuple(PC(f, b, i) for f, b, i in obj["pcs"]),
+        object_name=obj["object_name"],
+    )
+
+
+@dataclass
+class CachedVerdict:
+    """What the triage drive synthesized for one (module, coredump,
+    config) triple — everything needed to reconstruct the triage result
+    byte-identically, plus observability extras."""
+
+    cause: Optional[RootCause]
+    exploitable: bool
+    #: wall-clock the original (cold) synthesis cost — the work a warm
+    #: hit avoids re-paying; reported in cache stats
+    seconds: float = 0.0
+    #: short digests of the suffixes the drive examined, auditable
+    #: against a cold recompute
+    suffix_digests: Tuple[str, ...] = ()
+    #: search-effort counters of the original drive
+    stats: Optional[Dict[str, int]] = None
+
+    def to_obj(self) -> dict:
+        return {
+            "cause": _cause_to_obj(self.cause),
+            "exploitable": self.exploitable,
+            "seconds": round(self.seconds, 6),
+            "suffixes": list(self.suffix_digests),
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "CachedVerdict":
+        return cls(
+            cause=_cause_from_obj(obj["cause"]),
+            exploitable=bool(obj["exploitable"]),
+            seconds=float(obj.get("seconds", 0.0)),
+            suffix_digests=tuple(obj.get("suffixes", ())),
+            stats=obj.get("stats"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The on-disk store
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Append + compact JSON-row store of cached verdicts.
+
+    ``put`` durably appends one row per verdict as results land, so an
+    interrupted run leaves a valid (partial) cache behind and a resumed
+    run warm-starts from it.  ``gc`` compacts: last write per key wins,
+    rows from other schema versions are dropped.
+
+    ``readonly`` marks a warm-from source that must never be written
+    (e.g. a shared baseline cache mounted by CI).
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 readonly: bool = False):
+        self.root = Path(directory)
+        self.readonly = readonly
+        self._index: Optional[Dict[str, dict]] = None
+        #: raw (non-blank) line count observed by the last index load —
+        #: entries vs. raw rows is the compaction/corruption signal
+        self._raw_lines = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def rows_path(self) -> Path:
+        return self.root / ROWS_FILE
+
+    @property
+    def meta_path(self) -> Path:
+        return self.root / META_FILE
+
+    def solver_path(self, module_fp: str) -> Path:
+        return self.root / SOLVER_DIR / f"{module_fp}.json"
+
+    # -- loading -------------------------------------------------------------
+
+    def _load_index(self) -> Dict[str, dict]:
+        """Parse the row log; corrupt/torn rows are skipped with a
+        warning (a crash mid-append legitimately tears the final line;
+        anything else is damage we refuse to guess about)."""
+        if self._index is not None:
+            return self._index
+        index: Dict[str, dict] = {}
+        skipped = 0
+        self._raw_lines = 0
+        if self.rows_path.exists():
+            try:
+                text = self.rows_path.read_text()
+            except OSError as exc:
+                warnings.warn(f"rescache: unreadable cache file "
+                              f"{self.rows_path}: {exc}; starting cold",
+                              RuntimeWarning, stacklevel=3)
+                text = ""
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                self._raw_lines += 1
+                try:
+                    row = json.loads(line)
+                    if row["schema"] != CACHE_SCHEMA_VERSION:
+                        continue  # other schema: unreachable, not corrupt
+                    # Reject rows whose digest does not match their own
+                    # fingerprints — a mis-stitched row must be a miss.
+                    key = CacheKey(module_fp=row["module_fp"],
+                                   coredump_fp=row["coredump_fp"],
+                                   config_fp=row["config_fp"],
+                                   schema=row["schema"])
+                    if key.digest() != row["key"]:
+                        raise ValueError("row digest mismatch")
+                    CachedVerdict.from_obj(row["verdict"])  # shape check
+                except (ValueError, KeyError, TypeError):
+                    skipped += 1
+                    continue
+                index[row["key"]] = row
+        if skipped:
+            warnings.warn(
+                f"rescache: skipped {skipped} corrupt row(s) in "
+                f"{self.rows_path}; they will be recomputed",
+                RuntimeWarning, stacklevel=3)
+        self._index = index
+        return index
+
+    # -- the strict hit test -------------------------------------------------
+
+    def lookup(self, key: CacheKey) -> Optional[CachedVerdict]:
+        """Return the cached verdict for ``key``, or None.
+
+        Strict by construction: the digest covers all four components,
+        and the stored per-component fingerprints are re-checked against
+        the query — any mismatch (module edited, coredump changed,
+        config knob bumped, schema bumped) is a miss, never a partial
+        hit."""
+        if key.schema != CACHE_SCHEMA_VERSION:
+            return None
+        row = self._load_index().get(key.digest())
+        if row is None:
+            return None
+        if (row["module_fp"] != key.module_fp
+                or row["coredump_fp"] != key.coredump_fp
+                or row["config_fp"] != key.config_fp
+                or row["schema"] != key.schema):
+            return None  # defense in depth vs digest collisions/forgeries
+        return CachedVerdict.from_obj(row["verdict"])
+
+    # -- writing -------------------------------------------------------------
+
+    def put(self, key: CacheKey, verdict: CachedVerdict) -> None:
+        """Durably append one verdict row (no-op on a readonly cache)."""
+        if self.readonly:
+            return
+        row = {
+            "schema": key.schema,
+            "key": key.digest(),
+            "module_fp": key.module_fp,
+            "coredump_fp": key.coredump_fp,
+            "config_fp": key.config_fp,
+            "verdict": verdict.to_obj(),
+        }
+        if not self.meta_path.exists():
+            atomic_write_json(self.meta_path,
+                              {"schema": CACHE_SCHEMA_VERSION,
+                               "format": "rescache-jsonl"})
+        index = self._load_index()  # before the append: the new row
+        #                             must not be counted twice
+        append_line(self.rows_path, json.dumps(row, sort_keys=True))
+        index[row["key"]] = row
+        self._raw_lines += 1
+
+    # -- solver-cache sidecars ----------------------------------------------
+
+    def load_solver_cache(self, module_fp: str) -> Optional[dict]:
+        """The exported residual-component cache for one module, or
+        None (missing or corrupt — corrupt is a warning, not a crash)."""
+        path = self.solver_path(module_fp)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            return payload.get("solver")
+        except (OSError, ValueError) as exc:
+            warnings.warn(f"rescache: skipping corrupt solver cache "
+                          f"{path}: {exc}", RuntimeWarning, stacklevel=2)
+            return None
+
+    def store_solver_cache(self, module_fp: str, snapshot: dict) -> None:
+        if self.readonly or not snapshot.get("rows"):
+            return
+        atomic_write_json(self.solver_path(module_fp),
+                          {"schema": CACHE_SCHEMA_VERSION,
+                           "module_fp": module_fp,
+                           "solver": snapshot})
+
+    # -- maintenance ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Machine-readable cache health (also ``res cache stats``)."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            index = dict(self._load_index())
+        raw_lines = self._raw_lines
+        size = self.rows_path.stat().st_size \
+            if self.rows_path.exists() else 0
+        solver_dir = self.root / SOLVER_DIR
+        solver_files = sorted(solver_dir.glob("*.json")) \
+            if solver_dir.exists() else []
+        cached_seconds = sum(row["verdict"].get("seconds", 0.0)
+                             for row in index.values())
+        return {
+            "directory": str(self.root),
+            "schema": CACHE_SCHEMA_VERSION,
+            "entries": len(index),
+            "rows": raw_lines,
+            "stale_or_corrupt_rows": max(0, raw_lines - len(index)),
+            "rows_bytes": size,
+            "solver_modules": len(solver_files),
+            "solver_bytes": sum(p.stat().st_size for p in solver_files),
+            "cached_seconds": round(cached_seconds, 3),
+        }
+
+    def gc(self, keep_module_fps: Optional[Iterable[str]] = None) -> dict:
+        """Compact the row log: one row per key (last write wins), rows
+        from other schema versions dropped.  With ``keep_module_fps``,
+        verdicts and solver sidecars for modules no longer in any live
+        corpus are dropped too.  Returns before/after stats."""
+        before = self.stats()
+        keep = set(keep_module_fps) if keep_module_fps is not None else None
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            index = self._load_index()
+        kept_rows = [row for row in index.values()
+                     if keep is None or row["module_fp"] in keep]
+        kept_rows.sort(key=lambda row: row["key"])
+        if self.readonly:
+            return {"before": before, "after": before, "readonly": True}
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(
+            self.rows_path,
+            "".join(json.dumps(row, sort_keys=True) + "\n"
+                    for row in kept_rows))
+        atomic_write_json(self.meta_path,
+                          {"schema": CACHE_SCHEMA_VERSION,
+                           "format": "rescache-jsonl"})
+        if keep is not None:
+            solver_dir = self.root / SOLVER_DIR
+            if solver_dir.exists():
+                for path in solver_dir.glob("*.json"):
+                    if path.stem not in keep:
+                        path.unlink()
+        self._index = {row["key"]: row for row in kept_rows}
+        self._raw_lines = len(kept_rows)
+        return {"before": before, "after": self.stats(),
+                "readonly": False}
+
+
+# ---------------------------------------------------------------------------
+# Multi-source lookup (a writable cache + readonly warm-from sources)
+# ---------------------------------------------------------------------------
+
+class CacheChain:
+    """First-hit-wins lookup across a writable cache and any number of
+    readonly warm-from sources; writes go to the writable cache only."""
+
+    def __init__(self, primary: Optional[ResultCache],
+                 sources: Tuple[ResultCache, ...] = ()):
+        self.primary = primary
+        self.sources = sources
+
+    @classmethod
+    def open(cls, cache_dir: Optional[str],
+             warm_from: Tuple[str, ...] = ()) -> "CacheChain":
+        primary = ResultCache(cache_dir) if cache_dir else None
+        sources = tuple(ResultCache(path, readonly=True)
+                        for path in warm_from if path)
+        return cls(primary, sources)
+
+    @property
+    def enabled(self) -> bool:
+        return self.primary is not None or bool(self.sources)
+
+    def lookup(self, key: CacheKey) -> Optional[CachedVerdict]:
+        for cache in self._all():
+            found = cache.lookup(key)
+            if found is not None:
+                return found
+        return None
+
+    def put(self, key: CacheKey, verdict: CachedVerdict) -> None:
+        if self.primary is not None:
+            self.primary.put(key, verdict)
+
+    def load_solver_cache(self, module_fp: str) -> Optional[dict]:
+        for cache in self._all():
+            found = cache.load_solver_cache(module_fp)
+            if found is not None:
+                return found
+        return None
+
+    def store_solver_cache(self, module_fp: str, snapshot: dict) -> None:
+        if self.primary is not None:
+            self.primary.store_solver_cache(module_fp, snapshot)
+
+    def _all(self) -> List[ResultCache]:
+        out: List[ResultCache] = []
+        if self.primary is not None:
+            out.append(self.primary)
+        out.extend(self.sources)
+        return out

@@ -19,7 +19,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.ir.module import Module
+from repro.symex.solver import Solver
 from repro.vm.coredump import Coredump
+from repro.core.fingerprints import suffix_digest
 from repro.core.res import RESConfig, ReverseExecutionSynthesizer
 from repro.core.rootcause import RootCause, analyze
 
@@ -51,13 +53,46 @@ class TriageAnnotation:
     matcher: Callable[[RootCause], bool]
 
 
+def synthesize_result(report: BugReport, cause: Optional[RootCause],
+                      exploitable: bool,
+                      annotations: Optional[List[TriageAnnotation]] = None,
+                      stack_depth: int = 8) -> TriageResult:
+    """Map a (cause, exploitable) drive outcome to a bucketed result.
+
+    This is the *whole* cause→bucket policy — annotation overrides,
+    signature bucketing, WER-style stack fallback — factored out of the
+    engine so the warm-start path (:mod:`repro.core.rescache`) can
+    reconstruct a byte-identical :class:`TriageResult` from a cached
+    cause without compiling the module or running any search.  It also
+    means annotations and stack depth deliberately stay *out* of the
+    cache key: changing them re-buckets cached verdicts exactly like
+    cold ones.
+    """
+    if cause is not None:
+        for annotation in (annotations or []):
+            if annotation.matcher(cause):
+                return TriageResult(report.report_id,
+                                    bucket=("annotated", annotation.name),
+                                    cause=cause, used_fallback=False,
+                                    exploitable=exploitable)
+        return TriageResult(report.report_id, bucket=cause.signature(),
+                            cause=cause, used_fallback=False,
+                            exploitable=exploitable)
+    # Graceful degradation: WER-style stack signature.
+    return TriageResult(
+        report.report_id,
+        bucket=("stack",
+                report.coredump.call_stack_signature(stack_depth)),
+        cause=None, used_fallback=True, exploitable=exploitable)
+
+
 class TriageEngine:
     """Buckets bug reports by RES-derived root cause."""
 
     def __init__(self, module: Module, config: Optional[RESConfig] = None,
                  annotations: Optional[List[TriageAnnotation]] = None,
                  stack_depth: int = 8, max_suffixes: int = 128,
-                 taint_suffixes: int = 8):
+                 taint_suffixes: int = 8, solver: Optional[Solver] = None):
         self.module = module
         self.config = config or RESConfig(max_depth=24, max_nodes=4000)
         self.annotations = annotations or []
@@ -69,6 +104,16 @@ class TriageEngine:
         #: tainted input enters the horizon — stopping there made
         #: ``exploitable`` a dead flag for memory-safety traps)
         self.taint_suffixes = taint_suffixes
+        #: one solver shared across every report this engine triages —
+        #: its exact caches (delta verdicts, residual components) are
+        #: sound across reports of the same module, and its component
+        #: cache is what warm-start export/import persists across runs
+        self.solver = solver or Solver()
+        #: observability of the last :meth:`triage_one` drive, consumed
+        #: by the result cache (rescache rows are auditable against a
+        #: cold recompute via the suffix digests)
+        self.last_stats: Optional[dict] = None
+        self.last_suffix_digests: tuple = ()
 
     def _drive(self, report: BugReport
                ) -> Tuple[Optional[RootCause], bool]:
@@ -81,31 +126,47 @@ class TriageEngine:
         from repro.core.exploitability import suffix_has_tainted_store
 
         synthesizer = ReverseExecutionSynthesizer(
-            self.module, report.coredump, self.config)
+            self.module, report.coredump, self.config, solver=self.solver)
         cause: Optional[RootCause] = None
         weak: Optional[RootCause] = None
         exploitable = False
         kept = 0
         extra = 0
-        for item in synthesizer.suffixes():
-            kept += 1
-            if not exploitable and (
-                    item.suffix.has_tainted_store()
-                    or suffix_has_tainted_store(self.module, item.suffix)):
-                exploitable = True
-            if cause is None:
-                primary = analyze(item).primary
-                if primary is not None and primary.kind != "assert-state":
-                    cause = primary
-                elif primary is not None and weak is None:
-                    weak = primary
-                if cause is None and kept >= self.max_suffixes:
+        digests = []
+        gen = synthesizer.suffixes()
+        try:
+            for item in gen:
+                kept += 1
+                digests.append(suffix_digest(item))
+                if not exploitable and (
+                        item.suffix.has_tainted_store()
+                        or suffix_has_tainted_store(self.module,
+                                                    item.suffix)):
+                    exploitable = True
+                if cause is None:
+                    primary = analyze(item).primary
+                    if primary is not None \
+                            and primary.kind != "assert-state":
+                        cause = primary
+                    elif primary is not None and weak is None:
+                        weak = primary
+                    if cause is None and kept >= self.max_suffixes:
+                        break
+                else:
+                    extra += 1
+                if cause is not None and (exploitable
+                                          or extra >= self.taint_suffixes):
                     break
-            else:
-                extra += 1
-            if cause is not None and (exploitable
-                                      or extra >= self.taint_suffixes):
-                break
+        finally:
+            gen.close()
+        self.last_suffix_digests = tuple(digests)
+        self.last_stats = {
+            "nodes_expanded": synthesizer.stats.nodes_expanded,
+            "candidates_executed": synthesizer.stats.candidates_executed,
+            "suffixes_emitted": synthesizer.stats.suffixes_emitted,
+            "solver_calls": synthesizer.stats.solver_calls,
+            "solver_cache_hits": synthesizer.stats.solver_cache_hits,
+        }
         if cause is None:
             cause = weak
         if cause is None and kept:
@@ -118,25 +179,42 @@ class TriageEngine:
 
     def triage_one(self, report: BugReport) -> TriageResult:
         cause, exploitable = self._drive(report)
-        if cause is not None:
-            for annotation in self.annotations:
-                if annotation.matcher(cause):
-                    return TriageResult(report.report_id,
-                                        bucket=("annotated", annotation.name),
-                                        cause=cause, used_fallback=False,
-                                        exploitable=exploitable)
-            return TriageResult(report.report_id, bucket=cause.signature(),
-                                cause=cause, used_fallback=False,
-                                exploitable=exploitable)
-        # Graceful degradation: WER-style stack signature.
-        return TriageResult(
-            report.report_id,
-            bucket=("stack",
-                    report.coredump.call_stack_signature(self.stack_depth)),
-            cause=None, used_fallback=True, exploitable=exploitable)
+        return synthesize_result(report, cause, exploitable,
+                                 annotations=self.annotations,
+                                 stack_depth=self.stack_depth)
 
     def triage(self, reports: List[BugReport]) -> List[TriageResult]:
         return [self.triage_one(r) for r in reports]
+
+    # ------------------------------------------------------------------
+    # Warm-start support (persistent cross-run caches, PR 4)
+    # ------------------------------------------------------------------
+
+    def config_fingerprint(self) -> str:
+        """Fingerprint of every knob a drive verdict depends on: the
+        full RESConfig plus the drive budgets and the solver caps.
+        (Annotations and ``stack_depth`` are deliberately excluded —
+        see :func:`synthesize_result`.)"""
+        from repro.core.rescache import res_config_fingerprint
+
+        return res_config_fingerprint(
+            self.config,
+            max_suffixes=self.max_suffixes,
+            taint_suffixes=self.taint_suffixes,
+            solver_max_enum=self.solver.max_enum,
+            solver_max_nodes=self.solver.max_nodes)
+
+    def export_solver_cache(self) -> dict:
+        """JSON-safe snapshot of the engine solver's residual-component
+        cache (see :meth:`Solver.export_component_cache`)."""
+        return self.solver.export_component_cache()
+
+    def import_solver_cache(self, snapshot: Optional[dict]) -> int:
+        """Prime the engine solver from an exported snapshot; returns
+        the number of rows adopted (0 on None/mismatched caps)."""
+        if not snapshot:
+            return 0
+        return self.solver.import_component_cache(snapshot)
 
 
 def bucket_accuracy(results: List[TriageResult],

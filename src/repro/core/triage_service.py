@@ -21,13 +21,27 @@ stacked on top of the engine:
   are streamed to a ``progress`` callback as they land, and the JSON
   report store on disk is atomically rewritten as results accumulate,
   so an operator can watch buckets fill while the batch is running and
-  an interrupted run leaves a readable partial store behind.
+  an interrupted run leaves a readable partial store behind;
+* **warm start (PR 4)** — with a ``cache_dir``, every synthesized
+  verdict is durably appended to a cross-run
+  :class:`repro.core.rescache.ResultCache` as it lands, and the next
+  run short-circuits any report whose strict cache key (module ×
+  coredump × config × schema fingerprints) is unchanged — only new or
+  invalidated reports re-pay the backward search.  Exported
+  residual-component solver caches ride along per module, so even the
+  recomputed reports start on a primed solver.  ``warm_from`` names
+  additional read-only cache directories consulted on a miss.
 
 Determinism contract: for the same corpus and budgets, the sharded run
-buckets **byte-identically** to the serial run (``jobs=1``) and to a
-plain per-report ``TriageEngine.triage`` sweep — parallelism is an
-execution strategy, never a semantic change.  Enforced by
-``tests/test_triage.py`` and ``benchmarks/test_p3_triage_throughput.py``.
+buckets **byte-identically** to the serial run (``jobs=1``), to a
+plain per-report ``TriageEngine.triage`` sweep, and to a warm run over
+any cache state — parallelism and caching are execution strategies,
+never a semantic change.  Enforced by ``tests/test_triage.py``,
+``benchmarks/test_p3_triage_throughput.py``, and
+``benchmarks/test_p4_warm_triage.py``; :func:`verdict_view` is the
+canonical "semantic subset" two report stores are compared by (it
+excludes only wall-clock and cache-provenance fields, which describe
+the run, not the verdicts).
 """
 
 from __future__ import annotations
@@ -41,8 +55,16 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.errors import ReproError
 from repro.ioutil import atomic_write_json
 from repro.minic import compile_source
+from repro.symex.solver import Solver
 from repro.vm.coredump import Coredump
 from repro.core.res import RESConfig
+from repro.core.rescache import (
+    CacheChain,
+    CachedVerdict,
+    CacheKey,
+    module_fingerprint,
+    res_config_fingerprint,
+)
 from repro.core.triage import (
     BugReport,
     TriageAnnotation,
@@ -50,6 +72,7 @@ from repro.core.triage import (
     TriageResult,
     bucket_accuracy,
     misbucketed_fraction,
+    synthesize_result,
 )
 
 
@@ -69,6 +92,11 @@ class ProgramSpec:
 
     def compile(self):
         return compile_source(self.source, name=self.name or self.key)
+
+    def module_fp(self) -> str:
+        """The warm-start cache identity of this program (source +
+        resolved module name — the same name :meth:`compile` uses)."""
+        return module_fingerprint(self.source, self.name or self.key)
 
 
 @dataclass
@@ -166,16 +194,41 @@ class TriageServiceConfig:
     stack_depth: int = 8
     incremental: bool = True
     annotations: Optional[List[TriageAnnotation]] = None
+    #: engine drive budgets (part of the warm-start cache key)
+    max_suffixes: int = 128
+    taint_suffixes: int = 8
     #: persistent JSON report store (None disables the store)
     store_path: Optional[str] = None
     #: rewrite the store every N finished groups (anytime visibility
     #: vs. fsync traffic)
     flush_every: int = 4
+    #: cross-run result cache directory: verdicts are read from it
+    #: before any search runs and appended to it as results land
+    cache_dir: Optional[str] = None
+    #: additional *read-only* cache directories consulted on a miss
+    #: (e.g. a shared baseline cache); never written
+    warm_from: Tuple[str, ...] = ()
 
     def res_config(self) -> RESConfig:
         return RESConfig(max_depth=self.max_depth,
                          max_nodes=self.max_nodes,
                          incremental=self.incremental)
+
+    def cache_chain(self) -> CacheChain:
+        return CacheChain.open(self.cache_dir, tuple(self.warm_from))
+
+    def config_fingerprint(self) -> str:
+        """Must match :meth:`TriageEngine.config_fingerprint` for the
+        engines this config builds — the solver caps come from a
+        default-constructed :class:`Solver`, exactly as the workers
+        construct theirs."""
+        solver = Solver()
+        return res_config_fingerprint(
+            self.res_config(),
+            max_suffixes=self.max_suffixes,
+            taint_suffixes=self.taint_suffixes,
+            solver_max_enum=solver.max_enum,
+            solver_max_nodes=solver.max_nodes)
 
 
 @dataclass
@@ -189,6 +242,8 @@ class TriagedReport:
     #: report_id of the representative this verdict was copied from
     #: (None when this report was actually triaged)
     dedup_of: Optional[str] = None
+    #: verdict came from the cross-run result cache (no search ran)
+    cached: bool = False
 
 
 @dataclass
@@ -199,6 +254,8 @@ class TriageServiceResult:
     elapsed: float = 0.0
     triaged: int = 0
     dedup_hits: int = 0
+    #: reports short-circuited by the cross-run result cache
+    cache_hits: int = 0
     interrupted: bool = False
 
     @property
@@ -240,24 +297,46 @@ def _worker_engine(program_key: str) -> TriageEngine:
         spec: ProgramSpec = _WORKER["programs"][program_key]  # type: ignore
         engine = TriageEngine(spec.compile(), config.res_config(),
                               annotations=config.annotations,
-                              stack_depth=config.stack_depth)
+                              stack_depth=config.stack_depth,
+                              max_suffixes=config.max_suffixes,
+                              taint_suffixes=config.taint_suffixes)
+        chain = config.cache_chain()
+        if chain.enabled:
+            # Warm workers start primed: a prior run's exported
+            # residual-component cache is exact (pure function of its
+            # key), so priming can speed the search up but never
+            # change a verdict.
+            engine.import_solver_cache(
+                chain.load_solver_cache(spec.module_fp()))
         engines[program_key] = engine
     return engine
 
 
+#: per-item extras riding back with each verdict (cache-row material)
+_GroupItem = Tuple[int, TriageResult, float, dict]
+
+
 def _triage_group(group: Tuple[str, List[Tuple[int, BugReport]]]
-                  ) -> List[Tuple[int, TriageResult, float]]:
+                  ) -> Tuple[str, List[_GroupItem], Optional[dict]]:
     """Triage one (program, reports) group; runs inside a worker (or
     inline for ``jobs=1`` — same code path, so serial and sharded runs
-    cannot diverge)."""
+    cannot diverge).  Returns the program key, the per-report verdicts
+    (with drive stats + suffix digests for the result cache), and —
+    when a cache is configured — the engine's exported solver cache."""
     program_key, items = group
+    config: TriageServiceConfig = _WORKER["config"]  # type: ignore
     engine = _worker_engine(program_key)
-    out: List[Tuple[int, TriageResult, float]] = []
+    out: List[_GroupItem] = []
     for index, report in items:
         started = time.perf_counter()
         result = engine.triage_one(report)
-        out.append((index, result, time.perf_counter() - started))
-    return out
+        out.append((index, result, time.perf_counter() - started,
+                    {"stats": engine.last_stats,
+                     "suffixes": engine.last_suffix_digests}))
+    solver_export = None
+    if config.cache_dir is not None:
+        solver_export = engine.export_solver_cache()
+    return program_key, out, solver_export
 
 
 # ---------------------------------------------------------------------------
@@ -277,6 +356,11 @@ def triage_corpus(corpus: TriageCorpus,
     config = config or TriageServiceConfig()
     started = time.perf_counter()
     store = _TriageStore(config) if config.store_path else None
+    chain = config.cache_chain()
+    config_fp = config.config_fingerprint() if chain.enabled else ""
+    module_fps: Dict[str, str] = {
+        key: spec.module_fp() for key, spec in corpus.programs.items()
+    } if chain.enabled else {}
 
     # 1. Fingerprint + dedup: the first occurrence of each
     #    (program, fingerprint) pair is the representative; later
@@ -292,14 +376,40 @@ def triage_corpus(corpus: TriageCorpus,
         else:
             representative[key] = index
 
-    # 2. Shard: group unique reports by program (first-appearance
-    #    order), so each group rides one engine and its module caches.
-    #    Large groups are then split into chunks — otherwise a
-    #    single-program corpus (the common production shape) would
-    #    serialize on one worker and make ``jobs`` a silent no-op.
+    # 2. Warm start: representatives whose strict cache key is
+    #    unchanged take their verdict straight from the cross-run
+    #    cache — the bucket mapping is re-derived from the cached
+    #    cause (so current annotations apply), and no module is even
+    #    compiled for fully-cached programs.  Any fingerprint
+    #    mismatch is a miss and the report is recomputed below.
+    cached_slots: Dict[int, TriagedReport] = {}
+    if chain.enabled:
+        for index in representative.values():
+            entry = corpus.entries[index]
+            cache_key = CacheKey(module_fp=module_fps[entry.program_key],
+                                 coredump_fp=fingerprints[index],
+                                 config_fp=config_fp)
+            hit = chain.lookup(cache_key)
+            if hit is None:
+                continue
+            result = synthesize_result(entry.report, hit.cause,
+                                       hit.exploitable,
+                                       annotations=config.annotations,
+                                       stack_depth=config.stack_depth)
+            cached_slots[index] = TriagedReport(
+                result=result, program_key=entry.program_key,
+                fingerprint=fingerprints[index], seconds=0.0,
+                cached=True)
+
+    # 3. Shard: group unique, uncached reports by program
+    #    (first-appearance order), so each group rides one engine and
+    #    its module caches.  Large groups are then split into chunks —
+    #    otherwise a single-program corpus (the common production
+    #    shape) would serialize on one worker and make ``jobs`` a
+    #    silent no-op.
     groups: Dict[str, List[Tuple[int, BugReport]]] = {}
     for index, entry in enumerate(corpus.entries):
-        if index in duplicate_of:
+        if index in duplicate_of or index in cached_slots:
             continue
         groups.setdefault(entry.program_key, []).append(
             (index, entry.report))
@@ -313,15 +423,23 @@ def triage_corpus(corpus: TriageCorpus,
     else:
         work = list(groups.items())
 
-    # 3. Fan out (or run inline through the identical group function).
+    # 4. Fan out (or run inline through the identical group function).
     slots: List[Optional[TriagedReport]] = [None] * len(corpus.entries)
     finished_groups = 0
     interrupted = False
+    solver_exports: Dict[str, Optional[dict]] = {}
 
-    def land(group_out: List[Tuple[int, TriageResult, float]]) -> None:
+    for index, item in cached_slots.items():
+        slots[index] = item
+    if cached_slots and progress is not None:
+        progress([cached_slots[index] for index in sorted(cached_slots)])
+
+    def land(group_result: Tuple[str, List[_GroupItem],
+                                 Optional[dict]]) -> None:
         nonlocal finished_groups
+        program_key, group_out, solver_export = group_result
         landed: List[TriagedReport] = []
-        for index, result, seconds in group_out:
+        for index, result, seconds, extras in group_out:
             entry = corpus.entries[index]
             item = TriagedReport(result=result,
                                  program_key=entry.program_key,
@@ -329,6 +447,23 @@ def triage_corpus(corpus: TriageCorpus,
                                  seconds=seconds)
             slots[index] = item
             landed.append(item)
+            if chain.primary is not None:
+                # Durable append as results land: an interrupted run
+                # leaves a valid partial cache a resumed run
+                # warm-starts from.
+                chain.put(
+                    CacheKey(module_fp=module_fps[entry.program_key],
+                             coredump_fp=fingerprints[index],
+                             config_fp=config_fp),
+                    CachedVerdict(cause=result.cause,
+                                  exploitable=result.exploitable,
+                                  seconds=seconds,
+                                  suffix_digests=tuple(
+                                      extras.get("suffixes", ())),
+                                  stats=extras.get("stats")))
+        if solver_export is not None:
+            solver_exports[program_key] = _merge_solver_snapshots(
+                solver_exports.get(program_key), solver_export)
         finished_groups += 1
         if progress is not None:
             progress(landed)
@@ -366,7 +501,7 @@ def triage_corpus(corpus: TriageCorpus,
         finally:
             _WORKER.clear()
 
-    # 4. Resolve duplicates against their representative's verdict.
+    # 5. Resolve duplicates against their representative's verdict.
     copies: List[TriagedReport] = []
     for index, rep_index in sorted(duplicate_of.items()):
         rep = slots[rep_index]
@@ -388,11 +523,39 @@ def triage_corpus(corpus: TriageCorpus,
     if copies and progress is not None:
         progress(copies)
 
+    # 6. Persist the per-module solver caches so the next run's
+    #    workers start primed even for reports it must recompute.
+    if chain.primary is not None:
+        for program_key, snapshot in solver_exports.items():
+            if snapshot:
+                chain.store_solver_cache(module_fps[program_key], snapshot)
+
     result = _partial_result(slots, corpus, started)
     result.interrupted = interrupted
     if store is not None:
         store.flush(result, corpus, complete=not interrupted)
     return result
+
+
+def _merge_solver_snapshots(base: Optional[dict],
+                            extra: Optional[dict]) -> Optional[dict]:
+    """Union two exported component-cache snapshots (chunks of one
+    program may land from different workers).  First row per key wins;
+    snapshots with different solver caps never merge."""
+    if not base:
+        return extra
+    if not extra:
+        return base
+    if base.get("caps") != extra.get("caps"):
+        return base
+    seen = {json.dumps(row[:2], sort_keys=True) for row in base["rows"]}
+    merged = list(base["rows"])
+    for row in extra.get("rows", []):
+        key = json.dumps(row[:2], sort_keys=True)
+        if key not in seen:
+            seen.add(key)
+            merged.append(row)
+    return {"caps": base["caps"], "rows": merged}
 
 
 def _partial_result(slots: Sequence[Optional[TriagedReport]],
@@ -402,8 +565,10 @@ def _partial_result(slots: Sequence[Optional[TriagedReport]],
     return TriageServiceResult(
         reports=reports,
         elapsed=time.perf_counter() - started,
-        triaged=sum(1 for r in reports if r.dedup_of is None),
+        triaged=sum(1 for r in reports
+                    if r.dedup_of is None and not r.cached),
         dedup_hits=sum(1 for r in reports if r.dedup_of is not None),
+        cache_hits=sum(1 for r in reports if r.cached),
     )
 
 
@@ -444,6 +609,7 @@ def store_payload(result: TriageServiceResult, corpus: TriageCorpus,
             "fingerprint": item.fingerprint,
             "seconds": round(item.seconds, 4),
             "dedup_of": item.dedup_of,
+            "cached": item.cached,
         }
         for item in result.reports
     ]
@@ -468,6 +634,7 @@ def store_payload(result: TriageServiceResult, corpus: TriageCorpus,
             "elapsed": round(result.elapsed, 4),
             "triaged": result.triaged,
             "dedup_hits": result.dedup_hits,
+            "cache_hits": result.cache_hits,
             "reports_per_sec": round(result.throughput(), 3),
         },
     }
@@ -482,3 +649,34 @@ def store_payload(result: TriageServiceResult, corpus: TriageCorpus,
                 misbucketed_fraction(result.results, reports), 4),
         }
     return payload
+
+
+#: per-row fields that describe the *run* (wall clock, cache
+#: provenance), not the verdict — excluded from the equivalence view
+_RUN_ONLY_ROW_FIELDS = ("seconds", "cached")
+
+
+def verdict_view(payload: dict) -> dict:
+    """The semantic subset of a report store two runs are compared by.
+
+    Cold, warm, and sharded-warm runs over the same corpus must be
+    **byte-identical** under this view (``json.dumps(view,
+    sort_keys=True)``): buckets, every per-report row, and the accuracy
+    metrics.  Excluded are exactly the fields that measure the run
+    rather than the verdicts — per-row wall clock and cache provenance,
+    the ``timing`` section, and the execution-strategy part of the
+    config (``jobs``).
+    """
+    rows = [{key: value for key, value in row.items()
+             if key not in _RUN_ONLY_ROW_FIELDS}
+            for row in payload.get("results", [])]
+    config = {key: value
+              for key, value in payload.get("config", {}).items()
+              if key != "jobs"}
+    return {
+        "buckets": payload.get("buckets", {}),
+        "results": rows,
+        "accuracy": payload.get("accuracy"),
+        "corpus": payload.get("corpus"),
+        "config": config,
+    }

@@ -66,6 +66,11 @@ class CampaignConfig:
     #: online ALU miscompute during the producing run (§3.2)
     alu_fault_prob: float = 0.03
     check_forward: bool = False
+    #: PR-4 warm-start oracle: re-run the incremental engine on a fresh
+    #: solver primed from a JSON round trip of the first run's exported
+    #: residual-component cache; the primed run must be byte-identical.
+    #: On by default — the cache layer is a live divergence surface.
+    check_cache: bool = True
     #: test hook: corrupt the naive oracle's fingerprints so every
     #: suffix-emitting program diverges (exercises artifacts + shrink)
     force_divergence: bool = False
@@ -167,7 +172,8 @@ def _run_oracles(module, dump, flags: Dict[str, bool],
     kwargs = _oracle_kwargs(flags, config)
     suffixes, divergences = compare_incremental(
         module, dump, kwargs, config.max_suffixes,
-        tamper_naive=config.force_divergence)
+        tamper_naive=config.force_divergence,
+        check_cache=config.check_cache)
     report.suffixes_emitted = len(suffixes)
     report.divergences.extend(divergences)
 
@@ -302,9 +308,11 @@ def divergence_predicate(verdict: ProgramVerdict, config: CampaignConfig):
         dump = result.coredump
         suffixes, divergences = compare_incremental(
             module, dump, kwargs, config.max_suffixes,
-            tamper_naive=config.force_divergence)
-        if divergences and ("incremental-vs-naive" in kinds
-                            or config.force_divergence):
+            tamper_naive=config.force_divergence,
+            check_cache=config.check_cache and "cache-primed" in kinds)
+        found_kinds = {kind for kind, _ in divergences}
+        if found_kinds & kinds & {"incremental-vs-naive", "cache-primed"} \
+                or (divergences and config.force_divergence):
             return True
         if "replay-infeasible" in kinds:
             _, replay_div = check_replay_feasibility(
@@ -322,8 +330,8 @@ def divergence_predicate(verdict: ProgramVerdict, config: CampaignConfig):
     return predicate
 
 
-_SHRINKABLE_KINDS = ("incremental-vs-naive", "replay-infeasible",
-                     "wp-inconsistent")
+_SHRINKABLE_KINDS = ("incremental-vs-naive", "cache-primed",
+                     "replay-infeasible", "wp-inconsistent")
 
 
 def shrink_verdict(verdict: ProgramVerdict,
@@ -362,6 +370,8 @@ def reproduce_command(program_seed: int, config: CampaignConfig) -> str:
             flags.append(f"{flag} {value}")
     if config.check_forward:
         flags.append("--check-forward")
+    if not config.check_cache:
+        flags.append("--no-check-cache")
     if config.force_divergence:
         flags.append("--force-divergence")
     return "res fuzz " + " ".join(flags)

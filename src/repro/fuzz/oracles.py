@@ -31,50 +31,26 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import RESConfig, ReverseExecutionSynthesizer, SuffixReplayer
+from repro.core.fingerprints import (  # canonical home since PR 4;
+    NON_BEHAVIORAL_STATS,             # re-exported for existing callers
+    behavioral_counters,
+    suffix_fingerprint,
+)
 from repro.ir.module import Module
 from repro.vm.coredump import Coredump, TrapKind
-
-#: stats fields that describe effort/timing rather than search behavior
-NON_BEHAVIORAL_STATS = ("solver_calls", "solver_cache_hits",
-                        "time_enumerate", "time_execute", "time_replay")
-
-
-def suffix_fingerprint(synthesized) -> tuple:
-    """Canonical, byte-exact description of one emitted suffix."""
-    suffix = synthesized.suffix
-    return (
-        tuple(
-            (step.segment.tid, step.segment.function, step.segment.block,
-             step.segment.lo, step.segment.hi, step.segment.kind.value,
-             step.segment.depth, step.instr_count,
-             tuple(sym.name for sym in step.input_syms),
-             tuple((repr(expr), str(pc)) for expr, pc in step.outputs),
-             tuple(sorted(step.write_addrs)),
-             tuple(sorted(step.read_addrs)),
-             tuple(step.lock_events),
-             tuple(step.alloc_bases),
-             tuple(step.free_bases),
-             step.tainted_store_addr)
-            for step in suffix.steps
-        ),
-        tuple(repr(c) for c in suffix.constraints),
-    )
-
-
-def behavioral_counters(stats) -> dict:
-    return {key: value for key, value in vars(stats).items()
-            if key not in NON_BEHAVIORAL_STATS}
+from repro.symex.solver import Solver
 
 
 def collect_suffixes(module: Module, coredump: Coredump, config: RESConfig,
-                     max_suffixes: int):
+                     max_suffixes: int, solver: Optional[Solver] = None):
     """Up to ``max_suffixes`` suffixes plus the final search stats.
 
     Both engines of a differential pair stop at the same emission count,
     so partial collection keeps the counter comparison exact (the search
     is deterministic).
     """
-    res = ReverseExecutionSynthesizer(module, coredump, config)
+    res = ReverseExecutionSynthesizer(module, coredump, config,
+                                      solver=solver)
     collected = []
     gen = res.suffixes()
     try:
@@ -106,16 +82,28 @@ class OracleReport:
 
 def compare_incremental(module: Module, coredump: Coredump,
                         config_kwargs: Dict, max_suffixes: int,
-                        tamper_naive: bool = False):
+                        tamper_naive: bool = False,
+                        check_cache: bool = False):
     """Run both engines; returns ``(incremental_suffixes, divergences)``.
 
     ``tamper_naive`` is the campaign's force-divergence test hook: it
     corrupts the naive fingerprint list so every suffix-emitting program
     reports a mismatch, exercising the artifact + shrink pipeline.
+
+    ``check_cache`` adds the PR-4 warm-start oracle: the incremental
+    engine's residual-component cache is exported, pushed through a full
+    JSON round trip, imported into a *fresh* solver, and the search is
+    re-run primed — the warm run must produce byte-identical suffix
+    fingerprints and behavioral counters (a cached component verdict is
+    a pure function of its key, so any difference is a real bug in the
+    export/import or cache-keying layer).
     """
+    import json as _json
+
+    incr_solver = Solver()
     incr, incr_stats = collect_suffixes(
         module, coredump, RESConfig(incremental=True, **config_kwargs),
-        max_suffixes)
+        max_suffixes, solver=incr_solver)
     naive, naive_stats = collect_suffixes(
         module, coredump, RESConfig(incremental=False, **config_kwargs),
         max_suffixes)
@@ -142,6 +130,35 @@ def compare_incremental(module: Module, coredump: Coredump,
             divergences.append((
                 "incremental-vs-naive",
                 f"prune counters differ: {diff}"))
+
+    if check_cache:
+        snapshot = _json.loads(_json.dumps(
+            incr_solver.export_component_cache()))
+        primed_solver = Solver()
+        primed_solver.import_component_cache(snapshot)
+        primed, primed_stats = collect_suffixes(
+            module, coredump, RESConfig(incremental=True, **config_kwargs),
+            max_suffixes, solver=primed_solver)
+        primed_fp = [suffix_fingerprint(s) for s in primed]
+        if primed_fp != incr_fp:
+            first = next(
+                (i for i, (a, b) in enumerate(zip(incr_fp, primed_fp))
+                 if a != b), min(len(incr_fp), len(primed_fp)))
+            divergences.append((
+                "cache-primed",
+                f"warm-start suffix streams differ (cold {len(incr_fp)} vs "
+                f"primed {len(primed_fp)} suffixes, first mismatch at "
+                f"index {first})"))
+        else:
+            cold_counters = behavioral_counters(incr_stats)
+            primed_counters = behavioral_counters(primed_stats)
+            if cold_counters != primed_counters:
+                diff = sorted(key for key in cold_counters
+                              if cold_counters[key]
+                              != primed_counters.get(key))
+                divergences.append((
+                    "cache-primed",
+                    f"warm-start prune counters differ: {diff}"))
     return incr, divergences
 
 

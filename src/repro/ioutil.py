@@ -1,12 +1,22 @@
 """Small shared I/O helpers (durable file writes).
 
 Anything the system persists incrementally — fuzz divergence artifacts,
-the triage report store, the benchmark log — must never be observable
-half-written: an interrupted ``--jobs`` run that leaves a truncated
-JSON file behind produces artifacts that later fail to parse or
-reproduce.  The pattern is always the same: write to a temp file in the
-target directory, then ``os.replace`` (atomic on POSIX within one
-filesystem).
+the triage report store, the RES result cache, the benchmark log — must
+never be observable half-written: an interrupted ``--jobs`` run that
+leaves a truncated JSON file behind produces artifacts that later fail
+to parse or reproduce.  Two patterns:
+
+* **atomic rewrite** — write to a temp file in the target directory,
+  ``fsync`` it, then ``os.replace`` (atomic on POSIX within one
+  filesystem), then best-effort ``fsync`` the directory.  Without the
+  temp-file fsync the rename can be durable *before* the data is: a
+  power cut after the replace may surface an empty or garbage target
+  even though the write "succeeded".  The directory fsync makes the
+  rename itself durable; it is best-effort because some filesystems
+  (and platforms) refuse to fsync a directory fd.
+* **durable append** — for append-only row logs (the result cache):
+  write + flush + fsync in one call, so a crash can truncate at most
+  the row being written (readers must skip a torn trailing line).
 """
 
 from __future__ import annotations
@@ -18,6 +28,26 @@ from pathlib import Path
 from typing import Union
 
 
+def fsync_dir(directory: Union[str, Path]) -> bool:
+    """Best-effort fsync of a directory (makes renames in it durable).
+
+    Returns whether the fsync happened; failure is not an error —
+    the caller's data is already safely in the file, only the rename's
+    durability window stays open on filesystems that cannot do this.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return False
+    try:
+        os.fsync(fd)
+        return True
+    except OSError:
+        return False
+    finally:
+        os.close(fd)
+
+
 def atomic_write_text(path: Union[str, Path], text: str) -> str:
     """Durably write ``text`` to ``path``; returns the path written."""
     target = Path(path)
@@ -27,10 +57,16 @@ def atomic_write_text(path: Union[str, Path], text: str) -> str:
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            handle.flush()
+            # The data must hit stable storage *before* the rename does:
+            # os.replace only orders metadata, so a crash shortly after
+            # it can otherwise surface an empty/garbage target.
+            os.fsync(handle.fileno())
         os.replace(tmp_path, str(target))
     except BaseException:
         os.unlink(tmp_path)
         raise
+    fsync_dir(target.parent)
     return str(target)
 
 
@@ -39,3 +75,28 @@ def atomic_write_json(path: Union[str, Path], payload: dict,
     """Durably write ``payload`` as JSON to ``path``."""
     return atomic_write_text(
         path, json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n")
+
+
+def append_line(path: Union[str, Path], line: str) -> str:
+    """Durably append one line (no trailing newline needed) to ``path``.
+
+    The append is flushed and fsynced before returning, so a crash can
+    tear at most the line being written; readers of append-only row
+    logs must tolerate (skip) a truncated final line.  Appending *after*
+    such a crash must not merge the new row into the torn fragment
+    (that would corrupt a valid row forever), so a missing final
+    newline is healed first.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "ab") as handle:
+        if handle.tell() > 0:
+            with open(target, "rb") as reader:
+                reader.seek(-1, os.SEEK_END)
+                torn = reader.read(1) != b"\n"
+            if torn:
+                handle.write(b"\n")
+        handle.write(line.rstrip("\n").encode("utf-8") + b"\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return str(target)

@@ -374,3 +374,30 @@ ExprLike = Union[Expr, int]
 
 def as_expr(value: ExprLike) -> Expr:
     return Const(value) if isinstance(value, int) else value
+
+
+# ---------------------------------------------------------------------------
+# Canonical JSON-safe serialization (suffix artifacts, cache exports)
+# ---------------------------------------------------------------------------
+
+def expr_to_obj(expr: Expr) -> Union[int, str, list]:
+    """Expr → JSON-safe object (int / "$name" / ["op", a, b])."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Sym):
+        return f"${expr.name}"
+    if isinstance(expr, BinExpr):
+        return [expr.op, expr_to_obj(expr.a), expr_to_obj(expr.b)]
+    raise TypeError(f"unserializable expression {expr!r}")
+
+
+def expr_from_obj(obj: Union[int, str, list]) -> Expr:
+    if isinstance(obj, int):
+        return Const(obj)
+    if isinstance(obj, str):
+        if not obj.startswith("$"):
+            raise ValueError(f"malformed symbol literal {obj!r}")
+        return Sym(obj[1:])
+    if isinstance(obj, list) and len(obj) == 3:
+        return BinExpr(obj[0], expr_from_obj(obj[1]), expr_from_obj(obj[2]))
+    raise ValueError(f"malformed expression object {obj!r}")

@@ -35,7 +35,9 @@ from repro.symex.expr import (
     Sym,
     bin_expr,
     evaluate,
+    expr_from_obj,
     expr_size,
+    expr_to_obj,
     free_syms,
     substitute,
     truth_of,
@@ -281,6 +283,75 @@ class Solver:
             second = self.solve(list(ctx.constraints) + list(delta)
                                 + [exclusion])
         return value, second.is_unsat
+
+    # ------------------------------------------------------------------
+    # Cache export / import (warm-start priming)
+    # ------------------------------------------------------------------
+
+    def export_component_cache(self, max_rows: int = 20_000) -> dict:
+        """JSON-safe snapshot of the residual-component cache.
+
+        A component verdict is a pure function of the *ordered* component
+        constraints, the relevant symbol domains, and the solver caps —
+        so a snapshot taken after one search can prime a fresh solver
+        (e.g. a warm triage worker) without any risk of changing
+        verdicts, **provided the caps match**: the export records them
+        and :meth:`import_component_cache` rejects a mismatch outright
+        (a bigger-budget verdict is not the same pure function).
+        """
+        rows: List[list] = []
+        for (constraints, domains), result in self._component_cache.items():
+            try:
+                row = [
+                    [expr_to_obj(c) for c in constraints],
+                    [[name, [list(r) for r in ranges]]
+                     for name, ranges in domains],
+                    [result.status.value,
+                     None if result.model is None else dict(result.model),
+                     result.nodes_explored],
+                ]
+            except (TypeError, ValueError):
+                continue  # never let one odd expr poison the export
+            rows.append(row)
+            if len(rows) >= max_rows:
+                break
+        return {"caps": [self.max_enum, self.max_nodes], "rows": rows}
+
+    def import_component_cache(self, payload: dict) -> int:
+        """Prime the component cache from an exported snapshot.
+
+        Strict by construction: snapshots from a solver with different
+        caps import zero rows (their verdicts are not equivalent), and
+        malformed rows are skipped, never guessed at.  Existing entries
+        win over imported ones.  Returns the number of rows adopted.
+        """
+        if not isinstance(payload, dict) \
+                or list(payload.get("caps", [])) != [self.max_enum,
+                                                     self.max_nodes]:
+            return 0
+        adopted = 0
+        for row in payload.get("rows", []):
+            try:
+                raw_constraints, raw_domains, raw_result = row
+                key = (
+                    tuple(expr_from_obj(c) for c in raw_constraints),
+                    tuple((name, tuple(tuple(r) for r in ranges))
+                          for name, ranges in raw_domains),
+                )
+                status = SolveStatus(raw_result[0])
+                model = raw_result[1]
+                if model is not None:
+                    model = {str(k): int(v) for k, v in model.items()}
+                result = SolveResult(status, model,
+                                     nodes_explored=int(raw_result[2]))
+            except (TypeError, ValueError, KeyError, IndexError):
+                continue
+            if key in self._component_cache \
+                    or len(self._component_cache) >= self._component_cache_cap:
+                continue
+            self._component_cache[key] = result
+            adopted += 1
+        return adopted
 
     def check_sat(self, constraints: Sequence[Expr]) -> bool:
         """True unless the constraints are *provably* unsatisfiable."""
@@ -572,6 +643,33 @@ class Solver:
                 self._range_cache[key] = cached
         return cached
 
+    def _fold_point_ranges(self, expr: Expr, state: _State) -> Expr:
+        """Replace subexpressions whose interval image under the current
+        domains is a single value with that constant.
+
+        Sound by the conservatism of :func:`expr_range`: an
+        over-approximation containing exactly one value means the
+        subexpression evaluates to it under *every* model of the
+        domains.  This closes an assertion-order hole the differential
+        fuzzer found (seed 11870): a symbol bound early to an open
+        boolean term — ``t1 ↦ (ne t2 0)`` with ``t2 ≠ 0`` already
+        known — keeps a second symbol alive inside a residual that is
+        really single-symbol, blocking the exact bit-fixing layer; the
+        incremental chain, which happened to assert ``t1 == 1`` first,
+        proved SAT where the from-scratch solve stayed UNKNOWN.
+        """
+        if not free_syms(expr):
+            return expr
+        image = self._range_of(expr, state)
+        if image.size() == 1:
+            return Const(image.min())
+        if isinstance(expr, BinExpr):
+            a = self._fold_point_ranges(expr.a, state)
+            b = self._fold_point_ranges(expr.b, state)
+            if a is not expr.a or b is not expr.b:
+                return bin_expr(expr.op, a, b)
+        return expr
+
     # ------------------------------------------------------------------
 
     def _search(self, state: _State,
@@ -607,6 +705,8 @@ class Solver:
         for constraint in state.constraints:
             if free_syms(constraint) & resolved.keys():
                 constraint = substitute(constraint, resolved)
+            if not isinstance(constraint, Const):
+                constraint = self._fold_point_ranges(constraint, state)
             if isinstance(constraint, Const):
                 if constraint.value == 0:
                     return SolveResult(SolveStatus.UNSAT)

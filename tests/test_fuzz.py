@@ -264,10 +264,16 @@ def test_shrinker_respects_budget():
 #: program seeds whose campaigns exposed real engine/solver bugs during
 #: PR 2 (assertion-order-dependent solver verdicts, orphaned domain
 #: refinements, weaker chained contexts, unfolded cancellation
-#: tautologies) and PR 3 (seed 7059: the loop-counter contradiction
+#: tautologies), PR 3 (seed 7059: the loop-counter contradiction
 #: ``i+1 == i`` left as a residual, refuted by the chained context but
-#: UNKNOWN to the from-scratch solve); each must stay divergence-free
-REGRESSION_SEEDS = (1132, 2082, 2262, 2304, 2699, 7059)
+#: UNKNOWN to the from-scratch solve), and PR 4 (seed 11870: a symbol
+#: bound early to an open boolean term — ``t1 ↦ (ne t2 0)`` — kept a
+#: second symbol alive inside a really-single-symbol ``shl`` residual,
+#: blocking the exact bit-fixing layer, so the from-scratch replay
+#: solve stayed UNKNOWN on a SAT suffix the incremental chain emitted;
+#: fixed by domain-driven point-range folding in ``Solver._search``);
+#: each must stay divergence-free
+REGRESSION_SEEDS = (1132, 2082, 2262, 2304, 2699, 7059, 11870)
 
 
 @pytest.mark.parametrize("seed", REGRESSION_SEEDS)

@@ -57,3 +57,110 @@ def test_interrupted_replace_cleans_temp_file(tmp_path, monkeypatch):
     monkeypatch.undo()
     assert target.read_text() == "intact"
     assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_data_fsynced_before_replace_then_dir_fsynced(tmp_path, monkeypatch):
+    """The PR 4 durability fix: os.replace only orders metadata, so the
+    temp file must be fsynced *before* the rename (or a crash after the
+    replace can still surface an empty/garbage target), and the
+    directory fsynced after (making the rename itself durable)."""
+    import os as os_module
+
+    events = []
+    real_fsync, real_replace = os_module.fsync, os_module.replace
+
+    def spy_fsync(fd):
+        events.append(("fsync", fd))
+        return real_fsync(fd)
+
+    def spy_replace(src, dst):
+        events.append(("replace", None))
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os_module, "fsync", spy_fsync)
+    monkeypatch.setattr(os_module, "replace", spy_replace)
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "durable")
+    kinds = [kind for kind, _ in events]
+    assert kinds == ["fsync", "replace", "fsync"], kinds
+    assert target.read_text() == "durable"
+
+
+def test_failed_data_fsync_fails_the_write_loudly(tmp_path, monkeypatch):
+    """If the data cannot reach stable storage the write must raise and
+    leave the old content intact — a silent success would be the exact
+    bug the fsync was added to fix."""
+    import os as os_module
+
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "intact")
+
+    def failing_fsync(fd):
+        raise OSError("disk gone")
+
+    monkeypatch.setattr(os_module, "fsync", failing_fsync)
+    with pytest.raises(OSError, match="disk gone"):
+        atomic_write_text(target, "lost")
+    monkeypatch.undo()
+    assert target.read_text() == "intact"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_directory_fsync_failure_is_best_effort(tmp_path, monkeypatch):
+    """Some filesystems refuse to fsync a directory fd; the write must
+    still succeed (the data itself is already durable)."""
+    import os as os_module
+
+    real_fsync = os_module.fsync
+    calls = [0]
+
+    def flaky_fsync(fd):
+        calls[0] += 1
+        if calls[0] > 1:  # first call = temp file, later = directory
+            raise OSError("EINVAL")
+        return real_fsync(fd)
+
+    monkeypatch.setattr(os_module, "fsync", flaky_fsync)
+    target = tmp_path / "out.txt"
+    assert atomic_write_text(target, "fine") == str(target)
+    assert target.read_text() == "fine"
+    assert calls[0] >= 2  # the directory fsync was attempted
+
+
+def test_fsync_dir_returns_false_on_missing_directory(tmp_path):
+    from repro.ioutil import fsync_dir
+
+    assert fsync_dir(tmp_path) is True
+    assert fsync_dir(tmp_path / "nope") is False
+
+
+def test_append_line_is_flushed_and_fsynced(tmp_path, monkeypatch):
+    import os as os_module
+
+    from repro.ioutil import append_line
+
+    fsyncs = []
+    real_fsync = os_module.fsync
+    monkeypatch.setattr(os_module, "fsync",
+                        lambda fd: (fsyncs.append(fd), real_fsync(fd))[1])
+    target = tmp_path / "rows" / "log.jsonl"
+    append_line(target, '{"a": 1}')
+    append_line(target, '{"b": 2}\n')  # trailing newline not doubled
+    assert target.read_text() == '{"a": 1}\n{"b": 2}\n'
+    assert len(fsyncs) == 2
+
+
+def test_append_after_torn_line_does_not_merge_rows(tmp_path):
+    """Appending after a crash-torn final line must heal the missing
+    newline first — otherwise the new row merges into the fragment and
+    becomes permanently unreadable (code-review finding)."""
+    from repro.ioutil import append_line
+
+    target = tmp_path / "log.jsonl"
+    append_line(target, '{"a": 1}')
+    # simulate a crash mid-append: torn fragment, no trailing newline
+    with open(target, "a") as handle:
+        handle.write('{"b": 2')
+    append_line(target, '{"c": 3}')
+    lines = target.read_text().splitlines()
+    assert lines == ['{"a": 1}', '{"b": 2', '{"c": 3}']

@@ -332,3 +332,145 @@ def test_corpus_rejects_unknown_program_key():
         TriageCorpus(programs={spec.key: spec},
                      entries=[CorpusEntry(report=report,
                                           program_key="other")])
+
+
+# ---------------------------------------------------------------------------
+# Warm-start triage (PR 4): cold ≡ warm ≡ sharded warm
+# ---------------------------------------------------------------------------
+
+def _mixed_corpus():
+    """Fuzz-labeled reports + synthetic reports, with a slice of the
+    labels stripped so the accuracy metrics run over a genuinely mixed
+    labeled/unlabeled corpus."""
+    fuzz_part = build_labeled_corpus(range(9100, 9105), duplicates=2,
+                                     shuffle_seed=3)
+    synth_part = service_corpus(6, seed=2)
+    mixed = TriageCorpus(
+        programs={**fuzz_part.programs, **synth_part.programs},
+        entries=fuzz_part.entries + synth_part.entries)
+    for entry in mixed.entries[::3]:
+        entry.report.true_cause = None
+    return mixed
+
+
+def _view(result, corpus, config):
+    import json as json_module
+
+    from repro.core.triage_service import store_payload, verdict_view
+
+    return json_module.dumps(
+        verdict_view(store_payload(result, corpus, config, complete=True)),
+        sort_keys=True)
+
+
+def test_cold_warm_and_sharded_warm_stores_byte_identical(tmp_path):
+    """ISSUE 4 acceptance: on a mixed labeled/unlabeled corpus the
+    cold run, the warm run (every unique report cached), and a sharded
+    warm run must produce byte-identical buckets, per-report rows, and
+    accuracy metrics (the verdict view of the report store)."""
+    corpus = _mixed_corpus()
+    cache_dir = str(tmp_path / "cache")
+    cold_config = TriageServiceConfig(jobs=1, cache_dir=cache_dir)
+
+    cold = triage_corpus(corpus, cold_config)
+    assert cold.cache_hits == 0 and cold.triaged > 0
+    warm = triage_corpus(corpus, cold_config)
+    sharded_warm = triage_corpus(
+        corpus, TriageServiceConfig(jobs=2, cache_dir=cache_dir))
+
+    unique = {(e.program_key, e.report.coredump.fingerprint())
+              for e in corpus.entries}
+    assert warm.triaged == 0
+    assert warm.cache_hits == len(unique)
+    assert sharded_warm.cache_hits == len(unique)
+
+    cold_view = _view(cold, corpus, cold_config)
+    assert _view(warm, corpus, cold_config) == cold_view
+    assert _view(sharded_warm, corpus, cold_config) == cold_view
+
+    reports = corpus.reports
+    assert bucket_accuracy(warm.results, reports) \
+        == bucket_accuracy(cold.results, reports)
+    assert misbucketed_fraction(warm.results, reports) \
+        == misbucketed_fraction(cold.results, reports)
+
+
+def test_warm_run_against_no_cache_cold_run_is_identical(tmp_path):
+    """The warm path must match a run that never saw a cache at all,
+    not just the run that populated it."""
+    corpus = _mixed_corpus()
+    plain_config = TriageServiceConfig(jobs=1)
+    plain = triage_corpus(corpus, plain_config)
+
+    cache_dir = str(tmp_path / "cache")
+    caching = TriageServiceConfig(jobs=1, cache_dir=cache_dir)
+    triage_corpus(corpus, caching)
+    warm = triage_corpus(corpus, caching)
+    assert warm.triaged == 0
+    assert _view(warm, corpus, plain_config) \
+        == _view(plain, corpus, plain_config)
+
+
+def test_interrupted_warm_run_resumes_from_partial_cache(tmp_path):
+    """Ctrl-C mid-run: the verdict rows appended before the interrupt
+    must warm-start the resumed run, and the resumed run's store must
+    be byte-identical to an uninterrupted cold run."""
+    corpus = _mixed_corpus()
+    cache_dir = str(tmp_path / "cache")
+    store = tmp_path / "store.json"
+    config = TriageServiceConfig(jobs=1, cache_dir=cache_dir,
+                                 store_path=str(store), flush_every=1)
+
+    landed_groups = []
+
+    def interrupt_after_two(landed):
+        landed_groups.append(landed)
+        if len(landed_groups) == 2:
+            raise KeyboardInterrupt
+
+    partial = triage_corpus(corpus, config, progress=interrupt_after_two)
+    assert partial.interrupted
+    assert 0 < len(partial.reports) < len(corpus.entries)
+    # the partial store is valid, parseable, and flagged incomplete
+    payload = json.loads(store.read_text())
+    assert payload["complete"] is False
+
+    resumed = triage_corpus(corpus, config)
+    assert not resumed.interrupted
+    assert resumed.cache_hits >= sum(
+        1 for batch in landed_groups for item in batch
+        if item.dedup_of is None)
+    assert len(resumed.reports) == len(corpus.entries)
+
+    reference = triage_corpus(corpus, TriageServiceConfig(jobs=1))
+    assert _view(resumed, corpus, config) \
+        == _view(reference, corpus, config)
+
+
+def test_annotation_changes_rebucket_cached_verdicts(tmp_path):
+    """Annotations are outside the cache key on purpose: a warm run
+    with a new annotation must re-bucket cached causes exactly like a
+    cold run would."""
+    corpus = service_corpus(6, seed=3)
+    cache_dir = str(tmp_path / "cache")
+    triage_corpus(corpus, TriageServiceConfig(jobs=1, cache_dir=cache_dir,
+                                              max_depth=16,
+                                              max_nodes=4000))
+    annotation = TriageAnnotation(
+        name="known-overflow",
+        matcher=_check_function_matcher)
+    annotated = TriageServiceConfig(jobs=1, cache_dir=cache_dir,
+                                    max_depth=16, max_nodes=4000,
+                                    annotations=[annotation])
+    warm = triage_corpus(corpus, annotated)
+    assert warm.triaged == 0, "annotation change must not invalidate"
+    cold = triage_corpus(corpus, TriageServiceConfig(
+        jobs=1, max_depth=16, max_nodes=4000, annotations=[annotation]))
+    assert [r.bucket for r in warm.results] \
+        == [r.bucket for r in cold.results]
+    assert any(r.bucket == ("annotated", "known-overflow")
+               for r in warm.results)
+
+
+def _check_function_matcher(cause):
+    return any(pc.function == "check" for pc in cause.pcs)
