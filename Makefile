@@ -3,7 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test perf triage-bench warm-bench fuzz-smoke fuzz-test fuzz-pinned
+.PHONY: test perf triage-bench warm-bench serve-bench serve-smoke \
+	fuzz-smoke fuzz-test fuzz-pinned
 
 # Tier-1 verification (fuzz- and perf-marked tests are deselected by
 # pytest.ini; run them via the targets below).
@@ -23,6 +24,17 @@ triage-bench:
 # an evolved 64-report corpus (appends `warm_triage` rows).
 warm-bench:
 	$(PYTHON) -m pytest benchmarks/test_p4_warm_triage.py -q -m perf
+
+# P5 intake-daemon throughput benchmark: sustained reports/s and
+# submit->verdict latency through the warm HTTP service (appends
+# `service_throughput` rows).
+serve-bench:
+	$(PYTHON) -m pytest benchmarks/test_p5_service_throughput.py -q -m perf
+
+# Daemon smoke cycle (also a CI gate): start `res serve`, submit 5
+# jobs over HTTP, drain, clean shutdown, verify the report store.
+serve-smoke:
+	$(PYTHON) -m pytest "tests/test_service.py::test_daemon_smoke_cycle" -q
 
 # The 200-program differential campaign with the fixed smoke seed.
 # Exit code 1 + artifacts under fuzz-artifacts/ on any divergence.

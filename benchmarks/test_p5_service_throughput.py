@@ -1,0 +1,124 @@
+"""P5 — crash-intake daemon throughput: sustained reports/s and
+submit→verdict latency through the full HTTP service stack, warm.
+
+Scenario: the corpus was batch-triaged once (the §3.1 nightly run), so
+the cross-run result cache is hot; then deployed software re-streams
+the same 64 crashes at the always-on daemon over HTTP.  The daemon must
+sustain ``MIN_REPORTS_PER_SEC`` submit→verdict throughput (admission
+dedup + warm cache hits, no backward search), and its drained report
+store must stay byte-identical under ``verdict_view`` to the batch run
+— speed is never allowed to change a verdict.
+
+Rows land in ``BENCH_res.json`` under ``service_throughput``.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.triage_service import (
+    TriageServiceConfig,
+    store_payload,
+    triage_corpus,
+    verdict_view,
+)
+from repro.fuzz.triage_corpus import build_labeled_corpus
+from repro.service import DaemonConfig, TriageDaemon, start_http_server
+from repro.service.client import submit_report
+
+from conftest import bench_record, emit_row
+
+pytestmark = pytest.mark.perf
+
+#: 16 armed programs × DUPLICATES = 64 reports, shuffled like traffic
+SEEDS = range(9100, 9116)
+DUPLICATES = 4
+MAX_DEPTH = 8
+MAX_NODES = 300
+WORKERS = 2
+#: the ISSUE floor: sustained warm throughput through the daemon
+MIN_REPORTS_PER_SEC = 20.0
+
+
+def _config(**kwargs):
+    return TriageServiceConfig(max_depth=MAX_DEPTH, max_nodes=MAX_NODES,
+                               **kwargs)
+
+
+def test_p5_service_throughput(tmp_path):
+    corpus = build_labeled_corpus(SEEDS, duplicates=DUPLICATES,
+                                  shuffle_seed=17)
+    assert len(corpus.entries) == 64, "ISSUE floor: a 64-report corpus"
+    cache_dir = str(tmp_path / "rescache")
+
+    # The nightly batch run: pays the search cost, fills the cache.
+    prime_config = _config(cache_dir=cache_dir)
+    prime_started = time.perf_counter()
+    triage_corpus(corpus, prime_config)
+    cold_wall = time.perf_counter() - prime_started
+
+    # The always-on daemon, warm-backed, behind real HTTP.
+    store_path = tmp_path / "daemon-store.json"
+    daemon = TriageDaemon(DaemonConfig(
+        service=_config(cache_dir=cache_dir, store_path=str(store_path)),
+        spool_dir=str(tmp_path / "spool"), workers=WORKERS,
+        max_queue=len(corpus.entries)))
+    daemon.start()
+    server = start_http_server(daemon)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    try:
+        started = time.perf_counter()
+        for entry in corpus.entries:
+            spec = corpus.programs[entry.program_key]
+            status, __ = submit_report(
+                base, {"key": spec.key, "source": spec.source,
+                       "name": spec.name},
+                entry.report.coredump.to_json(),
+                report_id=entry.report.report_id,
+                true_cause=entry.report.true_cause)
+            assert status in (200, 202)
+        assert daemon.wait_idle(120)
+        wall = time.perf_counter() - started
+    finally:
+        server.shutdown()
+        daemon.shutdown(drain=True)
+
+    # Determinism before speed: the daemon's drained store is the
+    # batch run's store, byte for byte under the semantic view.
+    batch_config = _config()
+    batch = triage_corpus(corpus, batch_config)
+    batch_view = json.dumps(
+        verdict_view(store_payload(batch, corpus, batch_config,
+                                   complete=True)), sort_keys=True)
+    daemon_view = json.dumps(
+        verdict_view(json.loads(store_path.read_text())), sort_keys=True)
+    assert daemon_view == batch_view
+
+    snapshot = daemon.metrics.snapshot()
+    throughput = len(corpus.entries) / wall
+    row = {
+        "reports": len(corpus.entries),
+        "programs": len(corpus.programs),
+        "duplicates": DUPLICATES,
+        "workers": WORKERS,
+        "max_depth": MAX_DEPTH,
+        "max_nodes": MAX_NODES,
+        "cold_batch_wall": round(cold_wall, 3),
+        "wall": round(wall, 3),
+        "reports_per_sec": round(throughput, 2),
+        "latency_p50": snapshot["latency_p50"],
+        "latency_p95": snapshot["latency_p95"],
+        "warm_hit_rate": snapshot["warm_hit_rate"],
+        "verdicts": snapshot["verdicts_total"],
+        "dedup_hits": snapshot["dedup_total"],
+    }
+    bench_record("service_throughput", row)
+    emit_row("P5", **row)
+
+    assert snapshot["warm_hit_rate"] == 1.0, \
+        "warm daemon must answer every drive from the result cache"
+    assert throughput >= MIN_REPORTS_PER_SEC, (
+        f"daemon sustained only {throughput:.1f} reports/s "
+        f"(floor {MIN_REPORTS_PER_SEC}); wall {wall:.2f}s")

@@ -20,9 +20,12 @@ from repro.core.rootcause import find_root_cause
 from repro.cli.loaders import (
     CliError,
     build_config,
+    ensure_writable_dir,
+    ensure_writable_file,
     load_coredump,
     load_module,
 )
+from repro.procutil import INTERRUPT_EXIT_CODE, deliver_sigterm_as_interrupt
 from repro.workloads import REGISTRY
 
 
@@ -149,6 +152,15 @@ def cmd_triage(args: argparse.Namespace) -> int:
         triage_corpus,
     )
 
+    # Output paths fail fast with a one-line diagnostic, before any
+    # search effort is spent.
+    if args.store:
+        ensure_writable_file(args.store, "report store")
+    if args.cache_dir:
+        ensure_writable_dir(args.cache_dir, "cache directory")
+    if args.save_corpus:
+        ensure_writable_dir(args.save_corpus, "corpus directory")
+
     if args.corpus_dir:
         corpus = TriageCorpus.load(args.corpus_dir)
     elif args.fuzz_count:
@@ -178,7 +190,10 @@ def cmd_triage(args: argparse.Namespace) -> int:
                                  store_path=args.store,
                                  cache_dir=args.cache_dir,
                                  warm_from=tuple(args.warm_from))
-    service_result = triage_corpus(corpus, config)
+    # SIGTERM (a supervisor's stop) takes the same clean-interrupt path
+    # as ^C: pool terminated, partial verdicts kept, store flagged.
+    with deliver_sigterm_as_interrupt():
+        service_result = triage_corpus(corpus, config)
     res_results = service_result.results
     if service_result.interrupted:
         print(f"triage interrupted after {len(res_results)}/"
@@ -258,7 +273,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         if done[0] % 50 == 0:
             print(f"  ... {done[0]}/{config.count} programs")
 
-    result = run_campaign(config, progress=progress)
+    with deliver_sigterm_as_interrupt():
+        result = run_campaign(config, progress=progress)
     summary = result.summary()
     if result.interrupted:
         print(f"campaign interrupted after {summary['programs']}/"
@@ -282,6 +298,173 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         kinds = ", ".join(sorted({k for k, _ in verdict.divergences}))
         print(f"  seed {verdict.seed}: {kinds} -> {path}")
     return 1
+
+
+# ---------------------------------------------------------------------------
+# The intake daemon and its clients (res serve / submit / status / watch)
+# ---------------------------------------------------------------------------
+
+def _program_payload(args: argparse.Namespace) -> dict:
+    """The submission-side program object from --source/--workload."""
+    if getattr(args, "workload", None):
+        workload = REGISTRY.get(args.workload)
+        return {"key": workload.name, "source": workload.source,
+                "name": workload.name}
+    path = Path(args.source)
+    if not path.exists():
+        raise CliError(f"source file not found: {path}")
+    return {"key": path.stem, "source": path.read_text(),
+            "name": path.stem}
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on crash-intake triage daemon (§3.1 as a
+    service): durable job queue, historical dedup, warm workers, and
+    the HTTP API (`POST /jobs`, `GET /jobs/<id>`, `/buckets`,
+    `/reports/<fp>`, `/healthz`, `/metrics`, `POST /shutdown`)."""
+    from repro.core.triage_service import TriageServiceConfig
+    from repro.service import DaemonConfig, TriageDaemon, start_http_server
+
+    ensure_writable_dir(args.spool, "spool directory")
+    if args.store:
+        ensure_writable_file(args.store, "report store")
+    if args.cache_dir:
+        ensure_writable_dir(args.cache_dir, "cache directory")
+
+    service = TriageServiceConfig(max_depth=args.max_depth,
+                                  max_nodes=args.max_nodes,
+                                  store_path=args.store,
+                                  cache_dir=args.cache_dir,
+                                  warm_from=tuple(args.warm_from))
+    config = DaemonConfig(service=service, spool_dir=args.spool,
+                          workers=args.workers, max_queue=args.max_queue)
+    daemon = TriageDaemon(config)
+    server = start_http_server(daemon, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"res-serve listening on http://{host}:{port} "
+          f"(workers={config.workers}, max-queue={config.max_queue})",
+          flush=True)
+    if daemon.resumed_jobs:
+        print(f"resumed {daemon.resumed_jobs} journaled job(s) from "
+              f"{config.journal_path}", flush=True)
+    daemon.start()
+
+    interrupted = False
+    try:
+        with deliver_sigterm_as_interrupt():
+            daemon.wait_for_shutdown_request()
+    except KeyboardInterrupt:
+        interrupted = True
+    finally:
+        server.shutdown()  # stop accepting before the workers stop
+    if interrupted:
+        # A supervisor stop: finish in-flight work only, leave the
+        # queue journaled for the next daemon life.  The store's
+        # interrupted flag is derived inside shutdown, after the
+        # workers stop — a stop that caught the daemon fully settled
+        # is a complete store, not a partial one.
+        daemon.shutdown(drain=False)
+        print("res-serve interrupted; journal retains "
+              f"{daemon.healthz()['queue_depth']} queued job(s)",
+              flush=True)
+        return INTERRUPT_EXIT_CODE
+    daemon.shutdown(drain=server.drain_on_shutdown)
+    print("res-serve stopped cleanly", flush=True)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one coredump to a running intake daemon."""
+    from repro.service.client import submit_report, wait_for_job
+
+    program = _program_payload(args)
+    dump = load_coredump(args.coredump)
+    status, body = submit_report(args.url, program, dump.to_json(),
+                                 report_id=args.report_id,
+                                 force=args.force)
+    if status == 429:
+        print(f"queue full; retry after "
+              f"{body.get('retry_after_seconds', '?')}s", file=sys.stderr)
+        return 75  # EX_TEMPFAIL
+    job_id = body["job_id"]
+    print(f"job {job_id} ({body['state']})"
+          + (f" dedup_of={body['dedup_of']}" if "dedup_of" in body else ""))
+    if args.wait and body.get("state") not in ("done", "failed"):
+        body = wait_for_job(args.url, job_id, timeout=args.timeout)
+    verdict = body.get("verdict")
+    if verdict is not None:
+        print(f"bucket: {verdict['bucket']}")
+        print(f"cause: {verdict['cause_kind']} "
+              f"(fallback={verdict['used_fallback']}, "
+              f"exploitable={verdict['exploitable']}, "
+              f"cached={verdict['cached']})")
+    if body.get("state") == "failed":
+        print(f"triage failed: {body.get('error')}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Query a running intake daemon: one job, or the whole service."""
+    from repro.service.client import get_health, get_job, get_metrics_text
+
+    if args.job_id:
+        payload = get_job(args.url, args.job_id)
+        for key in ("job_id", "report_id", "program", "state",
+                    "fingerprint", "priority", "dedup_of", "error"):
+            if key in payload:
+                print(f"{key:12s} {payload[key]}")
+        verdict = payload.get("verdict")
+        if verdict:
+            for key, value in verdict.items():
+                print(f"{key:12s} {value}")
+        return 0 if payload.get("state") != "failed" else 1
+    health = get_health(args.url)
+    for key, value in health.items():
+        print(f"{key:16s} {value}")
+    wanted = ("res_intake_verdicts_total", "res_intake_dedup_total",
+              "res_intake_warm_hit_rate", "res_intake_verdicts_per_second",
+              "res_intake_latency_seconds")
+    for line in get_metrics_text(args.url).splitlines():
+        if line.startswith(wanted):
+            print(line)
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Forward a directory of incoming coredumps to the daemon.
+
+    With a ``manifest.json`` the directory is treated as a saved triage
+    corpus (programs and labels ride along); otherwise every ``*.json``
+    file is a coredump of the program named by --source/--workload.
+    """
+    from repro.service.client import watch_directory
+
+    program = None
+    if getattr(args, "source", None) or getattr(args, "workload", None):
+        program = _program_payload(args)
+
+    def notify(marker: str, status: int, body: dict) -> None:
+        if status == 0:  # damaged/refused file: skipped, not fatal
+            print(f"  {marker}: skipped ({body.get('error')})",
+                  file=sys.stderr, flush=True)
+            return
+        state = body.get("state", "?")
+        extra = f" dedup_of={body['dedup_of']}" if "dedup_of" in body else ""
+        print(f"  {marker}: job {body.get('job_id')} "
+              f"[{status} {state}]{extra}", flush=True)
+
+    try:
+        with deliver_sigterm_as_interrupt():
+            forwarded = watch_directory(args.directory, args.url,
+                                        program=program,
+                                        interval=args.interval,
+                                        once=args.once, notify=notify)
+    except KeyboardInterrupt:
+        print("watch stopped", flush=True)
+        return INTERRUPT_EXIT_CODE
+    print(f"forwarded {forwarded} submission(s)")
+    return 0
 
 
 def cmd_debug(args: argparse.Namespace) -> int:

@@ -8,6 +8,7 @@ either a catalog workload name or a MiniC source file.
 from __future__ import annotations
 
 import argparse
+import os
 from pathlib import Path
 
 from repro.errors import ReproError
@@ -62,6 +63,52 @@ def load_coredump(path_str: str) -> Coredump:
         return Coredump.from_json(path.read_text())
     except (KeyError, ValueError) as exc:
         raise CliError(f"malformed coredump {path}: {exc}") from exc
+
+
+def _probe_write(directory: Path, label: str) -> None:
+    """Prove ``directory`` accepts writes *now*, before hours of triage
+    try to persist into it.  (An access-bit check is not enough: tests
+    and containers often run as root, where mode 0555 still writes.)"""
+    probe = directory / f".res-probe-{os.getpid()}"
+    try:
+        probe.write_text("")
+    except OSError as exc:
+        raise CliError(f"{label} {directory} is not writable: "
+                       f"{exc.strerror or exc}") from exc
+    try:
+        probe.unlink()
+    except OSError:
+        pass
+
+
+def ensure_writable_dir(path_str: str, label: str = "directory") -> Path:
+    """Fail fast (one-line diagnostic, no traceback) on an unusable
+    output directory — ``--cache-dir``, ``--spool``, ``--save-corpus``."""
+    path = Path(path_str)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise CliError(f"cannot create {label} {path}: "
+                       f"{exc.strerror or exc}") from exc
+    if not path.is_dir():
+        raise CliError(f"{label} {path} is not a directory")
+    _probe_write(path, label)
+    return path
+
+
+def ensure_writable_file(path_str: str, label: str = "file") -> Path:
+    """Fail fast on an unusable output file path — ``--store``."""
+    path = Path(path_str)
+    if path.exists() and path.is_dir():
+        raise CliError(f"{label} {path} is a directory, not a file")
+    parent = path.parent  # pathlib: a bare filename's parent is "."
+    try:
+        parent.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise CliError(f"cannot create parent directory of {label} "
+                       f"{path}: {exc.strerror or exc}") from exc
+    _probe_write(parent, f"parent directory of {label}")
+    return path
 
 
 def build_config(args: argparse.Namespace) -> RESConfig:

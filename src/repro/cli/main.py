@@ -92,6 +92,93 @@ def build_parser() -> argparse.ArgumentParser:
                               "`res triage --cache-dir`)")
     p_cache.set_defaults(func=commands.cmd_cache)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on crash-intake triage daemon: "
+                      "HTTP submissions, durable job queue, historical "
+                      "dedup, warm-cache workers")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: %(default)s)")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="listen port; 0 picks a free port "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--spool", metavar="DIR", default="res-spool",
+                         help="durable job-journal directory; a killed "
+                              "daemon resumes every unsettled job from "
+                              "it (default: %(default)s)")
+    p_serve.add_argument("--store", metavar="FILE",
+                         help="persistent JSON report store (same "
+                              "document as `res triage --store`)")
+    p_serve.add_argument("--cache-dir", metavar="DIR",
+                         help="cross-run RES result cache backing the "
+                              "workers (see `res triage --cache-dir`)")
+    p_serve.add_argument("--warm-from", metavar="DIR", action="append",
+                         default=[],
+                         help="additional read-only cache directory "
+                              "consulted on a miss (repeatable)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="triage worker threads "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="queued-job bound; beyond it submissions "
+                              "get 429 + Retry-After "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--max-depth", type=int, default=16,
+                         help="RES suffix depth per report "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--max-nodes", type=int, default=4000,
+                         help="RES node budget per report "
+                              "(default: %(default)s)")
+    p_serve.set_defaults(func=commands.cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one coredump to a running intake daemon")
+    p_submit.add_argument("coredump", help="coredump JSON file")
+    add_program_arguments(p_submit)
+    p_submit.add_argument("--url", default="http://127.0.0.1:8321",
+                          help="daemon base URL (default: %(default)s)")
+    p_submit.add_argument("--report-id", metavar="ID",
+                          help="client-side report identity "
+                               "(default: daemon-assigned)")
+    p_submit.add_argument("--force", action="store_true",
+                          help="recompute even if this fingerprint was "
+                               "triaged before (skips dedup)")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the verdict lands")
+    p_submit.add_argument("--timeout", type=float, default=120.0,
+                          help="--wait timeout in seconds "
+                               "(default: %(default)s)")
+    p_submit.set_defaults(func=commands.cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="query a running intake daemon (health + key "
+                       "metrics, or one job)")
+    p_status.add_argument("job_id", nargs="?",
+                          help="job id from `res submit` (omit for the "
+                               "service summary)")
+    p_status.add_argument("--url", default="http://127.0.0.1:8321",
+                          help="daemon base URL (default: %(default)s)")
+    p_status.set_defaults(func=commands.cmd_status)
+
+    p_watch = sub.add_parser(
+        "watch", help="forward a directory of incoming coredumps to the "
+                      "intake daemon (corpus dirs and flat dumps)")
+    p_watch.add_argument("directory",
+                         help="directory to watch: a saved corpus "
+                              "(manifest.json) or flat coredump JSONs")
+    p_watch.add_argument("--url", default="http://127.0.0.1:8321",
+                         help="daemon base URL (default: %(default)s)")
+    group = p_watch.add_mutually_exclusive_group(required=False)
+    group.add_argument("--workload", metavar="NAME",
+                       help="program for flat coredump directories")
+    group.add_argument("--source", metavar="FILE",
+                       help="MiniC source for flat coredump directories")
+    p_watch.add_argument("--interval", type=float, default=2.0,
+                         help="poll interval in seconds "
+                              "(default: %(default)s)")
+    p_watch.add_argument("--once", action="store_true",
+                         help="one scan, then exit (no polling loop)")
+    p_watch.set_defaults(func=commands.cmd_watch)
+
     p_fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing campaign: generated programs "
                      "cross-checked against independent oracles")
@@ -180,6 +267,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"res: error: {exc}", file=sys.stderr)
         return 64
+    except OSError as exc:
+        # Filesystem/network trouble that slipped past the upfront
+        # checks still exits with a one-line diagnostic, not a
+        # traceback (EX_IOERR).
+        print(f"res: i/o error: {exc}", file=sys.stderr)
+        return 74
 
 
 if __name__ == "__main__":

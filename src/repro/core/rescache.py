@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import warnings
 from dataclasses import dataclass, fields
 from enum import Enum
@@ -123,6 +124,17 @@ class CacheKey:
 # ---------------------------------------------------------------------------
 # Cached verdicts
 # ---------------------------------------------------------------------------
+
+def cause_to_obj(cause: Optional[RootCause]) -> Optional[dict]:
+    """JSON-safe form of a root cause (also used by the intake
+    daemon's job journal)."""
+    return _cause_to_obj(cause)
+
+
+def cause_from_obj(obj: Optional[dict]) -> Optional[RootCause]:
+    """Inverse of :func:`cause_to_obj`."""
+    return _cause_from_obj(obj)
+
 
 def _cause_to_obj(cause: Optional[RootCause]) -> Optional[dict]:
     if cause is None:
@@ -201,6 +213,14 @@ class ResultCache:
 
     ``readonly`` marks a warm-from source that must never be written
     (e.g. a shared baseline cache mounted by CI).
+
+    One instance is safe to share across threads: the intake daemon's
+    worker pool looks up and appends verdicts concurrently from a
+    long-lived process, so the in-memory index and the append path are
+    serialized behind a reentrant lock.  (Cross-*process* appends were
+    already safe — ``append_line`` writes whole fsynced lines to an
+    O_APPEND handle and readers skip torn rows — the lock closes the
+    in-process index races on top of that.)
     """
 
     def __init__(self, directory: Union[str, Path],
@@ -211,6 +231,8 @@ class ResultCache:
         #: raw (non-blank) line count observed by the last index load —
         #: entries vs. raw rows is the compaction/corruption signal
         self._raw_lines = 0
+        #: serializes index (re)loads and appends across daemon threads
+        self._lock = threading.RLock()
 
     # -- paths ---------------------------------------------------------------
 
@@ -231,6 +253,10 @@ class ResultCache:
         """Parse the row log; corrupt/torn rows are skipped with a
         warning (a crash mid-append legitimately tears the final line;
         anything else is damage we refuse to guess about)."""
+        with self._lock:
+            return self._load_index_locked()
+
+    def _load_index_locked(self) -> Dict[str, dict]:
         if self._index is not None:
             return self._index
         index: Dict[str, dict] = {}
@@ -285,7 +311,8 @@ class ResultCache:
         hit."""
         if key.schema != CACHE_SCHEMA_VERSION:
             return None
-        row = self._load_index().get(key.digest())
+        with self._lock:
+            row = self._load_index_locked().get(key.digest())
         if row is None:
             return None
         if (row["module_fp"] != key.module_fp
@@ -309,50 +336,68 @@ class ResultCache:
             "config_fp": key.config_fp,
             "verdict": verdict.to_obj(),
         }
-        if not self.meta_path.exists():
-            atomic_write_json(self.meta_path,
-                              {"schema": CACHE_SCHEMA_VERSION,
-                               "format": "rescache-jsonl"})
-        index = self._load_index()  # before the append: the new row
-        #                             must not be counted twice
-        append_line(self.rows_path, json.dumps(row, sort_keys=True))
-        index[row["key"]] = row
-        self._raw_lines += 1
+        with self._lock:
+            if not self.meta_path.exists():
+                atomic_write_json(self.meta_path,
+                                  {"schema": CACHE_SCHEMA_VERSION,
+                                   "format": "rescache-jsonl"})
+            index = self._load_index_locked()  # before the append: the
+            #                           new row must not be counted twice
+            append_line(self.rows_path, json.dumps(row, sort_keys=True))
+            index[row["key"]] = row
+            self._raw_lines += 1
 
     # -- solver-cache sidecars ----------------------------------------------
 
     def load_solver_cache(self, module_fp: str) -> Optional[dict]:
         """The exported residual-component cache for one module, or
         None (missing or corrupt — corrupt is a warning, not a crash)."""
-        path = self.solver_path(module_fp)
-        if not path.exists():
-            return None
-        try:
-            payload = json.loads(path.read_text())
-            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+        with self._lock:
+            path = self.solver_path(module_fp)
+            if not path.exists():
                 return None
-            return payload.get("solver")
-        except (OSError, ValueError) as exc:
-            warnings.warn(f"rescache: skipping corrupt solver cache "
-                          f"{path}: {exc}", RuntimeWarning, stacklevel=2)
-            return None
+            try:
+                payload = json.loads(path.read_text())
+                if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                    return None
+                return payload.get("solver")
+            except (OSError, ValueError) as exc:
+                warnings.warn(f"rescache: skipping corrupt solver cache "
+                              f"{path}: {exc}", RuntimeWarning,
+                              stacklevel=2)
+                return None
 
     def store_solver_cache(self, module_fp: str, snapshot: dict) -> None:
         if self.readonly or not snapshot.get("rows"):
             return
-        atomic_write_json(self.solver_path(module_fp),
-                          {"schema": CACHE_SCHEMA_VERSION,
-                           "module_fp": module_fp,
-                           "solver": snapshot})
+        with self._lock:
+            atomic_write_json(self.solver_path(module_fp),
+                              {"schema": CACHE_SCHEMA_VERSION,
+                               "module_fp": module_fp,
+                               "solver": snapshot})
+
+    def update_solver_cache(self, module_fp: str, merge) -> None:
+        """Atomic read-merge-write of one solver sidecar: ``merge``
+        maps the current snapshot (or None) to the one to store.  The
+        whole cycle holds the cache lock, so two daemon workers
+        flushing engines for the same module cannot interleave their
+        loads and silently drop each other's rows (a plain
+        load→merge→store pair is exactly that race)."""
+        if self.readonly:
+            return
+        with self._lock:
+            merged = merge(self.load_solver_cache(module_fp))
+            if merged and merged.get("rows"):
+                self.store_solver_cache(module_fp, merged)
 
     # -- maintenance ---------------------------------------------------------
 
     def stats(self) -> dict:
         """Machine-readable cache health (also ``res cache stats``)."""
-        with warnings.catch_warnings():
+        with self._lock, warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            index = dict(self._load_index())
-        raw_lines = self._raw_lines
+            index = dict(self._load_index_locked())
+            raw_lines = self._raw_lines
         size = self.rows_path.stat().st_size \
             if self.rows_path.exists() else 0
         solver_dir = self.root / SOLVER_DIR
@@ -377,35 +422,38 @@ class ResultCache:
         from other schema versions dropped.  With ``keep_module_fps``,
         verdicts and solver sidecars for modules no longer in any live
         corpus are dropped too.  Returns before/after stats."""
-        before = self.stats()
-        keep = set(keep_module_fps) if keep_module_fps is not None else None
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            index = self._load_index()
-        kept_rows = [row for row in index.values()
-                     if keep is None or row["module_fp"] in keep]
-        kept_rows.sort(key=lambda row: row["key"])
-        if self.readonly:
-            return {"before": before, "after": before, "readonly": True}
-        from repro.ioutil import atomic_write_text
+        with self._lock:
+            before = self.stats()
+            keep = set(keep_module_fps) \
+                if keep_module_fps is not None else None
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                index = self._load_index_locked()
+            kept_rows = [row for row in index.values()
+                         if keep is None or row["module_fp"] in keep]
+            kept_rows.sort(key=lambda row: row["key"])
+            if self.readonly:
+                return {"before": before, "after": before,
+                        "readonly": True}
+            from repro.ioutil import atomic_write_text
 
-        atomic_write_text(
-            self.rows_path,
-            "".join(json.dumps(row, sort_keys=True) + "\n"
-                    for row in kept_rows))
-        atomic_write_json(self.meta_path,
-                          {"schema": CACHE_SCHEMA_VERSION,
-                           "format": "rescache-jsonl"})
-        if keep is not None:
-            solver_dir = self.root / SOLVER_DIR
-            if solver_dir.exists():
-                for path in solver_dir.glob("*.json"):
-                    if path.stem not in keep:
-                        path.unlink()
-        self._index = {row["key"]: row for row in kept_rows}
-        self._raw_lines = len(kept_rows)
-        return {"before": before, "after": self.stats(),
-                "readonly": False}
+            atomic_write_text(
+                self.rows_path,
+                "".join(json.dumps(row, sort_keys=True) + "\n"
+                        for row in kept_rows))
+            atomic_write_json(self.meta_path,
+                              {"schema": CACHE_SCHEMA_VERSION,
+                               "format": "rescache-jsonl"})
+            if keep is not None:
+                solver_dir = self.root / SOLVER_DIR
+                if solver_dir.exists():
+                    for path in solver_dir.glob("*.json"):
+                        if path.stem not in keep:
+                            path.unlink()
+            self._index = {row["key"]: row for row in kept_rows}
+            self._raw_lines = len(kept_rows)
+            return {"before": before, "after": self.stats(),
+                    "readonly": False}
 
 
 # ---------------------------------------------------------------------------
@@ -454,6 +502,10 @@ class CacheChain:
     def store_solver_cache(self, module_fp: str, snapshot: dict) -> None:
         if self.primary is not None:
             self.primary.store_solver_cache(module_fp, snapshot)
+
+    def update_solver_cache(self, module_fp: str, merge) -> None:
+        if self.primary is not None:
+            self.primary.update_solver_cache(module_fp, merge)
 
     def _all(self) -> List[ResultCache]:
         out: List[ResultCache] = []

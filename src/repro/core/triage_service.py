@@ -157,26 +157,67 @@ class TriageCorpus:
 
     @classmethod
     def load(cls, directory: str) -> "TriageCorpus":
+        """Load a saved corpus; every way the directory can be damaged
+        (missing, corrupt manifest, missing member file, malformed
+        coredump JSON) surfaces as a one-line :class:`ReproError`, so
+        CLI users get a diagnostic instead of a traceback."""
         root = Path(directory)
+        if not root.is_dir():
+            raise ReproError(f"corpus directory not found: {root}")
         manifest_path = root / "manifest.json"
         if not manifest_path.exists():
             raise ReproError(f"no corpus manifest at {manifest_path}")
-        manifest = json.loads(manifest_path.read_text())
-        programs = {
-            key: ProgramSpec(key=key, name=meta["name"],
-                             source=(root / meta["file"]).read_text())
-            for key, meta in manifest["programs"].items()
-        }
-        entries = [
-            CorpusEntry(
-                report=BugReport(
-                    report_id=item["report_id"],
-                    coredump=Coredump.from_json(
-                        (root / item["core"]).read_text()),
-                    true_cause=item["true_cause"]),
-                program_key=item["program"])
-            for item in manifest["entries"]
-        ]
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                f"corrupt corpus manifest {manifest_path}: {exc}") from exc
+        try:
+            programs = {
+                key: ProgramSpec(key=key, name=meta["name"],
+                                 source=(root / meta["file"]).read_text())
+                for key, meta in manifest["programs"].items()
+            }
+        except OSError as exc:
+            raise ReproError(
+                f"corpus {root} references a missing program file: "
+                f"{exc}") from exc
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ReproError(
+                f"corrupt corpus manifest {manifest_path}: {exc}") from exc
+        entries = []
+        try:
+            items = list(manifest["entries"])
+        except (KeyError, TypeError) as exc:
+            raise ReproError(
+                f"corrupt corpus manifest {manifest_path}: {exc}") from exc
+        for item in items:
+            try:
+                report_id = item["report_id"]
+                core_rel = item["core"]
+                true_cause = item["true_cause"]
+                program_key = item["program"]
+            except (KeyError, TypeError) as exc:
+                # A bad manifest row must not be blamed on a (possibly
+                # perfectly valid) coredump file.
+                raise ReproError(
+                    f"corrupt corpus manifest {manifest_path}: "
+                    f"{exc}") from exc
+            try:
+                core_text = (root / core_rel).read_text()
+            except OSError as exc:
+                raise ReproError(
+                    f"corpus {root} references a missing coredump: "
+                    f"{exc}") from exc
+            try:
+                coredump = Coredump.from_json(core_text)
+            except (KeyError, ValueError, TypeError) as exc:
+                raise ReproError(
+                    f"malformed coredump {root / core_rel}: {exc}") from exc
+            entries.append(CorpusEntry(
+                report=BugReport(report_id=report_id, coredump=coredump,
+                                 true_cause=true_cause),
+                program_key=program_key))
         return cls(programs=programs, entries=entries)
 
 
@@ -289,25 +330,34 @@ def _init_worker(programs: Dict[str, ProgramSpec],
     _WORKER["engines"] = {}
 
 
+def build_engine(spec: ProgramSpec, config: TriageServiceConfig,
+                 chain: Optional[CacheChain] = None) -> TriageEngine:
+    """Compile ``spec`` and build the one engine every report of that
+    program rides — the single construction path shared by the batch
+    workers and the streaming (daemon) sessions, so the two cannot
+    drift apart."""
+    engine = TriageEngine(spec.compile(), config.res_config(),
+                          annotations=config.annotations,
+                          stack_depth=config.stack_depth,
+                          max_suffixes=config.max_suffixes,
+                          taint_suffixes=config.taint_suffixes)
+    if chain is not None and chain.enabled:
+        # Warm workers start primed: a prior run's exported
+        # residual-component cache is exact (pure function of its
+        # key), so priming can speed the search up but never
+        # change a verdict.
+        engine.import_solver_cache(
+            chain.load_solver_cache(spec.module_fp()))
+    return engine
+
+
 def _worker_engine(program_key: str) -> TriageEngine:
     engines: Dict[str, TriageEngine] = _WORKER["engines"]  # type: ignore
     engine = engines.get(program_key)
     if engine is None:
         config: TriageServiceConfig = _WORKER["config"]  # type: ignore
         spec: ProgramSpec = _WORKER["programs"][program_key]  # type: ignore
-        engine = TriageEngine(spec.compile(), config.res_config(),
-                              annotations=config.annotations,
-                              stack_depth=config.stack_depth,
-                              max_suffixes=config.max_suffixes,
-                              taint_suffixes=config.taint_suffixes)
-        chain = config.cache_chain()
-        if chain.enabled:
-            # Warm workers start primed: a prior run's exported
-            # residual-component cache is exact (pure function of its
-            # key), so priming can speed the search up but never
-            # change a verdict.
-            engine.import_solver_cache(
-                chain.load_solver_cache(spec.module_fp()))
+        engine = build_engine(spec, config, config.cache_chain())
         engines[program_key] = engine
     return engine
 
@@ -355,7 +405,7 @@ def triage_corpus(corpus: TriageCorpus,
     """
     config = config or TriageServiceConfig()
     started = time.perf_counter()
-    store = _TriageStore(config) if config.store_path else None
+    store = TriageStore(config) if config.store_path else None
     chain = config.cache_chain()
     config_fp = config.config_fingerprint() if chain.enabled else ""
     module_fps: Dict[str, str] = {
@@ -558,6 +608,109 @@ def _merge_solver_snapshots(base: Optional[dict],
     return {"caps": base["caps"], "rows": merged}
 
 
+# ---------------------------------------------------------------------------
+# Streaming (one-report-at-a-time) entry point
+# ---------------------------------------------------------------------------
+
+class StreamingTriage:
+    """Incremental triage session for a long-lived process.
+
+    The batch entry point (:func:`triage_corpus`) wants the whole corpus
+    up front; the crash-intake daemon gets reports one HTTP request at a
+    time and must answer each without restarting the world.  A
+    ``StreamingTriage`` holds exactly the state one batch pool worker
+    holds — compiled modules and warm engines keyed by program — plus
+    the cross-run cache chain, and triages single reports through the
+    *same* verdict path the batch run uses (:func:`build_engine`,
+    :meth:`TriageEngine.triage_one`, :func:`synthesize_result`, strict
+    cache-key lookup before any compile).  That sharing is the
+    determinism argument: a daemon's verdict for a submission is
+    byte-identical under :func:`verdict_view` to a batch ``res triage``
+    over the same corpus, because there is no daemon-only verdict code.
+
+    Not thread-safe: engines mutate per-module caches during a drive.
+    Each daemon worker owns one session; the :class:`CacheChain` behind
+    them may be shared (``ResultCache`` serializes itself).
+    """
+
+    def __init__(self, config: Optional[TriageServiceConfig] = None,
+                 chain: Optional[CacheChain] = None):
+        self.config = config or TriageServiceConfig()
+        self.chain = chain if chain is not None \
+            else self.config.cache_chain()
+        self.config_fp = self.config.config_fingerprint() \
+            if self.chain.enabled else ""
+        self._engines: Dict[str, TriageEngine] = {}
+        self._specs: Dict[str, ProgramSpec] = {}
+
+    def _engine(self, spec: ProgramSpec) -> TriageEngine:
+        engine = self._engines.get(spec.key)
+        if engine is None:
+            engine = build_engine(spec, self.config, self.chain)
+            self._engines[spec.key] = engine
+            self._specs[spec.key] = spec
+        return engine
+
+    def triage_one(self, spec: ProgramSpec, report: BugReport,
+                   fingerprint: Optional[str] = None,
+                   bypass_cache: bool = False) -> TriagedReport:
+        """Triage one report of ``spec``: warm cache short-circuit
+        first (no compile on a hit), engine drive + durable cache
+        append otherwise.  ``bypass_cache`` forces a fresh drive — the
+        verdict is still *written* to the cache afterwards, so a forced
+        recompute refreshes the cached row instead of ignoring it."""
+        fingerprint = fingerprint or report.coredump.fingerprint()
+        cache_key = None
+        if self.chain.enabled:
+            cache_key = CacheKey(module_fp=spec.module_fp(),
+                                 coredump_fp=fingerprint,
+                                 config_fp=self.config_fp)
+            hit = None if bypass_cache else self.chain.lookup(cache_key)
+            if hit is not None:
+                result = synthesize_result(
+                    report, hit.cause, hit.exploitable,
+                    annotations=self.config.annotations,
+                    stack_depth=self.config.stack_depth)
+                return TriagedReport(result=result, program_key=spec.key,
+                                     fingerprint=fingerprint,
+                                     seconds=0.0, cached=True)
+        engine = self._engine(spec)
+        started = time.perf_counter()
+        result = engine.triage_one(report)
+        seconds = time.perf_counter() - started
+        if cache_key is not None and self.chain.primary is not None:
+            self.chain.put(
+                cache_key,
+                CachedVerdict(cause=result.cause,
+                              exploitable=result.exploitable,
+                              seconds=seconds,
+                              suffix_digests=engine.last_suffix_digests,
+                              stats=engine.last_stats))
+        return TriagedReport(result=result, program_key=spec.key,
+                             fingerprint=fingerprint, seconds=seconds)
+
+    def flush_solver_caches(self) -> int:
+        """Persist every warm engine's exported residual-component
+        cache (merged with what is already on disk, first row per key
+        wins) so the next process starts primed; returns the number of
+        modules written.  The merge is an atomic read-modify-write on
+        the cache (``update_solver_cache``), so concurrent sessions
+        flushing the same module cannot drop each other's rows."""
+        if self.chain.primary is None:
+            return 0
+        written = 0
+        for key, engine in self._engines.items():
+            snapshot = engine.export_solver_cache()
+            if not snapshot.get("rows"):
+                continue
+            self.chain.update_solver_cache(
+                self._specs[key].module_fp(),
+                lambda current, snapshot=snapshot:
+                    _merge_solver_snapshots(current, snapshot))
+            written += 1
+        return written
+
+
 def _partial_result(slots: Sequence[Optional[TriagedReport]],
                     corpus: TriageCorpus,
                     started: float) -> TriageServiceResult:
@@ -576,8 +729,9 @@ def _partial_result(slots: Sequence[Optional[TriagedReport]],
 # The persistent report store
 # ---------------------------------------------------------------------------
 
-class _TriageStore:
-    """Serializes a service run into the on-disk JSON report store."""
+class TriageStore:
+    """Serializes a service run into the on-disk JSON report store
+    (shared by the batch driver and the intake daemon)."""
 
     def __init__(self, config: TriageServiceConfig):
         self.path = Path(config.store_path)

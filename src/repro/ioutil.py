@@ -24,8 +24,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Tuple, Union
 
 
 def fsync_dir(directory: Union[str, Path]) -> bool:
@@ -100,3 +101,53 @@ def append_line(path: Union[str, Path], line: str) -> str:
         handle.flush()
         os.fsync(handle.fileno())
     return str(target)
+
+
+def iter_jsonl(path: Union[str, Path],
+               strict: bool = False) -> Iterator[Tuple[int, dict]]:
+    """Yield ``(line_number, row)`` for every parseable JSON-object row
+    of an append-only log written via :func:`append_line`.
+
+    The crash-safety contract of durable appends is "at most the final
+    line tears", so readers must treat an unparseable line as damage to
+    skip, not an error: a replayed journal loses at most the row that
+    was being written when the process died.  Blank lines and rows that
+    are not JSON objects are skipped the same way, with a warning when
+    it is more than the contractual torn final line.
+
+    An *unreadable* file is different: the data may be fine and merely
+    inaccessible right now, so treating it as empty would silently
+    discard the whole log (and let a writer re-issue identities the
+    log already assigned).  By default that skips with a warning;
+    ``strict`` re-raises the ``OSError`` so the caller can refuse to
+    proceed — what a durable journal's replay must do.
+    """
+    target = Path(path)
+    if not target.exists():
+        return
+    try:
+        text = target.read_text()
+    except OSError as exc:
+        if strict:
+            raise
+        warnings.warn(f"iter_jsonl: unreadable log {target}: {exc}; "
+                      f"treating as empty", RuntimeWarning, stacklevel=2)
+        return
+    lines = text.splitlines()
+    skipped = 0
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            if number < len(lines):
+                skipped += 1  # mid-file damage, beyond the contract
+            continue
+        if isinstance(row, dict):
+            yield number, row
+        elif number < len(lines):
+            skipped += 1  # valid JSON but not a row object: damage too
+    if skipped:
+        warnings.warn(f"iter_jsonl: skipped {skipped} corrupt mid-file "
+                      f"row(s) in {target}", RuntimeWarning, stacklevel=2)

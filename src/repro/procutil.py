@@ -1,0 +1,70 @@
+"""Process-lifecycle helpers: translating termination signals into the
+interrupt path the long-running entry points already handle.
+
+The batch triage service and the fuzz campaign both treat
+``KeyboardInterrupt`` as "stop cleanly": terminate the worker pool (no
+zombies), keep the partial verdicts, flag the run ``interrupted``, and
+exit 130.  Supervisors, however, stop services with SIGTERM, which by
+default kills the interpreter without unwinding any of that.
+:func:`deliver_sigterm_as_interrupt` closes the gap by installing a
+handler that raises ``KeyboardInterrupt`` at the next bytecode
+boundary, so one interrupt path serves ^C, ``kill``, and init systems
+alike.
+
+Signal handlers are process-global state, so the context manager always
+restores the previous handler — nesting and test isolation stay sound.
+Installation is only possible from the main thread (a CPython rule);
+elsewhere the context manager is a no-op, which is exactly right for
+library callers embedded in servers that own their own signal policy.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator, Sequence
+
+#: the exit code of an interrupted run (128 + SIGINT, the shell
+#: convention both `res triage` and `res fuzz` already use)
+INTERRUPT_EXIT_CODE = 130
+
+
+def _in_main_thread() -> bool:
+    return threading.current_thread() is threading.main_thread()
+
+
+@contextlib.contextmanager
+def deliver_sigterm_as_interrupt(
+        extra_signals: Sequence[int] = ()) -> Iterator[bool]:
+    """Within the block, SIGTERM (plus ``extra_signals``) raises
+    ``KeyboardInterrupt`` in the main thread.
+
+    Yields whether the handlers were actually installed (False when not
+    in the main thread — the block still runs, signals keep their prior
+    disposition).
+    """
+    if not _in_main_thread():
+        yield False
+        return
+    managed = [signal.SIGTERM, *extra_signals]
+
+    def raise_interrupt(signum, frame):  # pragma: no cover - thin shim
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    previous = {}
+    try:
+        for signum in managed:
+            previous[signum] = signal.signal(signum, raise_interrupt)
+    except (OSError, ValueError):
+        # Exotic host (no SIGTERM / non-main interpreter): behave as a
+        # no-op rather than breaking the wrapped run.
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        yield False
+        return
+    try:
+        yield True
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

@@ -1,0 +1,33 @@
+"""Always-on crash-intake triage service (paper §3.1 as a daemon).
+
+PRs 1–4 built the engine, the corpus tooling, batch sharding, and
+cross-run persistence — but only as one-shot CLI invocations.  This
+package turns them into the service the paper actually describes: a
+long-running HTTP daemon that accepts coredump submissions as deployed
+software crashes, dedups them against everything it has ever triaged
+(WER-style instant answers for known crashes), queues the rest durably,
+and synthesizes verdicts with warm-cache-backed workers.
+
+Layers (each its own module):
+
+* :mod:`repro.service.jobs` — the job model and the durable intake
+  journal (kill the daemon, restart it, every unsettled job resumes);
+* :mod:`repro.service.daemon` — admission/dedup, priority queue with
+  backpressure, the worker pool, metrics, and the report store;
+* :mod:`repro.service.http_api` — the stdlib-only HTTP front end;
+* :mod:`repro.service.client` — ``res submit`` / ``res status`` /
+  ``res watch`` client helpers.
+"""
+
+from repro.service.jobs import IntakeJob, JobJournal, JobState
+from repro.service.daemon import DaemonConfig, TriageDaemon
+from repro.service.http_api import start_http_server
+
+__all__ = [
+    "DaemonConfig",
+    "IntakeJob",
+    "JobJournal",
+    "JobState",
+    "TriageDaemon",
+    "start_http_server",
+]

@@ -1,0 +1,302 @@
+"""Client helpers for the intake daemon (``res submit`` / ``res
+status`` / ``res watch``).
+
+Everything speaks the daemon's JSON API over stdlib ``urllib`` — no
+dependencies — and raises :class:`ServiceClientError` (a
+:class:`ReproError`) on transport or protocol failures so the CLI's
+one-line-diagnostic contract holds for network problems too.
+
+``watch_directory`` is the §3.1 deployment shim: point it at a
+directory that crashing software drops coredumps into and it forwards
+anything new to the daemon.  Two layouts are understood: a saved triage
+corpus (``manifest.json`` — programs and labels ride along) and a flat
+directory of coredump JSONs paired with one ``--source``/``--workload``
+program.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """Transport/protocol failure talking to the intake daemon."""
+
+
+class ServiceUnreachableError(ServiceClientError):
+    """The daemon itself cannot be reached (connection-level failure).
+
+    Distinguished from per-submission failures so a long-running
+    forwarder can keep skipping one bad coredump file but must stop
+    (and report) when the whole service is down.
+    """
+
+
+#: submissions the daemon settled or accepted (anything else is an error)
+_OK_STATUSES = (200, 202, 429)
+
+
+def _request(url: str, method: str = "GET",
+             payload: Optional[dict] = None,
+             timeout: float = 30.0) -> Tuple[int, dict]:
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    try:
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+    except ValueError as exc:
+        raise ServiceClientError(f"invalid daemon URL {url}: {exc}") from exc
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(
+                response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            body = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            body = {"error": f"HTTP {exc.code}"}
+        return exc.code, body
+    except urllib.error.URLError as exc:
+        raise ServiceUnreachableError(
+            f"cannot reach intake daemon at {url}: {exc.reason}") from exc
+    except (OSError, ValueError) as exc:
+        raise ServiceClientError(
+            f"bad response from intake daemon at {url}: {exc}") from exc
+
+
+def submit_report(base_url: str, program: Dict[str, str],
+                  coredump_json: str,
+                  report_id: Optional[str] = None,
+                  true_cause: Optional[str] = None,
+                  force: bool = False,
+                  timeout: float = 30.0) -> Tuple[int, dict]:
+    """POST one submission; returns ``(http_status, payload)``."""
+    try:
+        core_obj = json.loads(coredump_json)
+    except ValueError as exc:
+        raise ServiceClientError(
+            f"submission refused: coredump is not JSON: {exc}") from exc
+    payload = {
+        "program": program,
+        "coredump": core_obj,
+        "force": force,
+    }
+    if report_id is not None:
+        payload["report_id"] = report_id
+    if true_cause is not None:
+        payload["true_cause"] = true_cause
+    status, body = _request(f"{base_url.rstrip('/')}/jobs",
+                            method="POST", payload=payload,
+                            timeout=timeout)
+    if status not in _OK_STATUSES:
+        raise ServiceClientError(
+            f"submission refused ({status}): "
+            f"{body.get('error', 'unknown error')}")
+    return status, body
+
+
+def get_job(base_url: str, job_id: str, timeout: float = 30.0) -> dict:
+    status, body = _request(f"{base_url.rstrip('/')}/jobs/{job_id}",
+                            timeout=timeout)
+    if status != 200:
+        raise ServiceClientError(
+            f"job {job_id}: {body.get('error', f'HTTP {status}')}")
+    return body
+
+
+def get_health(base_url: str, timeout: float = 30.0) -> dict:
+    status, body = _request(f"{base_url.rstrip('/')}/healthz",
+                            timeout=timeout)
+    if status != 200:
+        raise ServiceClientError(f"healthz returned HTTP {status}")
+    return body
+
+
+def get_metrics_text(base_url: str, timeout: float = 30.0) -> str:
+    url = f"{base_url.rstrip('/')}/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as exc:
+        raise ServiceUnreachableError(
+            f"cannot reach intake daemon at {url}: {exc}") from exc
+
+
+def wait_for_job(base_url: str, job_id: str, timeout: float = 120.0,
+                 poll: float = 0.2) -> dict:
+    """Poll until the job settles (done/failed) or ``timeout`` passes."""
+    deadline = time.monotonic() + timeout
+    while True:
+        payload = get_job(base_url, job_id)
+        if payload.get("state") in ("done", "failed"):
+            return payload
+        if time.monotonic() >= deadline:
+            raise ServiceClientError(
+                f"timed out after {timeout:.0f}s waiting for job {job_id} "
+                f"(state: {payload.get('state')})")
+        time.sleep(poll)
+
+
+# ---------------------------------------------------------------------------
+# Directory intake (res watch)
+# ---------------------------------------------------------------------------
+
+def _corpus_submissions(directory: Path,
+                        skip: frozenset) -> List[dict]:
+    """Submissions for a saved triage-corpus directory (manifest.json).
+
+    Reads the manifest each scan but opens program/coredump files only
+    for entries not in ``skip`` — a steady-state watch loop over an
+    already-forwarded corpus must not re-read megabytes of coredumps
+    every poll just to discard them.
+    """
+    manifest_path = directory / "manifest.json"
+    try:
+        manifest = json.loads(manifest_path.read_text())
+        sources: Dict[str, Dict[str, str]] = {}
+        out = []
+        for item in manifest["entries"]:
+            marker = f"corpus:{item['report_id']}"
+            if marker in skip:
+                continue
+            key = item["program"]
+            try:
+                if key not in sources:
+                    meta = manifest["programs"][key]
+                    sources[key] = {
+                        "key": key,
+                        "source": (directory / meta["file"]).read_text(),
+                        "name": meta["name"],
+                    }
+                core_json = (directory / item["core"]).read_text()
+            except OSError:
+                # A member file vanished or is mid-write: skip it this
+                # scan (unmarked, so a later scan retries) rather than
+                # killing the forwarder.
+                continue
+            out.append({
+                "marker": marker,
+                "program": sources[key],
+                "coredump_json": core_json,
+                "report_id": item["report_id"],
+                "true_cause": item["true_cause"],
+            })
+        return out
+    except (OSError, KeyError, TypeError, ValueError) as exc:
+        raise ServiceClientError(
+            f"unreadable corpus directory {directory}: {exc}") from exc
+
+
+def _flat_submissions(directory: Path, program: Dict[str, str],
+                      skip: frozenset) -> List[dict]:
+    """Submissions for a flat directory of coredump JSON files."""
+    out = []
+    for path in sorted(directory.glob("*.json")):
+        marker = f"file:{path.name}"
+        if marker in skip:
+            continue
+        try:
+            core_json = path.read_text()
+        except OSError:
+            continue  # rotated/mid-write file: retried next scan
+        out.append({
+            "marker": marker,
+            "program": program,
+            "coredump_json": core_json,
+            "report_id": path.stem,
+            "true_cause": None,
+        })
+    return out
+
+
+def scan_directory(directory: str,
+                   program: Optional[Dict[str, str]] = None,
+                   skip: frozenset = frozenset()) -> List[dict]:
+    """One intake scan: corpus layout when a manifest is present, flat
+    coredump files otherwise (``program`` required for the latter).
+    Entries whose marker is in ``skip`` are not even read."""
+    root = Path(directory)
+    if not root.is_dir():
+        raise ServiceClientError(f"watch directory not found: {root}")
+    if (root / "manifest.json").exists():
+        return _corpus_submissions(root, skip)
+    if program is None:
+        raise ServiceClientError(
+            f"{root} has no manifest.json; supply the program with "
+            "--source or --workload")
+    return _flat_submissions(root, program, skip)
+
+
+def watch_directory(directory: str, base_url: str,
+                    program: Optional[Dict[str, str]] = None,
+                    interval: float = 2.0,
+                    once: bool = False,
+                    notify: Optional[Callable[[str, int, dict],
+                                              None]] = None,
+                    stop: Optional[Callable[[], bool]] = None) -> int:
+    """Forward new coredumps in ``directory`` to the daemon until
+    ``stop()`` (or forever; exactly one scan with ``once``, even if the
+    daemon pushes back).  Returns the number of submissions forwarded.
+    A 429 leaves the file unmarked, so the next scan retries it after
+    the daemon's suggested backoff.
+
+    One damaged file (truncated, mid-write, refused by the daemon)
+    must not kill an unattended forwarder or block the valid coredumps
+    behind it: per-item failures are reported through ``notify`` with
+    status 0 and the scan continues; the file stays unmarked, so a
+    dump that was simply still being written succeeds on a later scan.
+    Only :class:`ServiceUnreachableError` (the daemon itself is down)
+    propagates.
+    """
+    submitted: set = set()
+    forwarded = 0
+    while True:
+        backoff = None
+        try:
+            items = scan_directory(directory, program,
+                                   skip=frozenset(submitted))
+        except ServiceUnreachableError:
+            raise
+        except ServiceClientError as exc:
+            # Transient directory trouble (mid-write manifest, perms
+            # flap): a long-running forwarder reports it and retries on
+            # the next scan; a one-shot scan surfaces it.
+            if once:
+                raise
+            if notify is not None:
+                notify("scan", 0, {"error": str(exc)})
+            items = []
+        for item in items:
+            try:
+                status, body = submit_report(
+                    base_url, item["program"], item["coredump_json"],
+                    report_id=item["report_id"],
+                    true_cause=item["true_cause"])
+            except ServiceUnreachableError:
+                raise  # the service is down, not the file
+            except ServiceClientError as exc:
+                if notify is not None:
+                    notify(item["marker"], 0, {"error": str(exc)})
+                continue  # skip the damaged file, keep forwarding
+            if status == 429:
+                backoff = float(body.get("retry_after_seconds", interval))
+                break  # queue full: stop this scan, retry after backoff
+            submitted.add(item["marker"])
+            forwarded += 1
+            if notify is not None:
+                notify(item["marker"], status, body)
+        if once:
+            return forwarded
+        if stop is not None and stop():
+            return forwarded
+        time.sleep(backoff if backoff is not None else interval)

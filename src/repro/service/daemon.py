@@ -1,0 +1,876 @@
+"""The crash-intake triage daemon: admission, queue, workers, metrics.
+
+This is the paper's §3.1 vision running as a *service*: deployed
+software streams coredumps in, the daemon answers with root-cause
+buckets.  Four layers, all built on the batch machinery of PRs 3–4:
+
+* **admission** — every submission is fingerprinted
+  (:meth:`Coredump.fingerprint`) and deduped against the live queue
+  *and* the historical store (every verdict this daemon has ever
+  journaled).  A known crash gets its verdict back instantly,
+  WER-style, without touching a worker; a crash currently in flight
+  attaches to the representative job and settles the moment it does.
+* **durable priority queue** — accepted jobs are journaled before they
+  are acknowledged (:class:`repro.service.jobs.JobJournal`), so a
+  SIGKILLed daemon restarts and resumes every unsettled job.
+  Never-seen fingerprints are scheduled ahead of re-submissions, and a
+  bounded queue pushes back (HTTP 429 + Retry-After) instead of
+  accepting work it cannot promise.
+* **warm workers** — each worker owns a
+  :class:`repro.core.triage_service.StreamingTriage` session: the same
+  per-program engines, the same strict rescache lookup, the same
+  verdict synthesis as a batch ``res triage`` run.  Verdicts are
+  byte-identical under :func:`repro.core.triage_service.verdict_view`
+  to a batch run over the same submissions — enforced by
+  ``tests/test_service.py``.
+* **observability** — ``healthz`` and Prometheus-style ``metrics``
+  (queue depth, in-flight, verdicts/s, warm-hit rate, p50/p95
+  submit→verdict latency), plus the standard JSON report store,
+  flushed as verdicts land and on shutdown.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.vm.coredump import Coredump
+from repro.core.triage import BugReport, TriageResult
+from repro.core.triage_service import (
+    CorpusEntry,
+    ProgramSpec,
+    StreamingTriage,
+    TriageCorpus,
+    TriagedReport,
+    TriageServiceConfig,
+    TriageServiceResult,
+    TriageStore,
+)
+from repro.service.jobs import (
+    IntakeJob,
+    JobJournal,
+    JobState,
+    JOURNAL_FILE,
+    default_report_id,
+    make_job_id,
+    next_ids,
+    now,
+)
+
+
+@dataclass
+class DaemonConfig:
+    """Tuning knobs of the intake daemon (wraps the batch config)."""
+
+    #: the batch-service config: budgets, store path, cache dirs — the
+    #: daemon inherits the whole verdict contract from it
+    service: TriageServiceConfig = field(default_factory=TriageServiceConfig)
+    #: spool directory holding the durable job journal
+    spool_dir: str = "res-spool"
+    #: worker threads (0 is legal and means "accept but never triage" —
+    #: used by backpressure and resume tests)
+    workers: int = 2
+    #: bounded queue: submissions beyond this many queued jobs are
+    #: refused with 429 + Retry-After (dedup attachments are free and
+    #: exempt — they consume no worker)
+    max_queue: int = 64
+    #: rewrite the report store every N settled verdicts (the final
+    #: shutdown flush always runs, so the store never misses verdicts —
+    #: this only trades mid-run visibility against rewrite traffic,
+    #: which grows with history)
+    flush_every: int = 8
+    #: submit→verdict latency samples kept for the p50/p95 gauges
+    latency_window: int = 512
+
+    @property
+    def journal_path(self) -> Path:
+        return Path(self.spool_dir) / JOURNAL_FILE
+
+
+class DaemonMetrics:
+    """Counter/gauge state behind ``GET /metrics`` (Prometheus text)."""
+
+    def __init__(self, latency_window: int = 512):
+        self.lock = threading.Lock()
+        self.started_at = now()
+        self.submitted_total = 0
+        self.verdicts_total = 0      # settled by a worker or warm cache
+        self.dedup_total = 0         # settled by admission/attachment
+        self.warm_hits_total = 0     # verdicts served from rescache
+        self.failed_total = 0
+        self.rejected_total = 0      # 429 backpressure refusals
+        self.latencies = deque(maxlen=latency_window)
+        #: worker-drive settles only (no instant dedups): the sample
+        #: the Retry-After estimate needs — near-zero dedup settles
+        #: would otherwise swamp the window and predict a seconds-long
+        #: cold queue drains in milliseconds
+        self.drive_latencies = deque(maxlen=latency_window)
+
+    def observe_latency(self, seconds: Optional[float],
+                        drive: bool = False) -> None:
+        if seconds is None:
+            return
+        with self.lock:
+            self.latencies.append(seconds)
+            if drive:
+                self.drive_latencies.append(seconds)
+
+    @staticmethod
+    def _quantile(samples: List[float], q: float) -> float:
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            samples = list(self.latencies)
+            drive_samples = list(self.drive_latencies)
+            uptime = max(now() - self.started_at, 1e-9)
+            settled = self.verdicts_total + self.dedup_total
+            return {
+                "submitted_total": self.submitted_total,
+                "verdicts_total": self.verdicts_total,
+                "dedup_total": self.dedup_total,
+                "warm_hits_total": self.warm_hits_total,
+                "failed_total": self.failed_total,
+                "rejected_total": self.rejected_total,
+                "uptime_seconds": round(uptime, 3),
+                "verdicts_per_second": round(settled / uptime, 3),
+                "warm_hit_rate": round(
+                    self.warm_hits_total / self.verdicts_total, 4)
+                if self.verdicts_total else 0.0,
+                "latency_p50": round(self._quantile(samples, 0.50), 4),
+                "latency_p95": round(self._quantile(samples, 0.95), 4),
+                "drive_latency_p50": round(
+                    self._quantile(drive_samples, 0.50), 4),
+            }
+
+
+class TriageDaemon:
+    """The always-on intake service; one instance per spool directory.
+
+    Thread model: HTTP handler threads call :meth:`submit` and the
+    read-only query methods; ``workers`` daemon threads run
+    :meth:`_worker_loop`.  All shared state lives behind one condition
+    variable.  Engines never cross threads — each worker owns its
+    :class:`StreamingTriage` session — and the rescache chain they
+    share serializes itself.
+    """
+
+    def __init__(self, config: Optional[DaemonConfig] = None):
+        self.config = config or DaemonConfig()
+        self.service_config = self.config.service
+        self.journal = JobJournal(self.config.journal_path)
+        #: one shared cache chain: ResultCache is thread-safe, and
+        #: sharing it means a verdict cached by worker A is a warm hit
+        #: for worker B within the same daemon lifetime
+        self.chain = self.service_config.cache_chain()
+        self.metrics = DaemonMetrics(self.config.latency_window)
+        self._store = TriageStore(self.service_config) \
+            if self.service_config.store_path else None
+
+        self._cv = threading.Condition()
+        self._jobs: Dict[str, IntakeJob] = {}
+        self._by_seq: List[IntakeJob] = []
+        #: settled jobs in settle order (append-only, so a (list, len)
+        #: pair snapshotted under the lock can be read outside it) plus
+        #: live counters — queries and store flushes must stay O(1)
+        #: under the lock however long the daemon has been running
+        self._settled_list: List[IntakeJob] = []
+        self._unsettled = 0
+        self._running = 0
+        self._heap: List[Tuple[int, int, str]] = []  # (priority, seq, id)
+        self._pending_by_key: Dict[tuple, str] = {}
+        self._done_by_key: Dict[tuple, str] = {}
+        self._dependents: Dict[str, List[str]] = {}
+        self._seen_fingerprints: set = set()
+        self._next_seq = 0
+        self._settled_since_flush = 0
+        #: store snapshot awaiting its (out-of-lock) atomic write
+        self._pending_flush: Optional[tuple] = None
+        #: monotonic snapshot version + last-written version: a slow
+        #: writer must never clobber a newer store (the final shutdown
+        #: flush included) with its stale snapshot
+        self._flush_seq = 0
+        self._flushed_seq = 0
+        self._flush_lock = threading.Lock()
+        self._stop = False
+        self._drain_on_stop = False
+        self._interrupted = False
+        self._threads: List[threading.Thread] = []
+        self._shutdown_event = threading.Event()
+        #: unsettled jobs re-admitted from the journal at construction
+        self.resumed_jobs = 0
+
+        self._resume_from_journal()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        for index in range(self.config.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"triage-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def shutdown(self, drain: bool = False,
+                 interrupted: Optional[bool] = None,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the worker pool and flush the report store.
+
+        ``drain=True`` finishes the queue first (clean administrative
+        stop); ``drain=False`` stops after the in-flight jobs only —
+        the SIGTERM path, leaving queued work journaled for the next
+        daemon life.  Either way no worker thread survives this call
+        and the store on disk reflects everything settled.  The
+        ``interrupted`` store flag defaults to auto: it is derived
+        *after* the workers stop, so a stop that caught the daemon
+        fully settled is not mislabeled as a partial run.
+        """
+        with self._cv:
+            self._stop = True
+            self._drain_on_stop = drain
+            self._cv.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = [t for t in self._threads if t.is_alive()]
+        with self._cv:
+            if interrupted is None:
+                interrupted = self._unsettled > 0
+            self._interrupted = self._interrupted or bool(interrupted)
+        self.flush_store()
+        self._shutdown_event.set()
+
+    def request_shutdown(self) -> None:
+        """Async shutdown signal (the ``POST /shutdown`` endpoint)."""
+        self._shutdown_event.set()
+
+    def wait_for_shutdown_request(self, poll: float = 0.2) -> None:
+        while not self._shutdown_event.wait(timeout=poll):
+            pass
+
+    def wait_idle(self, timeout: float = 60.0) -> bool:
+        """Block until no job is queued or running (test/bench helper)."""
+        deadline = time.monotonic() + timeout
+        with self._cv:
+            while time.monotonic() < deadline:
+                # The unsettled counter covers heap entries, running
+                # drives, and dependents awaiting their representative;
+                # a settled job still in the pending map is mid
+                # _complete phase 2 (its verdict is journaled but not
+                # yet dedup-visible).
+                busy = self._unsettled > 0 or any(
+                    self._jobs[job_id].settled
+                    for job_id in self._pending_by_key.values())
+                if not busy:
+                    return True
+                self._cv.wait(timeout=0.05)
+        return False
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+
+    def _resume_from_journal(self) -> None:
+        """Rebuild the world from the journal: settled jobs become the
+        historical dedup store, unsettled jobs re-enter admission (so a
+        job whose representative settled in a prior life dedups
+        instantly instead of recomputing)."""
+        replayed = self.journal.replay(self.service_config)
+        self._next_seq = next_ids(replayed)
+        resumed: List[IntakeJob] = []
+        for job in replayed:
+            self._jobs[job.job_id] = job
+            self._by_seq.append(job)
+            self._seen_fingerprints.add(job.fingerprint)
+            if job.settled:
+                self._settled_list.append(job)
+            else:
+                self._unsettled += 1
+            if job.state is JobState.DONE:
+                if job.force:
+                    # Mirror _complete: a completed forced recompute is
+                    # the representative, even across restarts (jobs
+                    # replay in seq order, so the newest force wins).
+                    self._done_by_key[job.dedup_key] = job.job_id
+                else:
+                    self._done_by_key.setdefault(job.dedup_key,
+                                                 job.job_id)
+            elif job.state is JobState.QUEUED:
+                resumed.append(job)
+        self.resumed_jobs = len(resumed)
+        journal: List[tuple] = []
+        with self._cv:
+            for job in resumed:
+                # A forced job re-admits as forced: the acknowledged
+                # recompute must run, not settle as a duplicate of the
+                # verdict it was sent to replace.
+                self._admit_locked(job, journal_submit=False,
+                                   dedup=not job.force,
+                                   journal=journal)
+        self._drain_journal(journal)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit(self, program: dict, coredump: object,
+               report_id: Optional[str] = None,
+               true_cause: Optional[str] = None,
+               priority: Optional[int] = None,
+               force: bool = False) -> Tuple[int, dict]:
+        """Admit one submission; returns ``(http_status, payload)``.
+
+        * 200 — known crash, verdict attached (``dedup_of``);
+        * 202 — accepted and journaled (queued or attached pending);
+        * 400 — malformed program/coredump;
+        * 429 — queue full, ``retry_after_seconds`` attached.
+        """
+        try:
+            spec, core_obj, dump = self._parse_submission(program, coredump)
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
+        fingerprint = dump.fingerprint()
+
+        journal: List[tuple] = []
+        with self._cv:
+            response = self._submit_locked(spec, core_obj, dump,
+                                           fingerprint, report_id,
+                                           true_cause, priority, force,
+                                           journal)
+        # Journal-before-acknowledge, but *after* releasing the
+        # admission lock: the fsync must not serialize other
+        # submissions and the workers (the out-of-order-tolerant
+        # two-pass replay makes this safe).
+        self._drain_journal(journal)
+        self._flush_pending()  # an instant dedup may have settled a job
+        return response
+
+    def _submit_locked(self, spec: ProgramSpec, core_obj: dict,
+                       dump: Coredump, fingerprint: str,
+                       report_id: Optional[str],
+                       true_cause: Optional[str], priority: Optional[int],
+                       force: bool,
+                       journal: List[tuple]) -> Tuple[int, dict]:
+        # Source-exact admission identity (see IntakeJob.dedup_key): an
+        # edited program is a different key, so it recomputes.
+        key = (spec.module_fp(), fingerprint)
+        if not force:
+            done_id = self._done_by_key.get(key)
+            if done_id is not None:
+                job = self._settle_as_duplicate(
+                    spec, core_obj, fingerprint, report_id,
+                    true_cause, self._jobs[done_id], journal)
+                return 200, job.status_payload()
+            pending_id = self._pending_by_key.get(key)
+            if pending_id is not None:
+                representative = self._jobs[pending_id]
+                if representative.fingerprint == fingerprint:
+                    core_obj = representative.core_obj
+                job = self._new_job(spec, core_obj, fingerprint,
+                                    report_id, true_cause, priority=1,
+                                    dump=dump)
+                journal.append(("submit", job, representative))
+                self._dependents.setdefault(pending_id, []).append(
+                    job.job_id)
+                job.dedup_of = representative.report_id
+                payload = job.status_payload()
+                payload["attached_to"] = pending_id
+                return 202, payload
+        if len(self._heap) >= self.config.max_queue:
+            self.metrics.rejected_total += 1
+            return 429, {
+                "error": "intake queue full",
+                "queue_depth": len(self._heap),
+                "retry_after_seconds": self._retry_after_locked(),
+            }
+        job_priority = priority if priority is not None else (
+            0 if fingerprint not in self._seen_fingerprints else 1)
+        job = self._new_job(spec, core_obj, fingerprint,
+                            report_id, true_cause, job_priority,
+                            dump=dump)
+        job.force = force  # carries through to the worker's drive
+        # Dedup already ran above (or was forced off), so admit
+        # without re-checking.
+        self._admit_locked(job, dedup=False, journal=journal)
+        return 202, job.status_payload()
+
+    def _parse_submission(self, program: dict, coredump: object
+                          ) -> Tuple[ProgramSpec, dict, Coredump]:
+        if not isinstance(program, dict) or not program.get("key") \
+                or not program.get("source"):
+            raise ReproError(
+                "program must be an object with 'key' and 'source'")
+        spec = ProgramSpec(key=str(program["key"]),
+                           source=str(program["source"]),
+                           name=str(program.get("name", "")))
+        # One conversion each way, not three: a dict submission is
+        # adopted as the journal/wire form directly (HTTP hands us a
+        # per-request parse we own), a string submission is parsed once.
+        if isinstance(coredump, str):
+            text = coredump
+            try:
+                core_obj = json.loads(text)
+            except ValueError as exc:
+                raise ReproError(f"malformed coredump: {exc}") from exc
+        elif isinstance(coredump, dict):
+            text = json.dumps(coredump)
+            core_obj = coredump
+        else:
+            raise ReproError("coredump must be a JSON object or string")
+        try:
+            dump = Coredump.from_json(text)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ReproError(f"malformed coredump: {exc}") from exc
+        return spec, core_obj, dump
+
+    def _new_job(self, spec: ProgramSpec, core_obj: dict,
+                 fingerprint: str, report_id: Optional[str],
+                 true_cause: Optional[str], priority: int,
+                 dump: Optional[Coredump] = None) -> IntakeJob:
+        seq = self._next_seq
+        self._next_seq += 1
+        job = IntakeJob(job_id=make_job_id(seq), seq=seq,
+                        report_id=report_id or default_report_id(seq),
+                        program=spec, core_obj=core_obj,
+                        fingerprint=fingerprint, priority=priority,
+                        true_cause=true_cause, submitted_at=now())
+        if dump is not None:
+            # The admission parse is the job's parse — don't re-parse
+            # the same 100 KB JSON when the worker picks it up.
+            job._dump = dump
+        self._jobs[job.job_id] = job
+        self._by_seq.append(job)
+        self._unsettled += 1
+        self.metrics.submitted_total += 1
+        return job
+
+    def _admit_locked(self, job: IntakeJob, journal_submit: bool = True,
+                      dedup: bool = True,
+                      journal: Optional[List[tuple]] = None) -> None:
+        """Queue an unsettled job.  With ``dedup`` the historical and
+        live stores are consulted first (the resume path re-runs full
+        admission: a job whose representative settled in a prior life
+        must not recompute).
+
+        A *representative* submit row is journaled synchronously, under
+        the lock: the moment this job lands in the pending map it can
+        be referenced by duplicates' ``core_ref``/``program_ref`` rows
+        from other threads, and a referent must never hit the disk
+        after its referrer — a SIGKILL in that window would make replay
+        drop an acknowledged duplicate.  Duplicates themselves (the
+        dedup-dominated bulk of the traffic) and all settle rows are
+        journaled via ``journal`` after the lock is released.
+        """
+        if journal_submit:
+            try:
+                self.journal.record_submit(job)
+            except OSError:
+                # No row, no job: a half-admitted phantom (registered
+                # but never heap-pushed) would wedge wait_idle and pin
+                # every future store flush at complete=false.  Unwind
+                # the registration and let the submitter see the error
+                # — an unacknowledged submission is safely retryable.
+                self._jobs.pop(job.job_id, None)
+                if job in self._by_seq:
+                    self._by_seq.remove(job)
+                self._unsettled -= 1
+                self.metrics.submitted_total -= 1
+                raise
+        if dedup:
+            done_id = self._done_by_key.get(job.dedup_key)
+            if done_id is not None:
+                self._settle_duplicate_locked(job, self._jobs[done_id],
+                                              journal)
+                return
+            pending_id = self._pending_by_key.get(job.dedup_key)
+            if pending_id is not None and pending_id != job.job_id:
+                job.dedup_of = self._jobs[pending_id].report_id
+                self._dependents.setdefault(pending_id, []).append(
+                    job.job_id)
+                return
+        self._seen_fingerprints.add(job.fingerprint)
+        # setdefault: a forced re-submission must not steal the pending
+        # marker (and its dependents) from the live representative.
+        self._pending_by_key.setdefault(job.dedup_key, job.job_id)
+        heapq.heappush(self._heap, (job.priority, job.seq, job.job_id))
+        self._cv.notify()
+
+    def _settle_as_duplicate(self, spec: ProgramSpec, core_obj: dict,
+                             fingerprint: str, report_id: Optional[str],
+                             true_cause: Optional[str],
+                             representative: IntakeJob,
+                             journal: List[tuple]) -> IntakeJob:
+        """Historical dedup: settle the job instantly (the WER-style
+        answer).  The duplicate shares the representative's parsed
+        coredump in memory and journals by reference, so re-reports of
+        a known crash cost bytes, not megabytes."""
+        if representative.fingerprint == fingerprint:
+            core_obj = representative.core_obj
+        job = self._new_job(spec, core_obj, fingerprint, report_id,
+                            true_cause, priority=1)
+        journal.append(("submit", job, representative))
+        self._settle_duplicate_locked(job, representative, journal)
+        return job
+
+    def _settle_duplicate_locked(self, job: IntakeJob,
+                                 representative: IntakeJob,
+                                 journal: Optional[List[tuple]]) -> None:
+        rep_result = representative.verdict.result
+        job.dedup_of = representative.report_id
+        job.verdict = TriagedReport(
+            result=TriageResult(report_id=job.report_id,
+                                bucket=rep_result.bucket,
+                                cause=rep_result.cause,
+                                used_fallback=rep_result.used_fallback,
+                                exploitable=rep_result.exploitable),
+            program_key=job.program.key,
+            fingerprint=job.fingerprint,
+            seconds=0.0,
+            dedup_of=representative.report_id)
+        job.state = JobState.DONE
+        job.finished_at = now()
+        job._dump = None  # settled: nothing reads the parsed dump again
+        self._unsettled -= 1
+        self._settled_list.append(job)
+        if journal is not None:
+            journal.append(("done", job, None))
+        self.metrics.dedup_total += 1
+        if not job.resumed:
+            self.metrics.observe_latency(job.latency())
+        self._note_settled_locked()
+
+    def _drain_journal(self, entries: List[tuple]) -> None:
+        """Write collected journal rows (outside the admission lock;
+        the journal serializes itself and replay tolerates cross-thread
+        row interleavings)."""
+        for kind, job, ref in entries:
+            if kind == "submit":
+                self.journal.record_submit(job, dedup_ref=ref)
+            elif kind == "done":
+                self.journal.record_done(job)
+            else:
+                self.journal.record_failed(job)
+
+    def _retry_after_locked(self) -> int:
+        """Honest backpressure: the queue's expected drain time under
+        the recent per-*drive* latency (instant dedups excluded — the
+        queue holds drives), clamped to something a client can act on."""
+        snapshot = self.metrics.snapshot()
+        per_drive = snapshot["drive_latency_p50"] \
+            or snapshot["latency_p50"] or 1.0
+        workers = max(self.config.workers, 1)
+        estimate = len(self._heap) * per_drive / workers
+        return max(1, min(60, int(estimate + 0.999)))
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        session = StreamingTriage(self.service_config, chain=self.chain)
+        try:
+            while True:
+                with self._cv:
+                    while not self._heap and not self._stop:
+                        self._cv.wait()
+                    if self._stop and (not self._drain_on_stop
+                                       or not self._heap):
+                        return
+                    __, __, job_id = heapq.heappop(self._heap)
+                    job = self._jobs[job_id]
+                    job.state = JobState.RUNNING
+                    self._running += 1
+                try:
+                    triaged = session.triage_one(
+                        job.program, job.bug_report(),
+                        fingerprint=job.fingerprint,
+                        bypass_cache=job.force)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - worker boundary
+                    self._settle_safely(self._fail, job,
+                                        f"{type(exc).__name__}: {exc}")
+                    continue
+                self._settle_safely(self._complete, job, triaged)
+        finally:
+            session.flush_solver_caches()
+
+    def _settle_safely(self, settle, job: IntakeJob, outcome) -> None:
+        """Settling touches the journal and the store; transient I/O
+        trouble there (ENOSPC on the spool volume, say) must cost at
+        most this one job's durability — never the worker thread, or
+        the daemon would silently stop triaging while healthz still
+        looked alive."""
+        try:
+            settle(job, outcome)
+        except Exception as exc:  # noqa: BLE001 - worker boundary
+            warnings.warn(f"intake daemon: settling {job.job_id} hit "
+                          f"{type(exc).__name__}: {exc}; worker continues",
+                          RuntimeWarning)
+
+    def _complete(self, job: IntakeJob, triaged: TriagedReport) -> None:
+        # Phase 1: settle in memory and journal the done rows.  The
+        # verdict is NOT yet registered for instant dedup — an instant
+        # duplicate journals a done row of its own, and that row must
+        # never hit the disk before the representative's (a SIGKILL
+        # between them would make replay settle the duplicate and
+        # re-queue the representative, which would then dedup against
+        # its own duplicate — inverting `dedup_of` vs the batch run).
+        # The pending-map entry stays in place meanwhile, so same-key
+        # submissions attach as dependents and settle in phase 2.
+        journal: List[tuple] = []
+        with self._cv:
+            job.verdict = triaged
+            job.state = JobState.DONE
+            job.finished_at = now()
+            self._unsettled -= 1
+            self._running -= 1
+            self._settled_list.append(job)
+            journal.append(("done", job, None))
+            self.metrics.verdicts_total += 1
+            if triaged.cached:
+                self.metrics.warm_hits_total += 1
+            if not job.resumed:
+                self.metrics.observe_latency(job.latency(), drive=True)
+            for dep_id in self._dependents.pop(job.job_id, ()):
+                self._settle_duplicate_locked(self._jobs[dep_id], job,
+                                              journal)
+            self._note_settled_locked()
+            self._cv.notify_all()
+        self._drain_journal(journal)
+
+        # Phase 2: the done row is durable — expose the verdict to
+        # instant dedup and settle any dependents that attached while
+        # phase 1's rows were being written.
+        journal = []
+        with self._cv:
+            if job.force:
+                # A forced recompute is the *new* truth for this key:
+                # later dedups copy it, not the verdict it re-checked.
+                self._done_by_key[job.dedup_key] = job.job_id
+            else:
+                self._done_by_key.setdefault(job.dedup_key, job.job_id)
+            if self._pending_by_key.get(job.dedup_key) == job.job_id:
+                self._pending_by_key.pop(job.dedup_key)
+            for dep_id in self._dependents.pop(job.job_id, ()):
+                self._settle_duplicate_locked(self._jobs[dep_id], job,
+                                              journal)
+            # The verdict row is durable and the job will never be
+            # driven again: drop the parsed ~100 KB dump (the compact
+            # core_obj stays — journal refs and replay rebuild from
+            # it), so resident memory tracks in-flight work, not the
+            # daemon's lifetime submission count.
+            job._dump = None
+            self._cv.notify_all()
+        self._drain_journal(journal)
+        self._flush_pending()
+
+    def _fail(self, job: IntakeJob, error: str) -> None:
+        journal: List[tuple] = []
+        with self._cv:
+            job.state = JobState.FAILED
+            job.error = error
+            job.finished_at = now()
+            job._dump = None
+            self._unsettled -= 1
+            self._running -= 1
+            self._settled_list.append(job)
+            journal.append(("failed", job, None))
+            self.metrics.failed_total += 1
+            if self._pending_by_key.get(job.dedup_key) == job.job_id:
+                self._pending_by_key.pop(job.dedup_key)
+            for dep_id in self._dependents.pop(job.job_id, ()):
+                dependent = self._jobs[dep_id]
+                dependent.state = JobState.FAILED
+                dependent.error = f"representative {job.job_id} failed"
+                dependent.finished_at = now()
+                dependent._dump = None
+                self._unsettled -= 1
+                self._settled_list.append(dependent)
+                journal.append(("failed", dependent, None))
+                self.metrics.failed_total += 1
+            self._note_settled_locked()
+            self._cv.notify_all()
+        self._drain_journal(journal)
+        self._flush_pending()
+
+    def _note_settled_locked(self) -> None:
+        """Count one settled job; every ``flush_every``-th, snapshot the
+        store inputs (cheap, under the lock) into ``_pending_flush`` for
+        the settle path to *write* after releasing the lock — the fsync
+        must never stall admission or the other workers."""
+        self._settled_since_flush += 1
+        if self._store is None \
+                or self._settled_since_flush < self.config.flush_every:
+            return
+        self._settled_since_flush = 0
+        self._pending_flush = self._store_inputs_locked()
+
+    def _flush_pending(self) -> None:
+        """Write the pending store snapshot, if any, outside the lock."""
+        with self._cv:
+            inputs, self._pending_flush = self._pending_flush, None
+        self._write_store(inputs)
+
+    def _write_store(self, inputs: Optional[tuple]) -> None:
+        if inputs is None or self._store is None:
+            return
+        seq, settled, count, complete, interrupted = inputs
+        if seq <= self._flushed_seq:
+            return  # a newer snapshot already landed
+        # Store rows are in submission (seq) order — the batch-run
+        # equivalence contract — while the settled list is in settle
+        # order; sort the copy, outside the lock.
+        done = sorted((job for job in settled[:count]
+                       if job.state is JobState.DONE
+                       and job.verdict is not None),
+                      key=lambda job: job.seq)
+        programs: Dict[str, ProgramSpec] = {}
+        entries: List[CorpusEntry] = []
+        for job in done:
+            programs.setdefault(job.program.key, job.program)
+            # store_payload reads ids/labels off the entries, never the
+            # dumps — don't parse N historical coredumps per flush.
+            entries.append(CorpusEntry(
+                report=job.bug_report(require_coredump=False),
+                program_key=job.program.key))
+        corpus = TriageCorpus(programs=programs, entries=entries)
+        result = TriageServiceResult(
+            reports=[job.verdict for job in done],
+            elapsed=max(now() - self.metrics.started_at, 1e-9),
+            triaged=sum(1 for job in done
+                        if job.verdict.dedup_of is None
+                        and not job.verdict.cached),
+            dedup_hits=sum(1 for job in done
+                           if job.verdict.dedup_of is not None),
+            cache_hits=sum(1 for job in done if job.verdict.cached),
+            interrupted=interrupted,
+        )
+        # Serialized + versioned: a writer that lost the race to a
+        # newer snapshot (including the final shutdown flush) skips
+        # instead of clobbering the store with stale contents.
+        with self._flush_lock:
+            if seq <= self._flushed_seq:
+                return
+            self._store.flush(result, corpus, complete=complete)
+            self._flushed_seq = seq
+
+    # ------------------------------------------------------------------
+    # The report store (same document as batch `res triage --store`)
+    # ------------------------------------------------------------------
+
+    def _store_inputs_locked(self) -> tuple:
+        """Snapshot O(1) under the lock: the settled list is
+        append-only (a (list, length) pair read outside the lock is
+        stable) and pending-ness is a counter, so the expensive part —
+        corpus assembly, sorting, the atomic fsynced rewrite — happens
+        in :meth:`_write_store` without stalling admission or the
+        workers, however long the daemon has been running."""
+        complete = not self._unsettled and not self._interrupted
+        self._flush_seq += 1
+        return (self._flush_seq, self._settled_list,
+                len(self._settled_list), complete, self._interrupted)
+
+    def flush_store(self) -> None:
+        if self._store is None:
+            return
+        with self._cv:
+            inputs = self._store_inputs_locked()
+        self._write_store(inputs)
+
+    # ------------------------------------------------------------------
+    # Queries (HTTP read side)
+    # ------------------------------------------------------------------
+
+    def job_payload(self, job_id: str) -> Optional[dict]:
+        with self._cv:
+            job = self._jobs.get(job_id)
+            return job.status_payload() if job else None
+
+    def buckets_payload(self) -> dict:
+        # Settled jobs are immutable and the settled list append-only:
+        # snapshot (list, length) in O(1) under the lock, assemble the
+        # O(history) payload outside it so read polling never stalls
+        # admission or the workers (same pattern as the store flush).
+        with self._cv:
+            settled, count = self._settled_list, len(self._settled_list)
+        done = sorted((job for job in settled[:count]
+                       if job.state is JobState.DONE
+                       and job.verdict is not None),
+                      key=lambda job: job.seq)
+        buckets: Dict[str, List[str]] = {}
+        for job in done:
+            buckets.setdefault(
+                repr(job.verdict.result.bucket), []).append(job.report_id)
+        return {"buckets": buckets}
+
+    def report_payload(self, fingerprint: str) -> dict:
+        with self._cv:
+            settled, count = self._settled_list, len(self._settled_list)
+        matching = sorted((job for job in settled[:count]
+                           if job.fingerprint == fingerprint),
+                          key=lambda job: job.seq)
+        return {"fingerprint": fingerprint,
+                "reports": [job.status_payload() for job in matching]}
+
+    def healthz(self) -> dict:
+        alive = sum(1 for thread in self._threads if thread.is_alive())
+        with self._cv:
+            if self._stop:
+                status = "draining"
+            elif self._threads and alive < self.config.workers:
+                status = "degraded"  # a worker died; don't report ok
+            else:
+                status = "ok"
+            return {
+                "status": status,
+                "queue_depth": len(self._heap),
+                "in_flight": self._running,
+                "workers": self.config.workers,
+                "workers_alive": alive,
+                "jobs": len(self._jobs),
+                "uptime_seconds": round(
+                    now() - self.metrics.started_at, 3),
+            }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` exposition (Prometheus text format)."""
+        health = self.healthz()
+        snapshot = self.metrics.snapshot()
+        lines = []
+
+        def gauge(name: str, value, kind: str = "gauge") -> None:
+            lines.append(f"# TYPE res_intake_{name} {kind}")
+            lines.append(f"res_intake_{name} {value}")
+
+        gauge("submitted_total", snapshot["submitted_total"], "counter")
+        gauge("verdicts_total", snapshot["verdicts_total"], "counter")
+        gauge("dedup_total", snapshot["dedup_total"], "counter")
+        gauge("warm_hits_total", snapshot["warm_hits_total"], "counter")
+        gauge("failed_total", snapshot["failed_total"], "counter")
+        gauge("rejected_total", snapshot["rejected_total"], "counter")
+        gauge("queue_depth", health["queue_depth"])
+        gauge("in_flight", health["in_flight"])
+        gauge("verdicts_per_second", snapshot["verdicts_per_second"])
+        gauge("warm_hit_rate", snapshot["warm_hit_rate"])
+        gauge("uptime_seconds", snapshot["uptime_seconds"])
+        lines.append("# TYPE res_intake_latency_seconds summary")
+        lines.append('res_intake_latency_seconds{quantile="0.5"} '
+                     f"{snapshot['latency_p50']}")
+        lines.append('res_intake_latency_seconds{quantile="0.95"} '
+                     f"{snapshot['latency_p95']}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,181 @@
+"""Stdlib-only HTTP front end for the intake daemon.
+
+Endpoints (all JSON unless noted):
+
+* ``POST /jobs`` — submit ``{"program": {"key", "source", "name"?},
+  "coredump": <object|string>, "report_id"?, "true_cause"?,
+  "priority"?, "force"?}``.  200 = known crash, verdict attached;
+  202 = accepted (journaled, queued or attached); 400 = malformed;
+  429 = queue full (``Retry-After`` header attached).
+* ``GET /jobs/<id>`` — job status + verdict once settled.
+* ``GET /buckets`` — bucket signature → report ids, live.
+* ``GET /reports/<fingerprint>`` — every settled report of a coredump
+  fingerprint.
+* ``GET /healthz`` — liveness + queue/in-flight gauges.
+* ``GET /metrics`` — Prometheus text exposition.
+* ``POST /shutdown`` — ``{"drain": bool}``; asks the serving loop to
+  stop (drain first when requested).
+
+The server is a ``ThreadingHTTPServer``: handler threads only ever
+call the daemon's locked entry points, so request concurrency is
+bounded by the admission lock, not by handler count.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.service.daemon import TriageDaemon
+
+#: request body cap (a coredump JSON is ~100 KB; 32 MB is generous and
+#: stops a confused client from OOMing the daemon)
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class IntakeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, daemon: TriageDaemon,
+                 drain_on_shutdown: bool = True):
+        super().__init__(address, IntakeRequestHandler)
+        self.triage_daemon = daemon
+        self.drain_on_shutdown = drain_on_shutdown
+
+
+class IntakeRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: IntakeHTTPServer
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the metrics endpoint's job
+
+    def _send_json(self, status: int, payload: dict,
+                   headers: Optional[dict] = None) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Tuple[Optional[dict], Optional[str]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            # Rejecting without reading the body leaves its bytes on a
+            # keep-alive connection, where they would be parsed as the
+            # next request line — drop the connection instead.
+            self.close_connection = True
+            return None, "invalid Content-Length"
+        if length <= 0:
+            self.close_connection = True
+            return None, "empty request body"
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True  # not worth draining 32 MB
+            return None, f"request body over {MAX_BODY_BYTES} bytes"
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            return None, f"request body is not JSON: {exc}"
+        if not isinstance(payload, dict):
+            return None, "request body must be a JSON object"
+        return payload, None
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        daemon = self.server.triage_daemon
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, daemon.healthz())
+        elif path == "/metrics":
+            self._send_text(200, daemon.metrics_text())
+        elif path == "/buckets":
+            self._send_json(200, daemon.buckets_payload())
+        elif path.startswith("/jobs/"):
+            payload = daemon.job_payload(path[len("/jobs/"):])
+            if payload is None:
+                self._send_json(404, {"error": "no such job"})
+            else:
+                self._send_json(200, payload)
+        elif path.startswith("/reports/"):
+            self._send_json(
+                200, daemon.report_payload(path[len("/reports/"):]))
+        else:
+            self._send_json(404, {"error": f"no route for {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        daemon = self.server.triage_daemon
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/jobs":
+            payload, error = self._read_body()
+            if error is not None:
+                self._send_json(400, {"error": error})
+                return
+            priority = payload.get("priority")
+            if priority is not None:
+                try:
+                    priority = int(priority)
+                except (TypeError, ValueError):
+                    self._send_json(
+                        400, {"error": "priority must be an integer"})
+                    return
+            try:
+                status, body = daemon.submit(
+                    payload.get("program"),
+                    payload.get("coredump"),
+                    report_id=payload.get("report_id"),
+                    true_cause=payload.get("true_cause"),
+                    priority=priority,
+                    force=bool(payload.get("force", False)))
+            except OSError as exc:
+                # Spool trouble (ENOSPC, ...): answer 503 instead of
+                # dropping the connection — a dropped connection reads
+                # as "daemon down" and kills unattended forwarders
+                # that are built to survive per-submission failures.
+                self._send_json(503, {"error":
+                                      f"intake journal unavailable: "
+                                      f"{exc}"})
+                return
+            headers = None
+            if status == 429:
+                headers = {"Retry-After":
+                           str(body.get("retry_after_seconds", 1))}
+            self._send_json(status, body, headers)
+        elif path == "/shutdown":
+            payload, __ = self._read_body()
+            drain = bool((payload or {}).get("drain", True))
+            self.server.drain_on_shutdown = drain
+            self._send_json(200, {"ok": True, "drain": drain})
+            daemon.request_shutdown()
+        else:
+            self._send_json(404, {"error": f"no route for {path}"})
+
+
+def start_http_server(daemon: TriageDaemon, host: str = "127.0.0.1",
+                      port: int = 0) -> IntakeHTTPServer:
+    """Bind and serve in a background thread; ``port=0`` picks a free
+    port (read it back from ``server.server_address``)."""
+    server = IntakeHTTPServer((host, port), daemon)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="intake-http", daemon=True)
+    thread.start()
+    return server

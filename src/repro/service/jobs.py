@@ -1,0 +1,383 @@
+"""The intake job model and the durable job journal.
+
+Every submission the daemon accepts becomes an :class:`IntakeJob`, and
+every state change that must survive a crash is appended to the
+:class:`JobJournal` — an fsynced JSONL log with the same crash-safety
+contract as the PR 4 result-cache row log (``ioutil.append_line``: a
+dying process tears at most the final line, and replay skips torn
+rows).  Two row kinds matter:
+
+* ``submit`` — carries *everything needed to re-run the job*: the
+  program source, the full coredump, the fingerprint, the priority.
+  Journaled before the daemon acknowledges the submission, so an
+  accepted job is never lost.
+* ``done`` / ``failed`` — settles a job.  A ``done`` row stores the
+  synthesized *cause* (plus exploitability and provenance), not the
+  bucket: on replay the bucket is re-derived through
+  :func:`repro.core.triage.synthesize_result`, the same policy the
+  warm-start cache uses, so annotation changes re-bucket historical
+  verdicts exactly like fresh ones.
+
+Replaying the journal therefore reconstructs the daemon's whole world:
+settled jobs become the historical dedup store, unsettled jobs (queued
+*or* in-flight at the time of death — an interrupted drive leaves no
+partial state worth keeping) are re-admitted to the queue.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.ioutil import append_line, iter_jsonl
+from repro.vm.coredump import Coredump
+from repro.core.rescache import cause_from_obj, cause_to_obj
+from repro.core.triage import BugReport, synthesize_result
+from repro.core.triage_service import (
+    ProgramSpec,
+    TriagedReport,
+    TriageServiceConfig,
+)
+
+JOURNAL_FILE = "jobs.jsonl"
+
+#: journal format version; bump on any incompatible row change (old
+#: rows are then skipped on replay — a cold queue, never a wrong one)
+JOURNAL_SCHEMA = 1
+
+
+class JobState(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class IntakeJob:
+    """One accepted submission, from intake to settled verdict."""
+
+    job_id: str
+    #: submission order; also the report-store row order, so a drained
+    #: daemon store lines up row-for-row with a batch run over the same
+    #: submissions
+    seq: int
+    report_id: str
+    program: ProgramSpec
+    #: the coredump as a parsed JSON object (the wire/journal form)
+    core_obj: dict
+    fingerprint: str
+    #: 0 = never-seen fingerprint (head of the queue), 1 = re-submission
+    priority: int
+    true_cause: Optional[str] = None
+    submitted_at: float = 0.0
+    #: operator asked for a fresh drive: skip the warm-cache
+    #: short-circuit and replace the historical representative
+    force: bool = False
+    state: JobState = JobState.QUEUED
+    verdict: Optional[TriagedReport] = None
+    #: report_id of the representative whose verdict this job received
+    dedup_of: Optional[str] = None
+    error: Optional[str] = None
+    finished_at: Optional[float] = None
+    #: re-admitted from a prior life's journal: its submitted_at is old
+    #: wall clock, so its settle latency must stay out of the metrics
+    #: window (it would poison p50/p95 and the Retry-After estimate)
+    resumed: bool = False
+    _dump: Optional[Coredump] = field(default=None, repr=False)
+    _dedup_key: Optional[tuple] = field(default=None, repr=False)
+
+    def coredump(self) -> Coredump:
+        if self._dump is None:
+            self._dump = Coredump.from_json(json.dumps(self.core_obj))
+        return self._dump
+
+    def bug_report(self, require_coredump: bool = True) -> BugReport:
+        """The report this job files.  ``require_coredump=False`` skips
+        the (possibly ~100 KB) JSON parse and leaves ``coredump`` None
+        — legal only for consumers that provably never dereference it
+        (store assembly and settled-verdict re-bucketing read ids,
+        labels, and the journaled cause; the WER stack fallback is the
+        one path that needs the dump, and it only runs when the cause
+        is None).  A dump already parsed is always attached."""
+        if require_coredump or self._dump is not None:
+            dump = self.coredump()
+        else:
+            dump = None
+        return BugReport(report_id=self.report_id,
+                         coredump=dump,
+                         true_cause=self.true_cause)
+
+    @property
+    def settled(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    @property
+    def dedup_key(self) -> tuple:
+        """The admission identity: (module fingerprint, coredump
+        fingerprint).  The module fingerprint (source + name, same
+        identity the rescache keys on) — not the bare program key —
+        because a re-submitted crash of an *edited* program must
+        recompute, never echo the stale verdict, and two clients whose
+        source files happen to share a stem must not cross-contaminate.
+        Within one corpus a key maps to one source, so this is exactly
+        the batch service's (program, fingerprint) dedup there."""
+        if self._dedup_key is None:
+            self._dedup_key = (self.program.module_fp(), self.fingerprint)
+        return self._dedup_key
+
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def status_payload(self) -> dict:
+        """The ``GET /jobs/<id>`` document."""
+        payload = {
+            "job_id": self.job_id,
+            "report_id": self.report_id,
+            "program": self.program.key,
+            "fingerprint": self.fingerprint,
+            "priority": self.priority,
+            "state": self.state.value,
+            "submitted_at": round(self.submitted_at, 3),
+        }
+        if self.dedup_of is not None:
+            payload["dedup_of"] = self.dedup_of
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.verdict is not None:
+            result = self.verdict.result
+            payload["verdict"] = {
+                "bucket": repr(result.bucket),
+                "cause_kind": result.cause.kind if result.cause else None,
+                "cause_description": result.cause.description
+                if result.cause else None,
+                "used_fallback": result.used_fallback,
+                "exploitable": result.exploitable,
+                "cached": self.verdict.cached,
+                "seconds": round(self.verdict.seconds, 4),
+            }
+            if self.latency() is not None:
+                payload["latency_seconds"] = round(self.latency(), 4)
+        return payload
+
+
+class JobJournal:
+    """Durable append-only journal of intake events.
+
+    Appends are serialized behind a lock (HTTP threads and workers
+    journal concurrently) and each row is fsynced before the daemon
+    acts on it — the "journal first, acknowledge second" rule is what
+    makes a 202 response a promise that survives SIGKILL.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def _append(self, row: dict) -> None:
+        row = dict(row, schema=JOURNAL_SCHEMA)
+        with self._lock:
+            append_line(self.path, json.dumps(row, sort_keys=True))
+
+    # -- writers -------------------------------------------------------------
+
+    def record_submit(self, job: IntakeJob,
+                      dedup_ref: Optional[IntakeJob] = None) -> None:
+        """Journal one accepted submission.
+
+        Production intake is dedup-dominated (that is why bucketing
+        exists), so journaling the full program + coredump for every
+        duplicate would grow the journal by ~100 KB per re-report of
+        the same crash.  When the submission duplicates an
+        already-journaled job (``dedup_ref``), equal payloads are
+        written as references to that job's row instead — replay
+        resolves them, and equal fingerprints guarantee equal canonical
+        coredump JSON, so nothing is lost.
+        """
+        row = {
+            "event": "submit",
+            "job_id": job.job_id,
+            "seq": job.seq,
+            "report_id": job.report_id,
+            "fingerprint": job.fingerprint,
+            "priority": job.priority,
+            "true_cause": job.true_cause,
+            "force": job.force,
+            "submitted_at": round(job.submitted_at, 3),
+        }
+        if dedup_ref is not None \
+                and dedup_ref.fingerprint == job.fingerprint:
+            row["core_ref"] = dedup_ref.job_id
+        else:
+            row["core"] = job.core_obj
+        if dedup_ref is not None and dedup_ref.program == job.program:
+            row["program_ref"] = dedup_ref.job_id
+        else:
+            row["program"] = {"key": job.program.key,
+                              "source": job.program.source,
+                              "name": job.program.name}
+        self._append(row)
+
+    def record_done(self, job: IntakeJob) -> None:
+        verdict = job.verdict
+        result = verdict.result if verdict else None
+        self._append({
+            "event": "done",
+            "job_id": job.job_id,
+            "cause": cause_to_obj(result.cause) if result else None,
+            "exploitable": result.exploitable if result else False,
+            "cached": verdict.cached if verdict else False,
+            "seconds": round(verdict.seconds, 6) if verdict else 0.0,
+            "dedup_of": job.dedup_of,
+        })
+
+    def record_failed(self, job: IntakeJob) -> None:
+        self._append({
+            "event": "failed",
+            "job_id": job.job_id,
+            "error": job.error or "triage failed",
+        })
+
+    # -- replay --------------------------------------------------------------
+
+    def replay(self, config: TriageServiceConfig) -> List[IntakeJob]:
+        """Reconstruct every journaled job, in submission order.
+
+        Settled jobs carry a rebuilt verdict (bucket re-derived from
+        the journaled cause under the *current* annotations, like a
+        warm cache hit); unsettled jobs come back ``QUEUED`` whatever
+        state they died in.  Torn or alien-schema rows are skipped —
+        losing the row being written at the moment of death is the
+        contract, silently corrupting a settled verdict is not.
+        """
+        # Two-pass replay: gather rows first, then build jobs in *seq*
+        # order and apply settle events last.  Rows are journaled
+        # outside the daemon's admission lock, so a duplicate's submit
+        # row (which references its representative via ``core_ref`` /
+        # ``program_ref``) may legitimately hit the file before the
+        # representative's own row — seq order restores the dependency
+        # direction (a representative always has the lower seq).
+        submits: Dict[str, dict] = {}
+        settles: Dict[str, dict] = {}
+        try:
+            rows = list(iter_jsonl(self.path, strict=True))
+        except OSError as exc:
+            # An unreadable journal is NOT an empty one: starting over
+            # would drop every acknowledged job and re-issue seq/job
+            # identities the file already assigned — on the next
+            # restart, old settle rows could pair with new submit rows
+            # and attach a past crash's verdict to a different
+            # coredump.  Refuse to run instead.
+            raise ReproError(
+                f"intake journal {self.path} exists but is unreadable "
+                f"({exc}); refusing to start with a blank history") from exc
+        for _, row in rows:
+            if row.get("schema") != JOURNAL_SCHEMA:
+                continue
+            event = row.get("event")
+            job_id = row.get("job_id")
+            if not isinstance(job_id, str):
+                continue
+            if event == "submit":
+                submits[job_id] = row
+            elif event in ("done", "failed"):
+                settles[job_id] = row
+
+        jobs: Dict[str, IntakeJob] = {}
+        ordered: List[IntakeJob] = []
+        for row in sorted(submits.values(),
+                          key=lambda r: r.get("seq") or 0):
+            try:
+                if "program_ref" in row:
+                    program = jobs[row["program_ref"]].program
+                else:
+                    raw = row["program"]
+                    program = ProgramSpec(key=raw["key"],
+                                          source=raw["source"],
+                                          name=raw.get("name", ""))
+                if "core_ref" in row:
+                    # Shared reference on purpose: duplicates of one
+                    # crash share one parsed coredump in memory too.
+                    core_obj = jobs[row["core_ref"]].core_obj
+                else:
+                    core_obj = row["core"]
+                job = IntakeJob(
+                    job_id=row["job_id"],
+                    seq=int(row["seq"]),
+                    report_id=row["report_id"],
+                    program=program,
+                    core_obj=core_obj,
+                    fingerprint=row["fingerprint"],
+                    priority=int(row["priority"]),
+                    true_cause=row.get("true_cause"),
+                    force=bool(row.get("force", False)),
+                    submitted_at=float(row.get("submitted_at", 0.0)),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue  # damaged row: recompute rather than guess
+            jobs[job.job_id] = job
+            ordered.append(job)
+
+        for job_id, row in settles.items():
+            job = jobs.get(job_id)
+            if job is None:
+                continue
+            try:
+                if row["event"] == "done":
+                    cause = cause_from_obj(row["cause"])
+                    # The stack-fallback bucket is the only consumer of
+                    # the coredump; with a journaled cause the parse
+                    # (per historical crash, on every restart) is waste.
+                    report = job.bug_report(
+                        require_coredump=cause is None)
+                    result = synthesize_result(
+                        report, cause,
+                        bool(row["exploitable"]),
+                        annotations=config.annotations,
+                        stack_depth=config.stack_depth)
+                    job.verdict = TriagedReport(
+                        result=result,
+                        program_key=job.program.key,
+                        fingerprint=job.fingerprint,
+                        seconds=float(row.get("seconds", 0.0)),
+                        dedup_of=row.get("dedup_of"),
+                        cached=bool(row.get("cached", False)))
+                    job.dedup_of = row.get("dedup_of")
+                    job.state = JobState.DONE
+                    job.finished_at = job.submitted_at
+                else:
+                    job.state = JobState.FAILED
+                    job.error = row.get("error", "triage failed")
+                    job.finished_at = job.submitted_at
+            except (KeyError, TypeError, ValueError):
+                continue  # damaged settle row: job replays as queued
+        for job in ordered:
+            if not job.settled:
+                job.state = JobState.QUEUED
+                job.resumed = True
+        return ordered
+
+
+def next_ids(jobs: List[IntakeJob]) -> int:
+    """The first unused sequence number after a replay."""
+    return max((job.seq for job in jobs), default=-1) + 1
+
+
+def make_job_id(seq: int) -> str:
+    return f"j{seq:06d}"
+
+
+def default_report_id(seq: int) -> str:
+    return f"r{seq:06d}"
+
+
+def now() -> float:
+    return time.time()

@@ -1,5 +1,7 @@
 """Tests for the ``res`` command-line front end."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -306,6 +308,126 @@ def test_hwcheck_wrong_trap_kind_coredump(tmp_path, capsys):
     code = main(["hwcheck", str(path), "--workload", "hw_canary"])
     assert code == 64
     assert "tainted_overflow" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Hardened error paths: corpus/store/cache inputs fail with one-line
+# diagnostics (exit != 0), never tracebacks
+# ---------------------------------------------------------------------------
+
+def test_triage_missing_corpus_dir(capsys):
+    code = main(["triage", "--corpus-dir", "/nonexistent/corpus"])
+    assert code == 64
+    assert "corpus directory not found" in capsys.readouterr().err
+
+
+def test_triage_corpus_dir_without_manifest(tmp_path, capsys):
+    code = main(["triage", "--corpus-dir", str(tmp_path)])
+    assert code == 64
+    assert "no corpus manifest" in capsys.readouterr().err
+
+
+def test_triage_corpus_with_malformed_coredump(tmp_path, capsys):
+    corpus_dir = tmp_path / "corpus"
+    (corpus_dir / "cores").mkdir(parents=True)
+    (corpus_dir / "programs").mkdir()
+    (corpus_dir / "programs" / "p.minic").write_text(
+        FIGURE1_OVERFLOW.source)
+    (corpus_dir / "cores" / "bad.json").write_text("this is not json")
+    (corpus_dir / "manifest.json").write_text(json.dumps({
+        "programs": {"p": {"name": "p", "file": "programs/p.minic"}},
+        "entries": [{"report_id": "bad", "program": "p",
+                     "true_cause": None, "core": "cores/bad.json"}],
+    }))
+    code = main(["triage", "--corpus-dir", str(corpus_dir)])
+    assert code == 64
+    assert "malformed coredump" in capsys.readouterr().err
+
+
+def test_triage_corpus_with_missing_coredump_file(tmp_path, capsys):
+    corpus_dir = tmp_path / "corpus"
+    (corpus_dir / "programs").mkdir(parents=True)
+    (corpus_dir / "programs" / "p.minic").write_text(
+        FIGURE1_OVERFLOW.source)
+    (corpus_dir / "manifest.json").write_text(json.dumps({
+        "programs": {"p": {"name": "p", "file": "programs/p.minic"}},
+        "entries": [{"report_id": "gone", "program": "p",
+                     "true_cause": None, "core": "cores/gone.json"}],
+    }))
+    code = main(["triage", "--corpus-dir", str(corpus_dir)])
+    assert code == 64
+    assert "missing coredump" in capsys.readouterr().err
+
+
+def test_triage_corrupt_manifest_json(tmp_path, capsys):
+    corpus_dir = tmp_path / "corpus"
+    corpus_dir.mkdir()
+    (corpus_dir / "manifest.json").write_text("{truncated")
+    code = main(["triage", "--corpus-dir", str(corpus_dir)])
+    assert code == 64
+    assert "corrupt corpus manifest" in capsys.readouterr().err
+
+
+def test_triage_unwritable_store(tmp_path, capsys):
+    # A path whose parent is a regular file is unwritable even as root
+    # (chmod tricks don't bite for uid 0, this always does).
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    code = main(["triage", "--reports", "2",
+                 "--store", str(blocker / "store.json")])
+    assert code == 64
+    err = capsys.readouterr().err
+    assert err.startswith("res: error:") and "store" in err
+    assert len(err.strip().splitlines()) == 1  # one-line diagnostic
+
+
+def test_triage_unwritable_cache_dir(tmp_path, capsys):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    code = main(["triage", "--reports", "2",
+                 "--cache-dir", str(blocker / "cache")])
+    assert code == 64
+    err = capsys.readouterr().err
+    assert "cache" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_serve_unwritable_spool(tmp_path, capsys):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    code = main(["serve", "--port", "0",
+                 "--spool", str(blocker / "spool")])
+    assert code == 64
+    assert "spool" in capsys.readouterr().err
+
+
+def test_submit_missing_coredump_file(capsys):
+    code = main(["submit", "/nonexistent/core.json",
+                 "--workload", "figure1_overflow",
+                 "--url", "http://127.0.0.1:1"])
+    assert code == 64
+    assert "not found" in capsys.readouterr().err
+
+
+def test_submit_unreachable_daemon(figure1_core, capsys):
+    code = main(["submit", figure1_core,
+                 "--workload", "figure1_overflow",
+                 "--url", "http://127.0.0.1:1"])
+    assert code == 64
+    assert "cannot reach intake daemon" in capsys.readouterr().err
+
+
+def test_status_unreachable_daemon(capsys):
+    code = main(["status", "--url", "http://127.0.0.1:1"])
+    assert code == 64
+    assert "cannot reach intake daemon" in capsys.readouterr().err
+
+
+def test_watch_missing_directory(capsys):
+    code = main(["watch", "/nonexistent/intake", "--once",
+                 "--url", "http://127.0.0.1:1"])
+    assert code == 64
+    assert "watch directory not found" in capsys.readouterr().err
 
 
 # ---------------------------------------------------------------------------
