@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test perf triage-bench warm-bench serve-bench serve-smoke \
-	fuzz-smoke fuzz-test fuzz-pinned
+	chaos-smoke fuzz-smoke fuzz-test fuzz-pinned
 
 # Tier-1 verification (fuzz- and perf-marked tests are deselected by
 # pytest.ini; run them via the targets below).
@@ -35,6 +35,15 @@ serve-bench:
 # jobs over HTTP, drain, clean shutdown, verify the report store.
 serve-smoke:
 	$(PYTHON) -m pytest "tests/test_service.py::test_daemon_smoke_cycle" -q
+
+# Chaos matrix (also a CI gate): a live `res serve` under a seeded
+# random fault schedule (worker crashes, hung solver calls, ENOSPC /
+# torn / fsync disk faults) plus SIGKILL, across the fixed seed set in
+# tests/test_chaos.py.  Proves no acknowledged job is ever lost and
+# that verdicts match a fault-free run; a failing seed dumps its fault
+# schedule, fault log, and journal tail.
+chaos-smoke:
+	$(PYTHON) -m pytest tests/test_chaos.py -q -m chaos
 
 # The 200-program differential campaign with the fixed smoke seed.
 # Exit code 1 + artifacts under fuzz-artifacts/ on any divergence.

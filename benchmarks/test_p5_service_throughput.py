@@ -119,6 +119,12 @@ def test_p5_service_throughput(tmp_path):
 
     assert snapshot["warm_hit_rate"] == 1.0, \
         "warm daemon must answer every drive from the result cache"
+    # Fault injection must be fully inert when no plan is active: this
+    # benchmark IS the zero-cost-when-disabled gate.
+    metrics_text = daemon.metrics_text()
+    assert "res_intake_injected_faults_total 0" in metrics_text
+    assert "res_intake_retries_total 0" in metrics_text
+    assert "res_intake_quarantined_total 0" in metrics_text
     assert throughput >= MIN_REPORTS_PER_SEC, (
         f"daemon sustained only {throughput:.1f} reports/s "
         f"(floor {MIN_REPORTS_PER_SEC}); wall {wall:.2f}s")

@@ -337,7 +337,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                   cache_dir=args.cache_dir,
                                   warm_from=tuple(args.warm_from))
     config = DaemonConfig(service=service, spool_dir=args.spool,
-                          workers=args.workers, max_queue=args.max_queue)
+                          workers=args.workers, max_queue=args.max_queue,
+                          max_attempts=args.max_attempts,
+                          quarantine_after=args.quarantine_after,
+                          watchdog_timeout=args.watchdog_timeout,
+                          retry_backoff_base=args.retry_backoff)
     daemon = TriageDaemon(config)
     server = start_http_server(daemon, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -374,14 +378,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
-    """Submit one coredump to a running intake daemon."""
-    from repro.service.client import submit_report, wait_for_job
+    """Submit one coredump to a running intake daemon.
+
+    Transient daemon trouble — mid-restart (connection refused), spool
+    disk full (503), queue pushing back (429) — is retried with
+    jittered exponential backoff up to --max-retries times within the
+    --timeout budget; only then does the submission fail (exit 75,
+    EX_TEMPFAIL, for the retryable cases)."""
+    from repro.service.client import (RetryPolicy, submit_with_retries,
+                                      wait_for_job)
 
     program = _program_payload(args)
     dump = load_coredump(args.coredump)
-    status, body = submit_report(args.url, program, dump.to_json(),
-                                 report_id=args.report_id,
-                                 force=args.force)
+    policy = RetryPolicy(max_retries=args.max_retries,
+                         timeout=args.timeout)
+
+    def notify(marker: str, status: int, body: dict) -> None:
+        print(f"  retrying ({body.get('error')})", file=sys.stderr,
+              flush=True)
+
+    status, body = submit_with_retries(args.url, program, dump.to_json(),
+                                       report_id=args.report_id,
+                                       force=args.force, policy=policy,
+                                       notify=notify)
     if status == 429:
         print(f"queue full; retry after "
               f"{body.get('retry_after_seconds', '?')}s", file=sys.stderr)
@@ -389,7 +408,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     job_id = body["job_id"]
     print(f"job {job_id} ({body['state']})"
           + (f" dedup_of={body['dedup_of']}" if "dedup_of" in body else ""))
-    if args.wait and body.get("state") not in ("done", "failed"):
+    if args.wait and body.get("state") not in ("done", "failed",
+                                               "quarantined"):
         body = wait_for_job(args.url, job_id, timeout=args.timeout)
     verdict = body.get("verdict")
     if verdict is not None:
@@ -398,6 +418,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
               f"(fallback={verdict['used_fallback']}, "
               f"exploitable={verdict['exploitable']}, "
               f"cached={verdict['cached']})")
+    if body.get("state") == "quarantined":
+        print(f"quarantined: {body.get('error')}", file=sys.stderr)
+        return 1
     if body.get("state") == "failed":
         print(f"triage failed: {body.get('error')}", file=sys.stderr)
         return 1
@@ -406,25 +429,46 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
 def cmd_status(args: argparse.Namespace) -> int:
     """Query a running intake daemon: one job, or the whole service."""
-    from repro.service.client import get_health, get_job, get_metrics_text
+    from repro.service.client import (get_health, get_job,
+                                      get_metrics_text, get_quarantine)
 
+    if getattr(args, "quarantine", False):
+        # The operator's drain-and-inspect view: every poison job with
+        # its diagnostics (what it did to the fleet, how to re-try it).
+        rows = get_quarantine(args.url)
+        if not rows:
+            print("no quarantined jobs")
+            return 0
+        for row in rows:
+            print(f"{row['job_id']}  report={row['report_id']} "
+                  f"program={row['program']} "
+                  f"attempts={row.get('attempts', '?')} "
+                  f"worker_crashes={row.get('worker_crashes', '?')}")
+            print(f"  {row.get('error')}")
+            print(f"  resubmit: res submit --force --report-id "
+                  f"{row['report_id']} <coredump>")
+        return 0
     if args.job_id:
         payload = get_job(args.url, args.job_id)
         for key in ("job_id", "report_id", "program", "state",
-                    "fingerprint", "priority", "dedup_of", "error"):
+                    "fingerprint", "priority", "dedup_of", "error",
+                    "attempts", "worker_crashes"):
             if key in payload:
-                print(f"{key:12s} {payload[key]}")
+                print(f"{key:14s} {payload[key]}")
         verdict = payload.get("verdict")
         if verdict:
             for key, value in verdict.items():
-                print(f"{key:12s} {value}")
-        return 0 if payload.get("state") != "failed" else 1
+                print(f"{key:14s} {value}")
+        return 0 if payload.get("state") not in ("failed",
+                                                 "quarantined") else 1
     health = get_health(args.url)
     for key, value in health.items():
         print(f"{key:16s} {value}")
     wanted = ("res_intake_verdicts_total", "res_intake_dedup_total",
               "res_intake_warm_hit_rate", "res_intake_verdicts_per_second",
-              "res_intake_latency_seconds")
+              "res_intake_latency_seconds", "res_intake_retries_total",
+              "res_intake_quarantined_total",
+              "res_intake_worker_restarts_total", "res_intake_degraded")
     for line in get_metrics_text(args.url).splitlines():
         if line.startswith(wanted):
             print(line)
@@ -438,7 +482,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
     corpus (programs and labels ride along); otherwise every ``*.json``
     file is a coredump of the program named by --source/--workload.
     """
-    from repro.service.client import watch_directory
+    from repro.service.client import RetryPolicy, watch_directory
 
     program = None
     if getattr(args, "source", None) or getattr(args, "workload", None):
@@ -456,10 +500,14 @@ def cmd_watch(args: argparse.Namespace) -> int:
 
     try:
         with deliver_sigterm_as_interrupt():
+            policy = RetryPolicy(max_retries=args.max_retries,
+                                 backoff_base=max(args.interval, 0.1),
+                                 backoff_cap=60.0)
             forwarded = watch_directory(args.directory, args.url,
                                         program=program,
                                         interval=args.interval,
-                                        once=args.once, notify=notify)
+                                        once=args.once, notify=notify,
+                                        policy=policy)
     except KeyboardInterrupt:
         print("watch stopped", flush=True)
         return INTERRUPT_EXIT_CODE

@@ -128,6 +128,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-nodes", type=int, default=4000,
                          help="RES node budget per report "
                               "(default: %(default)s)")
+    p_serve.add_argument("--max-attempts", type=int, default=3,
+                         help="drive attempts per job before it settles "
+                              "as failed (default: %(default)s)")
+    p_serve.add_argument("--quarantine-after", type=int, default=2,
+                         help="workers one job may kill before it is "
+                              "quarantined instead of retried "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--watchdog-timeout", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="reap drives running longer than this and "
+                              "retry/quarantine the job (0 = disabled, "
+                              "the default — a deep drive is slow, not "
+                              "hung)")
+    p_serve.add_argument("--retry-backoff", type=float, default=0.05,
+                         metavar="SECONDS",
+                         help="base of the jittered exponential retry "
+                              "backoff (default: %(default)s)")
     p_serve.set_defaults(func=commands.cmd_serve)
 
     p_submit = sub.add_parser(
@@ -145,8 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--wait", action="store_true",
                           help="poll until the verdict lands")
     p_submit.add_argument("--timeout", type=float, default=120.0,
-                          help="--wait timeout in seconds "
-                               "(default: %(default)s)")
+                          help="--wait poll timeout and overall retry "
+                               "deadline in seconds (default: %(default)s)")
+    p_submit.add_argument("--max-retries", type=int, default=5,
+                          help="retries (jittered exponential backoff) "
+                               "when the daemon is restarting, its disk "
+                               "is full, or its queue pushes back "
+                               "(default: %(default)s; 0 = fail fast)")
     p_submit.set_defaults(func=commands.cmd_submit)
 
     p_status = sub.add_parser(
@@ -157,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "service summary)")
     p_status.add_argument("--url", default="http://127.0.0.1:8321",
                           help="daemon base URL (default: %(default)s)")
+    p_status.add_argument("--quarantine", action="store_true",
+                          help="list quarantined (poison) jobs with "
+                               "their diagnostics instead of the "
+                               "service summary")
     p_status.set_defaults(func=commands.cmd_status)
 
     p_watch = sub.add_parser(
@@ -177,6 +203,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: %(default)s)")
     p_watch.add_argument("--once", action="store_true",
                          help="one scan, then exit (no polling loop)")
+    p_watch.add_argument("--max-retries", type=int, default=10,
+                         help="consecutive daemon-down scans (each "
+                              "backed off exponentially with jitter) "
+                              "tolerated before the forwarder gives up "
+                              "(default: %(default)s)")
     p_watch.set_defaults(func=commands.cmd_watch)
 
     p_fuzz = sub.add_parser(

@@ -489,8 +489,28 @@ class CacheChain:
         return None
 
     def put(self, key: CacheKey, verdict: CachedVerdict) -> None:
-        if self.primary is not None:
+        """Best-effort: a cache row is an optimization, so disk trouble
+        (ENOSPC on the cache volume) must never discard the computed
+        verdict the caller is about to return — warn and move on; the
+        next process simply recomputes what this row would have saved."""
+        if self.primary is None:
+            return
+        try:
             self.primary.put(key, verdict)
+        except OSError as exc:
+            warnings.warn(f"rescache: cache append failed ({exc}); "
+                          f"verdict served but not cached",
+                          RuntimeWarning, stacklevel=2)
+
+    def update_solver_cache_safe(self, module_fp: str, merge) -> None:
+        """Best-effort solver-sidecar flush (same rationale as
+        :meth:`put`: sidecars accelerate the next life, losing one must
+        not fail the session that tried to write it)."""
+        try:
+            self.update_solver_cache(module_fp, merge)
+        except OSError as exc:
+            warnings.warn(f"rescache: solver cache flush failed ({exc}); "
+                          f"skipped", RuntimeWarning, stacklevel=2)
 
     def load_solver_cache(self, module_fp: str) -> Optional[dict]:
         for cache in self._all():

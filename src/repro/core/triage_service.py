@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro import faultinject
 from repro.errors import ReproError
 from repro.ioutil import atomic_write_json
 from repro.minic import compile_source
@@ -674,6 +675,12 @@ class StreamingTriage:
                 return TriagedReport(result=result, program_key=spec.key,
                                      fingerprint=fingerprint,
                                      seconds=0.0, cached=True)
+        fi = faultinject.active()
+        if fi is not None:
+            # The "slow/hung/failing solver" site: fires on cache
+            # misses only (a warm hit never calls the solver), right
+            # where a drive would start.
+            fi.check("solver.call")
         engine = self._engine(spec)
         started = time.perf_counter()
         result = engine.triage_one(report)
@@ -703,7 +710,7 @@ class StreamingTriage:
             snapshot = engine.export_solver_cache()
             if not snapshot.get("rows"):
                 continue
-            self.chain.update_solver_cache(
+            self.chain.update_solver_cache_safe(
                 self._specs[key].module_fp(),
                 lambda current, snapshot=snapshot:
                     _merge_solver_snapshots(current, snapshot))

@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the intake stack (see core.py)."""
+
+from repro.faultinject.core import (
+    FaultInjector,
+    InjectedFaultError,
+    LOG_ENV,
+    SPEC_ENV,
+    SiteRule,
+    WorkerCrashError,
+    activate,
+    active,
+    deactivate,
+    injected,
+    injected_total,
+)
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFaultError",
+    "LOG_ENV",
+    "SPEC_ENV",
+    "SiteRule",
+    "WorkerCrashError",
+    "activate",
+    "active",
+    "deactivate",
+    "injected",
+    "injected_total",
+]

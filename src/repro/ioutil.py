@@ -21,12 +21,15 @@ to parse or reproduce.  Two patterns:
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
 import warnings
 from pathlib import Path
 from typing import Iterator, Tuple, Union
+
+from repro import faultinject
 
 
 def fsync_dir(directory: Union[str, Path]) -> bool:
@@ -53,6 +56,11 @@ def atomic_write_text(path: Union[str, Path], text: str) -> str:
     """Durably write ``text`` to ``path``; returns the path written."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
+    fi = faultinject.active()
+    fault = fi.decide("ioutil.atomic_write", path=target) \
+        if fi is not None else None
+    if fault == "enospc":
+        raise OSError(errno.ENOSPC, f"injected ENOSPC: {target}")
     fd, tmp_path = tempfile.mkstemp(dir=str(target.parent),
                                     prefix=target.name + ".")
     try:
@@ -63,6 +71,12 @@ def atomic_write_text(path: Union[str, Path], text: str) -> str:
             # os.replace only orders metadata, so a crash shortly after
             # it can otherwise surface an empty/garbage target.
             os.fsync(handle.fileno())
+        if fault == "interrupt":
+            # Die between the temp write and the rename: the crash
+            # window atomic replacement exists for.  The except below
+            # unlinks the temp file; the target must stay untouched.
+            raise OSError(errno.EIO,
+                          f"injected crash before replace: {target}")
         os.replace(tmp_path, str(target))
     except BaseException:
         os.unlink(tmp_path)
@@ -90,6 +104,11 @@ def append_line(path: Union[str, Path], line: str) -> str:
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
+    fi = faultinject.active()
+    fault = fi.decide("ioutil.append_line", path=target) \
+        if fi is not None else None
+    if fault == "enospc":
+        raise OSError(errno.ENOSPC, f"injected ENOSPC: {target}")
     with open(target, "ab") as handle:
         if handle.tell() > 0:
             with open(target, "rb") as reader:
@@ -97,8 +116,21 @@ def append_line(path: Union[str, Path], line: str) -> str:
                 torn = reader.read(1) != b"\n"
             if torn:
                 handle.write(b"\n")
-        handle.write(line.rstrip("\n").encode("utf-8") + b"\n")
+        data = line.rstrip("\n").encode("utf-8") + b"\n"
+        if fault == "torn":
+            # The crash-mid-append case the reader contract exists
+            # for: a prefix of the row reaches the file, the caller
+            # sees a failure, and iter_jsonl must skip the fragment.
+            handle.write(data[:max(1, len(data) // 2)])
+            handle.flush()
+            raise OSError(errno.ENOSPC,
+                          f"injected torn append: {target}")
+        handle.write(data)
         handle.flush()
+        if fault == "fsync":
+            # Data written but durability not promised — the caller
+            # must treat the row as lost (it may or may not survive).
+            raise OSError(errno.EIO, f"injected fsync failure: {target}")
         os.fsync(handle.fileno())
     return str(target)
 

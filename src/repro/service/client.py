@@ -17,6 +17,7 @@ program.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -39,8 +40,95 @@ class ServiceUnreachableError(ServiceClientError):
     """
 
 
+class ServiceRetryableError(ServiceClientError):
+    """The daemon answered but cannot take the submission right now
+    (503 — spool disk trouble).  The submission itself is fine, so a
+    retrying client treats this like a connection failure, not like a
+    malformed file."""
+
+
 #: submissions the daemon settled or accepted (anything else is an error)
 _OK_STATUSES = (200, 202, 429)
+
+
+class RetryPolicy:
+    """Jittered exponential backoff for daemon-side trouble.
+
+    One policy instance carries the RNG and the knobs; ``delay(n)`` is
+    the sleep before retry ``n`` (0-based): ``base * 2^n`` clamped to
+    ``cap``, scaled by a uniform factor in [0.5, 1.0] so a fleet of
+    forwarders that all saw the same daemon restart does not stampede
+    back in lockstep.  A server-suggested floor (429 Retry-After) is
+    honored by raising the window to it before jittering.
+    """
+
+    def __init__(self, max_retries: int = 5, backoff_base: float = 0.2,
+                 backoff_cap: float = 10.0,
+                 timeout: Optional[float] = None,
+                 seed: Optional[int] = None):
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.timeout = timeout
+        self.rng = random.Random(seed)
+
+    def delay(self, retry: int, suggested: Optional[float] = None) -> float:
+        window = self.backoff_base * (2 ** max(0, retry))
+        if suggested is not None:
+            window = max(window, float(suggested))
+        window = min(self.backoff_cap, window)
+        return window * (0.5 + 0.5 * self.rng.random())
+
+
+def submit_with_retries(base_url: str, program: Dict[str, str],
+                        coredump_json: str,
+                        report_id: Optional[str] = None,
+                        true_cause: Optional[str] = None,
+                        force: bool = False,
+                        policy: Optional[RetryPolicy] = None,
+                        notify: Optional[Callable[[str, int, dict],
+                                                  None]] = None
+                        ) -> Tuple[int, dict]:
+    """:func:`submit_report` that survives daemon restarts and
+    transient refusals.
+
+    Retries (with jittered exponential backoff, up to
+    ``policy.max_retries`` and ``policy.timeout`` seconds overall) on:
+    connection failures (the daemon is restarting — exactly when an
+    unattended forwarder must not die), 503 (spool disk trouble), and
+    429 (queue full, honoring the suggested Retry-After as the backoff
+    floor).  A 400 is never retried: the submission itself is bad.
+    Returns the final ``(status, body)``; exhausted retries re-raise
+    the last transport error (or return the final 429).
+    """
+    policy = policy or RetryPolicy()
+    deadline = time.monotonic() + policy.timeout \
+        if policy.timeout is not None else None
+
+    def out_of_budget(retry: int) -> bool:
+        if retry >= policy.max_retries:
+            return True
+        return deadline is not None and time.monotonic() >= deadline
+
+    retry = 0
+    while True:
+        suggested = None
+        try:
+            status, body = submit_report(
+                base_url, program, coredump_json, report_id=report_id,
+                true_cause=true_cause, force=force)
+            if status != 429:
+                return status, body
+            if out_of_budget(retry):
+                return status, body
+            suggested = float(body.get("retry_after_seconds", 1.0))
+        except (ServiceUnreachableError, ServiceRetryableError) as exc:
+            if out_of_budget(retry):
+                raise
+            if notify is not None:
+                notify("retry", 0, {"error": str(exc), "retry": retry})
+        time.sleep(policy.delay(retry, suggested=suggested))
+        retry += 1
 
 
 def _request(url: str, method: str = "GET",
@@ -98,6 +186,10 @@ def submit_report(base_url: str, program: Dict[str, str],
     status, body = _request(f"{base_url.rstrip('/')}/jobs",
                             method="POST", payload=payload,
                             timeout=timeout)
+    if status == 503:
+        raise ServiceRetryableError(
+            f"submission deferred (503): "
+            f"{body.get('error', 'service unavailable')}")
     if status not in _OK_STATUSES:
         raise ServiceClientError(
             f"submission refused ({status}): "
@@ -122,6 +214,15 @@ def get_health(base_url: str, timeout: float = 30.0) -> dict:
     return body
 
 
+def get_quarantine(base_url: str, timeout: float = 30.0) -> list:
+    """Every quarantined (poison) job with its diagnostics."""
+    status, body = _request(f"{base_url.rstrip('/')}/quarantine",
+                            timeout=timeout)
+    if status != 200:
+        raise ServiceClientError(f"quarantine returned HTTP {status}")
+    return body.get("quarantined", [])
+
+
 def get_metrics_text(base_url: str, timeout: float = 30.0) -> str:
     url = f"{base_url.rstrip('/')}/metrics"
     try:
@@ -138,7 +239,7 @@ def wait_for_job(base_url: str, job_id: str, timeout: float = 120.0,
     deadline = time.monotonic() + timeout
     while True:
         payload = get_job(base_url, job_id)
-        if payload.get("state") in ("done", "failed"):
+        if payload.get("state") in ("done", "failed", "quarantined"):
             return payload
         if time.monotonic() >= deadline:
             raise ServiceClientError(
@@ -243,30 +344,38 @@ def watch_directory(directory: str, base_url: str,
                     once: bool = False,
                     notify: Optional[Callable[[str, int, dict],
                                               None]] = None,
-                    stop: Optional[Callable[[], bool]] = None) -> int:
+                    stop: Optional[Callable[[], bool]] = None,
+                    policy: Optional[RetryPolicy] = None) -> int:
     """Forward new coredumps in ``directory`` to the daemon until
     ``stop()`` (or forever; exactly one scan with ``once``, even if the
     daemon pushes back).  Returns the number of submissions forwarded.
     A 429 leaves the file unmarked, so the next scan retries it after
-    the daemon's suggested backoff.
+    a jittered exponential backoff floored at the daemon's suggestion.
 
     One damaged file (truncated, mid-write, refused by the daemon)
     must not kill an unattended forwarder or block the valid coredumps
     behind it: per-item failures are reported through ``notify`` with
     status 0 and the scan continues; the file stays unmarked, so a
     dump that was simply still being written succeeds on a later scan.
-    Only :class:`ServiceUnreachableError` (the daemon itself is down)
-    propagates.
+
+    A daemon outage (connection refused — a restart, a deploy) is
+    survived the same way: the forwarder backs off (jittered
+    exponential under ``policy``) and re-tries, raising
+    :class:`ServiceUnreachableError` only after
+    ``policy.max_retries`` *consecutive* failed scans.
     """
+    policy = policy or RetryPolicy(max_retries=10,
+                                   backoff_base=max(interval, 0.1),
+                                   backoff_cap=60.0)
     submitted: set = set()
     forwarded = 0
+    throttle_streak = 0  # consecutive scans ended by 429
+    down_streak = 0      # consecutive scans ended by unreachability
     while True:
         backoff = None
         try:
             items = scan_directory(directory, program,
                                    skip=frozenset(submitted))
-        except ServiceUnreachableError:
-            raise
         except ServiceClientError as exc:
             # Transient directory trouble (mid-write manifest, perms
             # flap): a long-running forwarder reports it and retries on
@@ -282,15 +391,37 @@ def watch_directory(directory: str, base_url: str,
                     base_url, item["program"], item["coredump_json"],
                     report_id=item["report_id"],
                     true_cause=item["true_cause"])
-            except ServiceUnreachableError:
-                raise  # the service is down, not the file
+            except (ServiceUnreachableError, ServiceRetryableError) as exc:
+                # The service (or its spool disk) is down, not the
+                # file.  A daemon mid-restart must not kill the
+                # forwarder: back off and rescan, give up only after
+                # max_retries consecutive down scans (or immediately
+                # in --once mode, whose caller owns the retry loop).
+                down_streak += 1
+                if once or down_streak > policy.max_retries:
+                    raise
+                if notify is not None:
+                    notify("daemon", 0, {"error": str(exc),
+                                         "retry": down_streak})
+                backoff = policy.delay(down_streak - 1)
+                break
             except ServiceClientError as exc:
                 if notify is not None:
                     notify(item["marker"], 0, {"error": str(exc)})
                 continue  # skip the damaged file, keep forwarding
+            down_streak = 0
             if status == 429:
-                backoff = float(body.get("retry_after_seconds", interval))
-                break  # queue full: stop this scan, retry after backoff
+                # Queue full: stop this scan, retry after a jittered
+                # exponential backoff floored at the daemon's honest
+                # drain estimate (fixed backoff re-synchronizes every
+                # forwarder onto the same retry tick).
+                throttle_streak += 1
+                backoff = policy.delay(
+                    throttle_streak - 1,
+                    suggested=float(body.get("retry_after_seconds",
+                                             interval)))
+                break
+            throttle_streak = 0
             submitted.add(item["marker"])
             forwarded += 1
             if notify is not None:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import random
 import threading
 import time
 import warnings
@@ -41,7 +42,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import faultinject
 from repro.errors import ReproError
+from repro.faultinject import WorkerCrashError
 from repro.vm.coredump import Coredump
 from repro.core.triage import BugReport, TriageResult
 from repro.core.triage_service import (
@@ -89,6 +92,27 @@ class DaemonConfig:
     flush_every: int = 8
     #: submit→verdict latency samples kept for the p50/p95 gauges
     latency_window: int = 512
+    #: drive attempts per job before it settles as failed (covers
+    #: transient triage errors; worker deaths are counted separately)
+    max_attempts: int = 3
+    #: workers one job may kill (crash or watchdog reap) before it is
+    #: quarantined instead of re-queued — the poison-job fuse
+    quarantine_after: int = 2
+    #: jittered exponential retry backoff: base * 2^(attempt-1),
+    #: clamped to the cap, scaled by a uniform jitter in [0.5, 1.0]
+    retry_backoff_base: float = 0.05
+    retry_backoff_cap: float = 2.0
+    #: reap a drive that has run longer than this many seconds
+    #: (0 disables the watchdog — a legitimate deep drive is slow)
+    watchdog_timeout: float = 0.0
+    #: monitor thread cadence: delayed-retry promotion, watchdog
+    #: checks, and dead-worker respawn all happen on this period
+    monitor_interval: float = 0.05
+    #: reject coredump JSON above this size at admission (a structured
+    #: 400, not a worker OOM); generous — real dumps are ~100 KB
+    max_core_bytes: int = 8 * 1024 * 1024
+    #: seed for the backoff jitter (None = nondeterministic)
+    backoff_seed: Optional[int] = None
 
     @property
     def journal_path(self) -> Path:
@@ -107,12 +131,23 @@ class DaemonMetrics:
         self.warm_hits_total = 0     # verdicts served from rescache
         self.failed_total = 0
         self.rejected_total = 0      # 429 backpressure refusals
+        self.malformed_total = 0     # 400 parse/size rejections
+        self.retries_total = 0       # re-queued drives (error or crash)
+        self.quarantined_total = 0   # poison jobs settled as quarantined
+        self.worker_restarts_total = 0  # workers respawned by the monitor
+        self.journal_errors_total = 0   # failed journal appends
         self.latencies = deque(maxlen=latency_window)
         #: worker-drive settles only (no instant dedups): the sample
         #: the Retry-After estimate needs — near-zero dedup settles
         #: would otherwise swamp the window and predict a seconds-long
         #: cold queue drains in milliseconds
         self.drive_latencies = deque(maxlen=latency_window)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Locked increment for callers outside the daemon's condition
+        variable (HTTP handler threads counting malformed bodies)."""
+        with self.lock:
+            setattr(self, name, getattr(self, name) + amount)
 
     def observe_latency(self, seconds: Optional[float],
                         drive: bool = False) -> None:
@@ -144,6 +179,11 @@ class DaemonMetrics:
                 "warm_hits_total": self.warm_hits_total,
                 "failed_total": self.failed_total,
                 "rejected_total": self.rejected_total,
+                "malformed_total": self.malformed_total,
+                "retries_total": self.retries_total,
+                "quarantined_total": self.quarantined_total,
+                "worker_restarts_total": self.worker_restarts_total,
+                "journal_errors_total": self.journal_errors_total,
                 "uptime_seconds": round(uptime, 3),
                 "verdicts_per_second": round(settled / uptime, 3),
                 "warm_hit_rate": round(
@@ -190,6 +230,22 @@ class TriageDaemon:
         self._unsettled = 0
         self._running = 0
         self._heap: List[Tuple[int, int, str]] = []  # (priority, seq, id)
+        #: retries waiting out their backoff; the monitor promotes them
+        #: into the heap once ``job.not_before`` passes
+        self._delayed: List[IntakeJob] = []
+        #: worker name -> (job, claim token, monotonic start) for every
+        #: in-flight drive — the watchdog's view of the world
+        self._running_jobs: Dict[str, tuple] = {}
+        #: workers reaped by the watchdog: their thread is still alive
+        #: (parked in a hung drive) but no longer counts, claims, or
+        #: settles; it exits at the next loop turn
+        self._abandoned: set = set()
+        self._worker_seq = 0
+        self._monitor: Optional[threading.Thread] = None
+        self._backoff_rng = random.Random(self.config.backoff_seed)
+        #: last journal append outcome — the degraded-healthz signal
+        self._disk_ok = True
+        self._quarantined_count = 0
         self._pending_by_key: Dict[tuple, str] = {}
         self._done_by_key: Dict[tuple, str] = {}
         self._dependents: Dict[str, List[str]] = {}
@@ -219,12 +275,24 @@ class TriageDaemon:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        for index in range(self.config.workers):
-            thread = threading.Thread(target=self._worker_loop,
-                                      name=f"triage-worker-{index}",
-                                      daemon=True)
-            thread.start()
-            self._threads.append(thread)
+        with self._cv:
+            for __ in range(self.config.workers):
+                self._spawn_worker_locked()
+        if self.config.workers > 0:
+            self._monitor = threading.Thread(target=self._monitor_loop,
+                                             name="triage-monitor",
+                                             daemon=True)
+            self._monitor.start()
+
+    def _spawn_worker_locked(self, restart: bool = False) -> None:
+        self._worker_seq += 1
+        name = f"triage-worker-{self._worker_seq}"
+        thread = threading.Thread(target=self._worker_loop, args=(name,),
+                                  name=name, daemon=True)
+        self._threads.append(thread)
+        if restart:
+            self.metrics.worker_restarts_total += 1
+        thread.start()
 
     def shutdown(self, drain: bool = False,
                  interrupted: Optional[bool] = None,
@@ -244,8 +312,12 @@ class TriageDaemon:
             self._stop = True
             self._drain_on_stop = drain
             self._cv.notify_all()
-        for thread in self._threads:
+        for thread in list(self._threads):
+            if thread.name in self._abandoned:
+                continue  # parked in a hung drive; daemon thread, let die
             thread.join(timeout=timeout)
+        if self._monitor is not None:
+            self._monitor.join(timeout=timeout)
         self._threads = [t for t in self._threads if t.is_alive()]
         with self._cv:
             if interrupted is None:
@@ -298,6 +370,8 @@ class TriageDaemon:
             self._seen_fingerprints.add(job.fingerprint)
             if job.settled:
                 self._settled_list.append(job)
+                if job.state is JobState.QUARANTINED:
+                    self._quarantined_count += 1
             else:
                 self._unsettled += 1
             if job.state is JobState.DONE:
@@ -321,7 +395,17 @@ class TriageDaemon:
                 self._admit_locked(job, journal_submit=False,
                                    dedup=not job.force,
                                    journal=journal)
-        self._drain_journal(journal)
+        try:
+            self._drain_journal(journal)
+        except OSError as exc:
+            # These are dedup bookkeeping rows (duplicates re-settled
+            # against a prior life's representative); their submit rows
+            # are already durable, so the next replay simply re-dedups
+            # them.  A transient spool error must not abort the resume
+            # — the daemon exists to get the journaled work done.
+            warnings.warn(f"resume: journal append failed ({exc}); "
+                          f"dedup rows will be rebuilt on next replay",
+                          RuntimeWarning)
 
     # ------------------------------------------------------------------
     # Admission
@@ -338,33 +422,55 @@ class TriageDaemon:
         * 202 — accepted and journaled (queued or attached pending);
         * 400 — malformed program/coredump;
         * 429 — queue full, ``retry_after_seconds`` attached.
+
+        Raises ``OSError`` (HTTP 503) when the journal cannot make a
+        202 acknowledgment durable — an un-acknowledged submission is
+        safely retryable; a 202 that would not survive SIGKILL is a
+        lie.  A 200 instant dedup under the same disk trouble still
+        answers (the verdict is already computed and durable from its
+        representative); only its bookkeeping row is lost, which replay
+        self-heals by re-deduping the job.
         """
         try:
             spec, core_obj, dump = self._parse_submission(program, coredump)
         except ReproError as exc:
+            self.metrics.bump("malformed_total")
             return 400, {"error": str(exc)}
         fingerprint = dump.fingerprint()
 
         journal: List[tuple] = []
         with self._cv:
-            response = self._submit_locked(spec, core_obj, dump,
-                                           fingerprint, report_id,
-                                           true_cause, priority, force,
-                                           journal)
+            status, payload, job = self._submit_locked(
+                spec, core_obj, dump, fingerprint, report_id,
+                true_cause, priority, force, journal)
         # Journal-before-acknowledge, but *after* releasing the
         # admission lock: the fsync must not serialize other
         # submissions and the workers (the out-of-order-tolerant
         # two-pass replay makes this safe).
-        self._drain_journal(journal)
+        try:
+            self._drain_journal(journal)
+        except OSError as exc:
+            if status == 202 and job is not None:
+                # The attached duplicate's own submit row never became
+                # durable: unwind the half-admitted job and let the
+                # HTTP layer answer 503 — acknowledging it would break
+                # the no-acknowledged-job-is-ever-lost invariant.
+                with self._cv:
+                    self._unwind_locked(job)
+                raise
+            warnings.warn(
+                f"intake journal unavailable ({exc}); instant-dedup "
+                f"answer served read-only, bookkeeping row lost",
+                RuntimeWarning)
         self._flush_pending()  # an instant dedup may have settled a job
-        return response
+        return status, payload
 
     def _submit_locked(self, spec: ProgramSpec, core_obj: dict,
                        dump: Coredump, fingerprint: str,
                        report_id: Optional[str],
                        true_cause: Optional[str], priority: Optional[int],
                        force: bool,
-                       journal: List[tuple]) -> Tuple[int, dict]:
+                       journal: List[tuple]) -> Tuple[int, dict, object]:
         # Source-exact admission identity (see IntakeJob.dedup_key): an
         # edited program is a different key, so it recomputes.
         key = (spec.module_fp(), fingerprint)
@@ -374,7 +480,7 @@ class TriageDaemon:
                 job = self._settle_as_duplicate(
                     spec, core_obj, fingerprint, report_id,
                     true_cause, self._jobs[done_id], journal)
-                return 200, job.status_payload()
+                return 200, job.status_payload(), job
             pending_id = self._pending_by_key.get(key)
             if pending_id is not None:
                 representative = self._jobs[pending_id]
@@ -389,14 +495,14 @@ class TriageDaemon:
                 job.dedup_of = representative.report_id
                 payload = job.status_payload()
                 payload["attached_to"] = pending_id
-                return 202, payload
+                return 202, payload, job
         if len(self._heap) >= self.config.max_queue:
             self.metrics.rejected_total += 1
             return 429, {
                 "error": "intake queue full",
                 "queue_depth": len(self._heap),
                 "retry_after_seconds": self._retry_after_locked(),
-            }
+            }, None
         job_priority = priority if priority is not None else (
             0 if fingerprint not in self._seen_fingerprints else 1)
         job = self._new_job(spec, core_obj, fingerprint,
@@ -406,7 +512,21 @@ class TriageDaemon:
         # Dedup already ran above (or was forced off), so admit
         # without re-checking.
         self._admit_locked(job, dedup=False, journal=journal)
-        return 202, job.status_payload()
+        return 202, job.status_payload(), job
+
+    def _unwind_locked(self, job: IntakeJob) -> None:
+        """Remove a job whose acknowledgment failed to become durable
+        (attached-duplicate path; the representative path unwinds inside
+        :meth:`_admit_locked`).  The submitter saw 503, so the retryable
+        submission must leave no phantom behind."""
+        self._jobs.pop(job.job_id, None)
+        if job in self._by_seq:
+            self._by_seq.remove(job)
+        self._unsettled -= 1
+        self.metrics.submitted_total -= 1
+        for deps in self._dependents.values():
+            if job.job_id in deps:
+                deps.remove(job.job_id)
 
     def _parse_submission(self, program: dict, coredump: object
                           ) -> Tuple[ProgramSpec, dict, Coredump]:
@@ -431,10 +551,21 @@ class TriageDaemon:
             core_obj = coredump
         else:
             raise ReproError("coredump must be a JSON object or string")
+        if len(text) > self.config.max_core_bytes:
+            raise ReproError(
+                f"oversized coredump: {len(text)} bytes "
+                f"(limit {self.config.max_core_bytes})")
         try:
             dump = Coredump.from_json(text)
-        except (KeyError, ValueError, TypeError) as exc:
-            raise ReproError(f"malformed coredump: {exc}") from exc
+        except Exception as exc:  # noqa: BLE001 - untrusted-input boundary
+            # Bit-flipped or truncated dumps surface arbitrary errors
+            # from deep inside the parser (AttributeError on a list
+            # where a dict belonged, IndexError, ...) — every one of
+            # them is "malformed submission", none may reach a worker
+            # or kill the handler thread.
+            raise ReproError(
+                f"malformed coredump: {type(exc).__name__}: {exc}"
+            ) from exc
         return spec, core_obj, dump
 
     def _new_job(self, spec: ProgramSpec, core_obj: dict,
@@ -489,7 +620,9 @@ class TriageDaemon:
                     self._by_seq.remove(job)
                 self._unsettled -= 1
                 self.metrics.submitted_total -= 1
+                self._note_disk(False)
                 raise
+            self._note_disk(True)
         if dedup:
             done_id = self._done_by_key.get(job.dedup_key)
             if done_id is not None:
@@ -553,17 +686,33 @@ class TriageDaemon:
             self.metrics.observe_latency(job.latency())
         self._note_settled_locked()
 
+    def _note_disk(self, ok: bool) -> None:
+        """Track journal-append health (the degraded-healthz signal).
+        A bare attribute write: reads race benignly and the GIL keeps
+        it atomic."""
+        if not ok:
+            self.metrics.bump("journal_errors_total")
+        self._disk_ok = ok
+
     def _drain_journal(self, entries: List[tuple]) -> None:
         """Write collected journal rows (outside the admission lock;
         the journal serializes itself and replay tolerates cross-thread
         row interleavings)."""
-        for kind, job, ref in entries:
-            if kind == "submit":
-                self.journal.record_submit(job, dedup_ref=ref)
-            elif kind == "done":
-                self.journal.record_done(job)
-            else:
-                self.journal.record_failed(job)
+        try:
+            for kind, job, ref in entries:
+                if kind == "submit":
+                    self.journal.record_submit(job, dedup_ref=ref)
+                elif kind == "done":
+                    self.journal.record_done(job)
+                elif kind == "quarantined":
+                    self.journal.record_quarantined(job)
+                else:
+                    self.journal.record_failed(job)
+        except OSError:
+            self._note_disk(False)
+            raise
+        if entries:
+            self._note_disk(True)
 
     def _retry_after_locked(self) -> int:
         """Honest backpressure: the queue's expected drain time under
@@ -580,49 +729,282 @@ class TriageDaemon:
     # Workers
     # ------------------------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, name: Optional[str] = None) -> None:
+        name = name or threading.current_thread().name
         session = StreamingTriage(self.service_config, chain=self.chain)
+        fi = faultinject.active()
         try:
             while True:
                 with self._cv:
-                    while not self._heap and not self._stop:
-                        self._cv.wait()
-                    if self._stop and (not self._drain_on_stop
-                                       or not self._heap):
-                        return
-                    __, __, job_id = heapq.heappop(self._heap)
-                    job = self._jobs[job_id]
-                    job.state = JobState.RUNNING
-                    self._running += 1
+                    claimed = self._claim_locked(name)
+                if claimed is None:
+                    return
+                job, claim = claimed
                 try:
+                    if fi is not None:
+                        # The worker-death site: fires *before* the
+                        # drive, the window where an acknowledged job
+                        # is claimed but has produced nothing.
+                        fi.check("worker.task")
                     triaged = session.triage_one(
                         job.program, job.bug_report(),
                         fingerprint=job.fingerprint,
                         bypass_cache=job.force)
                 except KeyboardInterrupt:
                     raise
+                except WorkerCrashError as exc:
+                    # Simulated worker death: bookkeeping (requeue or
+                    # quarantine the job), then the thread dies — the
+                    # monitor respawns a replacement, exactly the
+                    # crash-looping-fleet scenario quarantine bounds.
+                    self._worker_died(name, job, claim, str(exc))
+                    return
                 except Exception as exc:  # noqa: BLE001 - worker boundary
-                    self._settle_safely(self._fail, job,
-                                        f"{type(exc).__name__}: {exc}")
+                    self._settle_safely(
+                        self._retry_or_fail, job, name, claim,
+                        f"{type(exc).__name__}: {exc}")
                     continue
-                self._settle_safely(self._complete, job, triaged)
+                self._settle_safely(self._complete, job, name, claim,
+                                    triaged)
         finally:
             session.flush_solver_caches()
 
-    def _settle_safely(self, settle, job: IntakeJob, outcome) -> None:
+    def _claim_locked(self, name: str) -> Optional[Tuple[IntakeJob, int]]:
+        """Block until a job is claimable; None means "exit the loop".
+        Under a draining stop workers stay alive until *everything*
+        settles — a retry waiting out its backoff still needs a worker
+        when the monitor promotes it."""
+        while True:
+            if name in self._abandoned:
+                return None
+            if self._stop:
+                if not self._drain_on_stop:
+                    return None
+                if self._unsettled == 0:
+                    return None
+            if self._heap:
+                __, __, job_id = heapq.heappop(self._heap)
+                job = self._jobs.get(job_id)
+                if job is None or job.state is not JobState.QUEUED:
+                    continue  # settled/quarantined while queued
+                job.state = JobState.RUNNING
+                job.attempts += 1
+                job.claim += 1
+                self._running += 1
+                self._running_jobs[name] = (job, job.claim,
+                                            time.monotonic())
+                return job, job.claim
+            self._cv.wait(timeout=0.5)
+
+    def _release_locked(self, name: str, job: IntakeJob,
+                        claim: int) -> bool:
+        """Validate-and-release an in-flight claim.  False means the
+        claim is stale — the watchdog reaped this worker and the job
+        was re-queued (or already settled by its retry); the caller
+        must discard its outcome instead of double-settling."""
+        entry = self._running_jobs.get(name)
+        if entry is None or entry[0] is not job or entry[1] != claim \
+                or job.claim != claim or job.state is not JobState.RUNNING:
+            return False
+        self._running_jobs.pop(name)
+        self._running -= 1
+        return True
+
+    def _backoff_locked(self, attempt: int) -> float:
+        """Jittered exponential backoff for the ``attempt``-th retry:
+        ``base * 2^(attempt-1)`` clamped to the cap, scaled by a
+        uniform factor in [0.5, 1.0] so synchronized failures do not
+        re-queue in lockstep."""
+        window = min(self.config.retry_backoff_cap,
+                     self.config.retry_backoff_base
+                     * (2 ** max(0, attempt - 1)))
+        return window * (0.5 + 0.5 * self._backoff_rng.random())
+
+    def _requeue_locked(self, job: IntakeJob) -> None:
+        job.state = JobState.QUEUED
+        self.metrics.retries_total += 1
+        delay = self._backoff_locked(job.attempts)
+        if delay <= 0:
+            heapq.heappush(self._heap, (job.priority, job.seq,
+                                        job.job_id))
+            self._cv.notify()
+        else:
+            job.not_before = time.monotonic() + delay
+            self._delayed.append(job)
+
+    def _quarantine_locked(self, job: IntakeJob, error: str,
+                           journal: List[tuple]) -> None:
+        """Settle a poison job (and its attached duplicates) with
+        diagnostics instead of a verdict.  The key's pending marker is
+        freed, so a later re-submission of the same crash gets a fresh
+        chance — quarantine is a fuse, not a verdict cache."""
+        job.state = JobState.QUARANTINED
+        job.error = error
+        job.finished_at = now()
+        job._dump = None
+        self._unsettled -= 1
+        self._settled_list.append(job)
+        self._quarantined_count += 1
+        journal.append(("quarantined", job, None))
+        self.metrics.quarantined_total += 1
+        if self._pending_by_key.get(job.dedup_key) == job.job_id:
+            self._pending_by_key.pop(job.dedup_key)
+        for dep_id in self._dependents.pop(job.job_id, ()):
+            dependent = self._jobs[dep_id]
+            dependent.state = JobState.QUARANTINED
+            dependent.error = f"representative {job.job_id} quarantined"
+            dependent.finished_at = now()
+            dependent._dump = None
+            self._unsettled -= 1
+            self._settled_list.append(dependent)
+            self._quarantined_count += 1
+            journal.append(("quarantined", dependent, None))
+            self.metrics.quarantined_total += 1
+        self._note_settled_locked()
+
+    def _worker_died(self, name: str, job: IntakeJob, claim: int,
+                     reason: str) -> None:
+        """A worker died mid-drive (injected crash today; the pattern
+        holds for any abrupt worker loss).  Count it against the job —
+        re-queue with backoff, or quarantine once it has killed
+        ``quarantine_after`` workers."""
+        journal: List[tuple] = []
+        with self._cv:
+            if self._release_locked(name, job, claim):
+                job.worker_crashes += 1
+                if job.worker_crashes >= self.config.quarantine_after:
+                    self._quarantine_locked(
+                        job,
+                        f"quarantined: killed {job.worker_crashes} "
+                        f"worker(s); last: {reason}", journal)
+                else:
+                    self._requeue_locked(job)
+            self._cv.notify_all()
+        self._settle_safely(self._drain_journal, journal)
+        self._flush_pending()
+
+    def _retry_or_fail(self, job: IntakeJob, name: str, claim: int,
+                       error: str) -> None:
+        """A drive raised: re-queue with backoff while attempts remain,
+        settle as failed (dependents included) when they run out."""
+        journal: List[tuple] = []
+        with self._cv:
+            if not self._release_locked(name, job, claim):
+                return
+            if job.attempts < self.config.max_attempts:
+                self._requeue_locked(job)
+            else:
+                self._fail_locked(
+                    job, f"{error} (after {job.attempts} attempts)",
+                    journal)
+            self._cv.notify_all()
+        self._drain_journal(journal)
+        self._flush_pending()
+
+    def _settle_safely(self, settle, *args) -> None:
         """Settling touches the journal and the store; transient I/O
         trouble there (ENOSPC on the spool volume, say) must cost at
         most this one job's durability — never the worker thread, or
         the daemon would silently stop triaging while healthz still
         looked alive."""
         try:
-            settle(job, outcome)
+            settle(*args)
         except Exception as exc:  # noqa: BLE001 - worker boundary
-            warnings.warn(f"intake daemon: settling {job.job_id} hit "
+            warnings.warn(f"intake daemon: settling hit "
                           f"{type(exc).__name__}: {exc}; worker continues",
                           RuntimeWarning)
 
-    def _complete(self, job: IntakeJob, triaged: TriagedReport) -> None:
+    # ------------------------------------------------------------------
+    # Monitor: delayed-retry promotion, watchdog, worker respawn
+    # ------------------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while True:
+            journal: List[tuple] = []
+            with self._cv:
+                if self._stop and (not self._drain_on_stop
+                                   or self._unsettled == 0):
+                    return
+                self._promote_due_locked()
+                self._watchdog_locked(journal)
+                self._respawn_locked()
+            if journal:
+                self._settle_safely(self._drain_journal, journal)
+                self._flush_pending()
+            with self._cv:
+                self._cv.wait(timeout=self.config.monitor_interval)
+
+    def _promote_due_locked(self) -> None:
+        """Move delayed retries whose backoff has elapsed into the
+        claimable heap."""
+        if not self._delayed:
+            return
+        now_m = time.monotonic()
+        still: List[IntakeJob] = []
+        promoted = False
+        for job in self._delayed:
+            if job.state is not JobState.QUEUED:
+                continue  # settled (quarantined/unwound) while waiting
+            if job.not_before <= now_m:
+                heapq.heappush(self._heap, (job.priority, job.seq,
+                                            job.job_id))
+                promoted = True
+            else:
+                still.append(job)
+        self._delayed = still
+        if promoted:
+            self._cv.notify_all()
+
+    def _watchdog_locked(self, journal: List[tuple]) -> None:
+        """Reap drives that exceeded the watchdog timeout: abandon the
+        hung worker thread (it can be parked in a hung solver call —
+        nothing can interrupt it, so it is written off and replaced),
+        invalidate its claim, and count a worker loss against the job."""
+        timeout = self.config.watchdog_timeout
+        if timeout <= 0:
+            return
+        now_m = time.monotonic()
+        for name, (job, claim, started) in list(
+                self._running_jobs.items()):
+            if now_m - started <= timeout:
+                continue
+            self._abandoned.add(name)
+            self._running_jobs.pop(name, None)
+            self._running -= 1
+            if job.claim == claim and job.state is JobState.RUNNING:
+                job.claim += 1  # the hung drive's settle is stale now
+                job.worker_crashes += 1
+                if job.worker_crashes >= self.config.quarantine_after:
+                    self._quarantine_locked(
+                        job,
+                        f"quarantined: hung past the {timeout:.1f}s "
+                        f"watchdog {job.worker_crashes} time(s)", journal)
+                else:
+                    self._requeue_locked(job)
+            self._cv.notify_all()
+
+    def _respawn_locked(self) -> None:
+        """Keep the pool at strength: prune dead threads, count the
+        live non-abandoned workers, and spawn replacements.  Respawn
+        continues under a *draining* stop — the queue cannot finish
+        without workers — and halts under a hard stop."""
+        pruned: List[threading.Thread] = []
+        for thread in self._threads:
+            if thread.is_alive():
+                pruned.append(thread)
+            else:
+                self._abandoned.discard(thread.name)
+        self._threads = pruned
+        if self._stop and not (self._drain_on_stop and self._unsettled):
+            return
+        alive = sum(1 for t in self._threads
+                    if t.name not in self._abandoned)
+        while alive < self.config.workers:
+            self._spawn_worker_locked(restart=True)
+            alive += 1
+
+    def _complete(self, job: IntakeJob, name: str, claim: int,
+                  triaged: TriagedReport) -> None:
         # Phase 1: settle in memory and journal the done rows.  The
         # verdict is NOT yet registered for instant dedup — an instant
         # duplicate journals a done row of its own, and that row must
@@ -634,11 +1016,12 @@ class TriageDaemon:
         # submissions attach as dependents and settle in phase 2.
         journal: List[tuple] = []
         with self._cv:
+            if not self._release_locked(name, job, claim):
+                return  # reaped mid-drive: the retry owns this job now
             job.verdict = triaged
             job.state = JobState.DONE
             job.finished_at = now()
             self._unsettled -= 1
-            self._running -= 1
             self._settled_list.append(job)
             journal.append(("done", job, None))
             self.metrics.verdicts_total += 1
@@ -679,34 +1062,29 @@ class TriageDaemon:
         self._drain_journal(journal)
         self._flush_pending()
 
-    def _fail(self, job: IntakeJob, error: str) -> None:
-        journal: List[tuple] = []
-        with self._cv:
-            job.state = JobState.FAILED
-            job.error = error
-            job.finished_at = now()
-            job._dump = None
+    def _fail_locked(self, job: IntakeJob, error: str,
+                     journal: List[tuple]) -> None:
+        job.state = JobState.FAILED
+        job.error = error
+        job.finished_at = now()
+        job._dump = None
+        self._unsettled -= 1
+        self._settled_list.append(job)
+        journal.append(("failed", job, None))
+        self.metrics.failed_total += 1
+        if self._pending_by_key.get(job.dedup_key) == job.job_id:
+            self._pending_by_key.pop(job.dedup_key)
+        for dep_id in self._dependents.pop(job.job_id, ()):
+            dependent = self._jobs[dep_id]
+            dependent.state = JobState.FAILED
+            dependent.error = f"representative {job.job_id} failed"
+            dependent.finished_at = now()
+            dependent._dump = None
             self._unsettled -= 1
-            self._running -= 1
-            self._settled_list.append(job)
-            journal.append(("failed", job, None))
+            self._settled_list.append(dependent)
+            journal.append(("failed", dependent, None))
             self.metrics.failed_total += 1
-            if self._pending_by_key.get(job.dedup_key) == job.job_id:
-                self._pending_by_key.pop(job.dedup_key)
-            for dep_id in self._dependents.pop(job.job_id, ()):
-                dependent = self._jobs[dep_id]
-                dependent.state = JobState.FAILED
-                dependent.error = f"representative {job.job_id} failed"
-                dependent.finished_at = now()
-                dependent._dump = None
-                self._unsettled -= 1
-                self._settled_list.append(dependent)
-                journal.append(("failed", dependent, None))
-                self.metrics.failed_total += 1
-            self._note_settled_locked()
-            self._cv.notify_all()
-        self._drain_journal(journal)
-        self._flush_pending()
+        self._note_settled_locked()
 
     def _note_settled_locked(self) -> None:
         """Count one settled job; every ``flush_every``-th, snapshot the
@@ -766,7 +1144,18 @@ class TriageDaemon:
         with self._flush_lock:
             if seq <= self._flushed_seq:
                 return
-            self._store.flush(result, corpus, complete=complete)
+            try:
+                self._store.flush(result, corpus, complete=complete)
+            except OSError as exc:
+                # The store is a derived artifact — every row in it is
+                # rebuilt from the journal on replay — so a failed
+                # flush costs visibility, not verdicts.  Raising here
+                # would kill the monitor thread (or 503 a submission
+                # that was already durably admitted).
+                warnings.warn(f"report store flush failed ({exc}); "
+                              f"retrying at the next flush point",
+                              RuntimeWarning)
+                return
             self._flushed_seq = seq
 
     # ------------------------------------------------------------------
@@ -828,24 +1217,50 @@ class TriageDaemon:
                 "reports": [job.status_payload() for job in matching]}
 
     def healthz(self) -> dict:
-        alive = sum(1 for thread in self._threads if thread.is_alive())
+        """Liveness + degradation.  ``degraded`` means the daemon still
+        answers — instant dedup against the historical store is pure
+        in-memory reads — but its write side is impaired: workers are
+        down (pool below strength, pending respawn or respawn-disabled)
+        or the spool disk rejected the last journal append.  Read-only
+        service from historical dedup is exactly what keeps working in
+        that state, so clients can keep querying and submitting known
+        crashes while new work is refused or delayed."""
         with self._cv:
+            alive = sum(1 for thread in self._threads
+                        if thread.is_alive()
+                        and thread.name not in self._abandoned)
+            disk_ok = self._disk_ok
+            degraded = (not disk_ok) or (
+                self._threads and alive < self.config.workers)
             if self._stop:
                 status = "draining"
-            elif self._threads and alive < self.config.workers:
-                status = "degraded"  # a worker died; don't report ok
+            elif degraded:
+                status = "degraded"
             else:
                 status = "ok"
             return {
                 "status": status,
                 "queue_depth": len(self._heap),
+                "delayed_retries": len(self._delayed),
                 "in_flight": self._running,
                 "workers": self.config.workers,
                 "workers_alive": alive,
+                "disk": "ok" if disk_ok else "unhealthy",
+                "quarantined": self._quarantined_count,
                 "jobs": len(self._jobs),
                 "uptime_seconds": round(
                     now() - self.metrics.started_at, 3),
             }
+
+    def quarantine_payload(self) -> dict:
+        """Every quarantined job with its diagnostics (the operator's
+        drain-and-inspect view behind ``res status --quarantine``)."""
+        with self._cv:
+            settled, count = self._settled_list, len(self._settled_list)
+        rows = sorted((job.status_payload() for job in settled[:count]
+                       if job.state is JobState.QUARANTINED),
+                      key=lambda row: row["job_id"])
+        return {"quarantined": rows}
 
     def metrics_text(self) -> str:
         """The ``GET /metrics`` exposition (Prometheus text format)."""
@@ -863,6 +1278,17 @@ class TriageDaemon:
         gauge("warm_hits_total", snapshot["warm_hits_total"], "counter")
         gauge("failed_total", snapshot["failed_total"], "counter")
         gauge("rejected_total", snapshot["rejected_total"], "counter")
+        gauge("malformed_total", snapshot["malformed_total"], "counter")
+        gauge("retries_total", snapshot["retries_total"], "counter")
+        gauge("quarantined_total", snapshot["quarantined_total"],
+              "counter")
+        gauge("worker_restarts_total",
+              snapshot["worker_restarts_total"], "counter")
+        gauge("journal_errors_total",
+              snapshot["journal_errors_total"], "counter")
+        gauge("injected_faults_total", faultinject.injected_total(),
+              "counter")
+        gauge("degraded", 1 if health["status"] == "degraded" else 0)
         gauge("queue_depth", health["queue_depth"])
         gauge("in_flight", health["in_flight"])
         gauge("verdicts_per_second", snapshot["verdicts_per_second"])

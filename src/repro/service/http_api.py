@@ -11,7 +11,9 @@ Endpoints (all JSON unless noted):
 * ``GET /buckets`` — bucket signature → report ids, live.
 * ``GET /reports/<fingerprint>`` — every settled report of a coredump
   fingerprint.
-* ``GET /healthz`` — liveness + queue/in-flight gauges.
+* ``GET /quarantine`` — every quarantined (poison) job + diagnostics.
+* ``GET /healthz`` — liveness + queue/in-flight gauges and the
+  degraded/disk signals.
 * ``GET /metrics`` — Prometheus text exposition.
 * ``POST /shutdown`` — ``{"drain": bool}``; asks the serving loop to
   stop (drain first when requested).
@@ -28,6 +30,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from repro import faultinject
 from repro.service.daemon import TriageDaemon
 
 #: request body cap (a coredump JSON is ~100 KB; 32 MB is generous and
@@ -91,6 +94,12 @@ class IntakeRequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True  # not worth draining 32 MB
             return None, f"request body over {MAX_BODY_BYTES} bytes"
         raw = self.rfile.read(length)
+        fi = faultinject.active()
+        if fi is not None:
+            # Corrupt-on-the-wire site: what the daemon parses is a
+            # truncated/bit-flipped/garbage-prefixed version of what
+            # the client sent — the chaos suite's malformed traffic.
+            raw = fi.corrupt("http.body", raw)
         try:
             payload = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
@@ -110,6 +119,8 @@ class IntakeRequestHandler(BaseHTTPRequestHandler):
             self._send_text(200, daemon.metrics_text())
         elif path == "/buckets":
             self._send_json(200, daemon.buckets_payload())
+        elif path == "/quarantine":
+            self._send_json(200, daemon.quarantine_payload())
         elif path.startswith("/jobs/"):
             payload = daemon.job_payload(path[len("/jobs/"):])
             if payload is None:
@@ -128,6 +139,7 @@ class IntakeRequestHandler(BaseHTTPRequestHandler):
         if path == "/jobs":
             payload, error = self._read_body()
             if error is not None:
+                daemon.metrics.bump("malformed_total")
                 self._send_json(400, {"error": error})
                 return
             priority = payload.get("priority")
@@ -135,6 +147,7 @@ class IntakeRequestHandler(BaseHTTPRequestHandler):
                 try:
                     priority = int(priority)
                 except (TypeError, ValueError):
+                    daemon.metrics.bump("malformed_total")
                     self._send_json(
                         400, {"error": "priority must be an integer"})
                     return

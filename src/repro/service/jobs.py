@@ -57,6 +57,11 @@ class JobState(Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    #: poison job: it killed enough workers (or outlived the watchdog
+    #: enough times) that running it again would keep crash-looping the
+    #: fleet.  Settled — with diagnostics instead of a verdict — so the
+    #: queue drains past it and an operator can inspect and resubmit.
+    QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -90,6 +95,18 @@ class IntakeJob:
     #: wall clock, so its settle latency must stay out of the metrics
     #: window (it would poison p50/p95 and the Retry-After estimate)
     resumed: bool = False
+    #: times a worker claimed this job (drives started, not finished)
+    attempts: int = 0
+    #: workers this job killed (injected or real crash mid-drive) or
+    #: hung past the watchdog — the quarantine trigger
+    worker_crashes: int = 0
+    #: earliest monotonic time a retry may be claimed (backoff delay)
+    not_before: float = 0.0
+    #: claim token, bumped on every claim and on watchdog reaping: a
+    #: settle attempt carrying a stale token (its worker was reaped and
+    #: the job re-queued meanwhile) is discarded instead of racing the
+    #: retry's own settle
+    claim: int = 0
     _dump: Optional[Coredump] = field(default=None, repr=False)
     _dedup_key: Optional[tuple] = field(default=None, repr=False)
 
@@ -116,7 +133,8 @@ class IntakeJob:
 
     @property
     def settled(self) -> bool:
-        return self.state in (JobState.DONE, JobState.FAILED)
+        return self.state in (JobState.DONE, JobState.FAILED,
+                              JobState.QUARANTINED)
 
     @property
     def dedup_key(self) -> tuple:
@@ -152,6 +170,11 @@ class IntakeJob:
             payload["dedup_of"] = self.dedup_of
         if self.error is not None:
             payload["error"] = self.error
+        if self.attempts > 1 or self.worker_crashes > 0:
+            # Retry diagnostics only when there is a story to tell —
+            # the common first-try-done payload stays byte-stable.
+            payload["attempts"] = self.attempts
+            payload["worker_crashes"] = self.worker_crashes
         if self.verdict is not None:
             result = self.verdict.result
             payload["verdict"] = {
@@ -246,6 +269,20 @@ class JobJournal:
             "error": job.error or "triage failed",
         })
 
+    def record_quarantined(self, job: IntakeJob) -> None:
+        """Settle a poison job durably.  An additive row kind under the
+        same schema: old journals replay unchanged, and a journal with
+        quarantine rows replayed by an *older* reader would re-queue
+        the job (treating it as unsettled) — safe, merely un-quarantined
+        until it crash-loops again."""
+        self._append({
+            "event": "quarantined",
+            "job_id": job.job_id,
+            "error": job.error or "quarantined",
+            "attempts": job.attempts,
+            "worker_crashes": job.worker_crashes,
+        })
+
     # -- replay --------------------------------------------------------------
 
     def replay(self, config: TriageServiceConfig) -> List[IntakeJob]:
@@ -288,7 +325,7 @@ class JobJournal:
                 continue
             if event == "submit":
                 submits[job_id] = row
-            elif event in ("done", "failed"):
+            elif event in ("done", "failed", "quarantined"):
                 settles[job_id] = row
 
         jobs: Dict[str, IntakeJob] = {}
@@ -352,6 +389,12 @@ class JobJournal:
                         cached=bool(row.get("cached", False)))
                     job.dedup_of = row.get("dedup_of")
                     job.state = JobState.DONE
+                    job.finished_at = job.submitted_at
+                elif row["event"] == "quarantined":
+                    job.state = JobState.QUARANTINED
+                    job.error = row.get("error", "quarantined")
+                    job.attempts = int(row.get("attempts", 0))
+                    job.worker_crashes = int(row.get("worker_crashes", 0))
                     job.finished_at = job.submitted_at
                 else:
                     job.state = JobState.FAILED

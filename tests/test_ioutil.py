@@ -164,3 +164,121 @@ def test_append_after_torn_line_does_not_merge_rows(tmp_path):
     append_line(target, '{"c": 3}')
     lines = target.read_text().splitlines()
     assert lines == ['{"a": 1}', '{"b": 2', '{"c": 3}']
+
+
+# ---------------------------------------------------------------------------
+# Injected disk faults (repro.faultinject): the reader-side recovery
+# contract under ENOSPC, torn appends, fsync failures, and interrupted
+# atomic writes.
+# ---------------------------------------------------------------------------
+
+def test_injected_enospc_append_fails_before_writing(tmp_path):
+    from repro import faultinject
+    from repro.ioutil import append_line, iter_jsonl
+
+    target = tmp_path / "log.jsonl"
+    append_line(target, '{"a": 1}')
+    with faultinject.injected(
+            {"seed": 7, "sites": {"ioutil.append_line":
+                                  {"at": [0], "kinds": ["enospc"]}}}):
+        with pytest.raises(OSError, match="ENOSPC|injected"):
+            append_line(target, '{"b": 2}')
+    # ENOSPC fired before the open: the log is byte-identical, and a
+    # later append (disk recovered) lands cleanly.
+    assert [row for __, row in iter_jsonl(target)] == [{"a": 1}]
+    append_line(target, '{"c": 3}')
+    assert [row for __, row in iter_jsonl(target)] == [{"a": 1}, {"c": 3}]
+
+
+def test_injected_torn_append_reader_skips_fragment(tmp_path):
+    """The crash-mid-append case: a prefix of the row reaches the file,
+    the writer sees a failure, and iter_jsonl must skip the fragment —
+    then the next append heals the missing newline instead of merging
+    into the fragment."""
+    from repro import faultinject
+    from repro.ioutil import append_line, iter_jsonl
+
+    target = tmp_path / "log.jsonl"
+    with faultinject.injected(
+            {"seed": 7, "sites": {"ioutil.append_line":
+                                  {"at": [1], "kinds": ["torn"]}}}):
+        append_line(target, '{"a": 1}')
+        with pytest.raises(OSError, match="torn"):
+            append_line(target, '{"b": 2}')
+        assert not target.read_text().endswith("\n")
+        assert [row for __, row in iter_jsonl(target)] == [{"a": 1}]
+        append_line(target, '{"c": 3}')
+    with pytest.warns(RuntimeWarning, match="corrupt mid-file"):
+        rows = [row for __, row in iter_jsonl(target)]
+    assert rows == [{"a": 1}, {"c": 3}]
+
+
+def test_injected_fsync_failure_row_may_survive(tmp_path):
+    """An fsync failure means durability was not promised: the caller
+    must treat the row as lost even though it may well be in the file
+    (it is — only the disk's promise is missing)."""
+    from repro import faultinject
+    from repro.ioutil import append_line, iter_jsonl
+
+    target = tmp_path / "log.jsonl"
+    with faultinject.injected(
+            {"seed": 7, "sites": {"ioutil.append_line":
+                                  {"at": [0], "kinds": ["fsync"]}}}):
+        with pytest.raises(OSError, match="fsync"):
+            append_line(target, '{"a": 1}')
+    assert [row for __, row in iter_jsonl(target)] == [{"a": 1}]
+
+
+def test_injected_atomic_interrupt_keeps_target_and_no_litter(tmp_path):
+    """A death between the temp-file write and the rename — the window
+    atomic replacement exists for — must leave the old target intact
+    and no temp litter behind."""
+    from repro import faultinject
+    from repro.ioutil import atomic_write_text
+
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "intact")
+    with faultinject.injected(
+            {"seed": 7, "sites": {"ioutil.atomic_write":
+                                  {"at": [0], "kinds": ["interrupt"]}}}):
+        with pytest.raises(OSError, match="before replace"):
+            atomic_write_text(target, "half-done")
+    assert target.read_text() == "intact"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_injected_atomic_enospc_keeps_target(tmp_path):
+    from repro import faultinject
+    from repro.ioutil import atomic_write_text
+
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "intact")
+    with faultinject.injected(
+            {"seed": 7, "sites": {"ioutil.atomic_write":
+                                  {"at": [0], "kinds": ["enospc"]}}}):
+        with pytest.raises(OSError, match="ENOSPC|injected"):
+            atomic_write_text(target, "lost")
+    assert target.read_text() == "intact"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_fault_path_filter_only_counts_matching_calls(tmp_path):
+    """path_contains scopes a rule to one file: call indices address
+    the *matching* appends only, so interleaved writes to other logs
+    never shift the schedule."""
+    from repro import faultinject
+    from repro.ioutil import append_line
+
+    journal = tmp_path / "jobs.jsonl"
+    other = tmp_path / "cache.jsonl"
+    with faultinject.injected(
+            {"seed": 7, "sites": {"ioutil.append_line":
+                                  {"at": [1], "kinds": ["enospc"],
+                                   "path_contains": "jobs.jsonl"}}}):
+        append_line(other, '{"x": 1}')    # not counted
+        append_line(journal, '{"a": 1}')  # matching call 0: clean
+        append_line(other, '{"x": 2}')    # not counted
+        with pytest.raises(OSError):      # matching call 1: fires
+            append_line(journal, '{"b": 2}')
+        append_line(other, '{"x": 3}')    # other log never faulted
+    assert len(other.read_text().splitlines()) == 3
