@@ -3,8 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test perf triage-bench warm-bench serve-bench serve-smoke \
-	chaos-smoke fuzz-smoke fuzz-test fuzz-pinned
+.PHONY: test perf triage-bench warm-bench serve-bench bucket-bench \
+	serve-smoke chaos-smoke fuzz-smoke fuzz-test fuzz-pinned
 
 # Tier-1 verification (fuzz- and perf-marked tests are deselected by
 # pytest.ini; run them via the targets below).
@@ -30,6 +30,13 @@ warm-bench:
 # `service_throughput` rows).
 serve-bench:
 	$(PYTHON) -m pytest benchmarks/test_p5_service_throughput.py -q -m perf
+
+# P6 bucket-quality benchmark (also a CI gate): refined
+# misbucketed_fraction <= 0.35 and bucket_accuracy >= 0.90 on the
+# labeled 64-report corpus, with warm/rebucket runs byte-identical
+# (appends `bucket_quality` rows).
+bucket-bench:
+	$(PYTHON) -m pytest benchmarks/test_p6_bucket_quality.py -q -m perf
 
 # Daemon smoke cycle (also a CI gate): start `res serve`, submit 5
 # jobs over HTTP, drain, clean shutdown, verify the report store.

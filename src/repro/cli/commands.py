@@ -149,6 +149,7 @@ def cmd_triage(args: argparse.Namespace) -> int:
     from repro.core.triage_service import (
         TriageCorpus,
         TriageServiceConfig,
+        refined_results,
         triage_corpus,
     )
 
@@ -189,7 +190,8 @@ def cmd_triage(args: argparse.Namespace) -> int:
                                  max_nodes=args.max_nodes,
                                  store_path=args.store,
                                  cache_dir=args.cache_dir,
-                                 warm_from=tuple(args.warm_from))
+                                 warm_from=tuple(args.warm_from),
+                                 rebucket_only=args.rebucket)
     # SIGTERM (a supervisor's stop) takes the same clean-interrupt path
     # as ^C: pool terminated, partial verdicts kept, store flagged.
     with deliver_sigterm_as_interrupt():
@@ -201,15 +203,23 @@ def cmd_triage(args: argparse.Namespace) -> int:
         done = {r.report_id for r in res_results}
         reports = [r for r in reports if r.report_id in done]
     wer_results = wer_triage(reports)
+    refined, refinement = refined_results(service_result.reports)
 
     for name, results in (("WER (call stacks)", wer_results),
-                          ("RES (root causes)", res_results)):
+                          ("RES (root causes)", res_results),
+                          ("RES (refined)", refined)):
         buckets = len({r.bucket for r in results})
         accuracy = bucket_accuracy(results, reports)
         misbucketed = misbucketed_fraction(results, reports)
         print(f"{name:20s} buckets={buckets:3d} "
               f"pair-accuracy={accuracy:5.1%} "
               f"misbucketed={misbucketed:5.1%}")
+    stats = refinement.stats
+    print(f"refinement: {stats['families']} families "
+          f"({stats['merged_leaves']} leaves merged, "
+          f"{stats['attached_fallbacks']} fallbacks attached, "
+          f"{stats['conflicted_families']} conflicted, "
+          f"{stats['ambiguous_fallbacks']} ambiguous)")
     print(f"service: {service_result.triaged} triaged, "
           f"{service_result.dedup_hits} dedup hits, "
           f"{service_result.cache_hits} cache hits, "
@@ -239,6 +249,56 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"compacted {before['rows']} row(s) -> {after['rows']} "
           f"({before['rows_bytes']} -> {after['rows_bytes']} bytes, "
           f"{after['entries']} live entries)")
+    return 0
+
+
+def cmd_buckets(args: argparse.Namespace) -> int:
+    """Print the refined bucket hierarchy of a report store file or a
+    running intake daemon (``--url``): one line per family with its
+    merged signature leaves, then the flat buckets and pass stats."""
+    import json as _json
+
+    from repro.errors import ReproError
+
+    if args.url:
+        from repro.service.client import get_buckets
+
+        payload = get_buckets(args.url)
+        hierarchy = payload.get("hierarchy") or {}
+        stats = payload.get("stats") or {}
+        buckets = payload.get("buckets") or {}
+    elif args.store:
+        path = Path(args.store)
+        if not path.exists():
+            raise ReproError(f"report store not found: {path}")
+        try:
+            store = _json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"corrupt report store {path}: {exc}") from exc
+        bucketing = store.get("bucketing") or {}
+        hierarchy = bucketing.get("hierarchy") or {}
+        stats = bucketing.get("stats") or {}
+        buckets = store.get("buckets") or {}
+    else:
+        raise ReproError("res buckets: give a report store file or --url")
+
+    for bucket, info in sorted(hierarchy.items()):
+        print(f"family {info['cause_kind']} @ {info['function']} "
+              f"[{info['trap_kind']}] {info['skeleton'] or '(no skeleton)'} "
+              f"— {info['reports']} report(s)")
+        for leaf, members in info.get("leaves", {}).items():
+            print(f"  leaf {leaf}: {len(members)} report(s)")
+    singles = {bucket: ids for bucket, ids in buckets.items()
+               if bucket not in hierarchy}
+    for bucket, ids in sorted(singles.items()):
+        print(f"bucket {bucket} — {len(ids)} report(s)")
+    if stats:
+        print(f"stats: {stats.get('families', 0)} families, "
+              f"{stats.get('merged_leaves', 0)} leaves merged, "
+              f"{stats.get('attached_fallbacks', 0)} fallbacks attached, "
+              f"{stats.get('conflicted_families', 0)} conflicted, "
+              f"{stats.get('ambiguous_fallbacks', 0)} ambiguous, "
+              f"{stats.get('reports', 0)} reports")
     return 0
 
 

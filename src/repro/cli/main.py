@@ -79,7 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
                           default=[],
                           help="additional read-only cache directory "
                                "consulted on a miss (repeatable)")
+    p_triage.add_argument("--rebucket", action="store_true",
+                          help="re-bucket cached history only: every "
+                               "report must be a warm cache hit "
+                               "(requires --cache-dir/--warm-from); "
+                               "no backward search ever runs")
     p_triage.set_defaults(func=commands.cmd_triage)
+
+    p_buckets = sub.add_parser(
+        "buckets", help="print the refined bucket hierarchy of a report "
+                        "store or a running intake daemon")
+    p_buckets.add_argument("store", nargs="?", metavar="FILE",
+                           help="report store JSON (from `res triage "
+                                "--store` / `res serve --store`)")
+    p_buckets.add_argument("--url", metavar="URL",
+                           help="query a running daemon's GET /buckets "
+                                "instead of reading a store file")
+    p_buckets.set_defaults(func=commands.cmd_buckets)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or compact a cross-run RES result cache")

@@ -58,12 +58,15 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from repro.ioutil import append_line, atomic_write_json
 from repro.vm.state import PC
 from repro.core.res import RESConfig
-from repro.core.rootcause import RootCause
+from repro.core.rootcause import CauseEvidence, RootCause
 
 #: bump on ANY change to verdict synthesis, solver semantics, or the
 #: row format — old rows become unreachable (pure misses), never
-#: misread.  History: 1 = PR 4 initial format.
-CACHE_SCHEMA_VERSION = 1
+#: misread.  History: 1 = PR 4 initial format; 2 = PR 7
+#: evidence-enriched causes (a schema-1 row would replay a cause
+#: without bucketing evidence and silently coarsen its bucket, so old
+#: rows are recomputed instead).
+CACHE_SCHEMA_VERSION = 2
 
 ROWS_FILE = "rescache.jsonl"
 META_FILE = "meta.json"
@@ -139,7 +142,7 @@ def cause_from_obj(obj: Optional[dict]) -> Optional[RootCause]:
 def _cause_to_obj(cause: Optional[RootCause]) -> Optional[dict]:
     if cause is None:
         return None
-    return {
+    obj = {
         "kind": cause.kind,
         "description": cause.description,
         "addr": cause.addr,
@@ -147,11 +150,30 @@ def _cause_to_obj(cause: Optional[RootCause]) -> Optional[dict]:
         "pcs": [[pc.function, pc.block, pc.index] for pc in cause.pcs],
         "object_name": cause.object_name,
     }
+    if cause.evidence is not None:
+        obj["evidence"] = {
+            "trap_kind": cause.evidence.trap_kind,
+            "crash_fn": cause.evidence.crash_fn,
+            "expr_skeleton": cause.evidence.expr_skeleton,
+            "taint_classes": list(cause.evidence.taint_classes),
+            "suffix_shape": cause.evidence.suffix_shape,
+        }
+    return obj
 
 
 def _cause_from_obj(obj: Optional[dict]) -> Optional[RootCause]:
     if obj is None:
         return None
+    # Absent on pre-PR-7 rows (daemon journals): the cause keeps its
+    # coarse signature rather than guessing evidence it never recorded.
+    raw = obj.get("evidence")
+    evidence = CauseEvidence(
+        trap_kind=raw["trap_kind"],
+        crash_fn=raw["crash_fn"],
+        expr_skeleton=raw["expr_skeleton"],
+        taint_classes=tuple(raw["taint_classes"]),
+        suffix_shape=raw["suffix_shape"],
+    ) if raw is not None else None
     return RootCause(
         kind=obj["kind"],
         description=obj["description"],
@@ -159,6 +181,7 @@ def _cause_from_obj(obj: Optional[dict]) -> Optional[RootCause]:
         threads=tuple(obj["threads"]),
         pcs=tuple(PC(f, b, i) for f, b, i in obj["pcs"]),
         object_name=obj["object_name"],
+        evidence=evidence,
     )
 
 

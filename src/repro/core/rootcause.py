@@ -14,13 +14,44 @@ stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.vm.coredump import TrapKind
 from repro.vm.state import PC
 from repro.vm.trace import ExecutionTrace, TraceEvent
 from repro.core.res import SynthesizedSuffix
+
+
+@dataclass(frozen=True)
+class CauseEvidence:
+    """Bucketing evidence riding on a root cause (the bucket-quality
+    program): what the failing condition *is*, not just where it fired.
+
+    Two different causes trapping at the same PC used to share a bucket
+    because :meth:`RootCause.signature` was cause kind + PC only.  The
+    evidence adds the canonical expression skeleton of the failing
+    condition (a static bounded def-use chase from the trap site, see
+    :mod:`repro.core.bucketing`), the trap kind and crashing function,
+    the shape of the synthesized suffix that exposed the cause, and the
+    tainted-operand classes observed on it.
+
+    The skeleton is canonical across *programs*: constants, globals and
+    named variables collapse to leaf classes, so the same failure
+    template compiled into different programs yields the same skeleton
+    — the handle :func:`repro.core.bucketing.refine` merges
+    cross-program buckets by.
+    """
+
+    trap_kind: str = ""
+    crash_fn: str = ""
+    expr_skeleton: str = ""
+    taint_classes: Tuple[str, ...] = ()
+    suffix_shape: str = ""
+
+    def key(self) -> Tuple:
+        return (self.trap_kind, self.crash_fn, self.expr_skeleton,
+                self.taint_classes, self.suffix_shape)
 
 
 @dataclass(frozen=True)
@@ -34,11 +65,37 @@ class RootCause:
     threads: Tuple[int, ...] = ()
     pcs: Tuple[PC, ...] = ()
     object_name: str = ""
+    #: bucketing evidence (None on causes deserialized from pre-PR-7
+    #: journals — those keep their coarse signature, never a guess)
+    evidence: Optional[CauseEvidence] = None
 
     def signature(self) -> Tuple:
-        """Stable bucketing key: cause kind + where, not call stack."""
+        """Stable bucketing key: cause kind + where + what failed.
+
+        With evidence attached, two causes sharing a trap PC but
+        disagreeing on the failing condition (or its taint) land in
+        different buckets — the split half of the refinement pass.
+        """
         pcs = tuple(sorted((pc.function, pc.block) for pc in self.pcs))
-        return (self.kind, self.object_name or self.addr, pcs)
+        base = (self.kind, self.object_name or self.addr, pcs)
+        if self.evidence is not None:
+            return base + self.evidence.key()
+        return base
+
+    def family(self) -> Optional[Tuple]:
+        """Location-free cross-program bucket key, or None without
+        evidence.
+
+        Excludes addresses, PCs and the per-drive dynamic evidence
+        (taint classes, suffix shape): two instances of one failure
+        template in *different* programs unify here while staying split
+        at the :meth:`signature` leaves — the merge half of
+        :func:`repro.core.bucketing.refine`.
+        """
+        if self.evidence is None or not self.evidence.trap_kind:
+            return None
+        return ("cause", self.kind, self.evidence.trap_kind,
+                self.evidence.crash_fn, self.evidence.expr_skeleton)
 
 
 @dataclass
@@ -60,12 +117,38 @@ class RootCauseReport:
         return {c.kind for c in self.causes}
 
 
-def analyze(synthesized: SynthesizedSuffix) -> RootCauseReport:
-    """Run every detector over a verified suffix."""
+def _dynamic_evidence(evidence: Optional[CauseEvidence],
+                      suffix) -> Optional[CauseEvidence]:
+    """Fill the per-suffix fields of the static evidence: the shape of
+    the suffix that exposed the cause and its tainted-operand classes.
+    Pure function of the suffix, so every driver that analyzes the same
+    suffix attaches byte-identical evidence."""
+    if evidence is None:
+        return None
+    classes = []
+    if any(step.input_syms for step in suffix.steps):
+        classes.append("input")
+    if suffix.has_tainted_store():
+        classes.append("tainted-store")
+    return replace(evidence,
+                   taint_classes=tuple(classes),
+                   suffix_shape=f"d{len(suffix.steps)}")
+
+
+def analyze(synthesized: SynthesizedSuffix,
+            evidence: Optional[CauseEvidence] = None) -> RootCauseReport:
+    """Run every detector over a verified suffix.
+
+    ``evidence`` is the static half of the bucketing evidence for this
+    coredump (:func:`repro.core.bucketing.static_evidence`); it is
+    completed with the suffix's dynamic facts and attached to every
+    cause found, enriching their signatures.
+    """
     report = RootCauseReport()
     suffix = synthesized.suffix
     trace = synthesized.report.trace
     trap = suffix.coredump.trap
+    evidence = _dynamic_evidence(evidence, suffix)
 
     for finding in suffix.overflow_findings():
         report.causes.append(RootCause(
@@ -113,6 +196,9 @@ def analyze(synthesized: SynthesizedSuffix) -> RootCauseReport:
         report.causes.extend(_find_atomicity_violations(trace))
         if trap.kind is TrapKind.ASSERT_FAIL and not report.causes:
             report.causes.extend(_assert_state_cause(trace, trap))
+    if evidence is not None:
+        report.causes = [replace(cause, evidence=evidence)
+                         for cause in report.causes]
     return report
 
 
@@ -247,14 +333,16 @@ def find_root_cause(module, coredump, config=None,
     immediately; state-based explanations are kept but the search
     continues in case a deeper suffix reveals a stronger cause.
     """
+    from repro.core.bucketing import static_evidence
     from repro.core.res import ReverseExecutionSynthesizer
 
     synthesizer = ReverseExecutionSynthesizer(module, coredump, config)
+    evidence = static_evidence(module, coredump)
     kept: List[SynthesizedSuffix] = []
     weak: Optional[RootCause] = None
     for item in synthesizer.suffixes():
         kept.append(item)
-        report = analyze(item)
+        report = analyze(item, evidence=evidence)
         primary = report.primary
         if primary is not None and primary.kind != "assert-state":
             return primary, kept
@@ -269,5 +357,6 @@ def find_root_cause(module, coredump, config=None,
         return RootCause(kind="assert-state",
                          description="assertion failed; no writer inside "
                                      "the reconstructed horizon",
-                         pcs=(trap.pc,), threads=(trap.tid,)), kept
+                         pcs=(trap.pc,), threads=(trap.tid,),
+                         evidence=evidence), kept
     return None, kept

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Tuple
 from repro.ir.module import Module
 from repro.symex.solver import Solver
 from repro.vm.coredump import Coredump
+from repro.core.bucketing import static_evidence
 from repro.core.fingerprints import suffix_digest
 from repro.core.res import RESConfig, ReverseExecutionSynthesizer
 from repro.core.rootcause import RootCause, analyze
@@ -78,11 +79,19 @@ def synthesize_result(report: BugReport, cause: Optional[RootCause],
         return TriageResult(report.report_id, bucket=cause.signature(),
                             cause=cause, used_fallback=False,
                             exploitable=exploitable)
-    # Graceful degradation: WER-style stack signature.
+    # Graceful degradation: WER-style stack signature, qualified by the
+    # trap site so the refinement pass can attach it to a matching
+    # cause family without re-parsing the coredump.  An empty or
+    # truncated stack gets a per-fingerprint bucket: the old bare
+    # ``("stack", ())`` co-bucketed every unexplained empty-stack crash
+    # in one mega-bucket.
+    trap = report.coredump.trap
+    stack_sig = report.coredump.call_stack_signature(stack_depth)
+    tail: Hashable = stack_sig if stack_sig \
+        else ("fingerprint", report.coredump.fingerprint())
     return TriageResult(
         report.report_id,
-        bucket=("stack",
-                report.coredump.call_stack_signature(stack_depth)),
+        bucket=("stack", trap.kind.value, trap.pc.function, tail),
         cause=None, used_fallback=True, exploitable=exploitable)
 
 
@@ -127,6 +136,7 @@ class TriageEngine:
 
         synthesizer = ReverseExecutionSynthesizer(
             self.module, report.coredump, self.config, solver=self.solver)
+        evidence = static_evidence(self.module, report.coredump)
         cause: Optional[RootCause] = None
         weak: Optional[RootCause] = None
         exploitable = False
@@ -144,7 +154,7 @@ class TriageEngine:
                                                     item.suffix)):
                     exploitable = True
                 if cause is None:
-                    primary = analyze(item).primary
+                    primary = analyze(item, evidence=evidence).primary
                     if primary is not None \
                             and primary.kind != "assert-state":
                         cause = primary
@@ -174,7 +184,8 @@ class TriageEngine:
             cause = RootCause(kind="assert-state",
                               description="assertion failed; no writer "
                                           "inside the reconstructed horizon",
-                              pcs=(trap.pc,), threads=(trap.tid,))
+                              pcs=(trap.pc,), threads=(trap.tid,),
+                              evidence=evidence)
         return cause, exploitable
 
     def triage_one(self, report: BugReport) -> TriageResult:
@@ -218,7 +229,8 @@ class TriageEngine:
 
 
 def bucket_accuracy(results: List[TriageResult],
-                    reports: List[BugReport]) -> float:
+                    reports: List[BugReport],
+                    exclude: Optional[set] = None) -> float:
     """Fraction of report pairs bucketed consistently with ground truth.
 
     Pair-counting accuracy (Rand index): for every pair of reports,
@@ -228,10 +240,18 @@ def bucket_accuracy(results: List[TriageResult],
     Unlabeled reports (``true_cause=None``) carry no ground truth, so
     they contribute no pairs: counting them would treat two unknowns as
     having the *same* cause (``None == None``) and inflate accuracy.
+
+    ``exclude`` names report ids to drop from pair counting — the
+    service passes its dedup children (``dedup_of`` set): a filed
+    duplicate copies its representative's verdict verbatim, so counting
+    the pair would double-count the representative's (in)correctness as
+    independent evidence.
     """
     truth = {r.report_id: r.true_cause for r in reports}
+    exclude = exclude or set()
     items = [(res.report_id, res.bucket) for res in results
-             if truth.get(res.report_id) is not None]
+             if truth.get(res.report_id) is not None
+             and res.report_id not in exclude]
     if len(items) < 2:
         return 1.0
     agree = total = 0
@@ -266,7 +286,13 @@ def misbucketed_fraction(results: List[TriageResult],
         cause = truth[res.report_id]
         by_cause.setdefault(cause, {})
         by_cause[cause][res.bucket] = by_cause[cause].get(res.bucket, 0) + 1
-    majority = {cause: max(buckets, key=buckets.get)
+    # Majority election with a stable tie-break: ``max(..., key=get)``
+    # alone resolves ties by dict insertion order, i.e. by whichever
+    # shard happened to land first — the same corpus could score
+    # differently across orderings.  Ties break by (count, bucket repr).
+    majority = {cause: min(buckets,
+                           key=lambda b, counts=buckets:
+                           (-counts[b], repr(b)))
                 for cause, buckets in by_cause.items()}
     wrong = sum(1 for res in labeled
                 if res.bucket != majority[truth[res.report_id]])

@@ -56,6 +56,7 @@ from repro import faultinject
 from repro.errors import ReproError
 from repro.ioutil import atomic_write_json
 from repro.minic import compile_source
+from repro.core.bucketing import BucketRefinement, refine
 from repro.symex.solver import Solver
 from repro.vm.coredump import Coredump
 from repro.core.res import RESConfig
@@ -250,6 +251,10 @@ class TriageServiceConfig:
     #: additional *read-only* cache directories consulted on a miss
     #: (e.g. a shared baseline cache); never written
     warm_from: Tuple[str, ...] = ()
+    #: refuse to run any backward search: every representative must be
+    #: a warm cache hit (``res triage --rebucket`` — prove that a
+    #: bucket-policy change re-buckets all cached history for free)
+    rebucket_only: bool = False
 
     def res_config(self) -> RESConfig:
         return RESConfig(max_depth=self.max_depth,
@@ -451,6 +456,23 @@ def triage_corpus(corpus: TriageCorpus,
                 result=result, program_key=entry.program_key,
                 fingerprint=fingerprints[index], seconds=0.0,
                 cached=True)
+
+    if config.rebucket_only:
+        if not chain.enabled:
+            raise ReproError(
+                "--rebucket needs a result cache (--cache-dir or "
+                "--warm-from): it re-derives buckets from cached "
+                "verdicts and never searches")
+        missing = [corpus.entries[index].report.report_id
+                   for index in sorted(representative.values())
+                   if index not in cached_slots]
+        if missing:
+            shown = ", ".join(missing[:5])
+            more = f" (+{len(missing) - 5} more)" if len(missing) > 5 \
+                else ""
+            raise ReproError(
+                f"--rebucket: {len(missing)} report(s) have no cached "
+                f"verdict and would need a search: {shown}{more}")
 
     # 3. Shard: group unique, uncached reports by program
     #    (first-appearance order), so each group rides one engine and
@@ -751,18 +773,43 @@ class TriageStore:
                                         complete=complete))
 
 
+def refined_results(reports: Sequence[TriagedReport]
+                    ) -> Tuple[List[TriageResult], BucketRefinement]:
+    """Run the split/merge refinement pass over service verdicts and
+    return results re-bucketed to their refined (family) buckets, plus
+    the refinement itself.  The raw per-engine leaf buckets stay on the
+    original :class:`TriageResult` rows untouched — refinement is a
+    view over the verdict set, not a mutation of it."""
+    refinement = refine(reports)
+    refined = [
+        TriageResult(
+            report_id=item.result.report_id,
+            bucket=refinement.bucket_of(item.result.report_id,
+                                        item.result.bucket),
+            cause=item.result.cause,
+            used_fallback=item.result.used_fallback,
+            exploitable=item.result.exploitable)
+        for item in reports
+    ]
+    return refined, refinement
+
+
 def store_payload(result: TriageServiceResult, corpus: TriageCorpus,
                   config: TriageServiceConfig, complete: bool) -> dict:
-    """The report-store document: buckets → report ids, per-report rows,
+    """The report-store document: refined buckets → report ids,
+    per-report rows (refined + raw leaf bucket), the bucket hierarchy,
     accuracy vs. ground truth (labeled subset only), and timing."""
-    buckets = {
-        repr(bucket): ids for bucket, ids in result.buckets().items()
-    }
+    refined, refinement = refined_results(result.reports)
+    refined_by_id = {res.report_id: res for res in refined}
+    buckets: Dict[str, List[str]] = {}
+    for res in refined:
+        buckets.setdefault(repr(res.bucket), []).append(res.report_id)
     rows = [
         {
             "report_id": item.result.report_id,
             "program": item.program_key,
-            "bucket": repr(item.result.bucket),
+            "bucket": repr(refined_by_id[item.result.report_id].bucket),
+            "raw_bucket": repr(item.result.bucket),
             "cause_kind": item.result.cause.kind
             if item.result.cause else None,
             "used_fallback": item.result.used_fallback,
@@ -798,16 +845,28 @@ def store_payload(result: TriageServiceResult, corpus: TriageCorpus,
             "cache_hits": result.cache_hits,
             "reports_per_sec": round(result.throughput(), 3),
         },
+        "bucketing": {
+            "hierarchy": refinement.hierarchy,
+            "stats": refinement.stats,
+        },
     }
     if corpus.labeled_count() >= 2 and result.reports:
         done_ids = {r.result.report_id for r in result.reports}
         reports = [e.report for e in corpus.entries
                    if e.report.report_id in done_ids]
+        # Accuracy is scored on the *refined* buckets (they are what
+        # the store files reports under) with dedup children excluded
+        # from pair counting — a filed duplicate copies its
+        # representative's verdict verbatim, so its pairs would
+        # double-count the representative.
+        dedup_children = {r.result.report_id for r in result.reports
+                          if r.dedup_of is not None}
         payload["accuracy"] = {
             "bucket_accuracy": round(
-                bucket_accuracy(result.results, reports), 4),
+                bucket_accuracy(refined, reports,
+                                exclude=dedup_children), 4),
             "misbucketed_fraction": round(
-                misbucketed_fraction(result.results, reports), 4),
+                misbucketed_fraction(refined, reports), 4),
         }
     return payload
 
@@ -840,4 +899,5 @@ def verdict_view(payload: dict) -> dict:
         "accuracy": payload.get("accuracy"),
         "corpus": payload.get("corpus"),
         "config": config,
+        "bucketing": payload.get("bucketing"),
     }

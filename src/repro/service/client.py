@@ -223,6 +223,15 @@ def get_quarantine(base_url: str, timeout: float = 30.0) -> list:
     return body.get("quarantined", [])
 
 
+def get_buckets(base_url: str, timeout: float = 30.0) -> dict:
+    """The refined bucket hierarchy over the daemon's settled history."""
+    status, body = _request(f"{base_url.rstrip('/')}/buckets",
+                            timeout=timeout)
+    if status != 200:
+        raise ServiceClientError(f"buckets returned HTTP {status}")
+    return body
+
+
 def get_metrics_text(base_url: str, timeout: float = 30.0) -> str:
     url = f"{base_url.rstrip('/')}/metrics"
     try:

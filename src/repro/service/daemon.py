@@ -56,6 +56,7 @@ from repro.core.triage_service import (
     TriageServiceConfig,
     TriageServiceResult,
     TriageStore,
+    refined_results,
 )
 from repro.service.jobs import (
     IntakeJob,
@@ -136,6 +137,7 @@ class DaemonMetrics:
         self.quarantined_total = 0   # poison jobs settled as quarantined
         self.worker_restarts_total = 0  # workers respawned by the monitor
         self.journal_errors_total = 0   # failed journal appends
+        self.rebucket_passes_total = 0  # background bucket refinements
         self.latencies = deque(maxlen=latency_window)
         #: worker-drive settles only (no instant dedups): the sample
         #: the Retry-After estimate needs — near-zero dedup settles
@@ -184,6 +186,7 @@ class DaemonMetrics:
                 "quarantined_total": self.quarantined_total,
                 "worker_restarts_total": self.worker_restarts_total,
                 "journal_errors_total": self.journal_errors_total,
+                "rebucket_passes_total": self.rebucket_passes_total,
                 "uptime_seconds": round(uptime, 3),
                 "verdicts_per_second": round(settled / uptime, 3),
                 "warm_hit_rate": round(
@@ -260,6 +263,11 @@ class TriageDaemon:
         self._flush_seq = 0
         self._flushed_seq = 0
         self._flush_lock = threading.Lock()
+        #: (settled count, payload) memo for ``GET /buckets`` — the
+        #: refinement pass is O(history), so it runs once per settled
+        #: count (the monitor's maintenance hook keeps it fresh) and
+        #: read polling stays O(1)
+        self._buckets_cache: Optional[Tuple[int, dict]] = None
         self._stop = False
         self._drain_on_stop = False
         self._interrupted = False
@@ -931,6 +939,7 @@ class TriageDaemon:
             if journal:
                 self._settle_safely(self._drain_journal, journal)
                 self._flush_pending()
+            self._maintenance_rebucket()
             with self._cv:
                 self._cv.wait(timeout=self.config.monitor_interval)
 
@@ -1197,15 +1206,56 @@ class TriageDaemon:
         # admission or the workers (same pattern as the store flush).
         with self._cv:
             settled, count = self._settled_list, len(self._settled_list)
+        return self._buckets_for(settled, count)
+
+    def _buckets_for(self, settled: List[IntakeJob], count: int) -> dict:
+        """The refined bucket hierarchy over the settled history.
+        Memoized on the settled count (settled jobs never change), so
+        the pass runs once per new verdict — usually in the monitor's
+        maintenance tick, not on the serving path."""
+        cached = self._buckets_cache
+        if cached is not None and cached[0] == count:
+            return cached[1]
         done = sorted((job for job in settled[:count]
                        if job.state is JobState.DONE
                        and job.verdict is not None),
                       key=lambda job: job.seq)
+        refined, refinement = refined_results(
+            [job.verdict for job in done])
+        refined_by_id = {res.report_id: res for res in refined}
         buckets: Dict[str, List[str]] = {}
+        raw_buckets: Dict[str, List[str]] = {}
         for job in done:
-            buckets.setdefault(
-                repr(job.verdict.result.bucket), []).append(job.report_id)
-        return {"buckets": buckets}
+            result = job.verdict.result
+            final = refined_by_id[result.report_id].bucket
+            buckets.setdefault(repr(final), []).append(job.report_id)
+            raw_buckets.setdefault(
+                repr(result.bucket), []).append(job.report_id)
+        payload = {
+            "buckets": buckets,
+            "raw_buckets": raw_buckets,
+            "hierarchy": refinement.hierarchy,
+            "stats": refinement.stats,
+        }
+        self._buckets_cache = (count, payload)
+        self.metrics.bump("rebucket_passes_total")
+        return payload
+
+    def _maintenance_rebucket(self) -> None:
+        """Monitor-tick maintenance: re-run the cross-report clustering
+        pass over the settled history when new verdicts landed since
+        the cached hierarchy, so ``GET /buckets`` serves a precomputed
+        view.  Best-effort, like every monitor duty."""
+        with self._cv:
+            settled, count = self._settled_list, len(self._settled_list)
+        cached = self._buckets_cache
+        if cached is not None and cached[0] == count:
+            return
+        try:
+            self._buckets_for(settled, count)
+        except Exception as exc:  # noqa: BLE001 - monitor boundary
+            warnings.warn(f"intake daemon: background rebucket hit "
+                          f"{type(exc).__name__}: {exc}", RuntimeWarning)
 
     def report_payload(self, fingerprint: str) -> dict:
         with self._cv:
@@ -1286,6 +1336,8 @@ class TriageDaemon:
               snapshot["worker_restarts_total"], "counter")
         gauge("journal_errors_total",
               snapshot["journal_errors_total"], "counter")
+        gauge("rebucket_passes_total",
+              snapshot["rebucket_passes_total"], "counter")
         gauge("injected_faults_total", faultinject.injected_total(),
               "counter")
         gauge("degraded", 1 if health["status"] == "degraded" else 0)

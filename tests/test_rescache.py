@@ -367,6 +367,66 @@ def test_corrupt_cache_file_never_crashes_a_triage_run(tmp_path,
         == [r.bucket for r in cold.results]
 
 
+def test_cached_cause_evidence_round_trips(tmp_path):
+    """The evidence half of an enriched signature (PR 7) must survive
+    the cache: a reloaded cause signature-matches the original, so a
+    warm verdict lands in the same bucket."""
+    from repro.core.rootcause import CauseEvidence
+
+    cache = ResultCache(tmp_path / "cache")
+    cause = dataclasses.replace(
+        _verdict().cause,
+        evidence=CauseEvidence(trap_kind="out-of-bounds",
+                               crash_fn="main",
+                               expr_skeleton="(mem (add var c))",
+                               taint_classes=("input",),
+                               suffix_shape="d3"))
+    cache.put(CacheKey("m", "c", "k"),
+              CachedVerdict(cause=cause, exploitable=False, seconds=0.1))
+    found = ResultCache(tmp_path / "cache").lookup(CacheKey("m", "c", "k"))
+    assert found is not None
+    assert found.cause == cause
+    assert found.cause.signature() == cause.signature()
+    assert found.cause.family() == cause.family()
+
+
+def test_warm_rebucket_is_byte_identical_on_mixed_corpus(tmp_path):
+    """Property (PR 7): re-running verdict synthesis over cached
+    rescache rows yields byte-identical buckets — raw and refined —
+    to a cold run, on a corpus mixing labeled and unlabeled reports."""
+    from repro.core.triage_service import store_payload, verdict_view
+
+    base = build_labeled_corpus(range(9000, 9005), duplicates=2,
+                                shuffle_seed=5)
+    entries = [
+        dataclasses.replace(
+            entry,
+            report=dataclasses.replace(entry.report, true_cause=None))
+        if index % 3 == 0 else entry
+        for index, entry in enumerate(base.entries)
+    ]
+    corpus = dataclasses.replace(base, entries=entries)
+    assert any(e.report.true_cause is None for e in corpus.entries)
+    assert any(e.report.true_cause is not None for e in corpus.entries)
+
+    config = TriageServiceConfig(jobs=1,
+                                 cache_dir=str(tmp_path / "cache"))
+    cold = triage_corpus(corpus, config)
+    warm = triage_corpus(corpus, config)
+    assert warm.triaged == 0
+    assert warm.cache_hits > 0
+
+    def view(result):
+        return json.dumps(
+            verdict_view(store_payload(result, corpus, config,
+                                       complete=True)),
+            sort_keys=True)
+
+    assert view(warm) == view(cold)
+    assert [r.bucket for r in warm.results] \
+        == [r.bucket for r in cold.results]
+
+
 def test_synthesizer_export_prime_round_trip():
     """The RES-level warm-start API: one synthesizer's exported
     component cache primes another over the same module without

@@ -592,10 +592,13 @@ def test_http_buckets_reports_healthz_metrics_routes(live_server):
     wait_for_job(base, body["job_id"], timeout=60)
     submit_report(base, program, core, report_id="two")
 
-    buckets = json.loads(
-        urllib.request.urlopen(base + "/buckets").read())["buckets"]
-    [(bucket, ids)] = buckets.items()
+    payload = json.loads(urllib.request.urlopen(base + "/buckets").read())
+    [(bucket, ids)] = payload["buckets"].items()
     assert "buffer-overflow" in bucket and ids == ["one", "two"]
+    # the refined view rides along: raw leaves, hierarchy, pass stats
+    assert sum(len(v) for v in payload["raw_buckets"].values()) == 2
+    assert payload["stats"]["reports"] == 2
+    assert isinstance(payload["hierarchy"], dict)
 
     fingerprint = daemon.job_payload("j000000")["fingerprint"]
     reports = json.loads(urllib.request.urlopen(
@@ -609,6 +612,7 @@ def test_http_buckets_reports_healthz_metrics_routes(live_server):
     metrics = urllib.request.urlopen(base + "/metrics").read().decode()
     assert "res_intake_verdicts_total 1" in metrics
     assert "res_intake_dedup_total 1" in metrics
+    assert "# TYPE res_intake_rebucket_passes_total counter" in metrics
     assert 'res_intake_latency_seconds{quantile="0.95"}' in metrics
     assert "# TYPE res_intake_queue_depth gauge" in metrics
 

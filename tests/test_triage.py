@@ -19,6 +19,7 @@ from repro.core.triage_service import (
     ProgramSpec,
     TriageCorpus,
     TriageServiceConfig,
+    refined_results,
     triage_corpus,
 )
 from repro.fuzz.triage_corpus import ARM_CAUSE_NAMES, build_labeled_corpus
@@ -58,7 +59,8 @@ def test_annotation_match_bucketing(small_corpus):
 
 def test_wer_fallback_on_unexplainable_report(small_corpus):
     """Graceful degradation: when RES cannot explain a report within
-    budget, triage falls back to the WER-style stack signature."""
+    budget, triage falls back to a WER-style stack signature qualified
+    by the trap site (so refinement can attach it to a cause family)."""
     report = small_corpus.entries[0].report
     engine = TriageEngine(TRIAGE_PROGRAM.module,
                           RESConfig(max_depth=0, max_nodes=1),
@@ -66,8 +68,29 @@ def test_wer_fallback_on_unexplainable_report(small_corpus):
     result = engine.triage_one(report)
     assert result.used_fallback
     assert result.cause is None
+    trap = report.coredump.trap
     assert result.bucket == (
-        "stack", report.coredump.call_stack_signature(5))
+        "stack", trap.kind.value, trap.pc.function,
+        report.coredump.call_stack_signature(5))
+
+
+def test_empty_stack_fallback_gets_per_fingerprint_bucket(small_corpus):
+    """An empty stack signature used to land every unexplained crash in
+    one bare ``("stack", ())`` mega-bucket; it must fall back to a
+    per-fingerprint bucket instead (stack_depth=0 yields the empty
+    signature for any dump)."""
+    from repro.core.triage import synthesize_result
+
+    r1 = small_corpus.entries[0].report
+    r2 = next(e.report for e in small_corpus.entries
+              if e.report.coredump.fingerprint()
+              != r1.coredump.fingerprint())
+    a = synthesize_result(r1, None, False, stack_depth=0)
+    b = synthesize_result(r2, None, False, stack_depth=0)
+    assert a.used_fallback and b.used_fallback
+    assert a.bucket != b.bucket
+    assert a.bucket[0] == "stack"
+    assert a.bucket[3] == ("fingerprint", r1.coredump.fingerprint())
 
 
 def test_exploitable_propagates_to_result():
@@ -157,6 +180,45 @@ def test_misbucketed_fraction_all_unlabeled_is_zero():
     reports = [_report("u1", None), _report("u2", None)]
     results = [_result("u1", "B1"), _result("u2", "B2")]
     assert misbucketed_fraction(results, reports) == 0.0
+
+
+def test_misbucketed_fraction_tie_break_is_order_independent():
+    """A deliberate 2-2 majority tie: whichever bucket the iteration
+    happens to meet first must NOT decide the election (the old
+    ``max(..., key=get)`` resolved ties by dict insertion order, so the
+    same corpus could score differently across shard orderings).  Ties
+    break by (count, stable bucket repr) — here "A1" < "B2" — and every
+    permutation of the result list must agree."""
+    import itertools
+
+    reports = [_report(r, "c1") for r in ("a", "b", "c", "d")]
+    results = [_result("a", "B2"), _result("b", "B2"),
+               _result("c", "A1"), _result("d", "A1")]
+    scores = {misbucketed_fraction(list(perm), reports)
+              for perm in itertools.permutations(results)}
+    assert scores == {0.5}
+
+
+def test_bucket_accuracy_excludes_dedup_children():
+    """A filed duplicate copies its representative's verdict verbatim;
+    counting its pairs re-counts the representative's (in)correctness
+    as independent evidence.  Here the representative "a" is
+    misbucketed with cause c2's report, but its 3 duplicate copies
+    pair "correctly" with it and each other (same bucket, same cause)
+    — without the exclusion they inflate the score of a triage that
+    got 2 of its 3 genuine pairs wrong."""
+    reports = [_report("a", "c1"), _report("b", "c1"),
+               _report("x", "c2")] \
+        + [_report(f"a{i}", "c1") for i in range(3)]
+    results = [_result("a", "BAD"), _result("b", "B1"),
+               _result("x", "BAD")] \
+        + [_result(f"a{i}", "BAD") for i in range(3)]
+    dedup_children = {"a0", "a1", "a2"}
+    with_copies = bucket_accuracy(results, reports)
+    deduped = bucket_accuracy(results, reports, exclude=dedup_children)
+    # a-b split (wrong), a-x merged (wrong), b-x split (right) -> 1/3
+    assert deduped == pytest.approx(1 / 3)
+    assert with_copies == pytest.approx(7 / 15)  # inflated by copies
 
 
 # ---------------------------------------------------------------------------
@@ -295,8 +357,17 @@ def test_report_store_is_written_and_complete(small_corpus, tmp_path):
     assert sum(len(ids) for ids in payload["buckets"].values()) \
         == len(small_corpus.entries)
     assert len(payload["results"]) == len(small_corpus.entries)
-    assert payload["accuracy"]["bucket_accuracy"] == pytest.approx(
-        bucket_accuracy(service.results, small_corpus.reports))
+    # stored accuracy is scored on the refined buckets, with dedup
+    # children excluded from pair counting
+    refined, refinement = refined_results(service.reports)
+    dedup_children = {r.result.report_id for r in service.reports
+                     if r.dedup_of is not None}
+    assert payload["accuracy"]["bucket_accuracy"] == round(
+        bucket_accuracy(refined, small_corpus.reports,
+                        exclude=dedup_children), 4)
+    assert payload["bucketing"]["stats"] == refinement.stats
+    # every row carries both the refined and the raw leaf bucket
+    assert all("raw_bucket" in row for row in payload["results"])
     # no stray temp files from the atomic writes
     assert [p.name for p in tmp_path.iterdir()] == ["store.json"]
 
