@@ -3,8 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test perf triage-bench warm-bench serve-bench bucket-bench \
-	serve-smoke chaos-smoke fuzz-smoke fuzz-test fuzz-pinned
+.PHONY: test perf vm-bench triage-bench warm-bench serve-bench \
+	bucket-bench serve-smoke chaos-smoke fuzz-smoke fuzz-test fuzz-pinned
 
 # Tier-1 verification (fuzz- and perf-marked tests are deselected by
 # pytest.ini; run them via the targets below).
@@ -14,6 +14,14 @@ test:
 # P1 throughput benchmark (appends rows to BENCH_res.json).
 perf:
 	$(PYTHON) -m pytest benchmarks/test_p1_res_throughput.py -q -m perf
+
+# Engine A/B benchmark (also a CI gate): bytecode VM + compiled symex
+# vs the tree interpreter on the same incremental search — byte-
+# identical suffixes/counters enforced, wall-time floor asserted
+# (appends `res_throughput` rows with `engine_ab` set).
+vm-bench:
+	$(PYTHON) -m pytest benchmarks/test_p1_res_throughput.py -q -m perf \
+		-k bytecode_engine
 
 # P3 batch-triage throughput benchmark: sharded service vs serial
 # sweep on a labeled fuzz corpus (appends `triage_throughput` rows).

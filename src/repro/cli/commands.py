@@ -302,6 +302,15 @@ def cmd_buckets(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_disasm(args: argparse.Namespace) -> int:
+    """Compile a program to bytecode and print the disassembly."""
+    from repro.ir.bytecode import compile_program, disassemble
+
+    module = load_module(args)
+    print(disassemble(compile_program(module)), end="")
+    return 0
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Differential fuzzing campaign (see :mod:`repro.fuzz`).
 

@@ -272,6 +272,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "the artifact/shrink pipeline)")
     p_fuzz.set_defaults(func=commands.cmd_fuzz)
 
+    p_disasm = sub.add_parser(
+        "disasm", help="compile a program to bytecode and print the "
+                       "disassembly")
+    add_program_arguments(p_disasm)
+    p_disasm.set_defaults(func=commands.cmd_disasm)
+
     for name, func, extra in (
         ("analyze", commands.cmd_analyze,
          "synthesize suffixes and report the root cause"),

@@ -19,9 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.ir.bytecode import compile_program
 from repro.ir.module import Module
-from repro.symex.expr import evaluate
+from repro.symex.expr import Const, evaluate_compiled
 from repro.symex.solver import Solver
+from repro.vm.bytecode_vm import BFrame, BytecodeVM
+from repro.vm.scheduler import RandomPreemptScheduler
 from repro.vm.coredump import Coredump, TrapKind
 from repro.vm.interpreter import RunResult, RunStatus, VM
 from repro.vm.memory import Allocation
@@ -48,9 +51,16 @@ class ReplayReport:
 class SuffixReplayer:
     """Materializes and replays :class:`ExecutionSuffix` objects."""
 
-    def __init__(self, module: Module, solver: Optional[Solver] = None):
+    def __init__(self, module: Module, solver: Optional[Solver] = None,
+                 use_bytecode: bool = True):
         self.module = module
         self.solver = solver or Solver()
+        self.use_bytecode = use_bytecode
+        self._program = compile_program(module) if use_bytecode else None
+        # Replay drives the schedule itself, so the VM's scheduler is
+        # never consulted; sharing one instance skips a per-replay
+        # Mersenne-twister seeding.
+        self._scheduler = RandomPreemptScheduler(seed=0)
 
     # ------------------------------------------------------------------
 
@@ -90,14 +100,27 @@ class SuffixReplayer:
         coredump = suffix.coredump
         snapshot = suffix.snapshot
         inputs = [self._eval(sym, model) for sym in suffix.input_syms()]
-        vm = VM(
-            self.module,
-            inputs=inputs,
-            record_trace=True,
-            check_bounds=coredump.bounds_checked,
-            lbr_depth=0,
-            start_main=False,
-        )
+        if self.use_bytecode:
+            vm: VM = BytecodeVM(
+                self.module,
+                inputs=inputs,
+                scheduler=self._scheduler,
+                record_trace=True,
+                check_bounds=coredump.bounds_checked,
+                lbr_depth=0,
+                start_main=False,
+                program=self._program,
+            )
+        else:
+            vm = VM(
+                self.module,
+                inputs=inputs,
+                scheduler=self._scheduler,
+                record_trace=True,
+                check_bounds=coredump.bounds_checked,
+                lbr_depth=0,
+                start_main=False,
+            )
         # Memory: the coredump image patched with the reconstructed
         # pre-state expressions, evaluated under the model.
         words = dict(coredump.memory)
@@ -121,14 +144,46 @@ class SuffixReplayer:
         # Locks held at suffix start.
         vm.lock_owners = dict(snapshot.lock_owners)
 
-        # Threads.
+        # Threads.  The bytecode path evaluates registers straight into
+        # slot frames — the same conversion ``adopt_thread`` performs on
+        # dict frames, fused with the model evaluation pass.
+        eval_ = self._eval
+        if isinstance(vm, BytecodeVM):
+            funcs = self._program.funcs
+            for tid, snap_thread in snapshot.threads.items():
+                bframes: List[BFrame] = []
+                prev_bfunc = None
+                for f in snap_thread.frames:
+                    bfunc = funcs[f.function]
+                    ip = bfunc.block_start[f.block] + f.index
+                    slots: List[Optional[int]] = [None] * bfunc.nslots
+                    reg_slots = bfunc.reg_slots
+                    for reg, expr in f.regs.items():
+                        slots[reg_slots[reg]] = expr.value \
+                            if type(expr) is Const else eval_(expr, model)
+                    ret_slot = -1
+                    if f.ret_dst is not None and prev_bfunc is not None:
+                        ret_slot = prev_bfunc.reg_slots[f.ret_dst]
+                    bframes.append(BFrame(bfunc, ip, slots, f.frame_base,
+                                          f.ret_dst, ret_slot))
+                    prev_bfunc = bfunc
+                status = ThreadStatus.RUNNABLE if bframes \
+                    else ThreadStatus.FINISHED
+                held = [addr for addr, owner in snapshot.lock_owners.items()
+                        if owner == tid]
+                thread = Thread(tid=tid, frames=bframes, status=status,
+                                held_locks=held,
+                                start_function=snap_thread.start_function)
+                vm.threads[tid] = thread
+                vm.next_tid = max(vm.next_tid, tid + 1)
+            return vm
         for tid, snap_thread in snapshot.threads.items():
             frames = [
                 Frame(
                     function=f.function,
                     block=f.block,
                     index=f.index,
-                    regs={reg: self._eval(expr, model)
+                    regs={reg: eval_(expr, model)
                           for reg, expr in f.regs.items()},
                     frame_base=f.frame_base,
                     frame_words=f.frame_words,
@@ -146,7 +201,10 @@ class SuffixReplayer:
 
     @staticmethod
     def _eval(expr, model: Dict[str, int]) -> int:
-        value = evaluate(expr, model)
+        # Snapshot expressions recur across candidate suffixes sharing a
+        # search lineage; the compiled evaluator caches on the (interned)
+        # node, so repeat evaluations skip the tree walk entirely.
+        value = evaluate_compiled(expr, model)
         return value if value is not None else 0
 
     # ------------------------------------------------------------------
@@ -154,12 +212,11 @@ class SuffixReplayer:
     # ------------------------------------------------------------------
 
     def _drive(self, vm: VM, suffix: ExecutionSuffix) -> ReplayReport:
-        coredump = suffix.coredump
+        if isinstance(vm, BytecodeVM):
+            return self._drive_fast(vm, suffix)
         mismatches: List[str] = []
         terminal: Optional[RunResult] = None
         legs = suffix.schedule()
-        total = sum(n for _, n in legs)
-        executed = 0
         for leg_idx, (tid, count) in enumerate(legs):
             for step_in_leg in range(count):
                 if terminal is not None:
@@ -173,7 +230,6 @@ class SuffixReplayer:
                     return ReplayReport(ok=False, mismatches=mismatches)
                 before = thread.top.pc if thread.frames else None
                 terminal = vm.step_thread(tid)
-                executed += 1
                 if thread.status in (ThreadStatus.BLOCKED_LOCK,
                                      ThreadStatus.BLOCKED_JOIN):
                     # The instruction did not actually execute: this
@@ -186,7 +242,66 @@ class SuffixReplayer:
                     mismatches.append(
                         f"thread {tid} finished with its leg unfinished")
                     return ReplayReport(ok=False, mismatches=mismatches)
+        return self._finish_drive(vm, suffix, terminal, mismatches)
 
+    def _drive_fast(self, vm: BytecodeVM,
+                    suffix: ExecutionSuffix) -> ReplayReport:
+        """The batched drive: one :meth:`BytecodeVM.run_leg` call per
+        schedule leg instead of one ``step_thread`` per instruction.
+
+        Equivalent to the per-step loop because only the driven thread
+        executes within a leg: waking other threads between its steps
+        cannot change what it does (waking never alters lock ownership
+        or FINISHED-ness), and the driven thread itself stays RUNNABLE
+        until the blocked/finished checks below would fire anyway.
+        """
+        mismatches: List[str] = []
+        terminal: Optional[RunResult] = None
+        # Adjacent legs of the same thread merge into one ``run_leg``
+        # call: between them the original loop only woke threads and
+        # re-checked the driven thread's status, and neither can change
+        # its progress (no other thread executed, so no lock was
+        # released and nothing finished).  A failure at a merged
+        # boundary still fails — it just surfaces as a mid-leg stop.
+        legs: List[Tuple[int, int]] = []
+        for tid, count in suffix.schedule():
+            if count <= 0:
+                continue
+            if legs and legs[-1][0] == tid:
+                legs[-1] = (tid, legs[-1][1] + count)
+            else:
+                legs.append((tid, count))
+        for leg_idx, (tid, count) in enumerate(legs):
+            if terminal is not None:
+                mismatches.append("program ended before the schedule did")
+                return ReplayReport(ok=False, mismatches=mismatches)
+            vm.wake_threads()
+            thread = vm.threads.get(tid)
+            if thread is None or thread.status is not ThreadStatus.RUNNABLE:
+                mismatches.append(
+                    f"thread {tid} not runnable at leg {leg_idx}")
+                return ReplayReport(ok=False, mismatches=mismatches)
+            executed, terminal = vm.run_leg(tid, count)
+            if thread.status in (ThreadStatus.BLOCKED_LOCK,
+                                 ThreadStatus.BLOCKED_JOIN):
+                before = thread.top.pc if thread.frames else None
+                mismatches.append(
+                    f"thread {tid} blocked mid-suffix at {before}")
+                return ReplayReport(ok=False, mismatches=mismatches)
+            if thread.status is ThreadStatus.FINISHED \
+                    and terminal is None and executed < count:
+                mismatches.append(
+                    f"thread {tid} finished with its leg unfinished")
+                return ReplayReport(ok=False, mismatches=mismatches)
+            if terminal is not None and executed < count:
+                mismatches.append("program ended before the schedule did")
+                return ReplayReport(ok=False, mismatches=mismatches)
+        return self._finish_drive(vm, suffix, terminal, mismatches)
+
+    def _finish_drive(self, vm: VM, suffix: ExecutionSuffix,
+                      terminal: Optional[RunResult],
+                      mismatches: List[str]) -> ReplayReport:
+        coredump = suffix.coredump
         if coredump.trap.kind is TrapKind.DEADLOCK:
             return self._verify_deadlock(vm, suffix, mismatches)
 

@@ -62,6 +62,25 @@ from repro.ir.instructions import (
     StoreInst,
     UnlockInst,
 )
+from repro.ir.bytecode import (
+    OP_ALLOC,
+    OP_ASSERT,
+    OP_BIN_BASE,
+    OP_CALL,
+    OP_CMP_BASE,
+    OP_CONST,
+    OP_FRAMEADDR,
+    OP_FREE,
+    OP_GADDR,
+    OP_INPUT,
+    OP_LOAD,
+    OP_LOCK,
+    OP_MOV,
+    OP_OUTPUT,
+    OP_STORE,
+    OP_UNLOCK,
+    compile_program,
+)
 from repro.ir.module import Module
 from repro.symex.expr import (
     Const,
@@ -149,7 +168,7 @@ class SegmentExecutor:
     def __init__(self, module: Module, solver: Optional[Solver] = None,
                  atomic_calls: FrozenSet[str] = frozenset(),
                  max_fixpoint: int = 16, atomic_budget: int = 50_000,
-                 incremental: bool = True):
+                 incremental: bool = True, use_bytecode: bool = True):
         self.module = module
         self.solver = solver or Solver()
         self.atomic_calls = atomic_calls
@@ -158,6 +177,9 @@ class SegmentExecutor:
         #: incremental mode: COW child snapshots + per-node solver
         #: contexts + the delta-verdict cache (RESConfig.incremental)
         self.incremental = incremental
+        #: compiled program for integer-opcode dispatch (RESConfig.bytecode);
+        #: None = dispatch on IR dataclass types
+        self.program = compile_program(module) if use_bytecode else None
         self._layout = module.layout()
 
     # ------------------------------------------------------------------
@@ -205,12 +227,16 @@ class SegmentExecutor:
         if self.incremental:
             verdict, child_ctx = self.solver.solve_extended(
                 self._context(snapshot), tuple(new_constraints))
-            if not verdict.is_sat and not verdict.is_unsat:
-                # The chained context's propagation state is order-built
-                # and can be weaker than a from-scratch solve of the
-                # same conjunction; align on UNKNOWN so the incremental
-                # engine never admits a candidate the naive engine can
-                # refute (differential-fuzzer finding).
+            if not verdict.is_sat:
+                # The chained context's propagation state is order-built,
+                # so it can be weaker than a from-scratch solve of the
+                # same conjunction (UNKNOWN where naive proves UNSAT) or
+                # *stronger* (UNSAT where naive only reaches UNKNOWN and
+                # admits the candidate).  Align every non-SAT verdict on
+                # the naive solve so the prune decision — and with it
+                # every search counter — is engine-independent; a SAT
+                # verdict carries a verified model and can never
+                # contradict naive (both differential-fuzzer findings).
                 verdict = self.solver.solve(
                     list(child.constraints) + new_constraints)
                 if child_ctx is not None:
@@ -320,6 +346,12 @@ class SegmentExecutor:
             attempt=attempt, force_fresh=force_fresh, frame=post_frame,
             alloc_plan=alloc_plan,
         )
+        code = base = None
+        if self.program is not None:
+            bfunc = self.program.funcs.get(segment.function)
+            if bfunc is not None:
+                code = bfunc.code
+                base = bfunc.block_start[segment.block]
         for k in range(segment.lo, segment.hi):
             instr = block.instrs[k]
             is_final = k == last
@@ -331,6 +363,10 @@ class SegmentExecutor:
                 ctx.exec_return(instr, thread)
             elif instr.is_terminator():
                 ctx.exec_terminator(instr, post_frame, snapshot, thread, segment)
+            elif code is not None:
+                # 1:1 IR-instruction ↔ bytecode op: the compiled opcode
+                # for block-local index k lives at block_start + k.
+                ctx.exec_opcode(code[base + k][0], instr)
             else:
                 ctx.exec_normal(instr)
             attempt.instr_count += 1
@@ -643,94 +679,158 @@ class _ExecContext:
 
     # -- normal instructions -------------------------------------------------
 
-    def exec_normal(self, instr: Instr) -> None:
-        if isinstance(instr, ConstInst):
-            self.set_reg(instr.dst, Const(instr.value))
-        elif isinstance(instr, GAddrInst):
-            self.set_reg(instr.dst, Const(self.executor._layout[instr.name]),
-                         frozenset([f"g:{instr.name}"]))
-        elif isinstance(instr, FrameAddrInst):
-            self.set_reg(instr.dst, Const(self.frame.frame_base + instr.offset),
-                         frozenset([f"f:{self.segment.function}"]))
-        elif isinstance(instr, MovInst):
-            self.set_reg(instr.dst, self.value(instr.src),
-                         self.provenance(instr.src))
-        elif isinstance(instr, BinInst):
-            a, b = self.value(instr.a), self.value(instr.b)
-            if instr.op in ("udiv", "sdiv", "urem", "srem"):
-                if isinstance(b, Const) and b.value == 0:
-                    raise _Prune("division by zero mid-segment")
-                if not isinstance(b, Const):
-                    self.attempt.constraints.append(
-                        bin_expr("ne", b, Const(0)))
-            self.set_reg(instr.dst, bin_expr(instr.op, a, b),
-                         self.provenance(instr.a) | self.provenance(instr.b))
-        elif isinstance(instr, CmpInst):
-            self.set_reg(instr.dst,
-                         bin_expr(instr.op, self.value(instr.a),
-                                  self.value(instr.b)))
-        elif isinstance(instr, LoadInst):
-            addr_expr = self.value(instr.addr)
-            addr = self.concretize_addr(addr_expr, "load")
-            self.set_reg(instr.dst, self.mem_read(addr))
-        elif isinstance(instr, StoreInst):
-            addr_expr = self.value(instr.addr)
-            stored = self.value(instr.value)
-            addr = self.concretize_addr(addr_expr, "store", value_hint=stored)
-            self._note_store(addr_expr, addr, self.provenance(instr.addr))
-            self.mem_write(addr, stored)
-        elif isinstance(instr, AllocInst):
-            if not self.alloc_plan:
-                raise _Prune("allocation with no coredump allocation left")
-            base = self.alloc_plan.pop(0)
-            size_expr = self.value(instr.size)
-            recorded = dict(self.snapshot.remaining_allocs).get(base)
-            if isinstance(size_expr, Const) and recorded is not None \
-                    and size_expr.value != recorded:
-                raise _Prune("allocation size mismatch vs coredump")
-            if not isinstance(size_expr, Const) and recorded is not None:
+    def _n_const(self, instr) -> None:
+        self.set_reg(instr.dst, Const(instr.value))
+
+    def _n_gaddr(self, instr) -> None:
+        self.set_reg(instr.dst, Const(self.executor._layout[instr.name]),
+                     frozenset([f"g:{instr.name}"]))
+
+    def _n_frameaddr(self, instr) -> None:
+        self.set_reg(instr.dst, Const(self.frame.frame_base + instr.offset),
+                     frozenset([f"f:{self.segment.function}"]))
+
+    def _n_mov(self, instr) -> None:
+        self.set_reg(instr.dst, self.value(instr.src),
+                     self.provenance(instr.src))
+
+    def _n_bin(self, instr) -> None:
+        a, b = self.value(instr.a), self.value(instr.b)
+        if instr.op in ("udiv", "sdiv", "urem", "srem"):
+            if isinstance(b, Const) and b.value == 0:
+                raise _Prune("division by zero mid-segment")
+            if not isinstance(b, Const):
                 self.attempt.constraints.append(
-                    bin_expr("eq", size_expr, Const(recorded)))
-            self.attempt.alloc_bases.append(base)
-            # Fresh allocations are zeroed by the VM.
-            if recorded:
-                for off in range(recorded):
-                    self.mem_write(base + off, Const(0))
-            self.set_reg(instr.dst, Const(base), frozenset([f"h:{base}"]))
+                    bin_expr("ne", b, Const(0)))
+        self.set_reg(instr.dst, bin_expr(instr.op, a, b),
+                     self.provenance(instr.a) | self.provenance(instr.b))
+
+    def _n_cmp(self, instr) -> None:
+        self.set_reg(instr.dst,
+                     bin_expr(instr.op, self.value(instr.a),
+                              self.value(instr.b)))
+
+    def _n_load(self, instr) -> None:
+        addr_expr = self.value(instr.addr)
+        addr = self.concretize_addr(addr_expr, "load")
+        self.set_reg(instr.dst, self.mem_read(addr))
+
+    def _n_store(self, instr) -> None:
+        addr_expr = self.value(instr.addr)
+        stored = self.value(instr.value)
+        addr = self.concretize_addr(addr_expr, "store", value_hint=stored)
+        self._note_store(addr_expr, addr, self.provenance(instr.addr))
+        self.mem_write(addr, stored)
+
+    def _n_alloc(self, instr) -> None:
+        if not self.alloc_plan:
+            raise _Prune("allocation with no coredump allocation left")
+        base = self.alloc_plan.pop(0)
+        size_expr = self.value(instr.size)
+        recorded = dict(self.snapshot.remaining_allocs).get(base)
+        if isinstance(size_expr, Const) and recorded is not None \
+                and size_expr.value != recorded:
+            raise _Prune("allocation size mismatch vs coredump")
+        if not isinstance(size_expr, Const) and recorded is not None:
+            self.attempt.constraints.append(
+                bin_expr("eq", size_expr, Const(recorded)))
+        self.attempt.alloc_bases.append(base)
+        # Fresh allocations are zeroed by the VM.
+        if recorded:
+            for off in range(recorded):
+                self.mem_write(base + off, Const(0))
+        self.set_reg(instr.dst, Const(base), frozenset([f"h:{base}"]))
+
+    def _n_free(self, instr) -> None:
+        addr = self.concretize_addr(self.value(instr.addr), "free")
+        self.attempt.free_bases.append(addr)
+
+    def _n_input(self, instr) -> None:
+        sym = self.child.fresh("in")
+        self.attempt.input_syms.append(sym)
+        self.set_reg(instr.dst, sym, frozenset(["in"]))
+
+    def _n_output(self, instr) -> None:
+        self.attempt.outputs.append((self.value(instr.value), self.pc))
+
+    def _n_lock(self, instr) -> None:
+        addr = self.concretize_addr(self.value(instr.addr), "lock")
+        self.attempt.lock_events.append(("lock", addr))
+        self.mem_write(addr, Const(1))
+
+    def _n_unlock(self, instr) -> None:
+        addr = self.concretize_addr(self.value(instr.addr), "unlock")
+        self.attempt.lock_events.append(("unlock", addr))
+        self.mem_write(addr, Const(0))
+
+    def _n_assert(self, instr) -> None:
+        cond = self.value(instr.cond)
+        if isinstance(cond, Const) and cond.value == 0:
+            raise _Prune("assert provably fails mid-segment")
+        if not isinstance(cond, Const):
+            self.attempt.constraints.append(truth_of(cond))
+
+    def _n_call(self, instr) -> None:
+        if instr.callee in self.executor.atomic_calls:
+            self._exec_atomic_call(instr)
+        else:
+            raise _Prune("call mid-segment (should end the segment)")
+
+    def exec_normal(self, instr: Instr) -> None:
+        """Tree-mode dispatch: isinstance chain over the IR dataclasses."""
+        if isinstance(instr, ConstInst):
+            self._n_const(instr)
+        elif isinstance(instr, GAddrInst):
+            self._n_gaddr(instr)
+        elif isinstance(instr, FrameAddrInst):
+            self._n_frameaddr(instr)
+        elif isinstance(instr, MovInst):
+            self._n_mov(instr)
+        elif isinstance(instr, BinInst):
+            self._n_bin(instr)
+        elif isinstance(instr, CmpInst):
+            self._n_cmp(instr)
+        elif isinstance(instr, LoadInst):
+            self._n_load(instr)
+        elif isinstance(instr, StoreInst):
+            self._n_store(instr)
+        elif isinstance(instr, AllocInst):
+            self._n_alloc(instr)
         elif isinstance(instr, FreeInst):
-            addr = self.concretize_addr(self.value(instr.addr), "free")
-            self.attempt.free_bases.append(addr)
+            self._n_free(instr)
         elif isinstance(instr, InputInst):
-            sym = self.child.fresh("in")
-            self.attempt.input_syms.append(sym)
-            self.set_reg(instr.dst, sym, frozenset(["in"]))
+            self._n_input(instr)
         elif isinstance(instr, OutputInst):
-            self.attempt.outputs.append((self.value(instr.value), self.pc))
+            self._n_output(instr)
         elif isinstance(instr, LockInst):
-            addr = self.concretize_addr(self.value(instr.addr), "lock")
-            self.attempt.lock_events.append(("lock", addr))
-            self.mem_write(addr, Const(1))
+            self._n_lock(instr)
         elif isinstance(instr, UnlockInst):
-            addr = self.concretize_addr(self.value(instr.addr), "unlock")
-            self.attempt.lock_events.append(("unlock", addr))
-            self.mem_write(addr, Const(0))
+            self._n_unlock(instr)
         elif isinstance(instr, AssertInst):
-            cond = self.value(instr.cond)
-            if isinstance(cond, Const) and cond.value == 0:
-                raise _Prune("assert provably fails mid-segment")
-            if not isinstance(cond, Const):
-                self.attempt.constraints.append(truth_of(cond))
+            self._n_assert(instr)
         elif isinstance(instr, CallInst):
-            if instr.callee in self.executor.atomic_calls:
-                self._exec_atomic_call(instr)
-            else:
-                raise _Prune("call mid-segment (should end the segment)")
+            self._n_call(instr)
         elif isinstance(instr, (SpawnInst, JoinInst)):
             # spawn/join inside a suffix is a search boundary: the thread
             # set is fixed by the coredump in this reproduction.
             raise _Prune(f"{type(instr).__name__} inside suffix unsupported")
         else:
             raise _Prune(f"unsupported instruction {instr!r}")
+        self.attempt.op_counter += 1
+        self.pc = PC(self.pc.function, self.pc.block, self.pc.index + 1)
+
+    def exec_opcode(self, opcode: int, instr: Instr) -> None:
+        """Bytecode-mode dispatch: O(1) table lookup on the compiled
+        program's integer opcode instead of the isinstance chain.  Same
+        handlers, same effects — opcodes without a symbolic handler
+        (spawn/join, terminators reaching here through malformed
+        segments) fall back to :meth:`exec_normal` for its pruning
+        messages."""
+        handler = _NORMAL_HANDLERS.get(opcode)
+        if handler is None:
+            self.exec_normal(instr)
+            return
+        handler(self, instr)
         self.attempt.op_counter += 1
         self.pc = PC(self.pc.function, self.pc.block, self.pc.index + 1)
 
@@ -934,3 +1034,29 @@ class _ExecContext:
         if op not in regs:
             raise _Prune("hard-construct: unknown register in atomic call")
         return regs[op]
+
+
+#: integer-opcode dispatch table for :meth:`_ExecContext.exec_opcode` —
+#: the symbolic mirror of the bytecode VM's dispatch loop.  Built once
+#: at import; every binary/compare opcode maps to the shared handler.
+_NORMAL_HANDLERS = {
+    OP_CONST: _ExecContext._n_const,
+    OP_GADDR: _ExecContext._n_gaddr,
+    OP_FRAMEADDR: _ExecContext._n_frameaddr,
+    OP_MOV: _ExecContext._n_mov,
+    OP_LOAD: _ExecContext._n_load,
+    OP_STORE: _ExecContext._n_store,
+    OP_ALLOC: _ExecContext._n_alloc,
+    OP_FREE: _ExecContext._n_free,
+    OP_INPUT: _ExecContext._n_input,
+    OP_OUTPUT: _ExecContext._n_output,
+    OP_LOCK: _ExecContext._n_lock,
+    OP_UNLOCK: _ExecContext._n_unlock,
+    OP_ASSERT: _ExecContext._n_assert,
+    OP_CALL: _ExecContext._n_call,
+}
+for _op in range(OP_BIN_BASE, OP_CMP_BASE):
+    _NORMAL_HANDLERS[_op] = _ExecContext._n_bin
+for _op in range(OP_CMP_BASE, OP_LOAD):
+    _NORMAL_HANDLERS[_op] = _ExecContext._n_cmp
+del _op

@@ -51,25 +51,80 @@ class Expr:
         return isinstance(self, Const)
 
 
-@dataclass(frozen=True)
+# ---------------------------------------------------------------------------
+# Hash-consing (interning) tables
+#
+# Leaves intern through ``__new__``; interior nodes intern through
+# :func:`bin_expr` (the only simplifying constructor), keyed by child
+# *identity* — sound because interned children are themselves canonical.
+# Tables are append-only and stop interning when full: clearing them
+# would free nodes whose ``id()`` keys identity-keyed caches elsewhere
+# (the solver's range memo), and a recycled id must never alias a
+# different expression.  Directly constructed ``BinExpr(...)`` nodes
+# (deserialization, tests) stay valid: equality and hashing remain
+# structural, identity is only a fast path.
+# ---------------------------------------------------------------------------
+
+_CONST_CACHE: Dict[int, "Const"] = {}
+_SYM_CACHE: Dict[str, "Sym"] = {}
+_BIN_CACHE: Dict[Tuple[str, int, int], "BinExpr"] = {}
+_CONST_CACHE_CAP = 1 << 16
+_SYM_CACHE_CAP = 1 << 16
+_BIN_CACHE_CAP = 1 << 18
+
+
+def intern_stats() -> Dict[str, int]:
+    """Sizes of the intern tables (diagnostics and tests)."""
+    return {"const": len(_CONST_CACHE), "sym": len(_SYM_CACHE),
+            "bin": len(_BIN_CACHE)}
+
+
+@dataclass(frozen=True, init=False)
 class Const(Expr):
     value: int
 
-    def __post_init__(self):
-        object.__setattr__(self, "value", to_unsigned(self.value))
+    def __new__(cls, value=None):
+        # ``value is None`` is the pickle/deepcopy reconstruction path
+        # (``cls.__new__(cls)`` with state applied afterwards).
+        if value is None or cls is not Const:
+            return object.__new__(cls)
+        value = value & _WORD_MASK_LOCAL
+        cached = _CONST_CACHE.get(value)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "value", value)
+        if len(_CONST_CACHE) < _CONST_CACHE_CAP:
+            _CONST_CACHE[value] = self
+        return self
 
     def __repr__(self):
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class Sym(Expr):
     """An unconstrained 64-bit unknown, identified by name."""
 
     name: str
 
+    def __new__(cls, name=None):
+        if name is None or cls is not Sym:
+            return object.__new__(cls)
+        cached = _SYM_CACHE.get(name)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "name", name)
+        if len(_SYM_CACHE) < _SYM_CACHE_CAP:
+            _SYM_CACHE[name] = self
+        return self
+
     def __repr__(self):
         return f"${self.name}"
+
+
+_WORD_MASK_LOCAL = to_unsigned(-1)
 
 
 @dataclass(frozen=True)
@@ -98,7 +153,35 @@ def _binexpr_hash(self: "BinExpr") -> int:
     return cached
 
 
+def _binexpr_eq(self: "BinExpr", other) -> bool:
+    """Structural equality with an identity fast path.  Interned nodes
+    make ``self is other`` the common case, so deep comparisons of
+    shared sub-DAGs short-circuit without walking them."""
+    if self is other:
+        return True
+    if other.__class__ is not BinExpr:
+        return NotImplemented
+    return (self.op == other.op and self.a == other.a
+            and self.b == other.b)
+
+
 BinExpr.__hash__ = _binexpr_hash  # type: ignore[method-assign]
+BinExpr.__eq__ = _binexpr_eq  # type: ignore[method-assign]
+
+
+def _make_bin(op: str, a: Expr, b: Expr) -> BinExpr:
+    """Interning BinExpr constructor (used only by :func:`bin_expr`,
+    *after* simplification, so the table holds canonical shapes).  The
+    cached node holds strong references to its children, which pins
+    their ids — an identity key can never go stale."""
+    key = (op, id(a), id(b))
+    cached = _BIN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    node = BinExpr(op, a, b)
+    if len(_BIN_CACHE) < _BIN_CACHE_CAP:
+        _BIN_CACHE[key] = node
+    return node
 
 
 TRUE = Const(1)
@@ -156,7 +239,7 @@ def bin_expr(op: str, a: Expr, b: Expr) -> Expr:
         folded = apply_op(op, a.value, b.value)
         if folded is not None:
             return Const(folded)
-        return BinExpr(op, a, b)  # division by zero: keep symbolic shape
+        return _make_bin(op, a, b)  # division by zero: keep symbolic shape
 
     # Canonicalize: constants on the right for commutative ops,
     # comparisons with a constant left operand get swapped.
@@ -272,7 +355,7 @@ def bin_expr(op: str, a: Expr, b: Expr) -> Expr:
         # A boolean can never equal any other constant.
         return FALSE if op == "eq" else TRUE
 
-    return BinExpr(op, a, b)
+    return _make_bin(op, a, b)
 
 
 def _is_boolean(expr: Expr) -> bool:
@@ -289,12 +372,21 @@ def negate_bool(expr: Expr) -> Expr:
 
 
 def truth_of(expr: Expr) -> Expr:
-    """Coerce a word-valued expression to a truth-valued one (≠ 0)."""
+    """Coerce a word-valued expression to a truth-valued one (≠ 0).
+
+    Memoized on the node: solver recheck and bit-fixing loops coerce
+    the same constraints over and over."""
+    cached = expr.__dict__.get("_truth")
+    if cached is not None:
+        return cached
     if isinstance(expr, Const):
         return TRUE if expr.value != 0 else FALSE
     if _is_boolean(expr):
-        return expr
-    return bin_expr("ne", expr, FALSE)
+        result = expr
+    else:
+        result = bin_expr("ne", expr, FALSE)
+    object.__setattr__(expr, "_truth", result)
+    return result
 
 
 _EMPTY_SYMS: FrozenSet[str] = frozenset()
@@ -322,7 +414,7 @@ def free_syms(expr: Expr) -> FrozenSet[str]:
 
 def substitute(expr: Expr, bindings: Dict[str, Expr]) -> Expr:
     """Replace symbols by expressions, re-simplifying along the way."""
-    if not free_syms(expr) & bindings.keys():
+    if free_syms(expr).isdisjoint(bindings.keys()):
         return expr  # nothing to replace anywhere below: share the node
     if isinstance(expr, Sym):
         return bindings.get(expr.name, expr)
@@ -367,6 +459,134 @@ def expr_size(expr: Expr) -> int:
         result = 1
     object.__setattr__(expr, "_size", result)
     return result
+
+
+# ---------------------------------------------------------------------------
+# Compiled evaluation
+#
+# ``evaluate`` is the hottest solver primitive: bit-fixing, rechecking
+# and model completion all call it thousands of times per query on the
+# *same* expression with different models.  ``compiled_evaluator``
+# flattens the DAG once into straight-line Python (shared sub-nodes
+# become single temporaries) and caches the generated function on the
+# node, turning every later evaluation into one cheap call.  Semantics
+# are exactly :func:`evaluate`: None on division by zero or a missing
+# symbol.
+# ---------------------------------------------------------------------------
+
+_COMPILE_MAX_NODES = 4096
+
+_CMP_PY = {"eq": "==", "ne": "!=", "ult": "<", "ule": "<=",
+           "ugt": ">", "uge": ">=", "slt": "<", "sle": "<=",
+           "sgt": ">", "sge": ">="}
+
+
+def _build_evaluator(expr: "BinExpr"):
+    """Generate a ``model -> Optional[int]`` function for ``expr``.
+    Returns False when the expression is too large to compile (callers
+    fall back to the recursive evaluator)."""
+    if expr_size(expr) > _COMPILE_MAX_NODES:
+        return False
+    names: Dict[int, str] = {}
+    lines = []
+    counter = 0
+
+    def _signed(atom: str) -> str:
+        return f"({atom} - T if {atom} >= S else {atom})"
+
+    def emit(node: Expr) -> str:
+        nonlocal counter
+        key = id(node)
+        name = names.get(key)
+        if name is not None:
+            return name
+        if type(node) is Const:
+            name = repr(node.value)
+            names[key] = name
+            return name
+        counter += 1
+        name = f"t{counter}"
+        if type(node) is Sym:
+            lines.append(f" {name} = m.get({node.name!r})")
+            lines.append(f" if {name} is None: return None")
+            lines.append(f" {name} &= M")
+            names[key] = name
+            return name
+        a = emit(node.a)
+        b = emit(node.b)
+        op = node.op
+        if op in ("add", "sub", "mul"):
+            sym = {"add": "+", "sub": "-", "mul": "*"}[op]
+            lines.append(f" {name} = ({a} {sym} {b}) & M")
+        elif op in ("and", "or", "xor"):
+            sym = {"and": "&", "or": "|", "xor": "^"}[op]
+            lines.append(f" {name} = {a} {sym} {b}")
+        elif op in ("udiv", "urem"):
+            sym = "//" if op == "udiv" else "%"
+            lines.append(f" if {b} == 0: return None")
+            lines.append(f" {name} = {a} {sym} {b}")
+        elif op in ("sdiv", "srem"):
+            lines.append(f" {name} = _apply({op!r}, {a}, {b})")
+            lines.append(f" if {name} is None: return None")
+        elif op == "shl":
+            lines.append(f" {name} = ({a} << ({b} % 64)) & M")
+        elif op == "lshr":
+            lines.append(f" {name} = {a} >> ({b} % 64)")
+        elif op == "ashr":
+            lines.append(f" {name} = ({_signed(a)} >> ({b} % 64)) & M")
+        elif op in ("slt", "sle", "sgt", "sge"):
+            lines.append(f" {name} = 1 if {_signed(a)} {_CMP_PY[op]}"
+                         f" {_signed(b)} else 0")
+        else:
+            lines.append(f" {name} = 1 if {a} {_CMP_PY[op]} {b} else 0")
+        names[key] = name
+        return name
+
+    try:
+        root = emit(expr)
+        source = "def _f(m):\n" + "\n".join(lines) + f"\n return {root}"
+        namespace = {"M": to_unsigned(-1), "S": 1 << 63, "T": 1 << 64,
+                     "_apply": apply_op}
+        exec(source, namespace)  # noqa: S102 - generated from trusted IR
+        return namespace["_f"]
+    except (RecursionError, SyntaxError, MemoryError):
+        return False
+
+
+def compiled_evaluator(expr: Expr):
+    """Return a compiled ``model -> Optional[int]`` callable for
+    ``expr``, or None when it is not worth compiling (callers should
+    use :func:`evaluate`)."""
+    if type(expr) is not BinExpr:
+        return None
+    fn = expr.__dict__.get("_ceval")
+    if fn is None:
+        fn = _build_evaluator(expr)
+        object.__setattr__(expr, "_ceval", fn)
+    return fn if fn is not False else None
+
+
+def evaluate_compiled(expr: Expr, model: Dict[str, int]) -> Optional[int]:
+    """Drop-in for :func:`evaluate` that compiles (and caches) the
+    expression on first use."""
+    fn = expr.__dict__.get("_ceval")
+    if fn is not None:
+        if fn is False:
+            return evaluate(expr, model)
+        return fn(model)
+    tp = type(expr)
+    if tp is Const:
+        return expr.value
+    if tp is Sym:
+        value = model.get(expr.name)
+        return to_unsigned(value) if value is not None else None
+    if tp is not BinExpr:
+        return evaluate(expr, model)
+    fn = _build_evaluator(expr)
+    object.__setattr__(expr, "_ceval", fn)
+    if fn is False:
+        return evaluate(expr, model)
+    return fn(model)
 
 
 ExprLike = Union[Expr, int]

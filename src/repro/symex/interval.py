@@ -213,7 +213,8 @@ def cmp_truth(op: str, ia: IntSet, ib: IntSet) -> IntSet:
 _NONNEG = IntSet(((0, SIGN_BIT - 1),))
 
 
-def expr_range(expr, domain_of: Callable[[str], IntSet]) -> IntSet:
+def expr_range(expr, domain_of: Callable[[str], IntSet],
+               memo: Optional[dict] = None) -> IntSet:
     """Conservative over-approximation of the values ``expr`` can take
     when each symbol ranges over ``domain_of(name)``.
 
@@ -223,17 +224,25 @@ expr.evaluate`): for every model assigning each symbol a value inside
     ``full()`` is always a legal answer; precision is best-effort —
     exactly what the solver needs to refute residual constraints like
     ``((n & 3) + 1) > 5000`` that its enumeration cannot reach.
+
+    ``memo`` optionally shares sub-results across calls: hash-consed
+    expressions make ``id(node)`` a stable identity, so a caller whose
+    domains are fixed (one solver search) can pass the same dict to
+    every query and stop re-walking shared sub-DAGs.  Entries hold
+    ``(node, range)`` — pinning the node keeps its id from being
+    recycled while the memo lives.
     """
     from repro.symex.expr import BinExpr, Const, Sym
 
-    memo: Dict[int, IntSet] = {}
+    if memo is None:
+        memo = {}
 
     def walk(node) -> IntSet:
         cached = memo.get(id(node))
         if cached is not None:
-            return cached
+            return cached[1]
         result = compute(node)
-        memo[id(node)] = result
+        memo[id(node)] = (node, result)
         return result
 
     def compute(node) -> IntSet:

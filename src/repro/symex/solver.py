@@ -35,6 +35,7 @@ from repro.symex.expr import (
     Sym,
     bin_expr,
     evaluate,
+    evaluate_compiled,
     expr_from_obj,
     expr_size,
     expr_to_obj,
@@ -85,6 +86,18 @@ class _State:
     #: closed binding map computed by the last search over this state;
     #: read-only once set (children use it to seed their own resolution).
     resolved_cache: Optional[Dict[str, Expr]] = None
+    #: per-constraint preamble classifications from the last *completed*
+    #: search preamble over this state: ``id(constraint) -> (constraint,
+    #: residual_form_or_None, relevant_syms)``.  Rows are pure functions
+    #: of (resolved entries, domains) restricted to ``relevant_syms``;
+    #: a child search reuses a row when none of those inputs changed.
+    #: The dict is replaced wholesale at commit, never mutated — clones
+    #: share it by reference.
+    preamble_cache: Optional[Dict[int, tuple]] = None
+    #: symbols whose domain or binding changed since ``preamble_cache``
+    #: was committed (propagation writes accumulate here; clones carry
+    #: the set forward so chains of unsearched states stay sound).
+    touched: Set[str] = field(default_factory=set)
 
     def domain(self, name: str) -> IntSet:
         return self.domains.get(name, IntSet.full())
@@ -99,6 +112,8 @@ class _State:
             domains=dict(self.domains),
             all_syms=set(self.all_syms),
             resolved_cache=self.resolved_cache,
+            preamble_cache=self.preamble_cache,
+            touched=set(self.touched),
         )
 
 
@@ -125,6 +140,9 @@ class SolverContext:
     #: verdict of solving exactly ``constraints`` (set by solve_extended);
     #: lets downstream consumers (suffix replay) reuse the model
     result: Optional[SolveResult] = None
+    #: union of free symbols over ``constraints`` — lets a child's
+    #: recheck compare models on the prefix instead of re-evaluating it
+    syms: frozenset = frozenset()
 
 
 class Solver:
@@ -153,13 +171,21 @@ class Solver:
         #: answered without re-searching.  Exact keys — never fuzzy.
         self._component_cache: Dict[tuple, SolveResult] = {}
         self._component_cache_cap = 65536
-        #: interval over-approximations per (expr, relevant domains)
-        self._range_cache: Dict[tuple, IntSet] = {}
+        #: interval over-approximations per (expr identity, relevant
+        #: domains).  Values are ``(expr, range)`` — the pinned expr
+        #: keeps the id key from being recycled.
+        self._range_cache: Dict[tuple, tuple] = {}
         self._range_cache_cap = 65536
+        #: point-range folding results, same key discipline as
+        #: ``_range_cache`` (id + relevant domains, expr-pinning values)
+        self._fold_cache: Dict[tuple, tuple] = {}
         self._next_token = itertools.count(1)
         #: counters exposed to SynthesisStats
         self.stat_calls = 0
         self.stat_cache_hits = 0
+        #: diagnostic only (never folded into SynthesisStats): range
+        #: queries answered from a memo instead of re-walking the tree
+        self.stat_range_hits = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -181,10 +207,38 @@ class Solver:
         under the model and downgrade to UNKNOWN on any miss."""
         if result.is_sat and result.model is not None:
             for constraint in constraints:
-                value = evaluate(truth_of(constraint), result.model)
+                value = evaluate_compiled(truth_of(constraint), result.model)
                 if value is None or value == 0:
                     return SolveResult(SolveStatus.UNKNOWN,
                                        nodes_explored=result.nodes_explored)
+        return result
+
+    def _recheck_extended(self, ctx: SolverContext, delta: Sequence[Expr],
+                          result: SolveResult,
+                          constraints: Sequence[Expr]) -> SolveResult:
+        """Incremental form of :meth:`_recheck` for ``ctx + delta``.
+
+        The parent's SAT result already passed a recheck of exactly
+        ``ctx.constraints`` under its model.  If the new model assigns
+        every prefix symbol the same value, each prefix constraint
+        evaluates identically and only the delta needs re-evaluation;
+        any difference (or no verified parent) falls back to the full
+        recheck.
+        """
+        if not result.is_sat or result.model is None:
+            return result
+        prev = ctx.result
+        if prev is None or not prev.is_sat or prev.model is None:
+            return self._recheck(result, constraints)
+        model, parent_model = result.model, prev.model
+        for name in ctx.syms:
+            if model.get(name) != parent_model.get(name):
+                return self._recheck(result, constraints)
+        for constraint in delta:
+            value = evaluate_compiled(truth_of(constraint), model)
+            if value is None or value == 0:
+                return SolveResult(SolveStatus.UNKNOWN,
+                                   nodes_explored=result.nodes_explored)
         return result
 
     # ------------------------------------------------------------------
@@ -195,9 +249,11 @@ class Solver:
         """Build a context by asserting ``constraints`` from scratch."""
         state = _State()
         status = self._assert_all(state, constraints)
+        syms = frozenset().union(*(free_syms(c) for c in constraints)) \
+            if constraints else frozenset()
         return SolverContext(state=state, constraints=tuple(constraints),
                              unsat=status is SolveStatus.UNSAT,
-                             token=next(self._next_token))
+                             token=next(self._next_token), syms=syms)
 
     def extend_context(self, ctx: SolverContext,
                        delta: Sequence[Expr]) -> SolverContext:
@@ -209,16 +265,19 @@ class Solver:
         constraints = ctx.constraints + tuple(delta)
         if ctx.unsat:
             return SolverContext(state=ctx.state, constraints=constraints,
-                                 unsat=True, token=next(self._next_token))
+                                 unsat=True, token=next(self._next_token),
+                                 syms=ctx.syms)
         if not delta:
             return SolverContext(state=ctx.state, constraints=constraints,
-                                 unsat=False, token=next(self._next_token))
+                                 unsat=False, token=next(self._next_token),
+                                 syms=ctx.syms)
+        syms = ctx.syms.union(*(free_syms(c) for c in delta))
         state = ctx.state.clone()
         state.resolved_cache = None
         status = self._assert_all(state, delta)
         return SolverContext(state=state, constraints=constraints,
                              unsat=status is SolveStatus.UNSAT,
-                             token=next(self._next_token))
+                             token=next(self._next_token), syms=syms)
 
     def solve_extended(self, ctx: SolverContext, delta: Sequence[Expr],
                        want_context: bool = True
@@ -245,7 +304,8 @@ class Solver:
             result = SolveResult(SolveStatus.UNSAT)
         else:
             seed = ctx.state.resolved_cache
-            result = self._recheck(
+            result = self._recheck_extended(
+                ctx, delta,
                 self._search(child.state, seed, use_component_cache=True),
                 child.constraints)
         if len(self._delta_cache) < self._delta_cache_cap:
@@ -414,7 +474,7 @@ class Solver:
             # UNSAT).  The cap guards against cyclic bindings, which
             # _isolate should never produce.
             for _ in range(8):
-                if not (free_syms(constraint) & state.bindings.keys()):
+                if free_syms(constraint).isdisjoint(state.bindings.keys()):
                     break
                 constraint = substitute(constraint, state.bindings)
             if isinstance(constraint, Const):
@@ -453,6 +513,7 @@ class Solver:
                 if new.is_empty():
                     return SolveStatus.UNSAT
                 state.domains[name] = new
+                state.touched.add(name)
                 if new.size() == 1:
                     # Domain collapsed: promote to a binding.
                     if self._bind(state, name, Const(new.min()), pending) \
@@ -473,6 +534,7 @@ class Solver:
         if isinstance(expr, Const) and expr.value not in state.domain(name):
             return SolveStatus.UNSAT
         state.bindings[name] = expr
+        state.touched.add(name)
         # Re-queue every residual constraint mentioning the symbol.
         keep: List[Expr] = []
         for constraint in state.constraints:
@@ -625,25 +687,45 @@ class Solver:
 
     # ------------------------------------------------------------------
     # Phase 3: bounded search
-    def _range_of(self, expr: Expr, state: _State) -> IntSet:
+    def _range_of(self, expr: Expr, state: _State,
+                  memo: Optional[dict] = None) -> IntSet:
         """Memoized :func:`expr_range` over the state's domains.
 
-        The naive engine re-solves suffix-deep conjunctions whose
-        constraint expressions are shared across nodes, so the same
-        (expression, relevant domains) pair recurs constantly; the key
-        covers exactly the domains the answer depends on.
+        Two memo layers, both keyed by expr *identity* (hash-consing
+        makes structurally-equal exprs the same object, so an id key is
+        as good as a structural one and costs no tree walk):
+
+        - ``memo`` — the per-search walk memo, shared across every
+          range query of one :meth:`_search` call (domains are fixed
+          for its duration).  Passing it into :func:`expr_range` also
+          shares *sub*-expression results between queries, so a
+          sub-DAG common to two constraints is walked once.
+        - ``self._range_cache`` — persistent across searches, keyed by
+          (id, relevant domains); covers the naive engine re-solving
+          suffix-deep conjunctions whose constraints recur verbatim.
         """
-        key = (expr, tuple(sorted(
+        if memo is not None:
+            hit = memo.get(id(expr))
+            if hit is not None:
+                self.stat_range_hits += 1
+                return hit[1]
+        key = (id(expr), tuple(sorted(
             (name, state.domain(name).ranges)
             for name in free_syms(expr))))
         cached = self._range_cache.get(key)
-        if cached is None:
-            cached = expr_range(expr, state.domain)
-            if len(self._range_cache) < self._range_cache_cap:
-                self._range_cache[key] = cached
-        return cached
+        if cached is not None:
+            self.stat_range_hits += 1
+            result = cached[1]
+            if memo is not None:
+                memo[id(expr)] = (expr, result)
+            return result
+        result = expr_range(expr, state.domain, memo=memo)
+        if len(self._range_cache) < self._range_cache_cap:
+            self._range_cache[key] = (expr, result)
+        return result
 
-    def _fold_point_ranges(self, expr: Expr, state: _State) -> Expr:
+    def _fold_point_ranges(self, expr: Expr, state: _State,
+                           memo: Optional[dict] = None) -> Expr:
         """Replace subexpressions whose interval image under the current
         domains is a single value with that constant.
 
@@ -660,15 +742,40 @@ class Solver:
         """
         if not free_syms(expr):
             return expr
-        image = self._range_of(expr, state)
+        if memo is not None:
+            # Per-search fold memo (separate key space from the range
+            # memo: values are folded *exprs*, not ranges).  Shared
+            # sub-DAGs across a search's residual constraints fold once.
+            hit = memo.get(("fold", id(expr)))
+            if hit is not None:
+                return hit[1]
+        key = (id(expr), tuple(sorted(
+            (name, state.domain(name).ranges)
+            for name in free_syms(expr))))
+        cached = self._fold_cache.get(key)
+        if cached is not None:
+            self.stat_range_hits += 1
+            result = cached[1]
+            if memo is not None:
+                memo[("fold", id(expr))] = (expr, result)
+            return result
+        image = self._range_of(expr, state, memo)
         if image.size() == 1:
-            return Const(image.min())
-        if isinstance(expr, BinExpr):
-            a = self._fold_point_ranges(expr.a, state)
-            b = self._fold_point_ranges(expr.b, state)
+            result = Const(image.min())
+        elif isinstance(expr, BinExpr):
+            a = self._fold_point_ranges(expr.a, state, memo)
+            b = self._fold_point_ranges(expr.b, state, memo)
             if a is not expr.a or b is not expr.b:
-                return bin_expr(expr.op, a, b)
-        return expr
+                result = bin_expr(expr.op, a, b)
+            else:
+                result = expr
+        else:
+            result = expr
+        if memo is not None:
+            memo[("fold", id(expr))] = (expr, result)
+        if len(self._fold_cache) < self._range_cache_cap:
+            self._fold_cache[key] = (expr, result)
+        return result
 
     # ------------------------------------------------------------------
 
@@ -684,32 +791,72 @@ class Solver:
         # grounds would otherwise read as an exhausted (empty) search
         # space and produce a false UNSAT.
         resolved = self._resolve_bindings(state.bindings, seed=resolved_seed)
-        state.resolved_cache = resolved
+        # Walk memo for every range query of this search: domains are
+        # fixed until the residual is collected, so one memo serves all
+        # constraints (and their shared sub-DAGs).
+        range_memo: dict = {}
+        # Incremental preamble: a parent search already classified most
+        # of these constraints (dropped / residual form) under the same
+        # resolved entries and domains.  A cached row is reusable when
+        # none of its relevant symbols changed — ``state.touched``
+        # tracks domain/binding writes since the cache was committed,
+        # and the resolved map is diffed against the seed (identical
+        # entries are carried by reference, so ``is`` is exact).  The
+        # naive path (``solve()``/fresh states) never has a cache and is
+        # untouched — it stays the independent oracle.
+        cache = state.preamble_cache
+        affected: Optional[Set[str]] = None
+        if cache is not None and resolved_seed is not None:
+            affected = set(state.touched)
+            for name, expr in resolved.items():
+                if resolved_seed.get(name) is not expr:
+                    affected.add(name)
+            for name in resolved_seed:
+                if name not in resolved:
+                    affected.add(name)
         # A symbol can acquire a domain refinement (x ≠ 0) and *then* an
         # open binding (x ↦ f(y)); the domain knowledge is not folded
         # into the binding at assert time, so once the binding resolves
         # it must be checked against the domain or the contradiction is
         # silently dropped (another order-dependent UNKNOWN the
         # differential fuzzer surfaced).  Iterate the (small) domain
-        # map, not the (large) binding map.
-        for name, dom in state.domains.items():
-            if dom.is_full():
+        # map, not the (large) binding map — and with a valid preamble
+        # cache, only the symbols whose domain or resolution changed
+        # (the parent ran the identical check for the rest).
+        check_names = state.domains.keys() if affected is None else affected
+        for name in check_names:
+            dom = state.domains.get(name)
+            if dom is None or dom.is_full():
                 continue
             expr = resolved.get(name)
             if expr is None:
                 continue
-            image = self._range_of(expr, state)
+            image = self._range_of(expr, state, range_memo)
             if image.intersect(dom).is_empty():
                 return SolveResult(SolveStatus.UNSAT)
         residual: List[Expr] = []
+        new_rows: Dict[int, tuple] = {}
         for constraint in state.constraints:
-            if free_syms(constraint) & resolved.keys():
+            if affected is not None:
+                row = cache.get(id(constraint))
+                if row is not None and row[0] is constraint \
+                        and affected.isdisjoint(row[2]):
+                    new_rows[id(constraint)] = row
+                    if row[1] is not None:
+                        residual.append(row[1])
+                    continue
+            original = constraint
+            relevant = free_syms(constraint)
+            if not relevant.isdisjoint(resolved.keys()):
                 constraint = substitute(constraint, resolved)
+                relevant = relevant | free_syms(constraint)
             if not isinstance(constraint, Const):
-                constraint = self._fold_point_ranges(constraint, state)
+                constraint = self._fold_point_ranges(constraint, state,
+                                                     range_memo)
             if isinstance(constraint, Const):
                 if constraint.value == 0:
                     return SolveResult(SolveStatus.UNSAT)
+                new_rows[id(original)] = (original, None, relevant)
                 continue
             # Interval refutation: an over-approximation of the
             # constraint's value decides it when the bounded search
@@ -718,23 +865,34 @@ class Solver:
             # keeps verdicts from depending on which assertion order
             # happened to propagate a domain first — the differential
             # fuzzer found exactly such order-dependent UNKNOWNs.
-            truth = self._range_of(constraint, state)
+            truth = self._range_of(constraint, state, range_memo)
             if truth.is_empty() or truth.max() == 0:
                 return SolveResult(SolveStatus.UNSAT)
             if 0 not in truth:
-                continue  # tautological under the domains: drop
+                # tautological under the domains: drop
+                new_rows[id(original)] = (original, None, relevant)
+                continue
             residual.append(constraint)
+            new_rows[id(original)] = (original, constraint, relevant)
+        # Commit: rows, the resolved map they were computed under, and
+        # the touched-set epoch move together.  Early-UNSAT returns
+        # above leave all three untouched (children of an UNSAT context
+        # fall back to the uncached path).
+        state.preamble_cache = new_rows
+        state.resolved_cache = resolved
+        state.touched.clear()
         unbound: Set[str] = set()
         for constraint in residual:
             unbound |= free_syms(constraint)
         unbound = {n for n in unbound if n not in state.bindings}
-        if any(free_syms(c) & state.bindings.keys() for c in residual):
+        if any(not free_syms(c).isdisjoint(state.bindings.keys())
+               for c in residual):
             # Unresolvable chain (cycle or size cap): don't let the
             # search claim exhaustion over symbols it never assigned.
             return SolveResult(SolveStatus.UNKNOWN)
 
         if not residual:
-            model = self._complete_model(state, {})
+            model = self._complete_model(state, {}, resolved)
             if model is None:
                 return SolveResult(SolveStatus.UNKNOWN)
             return SolveResult(SolveStatus.SAT, model)
@@ -777,7 +935,7 @@ class Solver:
         if unknown:
             return SolveResult(SolveStatus.UNKNOWN,
                                nodes_explored=total_nodes)
-        model = self._complete_model(state, combined)
+        model = self._complete_model(state, combined, resolved)
         if model is None:
             return SolveResult(SolveStatus.UNKNOWN,
                                nodes_explored=total_nodes)
@@ -801,25 +959,38 @@ class Solver:
         expansion is still the fixpoint answer for the child — *unless*
         it mentions a symbol the child has since bound (the expansion is
         no longer closed); those entries are dropped and recomputed."""
-        resolved: Dict[str, Expr] = {
-            name: expr for name, expr in bindings.items()
-            if not (free_syms(expr) & bindings.keys())
-        }
+        resolved: Dict[str, Expr] = {}
+        pending: List[Tuple[str, Expr]] = []
         if seed:
-            for name, expr in seed.items():
-                if name in bindings \
-                        and not (free_syms(expr) & bindings.keys()):
+            # A seed entry is closed w.r.t. the parent map, so only the
+            # names added since (bindings − seed) can re-open it.
+            new_names = bindings.keys() - seed.keys()
+            for name, expr in bindings.items():
+                prev = seed.get(name)
+                if prev is not None \
+                        and free_syms(prev).isdisjoint(new_names):
+                    resolved[name] = prev
+                elif free_syms(expr) & bindings.keys():
+                    pending.append((name, expr))
+                else:
+                    resolved[name] = expr
+        else:
+            for name, expr in bindings.items():
+                if free_syms(expr) & bindings.keys():
+                    pending.append((name, expr))
+                else:
                     resolved[name] = expr
         blocked: Set[str] = set()
         for __ in range(len(bindings)):
             progressed = False
-            for name, expr in bindings.items():
-                if name in resolved or name in blocked:
-                    continue
+            still: List[Tuple[str, Expr]] = []
+            for name, expr in pending:
                 deps = free_syms(expr) & bindings.keys()
                 if deps & blocked or not deps <= resolved.keys():
                     if deps & blocked:
                         blocked.add(name)
+                    else:
+                        still.append((name, expr))
                     continue
                 expansion = substitute(expr, resolved)
                 if expr_size(expansion) <= size_cap:
@@ -827,7 +998,8 @@ class Solver:
                 else:
                     blocked.add(name)
                 progressed = True
-            if not progressed:
+            pending = still
+            if not progressed or not pending:
                 break
         return resolved
 
@@ -906,7 +1078,8 @@ class Solver:
     def _dfs(self, constraints: List[Expr], order: List[str], depth: int,
              candidates: Dict[str, List[int]], assignment: Dict[str, int],
              nodes: List[int],
-             domains: Dict[str, IntSet]) -> Optional[Dict[str, int]]:
+             domains: Dict[str, IntSet],
+             fresh: Optional[Set[str]] = None) -> Optional[Dict[str, int]]:
         if nodes[0] >= self.max_nodes:
             return None
         # Evaluate/simplify all constraints under the partial assignment,
@@ -918,13 +1091,24 @@ class Solver:
         # Propagation pays off on small residuals (it solves them
         # outright); on large ones the per-iteration rewriting dominates.
         propagate = len(live) <= 32
+        # ``constraints`` arrived already reduced under the caller's
+        # assignment except for ``fresh`` (the names bound since that
+        # reduction), so each round only needs to substitute the names
+        # bound since the previous round — substituting the rest is an
+        # identity (they no longer occur in ``live``).
+        if fresh is None:
+            pending_bindings = {name: Const(v) for name, v in local.items()}
+        else:
+            pending_bindings = {name: Const(local[name]) for name in fresh}
         progressed = True
         while progressed:
             progressed = False
-            bindings = {name: Const(v) for name, v in local.items()}
+            bindings = pending_bindings
+            pending_bindings = {}
             reduced_live: List[Expr] = []
             for constraint in live:
-                reduced = substitute(constraint, bindings)
+                reduced = substitute(constraint, bindings) \
+                    if bindings else constraint
                 if isinstance(reduced, Const):
                     if reduced.value == 0:
                         return None
@@ -947,6 +1131,7 @@ class Solver:
                         if value not in domains.get(name, IntSet.full()):
                             return None  # forced value outside its domain
                         local[name] = value
+                        pending_bindings[name] = Const(value)
                         progressed = True
                         continue
                 reduced_live.append(reduced)
@@ -975,7 +1160,7 @@ class Solver:
                 return None
             local[name] = value
             result = self._dfs(live, order, depth + 1, candidates,
-                               local, nodes, domains)
+                               local, nodes, domains, fresh={name})
             if result is not None:
                 return result
             del local[name]
@@ -1037,7 +1222,7 @@ class Solver:
             survivors: List[Tuple[int, int]] = []
             for residue in residues:
                 for candidate in (residue, residue | (1 << (k - 1))):
-                    values = [evaluate(delta, {name: candidate})
+                    values = [evaluate_compiled(delta, {name: candidate})
                               for delta in deltas]
                     if all(v is not None and v & mask == 0 for v in values):
                         # Rank by how far beyond the required k bits the
@@ -1073,7 +1258,7 @@ class Solver:
         for value in residues:
             if value not in domain:
                 continue
-            if all(evaluate(truth_of(c), {name: value}) == 1
+            if all(evaluate_compiled(truth_of(c), {name: value}) == 1
                    for c in deferred):
                 return value, not capped
         if capped:
@@ -1105,7 +1290,8 @@ class Solver:
             residue, k = stack.pop()
             if k == 65:
                 if residue in domain \
-                        and all(evaluate(truth_of(c), {name: residue}) == 1
+                        and all(evaluate_compiled(truth_of(c),
+                                                  {name: residue}) == 1
                                 for c in deferred):
                     return residue
                 continue
@@ -1114,7 +1300,7 @@ class Solver:
             # matches the breadth-first candidate order.
             for candidate in (residue | (1 << (k - 1)), residue):
                 nodes += 1
-                values = (evaluate(delta, {name: candidate})
+                values = (evaluate_compiled(delta, {name: candidate})
                           for delta in deltas)
                 if all(v is not None and v & mask == 0 for v in values):
                     stack.append((candidate, k + 1))
@@ -1172,22 +1358,53 @@ class Solver:
         return seen
 
     def _complete_model(self, state: _State,
-                        search_values: Dict[str, int]) -> Optional[Dict[str, int]]:
-        """Fold bindings + domains + search results into a full model."""
+                        search_values: Dict[str, int],
+                        resolved: Optional[Dict[str, Expr]] = None
+                        ) -> Optional[Dict[str, int]]:
+        """Fold bindings + domains + search results into a full model.
+
+        ``resolved`` (the search's closed binding map) short-circuits
+        the chain-evaluation fixpoint: a closed entry mentions no bound
+        symbols, so one compiled evaluation gives the same value the
+        fixpoint would reach by evaluating the chain link by link
+        (substitution lemma; division-by-zero propagates identically).
+        Unresolved (blocked) entries still go through the fixpoint.
+        """
         model: Dict[str, int] = dict(search_values)
-        for name in state.all_syms:
-            if name in model or name in state.bindings:
-                continue
+        for name in state.all_syms.difference(model).difference(state.bindings):
             sample = state.domain(name).sample()
             if sample is None:
                 return None
             model[name] = sample
         # Bindings may reference each other; iterate to a fixpoint.
-        remaining = dict(state.bindings)
+        if resolved:
+            remaining = {}
+            for name, expr in state.bindings.items():
+                closed = resolved.get(name)
+                if closed is None:
+                    remaining[name] = expr
+                    continue
+                tp = type(closed)
+                if tp is Const:
+                    model[name] = closed.value
+                    continue
+                if tp is Sym:
+                    value = model.get(closed.name)
+                    if value is not None:
+                        value &= WORD_MASK
+                    else:
+                        value = evaluate_compiled(closed, model)
+                else:
+                    value = evaluate_compiled(closed, model)
+                if value is None:
+                    return None
+                model[name] = value
+        else:
+            remaining = dict(state.bindings)
         for _ in range(len(remaining) + 1):
             progressed = False
             for name, expr in list(remaining.items()):
-                value = evaluate(expr, model)
+                value = evaluate_compiled(expr, model)
                 if value is not None:
                     model[name] = value
                     del remaining[name]
@@ -1200,7 +1417,7 @@ class Solver:
                 for free in set().union(*(free_syms(e) for e in remaining.values())):
                     model.setdefault(free, 0)
         for name, expr in remaining.items():
-            value = evaluate(expr, model)
+            value = evaluate_compiled(expr, model)
             if value is None:
                 return None
             model[name] = value

@@ -1,0 +1,738 @@
+"""Dispatch-loop VM over compiled bytecode (the fast execution path).
+
+`BytecodeVM` is a drop-in :class:`~repro.vm.interpreter.VM` whose hot
+path is a single dispatch loop over integer opcodes and flat slot
+frames (`ir/bytecode.py`), instead of isinstance chains over dataclass
+IR and dict-keyed register files.  Semantics are bit-identical to the
+tree interpreter — same trap kinds and messages, same event stream,
+same coredumps — which the A/B suite enforces.
+
+Three ingredients carry the speedup (Converge pypyvm idiom):
+
+* **slot frames** (:class:`BFrame`): registers are list indices; the
+  undefined-register check is an ``is None`` test;
+* **batched legs** (:meth:`BytecodeVM.run_leg`): the replayer drives
+  ``count`` consecutive steps of one thread without per-step method
+  dispatch, re-entering the loop only on call/return/trap;
+* **lazy tracing** (:class:`LazyTrace`): per-step events are recorded
+  as plain tuples and only materialized into
+  :class:`~repro.vm.trace.TraceEvent` objects when something actually
+  reads the trace (root-cause analysis, the debugger).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import VMError
+from repro.ir.bytecode import (
+    BFunc,
+    BytecodeProgram,
+    OP_ABORT,
+    OP_ALLOC,
+    OP_ASSERT,
+    OP_BIN_BASE,
+    OP_BR,
+    OP_CALL,
+    OP_CBR,
+    OP_CMP_BASE,
+    OP_CONST,
+    OP_FRAMEADDR,
+    OP_FREE,
+    OP_GADDR,
+    OP_HALT,
+    OP_INPUT,
+    OP_JOIN,
+    OP_LOAD,
+    OP_LOCK,
+    OP_MOV,
+    OP_OUTPUT,
+    OP_RET,
+    OP_SPAWN,
+    OP_STORE,
+    OP_UNLOCK,
+    compile_program,
+)
+from repro.ir.instructions import Instr, Reg, WORD_MASK, to_unsigned
+from repro.ir.module import Module
+from repro.vm.coredump import Trap, TrapKind
+from repro.vm.memory import AccessError
+from repro.vm.interpreter import (
+    LOG_TAIL_WORDS,
+    RunResult,
+    VM,
+    _ExitSignal,
+    _TrapSignal,
+)
+from repro.vm.state import Frame, PC, Thread, ThreadStatus
+from repro.vm.trace import ExecutionTrace, MemAccess, TraceEvent
+
+(OP_ADD, OP_SUB, OP_MUL, OP_UDIV, OP_SDIV, OP_UREM, OP_SREM,
+ OP_AND, OP_OR, OP_XOR, OP_SHL, OP_LSHR, OP_ASHR) = range(
+    OP_BIN_BASE, OP_CMP_BASE)
+(OP_EQ, OP_NE, OP_ULT, OP_ULE, OP_UGT, OP_UGE,
+ OP_SLT, OP_SLE, OP_SGT, OP_SGE) = range(OP_CMP_BASE, OP_LOAD)
+
+_SIGN_BIT = 1 << 63
+_TWO_POW_64 = 1 << 64
+
+
+class BFrame:
+    """A slot-based activation record, API-compatible with
+    :class:`~repro.vm.state.Frame` where the rest of the system reads
+    it (``pc``, ``regs``, ``copy`` — the coredump/debugger surface).
+    """
+
+    __slots__ = ("bfunc", "ip", "slots", "frame_base", "ret_dst",
+                 "ret_slot")
+
+    def __init__(self, bfunc: BFunc, ip: int, slots: List[Optional[int]],
+                 frame_base: int, ret_dst: Optional[Reg], ret_slot: int):
+        self.bfunc = bfunc
+        self.ip = ip
+        self.slots = slots
+        self.frame_base = frame_base
+        self.ret_dst = ret_dst
+        self.ret_slot = ret_slot
+
+    @property
+    def function(self) -> str:
+        return self.bfunc.name
+
+    @property
+    def block(self) -> str:
+        return self.bfunc.pcs[self.ip].block
+
+    @property
+    def index(self) -> int:
+        return self.bfunc.pcs[self.ip].index
+
+    @property
+    def frame_words(self) -> int:
+        return self.bfunc.frame_words
+
+    @property
+    def pc(self) -> PC:
+        return self.bfunc.pcs[self.ip]
+
+    @property
+    def regs(self) -> Dict[Reg, int]:
+        slot_regs = self.bfunc.slot_regs
+        return {slot_regs[i]: value
+                for i, value in enumerate(self.slots) if value is not None}
+
+    def copy(self) -> Frame:
+        """Materialize as a plain tree-interpreter frame (coredumps)."""
+        pc = self.bfunc.pcs[self.ip]
+        return Frame(
+            function=pc.function,
+            block=pc.block,
+            index=pc.index,
+            regs=self.regs,
+            frame_base=self.frame_base,
+            frame_words=self.bfunc.frame_words,
+            ret_dst=self.ret_dst,
+        )
+
+
+class LazyTrace(ExecutionTrace):
+    """An :class:`ExecutionTrace` that stores raw event rows (plain
+    tuples) and materializes :class:`TraceEvent` objects on first read.
+
+    Replay runs with tracing on because root-cause analysis consumes
+    the trace — but most replays are compatibility probes whose trace
+    nobody ever reads.  Deferring the dataclass construction makes the
+    recording cost a tuple append.
+    """
+
+    def __init__(self):
+        self._raw: List[tuple] = []
+        self._materialized: List[TraceEvent] = []
+
+    @property
+    def events(self) -> List[TraceEvent]:  # type: ignore[override]
+        ev = self._materialized
+        raw = self._raw
+        if len(ev) < len(raw):
+            for row in raw[len(ev):]:
+                if type(row) is TraceEvent:
+                    ev.append(row)
+                else:
+                    (step, tid, pc, line, reads, writes, lock_acq,
+                     lock_rel, locks_held, input_v, output_v) = row
+                    ev.append(TraceEvent(
+                        step=step, tid=tid, pc=pc, line=line,
+                        reads=tuple(MemAccess(a, v) for a, v in reads),
+                        writes=tuple(MemAccess(a, v) for a, v in writes),
+                        lock_acquired=lock_acq, lock_released=lock_rel,
+                        locks_held=locks_held, input_value=input_v,
+                        output_value=output_v))
+        return ev
+
+    def append(self, event: TraceEvent) -> None:
+        self._raw.append(event)
+
+
+class BytecodeVM(VM):
+    """The compiled-execution VM.  Construction compiles (or reuses a
+    cached compile of) the module; all stepping goes through the
+    dispatch loop in :meth:`_leg`.
+    """
+
+    def __init__(self, module: Module, *args,
+                 program: Optional[BytecodeProgram] = None, **kwargs):
+        self.program = program if program is not None \
+            else compile_program(module)
+        super().__init__(module, *args, **kwargs)
+        if self.trace is not None:
+            self.trace = LazyTrace()
+
+    # ------------------------------------------------------------------
+    # Thread construction (slot frames instead of dict frames)
+    # ------------------------------------------------------------------
+
+    def spawn_thread(self, func_name, args):
+        func = self.module.function(func_name)
+        if len(args) != len(func.params):
+            raise VMError(f"{func_name} expects {len(func.params)} args")
+        tid = self.next_tid
+        self.next_tid += 1
+        bfunc = self.program.funcs[func_name]
+        frame = self._make_bframe(tid, bfunc, ret_dst=None, ret_slot=-1)
+        for slot, value in zip(bfunc.param_slots, args):
+            frame.slots[slot] = to_unsigned(value)
+        self.threads[tid] = Thread(tid=tid, frames=[frame],
+                                   start_function=func_name)
+        return tid
+
+    def _make_bframe(self, tid: int, bfunc: BFunc,
+                     ret_dst: Optional[Reg], ret_slot: int) -> BFrame:
+        base = 0
+        if bfunc.frame_words:
+            base = self.memory.stack_push(tid, bfunc.frame_words)
+        return BFrame(bfunc, bfunc.entry_ip, [None] * bfunc.nslots,
+                      base, ret_dst, ret_slot)
+
+    def adopt_thread(self, thread: Thread) -> None:
+        """Install an externally built thread, converting any plain
+        :class:`Frame` in its stack (replay snapshots) into slot form.
+        The 1:1 bytecode↔IR mapping makes mid-block adoption exact:
+        ``ip = block_start[block] + index``.
+        """
+        converted: List[BFrame] = []
+        prev_bfunc: Optional[BFunc] = None
+        for frame in thread.frames:
+            if isinstance(frame, BFrame):
+                converted.append(frame)
+                prev_bfunc = frame.bfunc
+                continue
+            bfunc = self.program.funcs[frame.function]
+            ip = bfunc.block_start[frame.block] + frame.index
+            slots: List[Optional[int]] = [None] * bfunc.nslots
+            reg_slots = bfunc.reg_slots
+            for reg, value in frame.regs.items():
+                slots[reg_slots[reg]] = value
+            ret_slot = -1
+            if frame.ret_dst is not None and prev_bfunc is not None:
+                ret_slot = prev_bfunc.reg_slots[frame.ret_dst]
+            converted.append(BFrame(bfunc, ip, slots, frame.frame_base,
+                                    frame.ret_dst, ret_slot))
+            prev_bfunc = bfunc
+        thread.frames = converted
+        self.threads[thread.tid] = thread
+        self.next_tid = max(self.next_tid, thread.tid + 1)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    def _current_instr(self, thread: Thread) -> Instr:
+        frame = thread.top
+        return frame.bfunc.instrs[frame.ip]
+
+    def step_thread(self, tid: int) -> Optional[RunResult]:
+        thread = self.threads[tid]
+        if thread.status is not ThreadStatus.RUNNABLE:
+            return None
+        return self._leg(thread, 1)[1]
+
+    def run_leg(self, tid: int, count: int) -> Tuple[int, Optional[RunResult]]:
+        """Drive up to ``count`` consecutive steps of one runnable
+        thread (the replayer's batched entry point).  Returns the
+        number of steps executed and a terminal result if the program
+        exited or trapped.  Stops early when the thread blocks or
+        finishes; the caller inspects ``thread.status``.
+        """
+        return self._leg(self.threads[tid], count)
+
+    def _undef(self, bfunc: BFunc, ip: int, slot: int) -> None:
+        pc = bfunc.pcs[ip]
+        reg = bfunc.slot_regs[slot]
+        raise VMError(
+            f"read of undefined register {reg!r} in {pc.function}:{pc.block}"
+        )
+
+    def _leg(self, thread: Thread, count: int):
+        tid = thread.tid
+        memory = self.memory
+        threads = self.threads
+        lock_owners = self.lock_owners
+        trace = self.trace
+        raw = trace._raw if type(trace) is LazyTrace else None
+        lbr = self.lbr
+        lbr_on = lbr.enabled
+        alu = self.alu_fault
+        frame = thread.frames[-1]
+        bfunc = frame.bfunc
+        code = bfunc.code
+        pcs = bfunc.pcs
+        flines = bfunc.lines
+        slots = frame.slots
+        ip = frame.ip
+        steps = self.steps
+        executed = 0
+        MASK = WORD_MASK
+        pc = pcs[ip]
+        line = 0
+        ev_reads: tuple = ()
+        ev_writes: tuple = ()
+        ev_la = ev_lr = ev_in = ev_out = None
+        try:
+            while True:
+                op = code[ip]
+                opcode = op[0]
+                pc = pcs[ip]
+                line = flines[ip]
+                ev_reads = ()
+                ev_writes = ()
+                ev_la = ev_lr = ev_in = ev_out = None
+                stop = False
+                if opcode == OP_CONST:
+                    slots[op[1]] = op[2]
+                    ip += 1
+                elif opcode == OP_MOV:
+                    if op[2]:
+                        value = slots[op[3]]
+                        if value is None:
+                            self._undef(bfunc, ip, op[3])
+                    else:
+                        value = op[3]
+                    slots[op[1]] = value
+                    ip += 1
+                elif OP_CMP_BASE <= opcode < OP_LOAD:
+                    if op[2]:
+                        a = slots[op[3]]
+                        if a is None:
+                            self._undef(bfunc, ip, op[3])
+                    else:
+                        a = op[3]
+                    if op[4]:
+                        b = slots[op[5]]
+                        if b is None:
+                            self._undef(bfunc, ip, op[5])
+                    else:
+                        b = op[5]
+                    if opcode >= OP_SLT:
+                        if a >= _SIGN_BIT:
+                            a -= _TWO_POW_64
+                        if b >= _SIGN_BIT:
+                            b -= _TWO_POW_64
+                        if opcode == OP_SLT:
+                            r = a < b
+                        elif opcode == OP_SLE:
+                            r = a <= b
+                        elif opcode == OP_SGT:
+                            r = a > b
+                        else:
+                            r = a >= b
+                    elif opcode == OP_EQ:
+                        r = a == b
+                    elif opcode == OP_NE:
+                        r = a != b
+                    elif opcode == OP_ULT:
+                        r = a < b
+                    elif opcode == OP_ULE:
+                        r = a <= b
+                    elif opcode == OP_UGT:
+                        r = a > b
+                    else:
+                        r = a >= b
+                    slots[op[1]] = 1 if r else 0
+                    ip += 1
+                elif opcode < OP_CMP_BASE and opcode >= OP_BIN_BASE:
+                    if op[2]:
+                        a = slots[op[3]]
+                        if a is None:
+                            self._undef(bfunc, ip, op[3])
+                    else:
+                        a = op[3]
+                    if op[4]:
+                        b = slots[op[5]]
+                        if b is None:
+                            self._undef(bfunc, ip, op[5])
+                    else:
+                        b = op[5]
+                    if opcode == OP_ADD:
+                        result = (a + b) & MASK
+                    elif opcode == OP_SUB:
+                        result = (a - b) & MASK
+                    elif opcode == OP_MUL:
+                        result = (a * b) & MASK
+                    elif opcode == OP_AND:
+                        result = a & b
+                    elif opcode == OP_OR:
+                        result = a | b
+                    elif opcode == OP_XOR:
+                        result = a ^ b
+                    elif opcode == OP_SHL:
+                        result = (a << (b % 64)) & MASK
+                    elif opcode == OP_LSHR:
+                        result = a >> (b % 64)
+                    elif opcode == OP_ASHR:
+                        sa = a - _TWO_POW_64 if a >= _SIGN_BIT else a
+                        result = (sa >> (b % 64)) & MASK
+                    elif opcode == OP_UDIV or opcode == OP_UREM:
+                        if b == 0:
+                            raise _TrapSignal(TrapKind.DIV_BY_ZERO,
+                                              "unsigned division by zero")
+                        result = a // b if opcode == OP_UDIV else a % b
+                    else:  # sdiv / srem
+                        if b == 0:
+                            raise _TrapSignal(TrapKind.DIV_BY_ZERO,
+                                              "signed division by zero")
+                        sa = a - _TWO_POW_64 if a >= _SIGN_BIT else a
+                        sb = b - _TWO_POW_64 if b >= _SIGN_BIT else b
+                        quotient = abs(sa) // abs(sb)
+                        if (sa < 0) != (sb < 0):
+                            quotient = -quotient
+                        result = (quotient if opcode == OP_SDIV
+                                  else sa - quotient * sb) & MASK
+                    if alu is not None:
+                        result = alu(pc, op[6], result) & MASK
+                    slots[op[1]] = result
+                    ip += 1
+                elif opcode == OP_CBR:
+                    if op[1]:
+                        cond = slots[op[2]]
+                        if cond is None:
+                            self._undef(bfunc, ip, op[2])
+                    else:
+                        cond = op[2]
+                    target = op[3] if cond != 0 else op[4]
+                    if lbr_on:
+                        lbr.record(pc, pcs[target], inferable=False)
+                    ip = target
+                elif opcode == OP_BR:
+                    if lbr_on:
+                        lbr.record(pc, pcs[op[1]], inferable=op[2])
+                    ip = op[1]
+                elif opcode == OP_LOAD:
+                    if op[2]:
+                        addr = slots[op[3]]
+                        if addr is None:
+                            self._undef(bfunc, ip, op[3])
+                    else:
+                        addr = op[3]
+                    value, error = memory.read(addr)
+                    if error is not None:
+                        if error is AccessError.OUT_OF_BOUNDS:
+                            raise _TrapSignal(TrapKind.OUT_OF_BOUNDS,
+                                              f"load from {addr:#x}", addr)
+                        raise _TrapSignal(TrapKind.USE_AFTER_FREE,
+                                          f"load from freed {addr:#x}", addr)
+                    if raw is not None:
+                        ev_reads = ((addr, value),)
+                    slots[op[1]] = value
+                    ip += 1
+                elif opcode == OP_STORE:
+                    if op[1]:
+                        addr = slots[op[2]]
+                        if addr is None:
+                            self._undef(bfunc, ip, op[2])
+                    else:
+                        addr = op[2]
+                    if op[3]:
+                        value = slots[op[4]]
+                        if value is None:
+                            self._undef(bfunc, ip, op[4])
+                    else:
+                        value = op[4]
+                    error = memory.write(addr, value)
+                    if error is not None:
+                        if error is AccessError.OUT_OF_BOUNDS:
+                            raise _TrapSignal(TrapKind.OUT_OF_BOUNDS,
+                                              f"store to {addr:#x}", addr)
+                        raise _TrapSignal(TrapKind.USE_AFTER_FREE,
+                                          f"store to freed {addr:#x}", addr)
+                    if raw is not None:
+                        ev_writes = ((addr, value & MASK),)
+                    ip += 1
+                elif opcode == OP_CALL:
+                    callee = op[1]
+                    if callee is None:
+                        self.module.function(op[2])  # raises IRError
+                        raise VMError(f"call to uncompiled function "
+                                      f"{op[2]!r}")  # pragma: no cover
+                    args = op[5]
+                    values = []
+                    for mode, operand in args:
+                        if mode:
+                            value = slots[operand]
+                            if value is None:
+                                self._undef(bfunc, ip, operand)
+                            values.append(value)
+                        else:
+                            values.append(operand)
+                    frame.ip = ip + 1  # return continues after the call
+                    base = 0
+                    if callee.frame_words:
+                        base = memory.stack_push(tid, callee.frame_words)
+                    new_slots: List[Optional[int]] = [None] * callee.nslots
+                    for slot, value in zip(callee.param_slots, values):
+                        new_slots[slot] = value
+                    new_frame = BFrame(callee, callee.entry_ip, new_slots,
+                                       base, op[4], op[3])
+                    thread.frames.append(new_frame)
+                    if lbr_on:
+                        lbr.record(pc, callee.pcs[callee.entry_ip],
+                                   inferable=True)
+                    frame = new_frame
+                    bfunc = callee
+                    code = bfunc.code
+                    pcs = bfunc.pcs
+                    flines = bfunc.lines
+                    slots = new_slots
+                    ip = bfunc.entry_ip
+                elif opcode == OP_RET:
+                    if op[1]:
+                        if op[2]:
+                            value = slots[op[3]]
+                            if value is None:
+                                self._undef(bfunc, ip, op[3])
+                        else:
+                            value = op[3]
+                    else:
+                        value = 0
+                    if bfunc.frame_words:
+                        memory.stack_pop(tid, bfunc.frame_words)
+                    frames = thread.frames
+                    frames.pop()
+                    if not frames:
+                        thread.status = ThreadStatus.FINISHED
+                        thread.return_value = value
+                        # Like pthreads, locks held by an exiting
+                        # thread stay held (wedges surface as deadlock
+                        # coredumps).
+                        if tid == 0:
+                            raise _ExitSignal(value)
+                        stop = True
+                    else:
+                        caller = frames[-1]
+                        if frame.ret_slot >= 0:
+                            caller.slots[frame.ret_slot] = value
+                        if lbr_on:
+                            lbr.record(pc, caller.bfunc.pcs[caller.ip],
+                                       inferable=True)
+                        frame = caller
+                        bfunc = frame.bfunc
+                        code = bfunc.code
+                        pcs = bfunc.pcs
+                        flines = bfunc.lines
+                        slots = frame.slots
+                        ip = frame.ip
+                elif opcode == OP_ASSERT:
+                    if op[1]:
+                        cond = slots[op[2]]
+                        if cond is None:
+                            self._undef(bfunc, ip, op[2])
+                    else:
+                        cond = op[2]
+                    if cond == 0:
+                        raise _TrapSignal(TrapKind.ASSERT_FAIL, op[3])
+                    ip += 1
+                elif opcode == OP_FRAMEADDR:
+                    slots[op[1]] = frame.frame_base + op[2]
+                    ip += 1
+                elif opcode == OP_GADDR:
+                    if op[2] is None:
+                        raise VMError(f"unknown global {op[3]!r}")
+                    slots[op[1]] = op[2]
+                    ip += 1
+                elif opcode == OP_ALLOC:
+                    if op[2]:
+                        size = slots[op[3]]
+                        if size is None:
+                            self._undef(bfunc, ip, op[3])
+                    else:
+                        size = op[3]
+                    slots[op[1]] = memory.heap_alloc(size)
+                    ip += 1
+                elif opcode == OP_FREE:
+                    if op[1]:
+                        addr = slots[op[2]]
+                        if addr is None:
+                            self._undef(bfunc, ip, op[2])
+                    else:
+                        addr = op[2]
+                    error = memory.heap_free(addr)
+                    if error == "double-free":
+                        raise _TrapSignal(TrapKind.DOUBLE_FREE,
+                                          f"double free of {addr:#x}", addr)
+                    if error == "invalid-free":
+                        raise _TrapSignal(TrapKind.INVALID_FREE,
+                                          f"free of {addr:#x}", addr)
+                    ip += 1
+                elif opcode == OP_INPUT:
+                    cursor = self.input_cursor
+                    if cursor < len(self.inputs):
+                        value = self.inputs[cursor]
+                        self.input_cursor = cursor + 1
+                    else:
+                        value = 0
+                    ev_in = value
+                    slots[op[1]] = value
+                    ip += 1
+                elif opcode == OP_OUTPUT:
+                    if op[1]:
+                        value = slots[op[2]]
+                        if value is None:
+                            self._undef(bfunc, ip, op[2])
+                    else:
+                        value = op[2]
+                    self.outputs.append(value)
+                    log = self.log
+                    log.append((tid, value, pc))
+                    if len(log) > LOG_TAIL_WORDS:
+                        log.pop(0)
+                    ev_out = value
+                    ip += 1
+                elif opcode == OP_SPAWN:
+                    values = []
+                    for mode, operand in op[3]:
+                        if mode:
+                            value = slots[operand]
+                            if value is None:
+                                self._undef(bfunc, ip, operand)
+                            values.append(value)
+                        else:
+                            values.append(operand)
+                    slots[op[1]] = self.spawn_thread(op[2], values)
+                    ip += 1
+                elif opcode == OP_JOIN:
+                    if op[1]:
+                        target_tid = slots[op[2]]
+                        if target_tid is None:
+                            self._undef(bfunc, ip, op[2])
+                    else:
+                        target_tid = op[2]
+                    target = threads.get(target_tid)
+                    if target is None or target_tid == tid:
+                        raise _TrapSignal(TrapKind.INVALID_JOIN,
+                                          f"join {target_tid}")
+                    if target.status is not ThreadStatus.FINISHED:
+                        thread.status = ThreadStatus.BLOCKED_JOIN
+                        thread.blocked_on = target_tid
+                        stop = True  # do not advance; re-execute when woken
+                    else:
+                        ip += 1
+                elif opcode == OP_LOCK:
+                    if op[1]:
+                        addr = slots[op[2]]
+                        if addr is None:
+                            self._undef(bfunc, ip, op[2])
+                    else:
+                        addr = op[2]
+                    owner = lock_owners.get(addr)
+                    if owner is None:
+                        lock_owners[addr] = tid
+                        thread.held_locks.append(addr)
+                        error = memory.write(addr, 1)
+                        if error is not None:
+                            if error is AccessError.OUT_OF_BOUNDS:
+                                raise _TrapSignal(TrapKind.OUT_OF_BOUNDS,
+                                                  f"store to {addr:#x}", addr)
+                            raise _TrapSignal(TrapKind.USE_AFTER_FREE,
+                                              f"store to freed {addr:#x}",
+                                              addr)
+                        if raw is not None:
+                            ev_writes = ((addr, 1),)
+                        ev_la = addr
+                        ip += 1
+                    elif owner == tid:
+                        raise _TrapSignal(TrapKind.DEADLOCK,
+                                          f"relock of {addr:#x}", addr)
+                    else:
+                        thread.status = ThreadStatus.BLOCKED_LOCK
+                        thread.blocked_on = addr
+                        stop = True  # blocked; do not advance
+                elif opcode == OP_UNLOCK:
+                    if op[1]:
+                        addr = slots[op[2]]
+                        if addr is None:
+                            self._undef(bfunc, ip, op[2])
+                    else:
+                        addr = op[2]
+                    if lock_owners.get(addr) != tid:
+                        raise _TrapSignal(TrapKind.UNLOCK_NOT_HELD,
+                                          f"unlock of {addr:#x}", addr)
+                    del lock_owners[addr]
+                    thread.held_locks.remove(addr)
+                    error = memory.write(addr, 0)
+                    if error is not None:
+                        if error is AccessError.OUT_OF_BOUNDS:
+                            raise _TrapSignal(TrapKind.OUT_OF_BOUNDS,
+                                              f"store to {addr:#x}", addr)
+                        raise _TrapSignal(TrapKind.USE_AFTER_FREE,
+                                          f"store to freed {addr:#x}", addr)
+                    if raw is not None:
+                        ev_writes = ((addr, 0),)
+                    ev_lr = addr
+                    ip += 1
+                elif opcode == OP_HALT:
+                    if op[1]:
+                        value = slots[op[2]]
+                        if value is None:
+                            self._undef(bfunc, ip, op[2])
+                    else:
+                        value = op[2]
+                    raise _ExitSignal(value)
+                elif opcode == OP_ABORT:
+                    raise _TrapSignal(TrapKind.ABORT, op[1])
+                else:  # pragma: no cover
+                    raise VMError(f"unknown opcode {opcode}")
+                steps += 1
+                executed += 1
+                if raw is not None:
+                    held = thread.held_locks
+                    raw.append((steps, tid, pc, line, ev_reads, ev_writes,
+                                ev_la, ev_lr,
+                                tuple(held) if held else (),
+                                ev_in, ev_out))
+                if stop or executed >= count:
+                    break
+        except _TrapSignal as trap:
+            frame.ip = ip
+            self._trap = Trap(kind=trap.kind, tid=tid, pc=pc,
+                              message=trap.message,
+                              fault_addr=trap.fault_addr)
+            steps += 1
+            self.steps = steps
+            if raw is not None:
+                held = thread.held_locks
+                raw.append((steps, tid, pc, line, ev_reads, ev_writes,
+                            ev_la, ev_lr, tuple(held) if held else (),
+                            ev_in, ev_out))
+            return executed + 1, self._trapped(self._trap)
+        except _ExitSignal as exit_signal:
+            frame.ip = ip
+            steps += 1
+            self.steps = steps
+            if raw is not None:
+                held = thread.held_locks
+                raw.append((steps, tid, pc, line, ev_reads, ev_writes,
+                            ev_la, ev_lr, tuple(held) if held else (),
+                            ev_in, ev_out))
+            return executed + 1, self._exited(exit_signal.code)
+        frame.ip = ip
+        self.steps = steps
+        return executed, None

@@ -453,3 +453,30 @@ def test_fuzz_forced_divergence_exit_code_and_artifacts(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "incremental-vs-naive" in out
     assert list((tmp_path / "artifacts").glob("div-*.json"))
+
+
+# ---------------------------------------------------------------------------
+# disasm
+# ---------------------------------------------------------------------------
+
+def test_disasm_workload_prints_bytecode(capsys):
+    assert main(["disasm", "--workload", "figure1_overflow"]) == 0
+    out = capsys.readouterr().out
+    assert "bytecode for module 'figure1_overflow'" in out
+    assert "func main" in out
+    # slot-register syntax with source mapping
+    assert "s0(" in out and "; main:" in out
+
+
+def test_disasm_source_file(tmp_path, capsys):
+    src = tmp_path / "tiny.mc"
+    src.write_text("func main() { output(1 + 2); return 0; }\n")
+    assert main(["disasm", "--source", str(src)]) == 0
+    out = capsys.readouterr().out
+    assert "bytecode for module 'tiny'" in out
+    assert "output" in out
+
+
+def test_disasm_missing_source_fails(capsys):
+    assert main(["disasm", "--source", "/nonexistent/p.mc"]) == 64
+    assert "error" in capsys.readouterr().err

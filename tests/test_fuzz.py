@@ -271,9 +271,14 @@ def test_shrinker_respects_budget():
 #: second symbol alive inside a really-single-symbol ``shl`` residual,
 #: blocking the exact bit-fixing layer, so the from-scratch replay
 #: solve stayed UNKNOWN on a SAT suffix the incremental chain emitted;
-#: fixed by domain-driven point-range folding in ``Solver._search``);
-#: each must stay divergence-free
-REGRESSION_SEEDS = (1132, 2082, 2262, 2304, 2699, 7059, 11870)
+#: fixed by domain-driven point-range folding in ``Solver._search``),
+#: and PR 8 (seed 18074: the chained context *proved* a cross-thread
+#: ``xor`` extension UNSAT where the from-scratch solve only reached
+#: UNKNOWN and admitted it, so the incremental engine pruned five
+#: candidates the naive engine explored; fixed by aligning every
+#: non-SAT ``solve_extended`` verdict on the naive solve in
+#: ``SegmentExecutor.execute``); each must stay divergence-free
+REGRESSION_SEEDS = (1132, 2082, 2262, 2304, 2699, 7059, 11870, 18074)
 
 
 @pytest.mark.parametrize("seed", REGRESSION_SEEDS)
