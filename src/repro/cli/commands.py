@@ -386,11 +386,30 @@ def _program_payload(args: argparse.Namespace) -> dict:
             "name": path.stem}
 
 
+def _parse_peers(specs: List[str]) -> dict:
+    """``NODE=URL`` peer specs (repeatable/comma-separated) → dict."""
+    peers = {}
+    for spec in specs:
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, url = part.partition("=")
+            if not sep or not name.strip() or not url.strip():
+                raise CliError(
+                    f"bad --peers entry {part!r} (want NODE=URL)")
+            peers[name.strip()] = url.strip()
+    return peers
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the always-on crash-intake triage daemon (§3.1 as a
-    service): durable job queue, historical dedup, warm workers, and
-    the HTTP API (`POST /jobs`, `GET /jobs/<id>`, `/buckets`,
-    `/reports/<fp>`, `/healthz`, `/metrics`, `POST /shutdown`)."""
+    service): durable job queue, historical dedup, warm worker
+    processes, and the HTTP API (`POST /jobs`, `GET /jobs/<id>`,
+    `/buckets`, `/reports/<fp>`, `/healthz`, `/metrics`,
+    `POST /shutdown`).  With ``--node-id``/``--peers`` the daemon is
+    one node of a fleet: admission is sharded by coredump fingerprint
+    and misrouted submissions answer 307 to the owning node."""
     from repro.core.triage_service import TriageServiceConfig
     from repro.service import DaemonConfig, TriageDaemon, start_http_server
 
@@ -399,6 +418,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ensure_writable_file(args.store, "report store")
     if args.cache_dir:
         ensure_writable_dir(args.cache_dir, "cache directory")
+    peers = _parse_peers(args.peers)
+    if peers and not args.node_id:
+        raise CliError("--peers requires --node-id")
 
     service = TriageServiceConfig(max_depth=args.max_depth,
                                   max_nodes=args.max_nodes,
@@ -410,12 +432,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
                           max_attempts=args.max_attempts,
                           quarantine_after=args.quarantine_after,
                           watchdog_timeout=args.watchdog_timeout,
-                          retry_backoff_base=args.retry_backoff)
+                          retry_backoff_base=args.retry_backoff,
+                          worker_mode=args.worker_mode,
+                          node_id=args.node_id,
+                          peers=peers,
+                          journal_rotate_mb=args.journal_rotate_mb)
     daemon = TriageDaemon(config)
     server = start_http_server(daemon, host=args.host, port=args.port)
     host, port = server.server_address[:2]
+    fleet = (f", node={config.node_id}, peers={len(peers)}"
+             if config.node_id else "")
     print(f"res-serve listening on http://{host}:{port} "
-          f"(workers={config.workers}, max-queue={config.max_queue})",
+          f"(workers={config.workers} [{config.worker_mode}], "
+          f"max-queue={config.max_queue}{fleet})",
           flush=True)
     if daemon.resumed_jobs:
         print(f"resumed {daemon.resumed_jobs} journaled job(s) from "
@@ -446,15 +475,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: single-node default for --url (submit/status accept repeated --url)
+_DEFAULT_URL = "http://127.0.0.1:8321"
+
+
+def _url_list(args: argparse.Namespace) -> List[str]:
+    return list(args.url) if args.url else [_DEFAULT_URL]
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
-    """Submit one coredump to a running intake daemon.
+    """Submit one coredump to a running intake daemon (or fleet:
+    repeated --url round-robins the first attempt, fails over when a
+    node is down, and follows the owning-node redirect).
 
     Transient daemon trouble — mid-restart (connection refused), spool
     disk full (503), queue pushing back (429) — is retried with
     jittered exponential backoff up to --max-retries times within the
     --timeout budget; only then does the submission fail (exit 75,
     EX_TEMPFAIL, for the retryable cases)."""
-    from repro.service.client import (RetryPolicy, submit_with_retries,
+    from repro.service.client import (FleetTargets, RetryPolicy,
+                                      submit_fleet_with_retries,
                                       wait_for_job)
 
     program = _program_payload(args)
@@ -466,10 +506,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
         print(f"  retrying ({body.get('error')})", file=sys.stderr,
               flush=True)
 
-    status, body = submit_with_retries(args.url, program, dump.to_json(),
-                                       report_id=args.report_id,
-                                       force=args.force, policy=policy,
-                                       notify=notify)
+    targets = FleetTargets(_url_list(args))
+    status, body, url = submit_fleet_with_retries(
+        targets, program, dump.to_json(), report_id=args.report_id,
+        force=args.force, policy=policy, notify=notify)
     if status == 429:
         print(f"queue full; retry after "
               f"{body.get('retry_after_seconds', '?')}s", file=sys.stderr)
@@ -479,7 +519,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
           + (f" dedup_of={body['dedup_of']}" if "dedup_of" in body else ""))
     if args.wait and body.get("state") not in ("done", "failed",
                                                "quarantined"):
-        body = wait_for_job(args.url, job_id, timeout=args.timeout)
+        body = wait_for_job(url, job_id, timeout=args.timeout)
     verdict = body.get("verdict")
     if verdict is not None:
         print(f"bucket: {verdict['bucket']}")
@@ -497,28 +537,50 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
 
 def cmd_status(args: argparse.Namespace) -> int:
-    """Query a running intake daemon: one job, or the whole service."""
-    from repro.service.client import (get_health, get_job,
-                                      get_metrics_text, get_quarantine)
+    """Query a running intake daemon: one job, or the whole service.
 
+    Repeated --url makes this fleet-aware: a job query fails over
+    across the listed nodes (following the owning-node redirect), and
+    the service summary reports every node in turn."""
+    from repro.service.client import (ServiceClientError, get_health,
+                                      get_job, get_metrics_text,
+                                      get_quarantine)
+
+    urls = _url_list(args)
     if getattr(args, "quarantine", False):
         # The operator's drain-and-inspect view: every poison job with
         # its diagnostics (what it did to the fleet, how to re-try it).
-        rows = get_quarantine(args.url)
-        if not rows:
+        empty = True
+        for url in urls:
+            rows = get_quarantine(url)
+            if not rows:
+                continue
+            empty = False
+            if len(urls) > 1:
+                print(f"[{url}]")
+            for row in rows:
+                print(f"{row['job_id']}  report={row['report_id']} "
+                      f"program={row['program']} "
+                      f"attempts={row.get('attempts', '?')} "
+                      f"worker_crashes={row.get('worker_crashes', '?')}")
+                print(f"  {row.get('error')}")
+                print(f"  resubmit: res submit --force --report-id "
+                      f"{row['report_id']} <coredump>")
+        if empty:
             print("no quarantined jobs")
-            return 0
-        for row in rows:
-            print(f"{row['job_id']}  report={row['report_id']} "
-                  f"program={row['program']} "
-                  f"attempts={row.get('attempts', '?')} "
-                  f"worker_crashes={row.get('worker_crashes', '?')}")
-            print(f"  {row.get('error')}")
-            print(f"  resubmit: res submit --force --report-id "
-                  f"{row['report_id']} <coredump>")
         return 0
     if args.job_id:
-        payload = get_job(args.url, args.job_id)
+        payload = None
+        last_error: Optional[ServiceClientError] = None
+        for url in urls:
+            try:
+                payload = get_job(url, args.job_id)
+                break
+            except ServiceClientError as exc:
+                last_error = exc  # down or not-yet-synced: try the next
+        if payload is None:
+            assert last_error is not None
+            raise last_error
         for key in ("job_id", "report_id", "program", "state",
                     "fingerprint", "priority", "dedup_of", "error",
                     "attempts", "worker_crashes"):
@@ -530,17 +592,20 @@ def cmd_status(args: argparse.Namespace) -> int:
                 print(f"{key:14s} {value}")
         return 0 if payload.get("state") not in ("failed",
                                                  "quarantined") else 1
-    health = get_health(args.url)
-    for key, value in health.items():
-        print(f"{key:16s} {value}")
     wanted = ("res_intake_verdicts_total", "res_intake_dedup_total",
               "res_intake_warm_hit_rate", "res_intake_verdicts_per_second",
               "res_intake_latency_seconds", "res_intake_retries_total",
-              "res_intake_quarantined_total",
+              "res_intake_quarantined_total", "res_intake_redirects_total",
               "res_intake_worker_restarts_total", "res_intake_degraded")
-    for line in get_metrics_text(args.url).splitlines():
-        if line.startswith(wanted):
-            print(line)
+    for url in urls:
+        if len(urls) > 1:
+            print(f"[{url}]")
+        health = get_health(url)
+        for key, value in health.items():
+            print(f"{key:16s} {value}")
+        for line in get_metrics_text(url).splitlines():
+            if line.startswith(wanted):
+                print(line)
     return 0
 
 

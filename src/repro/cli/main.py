@@ -132,7 +132,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="additional read-only cache directory "
                               "consulted on a miss (repeatable)")
     p_serve.add_argument("--workers", type=int, default=2,
-                         help="triage worker threads "
+                         help="triage worker processes "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--worker-mode", choices=("process", "thread"),
+                         default="process",
+                         help="worker isolation: 'process' runs each "
+                              "worker in its own OS process (GIL-free, "
+                              "crash-isolated); 'thread' keeps the "
+                              "legacy in-process workers "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--node-id", metavar="NAME",
+                         help="fleet node name; enables fleet mode: "
+                              "admission is sharded by coredump "
+                              "fingerprint over the consistent-hash "
+                              "ring of this node + --peers, and the "
+                              "journal becomes journal-NAME.jsonl")
+    p_serve.add_argument("--peers", action="append", default=[],
+                         metavar="NODE=URL",
+                         help="fleet peer as name=base-url "
+                              "(repeatable, or comma-separated); "
+                              "peers share the spool directory")
+    p_serve.add_argument("--journal-rotate-mb", type=float, default=0.0,
+                         metavar="MB",
+                         help="rotate the job journal once the active "
+                              "segment exceeds this size, then compact "
+                              "closed segments (settled jobs collapse "
+                              "to one row); 0 disables "
                               "(default: %(default)s)")
     p_serve.add_argument("--max-queue", type=int, default=64,
                          help="queued-job bound; beyond it submissions "
@@ -167,8 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="submit one coredump to a running intake daemon")
     p_submit.add_argument("coredump", help="coredump JSON file")
     add_program_arguments(p_submit)
-    p_submit.add_argument("--url", default="http://127.0.0.1:8321",
-                          help="daemon base URL (default: %(default)s)")
+    p_submit.add_argument("--url", action="append", default=None,
+                          help="daemon base URL (repeatable: "
+                               "submissions round-robin across the "
+                               "fleet and follow the owning-node "
+                               "redirect; default: "
+                               "http://127.0.0.1:8321)")
     p_submit.add_argument("--report-id", metavar="ID",
                           help="client-side report identity "
                                "(default: daemon-assigned)")
@@ -193,8 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("job_id", nargs="?",
                           help="job id from `res submit` (omit for the "
                                "service summary)")
-    p_status.add_argument("--url", default="http://127.0.0.1:8321",
-                          help="daemon base URL (default: %(default)s)")
+    p_status.add_argument("--url", action="append", default=None,
+                          help="daemon base URL (repeatable: a job "
+                               "query fails over across the fleet; "
+                               "the summary reports every node; "
+                               "default: http://127.0.0.1:8321)")
     p_status.add_argument("--quarantine", action="store_true",
                           help="list quarantined (poison) jobs with "
                                "their diagnostics instead of the "

@@ -336,3 +336,181 @@ def refine(items: Sequence) -> BucketRefinement:
         "reports": len(refinement.assignment),
     }
     return refinement
+
+
+# ---------------------------------------------------------------------------
+# Incremental refinement (the daemon's background rebucket engine)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Family:
+    """Mutable per-family state inside an :class:`IncrementalRefiner`."""
+
+    leaves: set = field(default_factory=set)
+    per_program: Dict[str, set] = field(default_factory=dict)
+    members: List[str] = field(default_factory=list)
+    conflicted: bool = False
+    #: cached JSON hierarchy entry; ``None`` marks it stale.  Entries
+    #: are rebuilt by *replacement*, never mutated in place, so a
+    #: previously returned hierarchy stays internally consistent.
+    entry: Optional[dict] = None
+
+
+class IncrementalRefiner:
+    """:func:`refine`, computed one verdict at a time.
+
+    The daemon settles verdicts continuously and serves the refined
+    hierarchy behind ``GET /buckets``; re-running the full split/merge
+    pass over all history per new verdict is O(history) each time and
+    O(history²) over a daemon's life.  This class maintains the exact
+    refinement state incrementally: :meth:`add` folds one verdict in —
+    O(its family) amortized — and :meth:`refinement` resolves the few
+    dirty fallback sites and returns a :class:`BucketRefinement` equal
+    (assignment, hierarchy, and stats) to ``refine(all items so far)``.
+
+    The equivalence argument mirrors the batch pass's own structure:
+    family mergeability is *monotone* (leaf sets only grow, so a family
+    can become conflicted but never un-conflict), and a fallback site's
+    attachment depends only on its candidate-family set and their
+    mergeability — both tracked here, with affected sites re-resolved
+    lazily.  ``tests/test_fleet.py`` re-proves equality against
+    :func:`refine` over shuffled insertion orders.
+
+    The returned view is valid until the next :meth:`add`; callers
+    must not mutate it (the daemon snapshots it into an immutable
+    payload memo).  Not thread-safe — the daemon serializes access.
+    """
+
+    def __init__(self) -> None:
+        self._fams: Dict[Tuple, _Family] = {}
+        #: (trap kind, crashing fn) → families trapping there
+        self._site_candidates: Dict[Tuple[str, str], set] = {}
+        #: (trap kind, crashing fn) → attachable fallback (rid, leaf)
+        self._fallback_rows: Dict[Tuple[str, str],
+                                  List[Tuple[str, Hashable]]] = {}
+        #: current attach target per site (a mergeable sole candidate)
+        self._site_target: Dict[Tuple[str, str], Optional[Tuple]] = {}
+        self._site_stats: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        self._dirty_sites: set = set()
+        self._assignment: Dict[str, Hashable] = {}
+        self._leaf_of: Dict[str, Hashable] = {}
+        self._attached = 0
+        self._ambiguous = 0
+        self._legacy = 0
+
+    def add(self, item) -> None:
+        """Fold one verdict in (same duck type :func:`refine` takes)."""
+        result = item.result
+        rid = result.report_id
+        bucket = result.bucket
+        self._leaf_of[rid] = bucket
+        self._assignment[rid] = bucket
+        if _is_annotated(bucket):
+            return  # developer feedback outranks refinement
+        if result.cause is not None:
+            fam = result.cause.family()
+            if fam is None:
+                self._legacy += 1
+                return
+            site = (fam[2], fam[3])
+            family = self._fams.get(fam)
+            if family is None:
+                family = self._fams[fam] = _Family()
+                self._site_candidates.setdefault(site, set()).add(fam)
+                self._dirty_sites.add(site)
+            family.members.append(rid)
+            family.leaves.add(bucket)
+            family.entry = None
+            program = getattr(item, "program_key", "")
+            leaves = family.per_program.setdefault(program, set())
+            leaves.add(bucket)
+            if not family.conflicted and len(leaves) > 1:
+                # The merge-safety guard tripped: this family's merge
+                # is refused from now on (monotone — it never untrips).
+                family.conflicted = True
+                for member in family.members:
+                    self._assignment[member] = self._leaf_of[member]
+                self._dirty_sites.add(site)
+            elif not family.conflicted:
+                self._assignment[rid] = ("family",) + fam
+            return
+        site_info = _fallback_site(bucket)
+        if site_info is not None and site_info[2]:
+            site = (site_info[0], site_info[1])
+            self._fallback_rows.setdefault(site, []).append((rid, bucket))
+            self._dirty_sites.add(site)
+
+    def _resolve_site(self, site: Tuple[str, str]) -> None:
+        candidates = self._site_candidates.get(site, set())
+        target: Optional[Tuple] = None
+        if len(candidates) == 1:
+            sole = next(iter(candidates))
+            if not self._fams[sole].conflicted:
+                target = sole
+        rows = self._fallback_rows.get(site, ())
+        attached = ambiguous = 0
+        for rid, leaf in rows:
+            if target is not None:
+                self._assignment[rid] = ("family",) + target
+                attached += 1
+            else:
+                self._assignment[rid] = leaf
+                if candidates:
+                    ambiguous += 1
+        old_attached, old_ambiguous = self._site_stats.get(site, (0, 0))
+        self._attached += attached - old_attached
+        self._ambiguous += ambiguous - old_ambiguous
+        self._site_stats[site] = (attached, ambiguous)
+        old_target = self._site_target.get(site)
+        self._site_target[site] = target
+        # Attached members are part of the hierarchy entry: stale both
+        # the family that lost them and the one that gained them.
+        for fam in (old_target, target):
+            if fam is not None:
+                self._fams[fam].entry = None
+
+    def _build_entry(self, fam: Tuple, family: _Family) -> dict:
+        ids = list(family.members)
+        if self._site_target.get((fam[2], fam[3])) == fam:
+            ids.extend(rid for rid, __ in
+                       self._fallback_rows.get((fam[2], fam[3]), ()))
+        leaves: Dict[str, List[str]] = {}
+        for rid in ids:
+            leaves.setdefault(repr(self._leaf_of[rid]), []).append(rid)
+        return {
+            "cause_kind": fam[1],
+            "trap_kind": fam[2],
+            "function": fam[3],
+            "skeleton": fam[4],
+            "reports": len(ids),
+            "leaves": {leaf: sorted(members)
+                       for leaf, members in sorted(leaves.items())},
+        }
+
+    def refinement(self) -> BucketRefinement:
+        """The refinement over everything added so far — equal to
+        ``refine(items)``; costs the dirty sites plus the stale
+        hierarchy entries, not the full history."""
+        for site in self._dirty_sites:
+            self._resolve_site(site)
+        self._dirty_sites.clear()
+        mergeable = [fam for fam, family in self._fams.items()
+                     if not family.conflicted]
+        hierarchy: Dict[str, dict] = {}
+        for fam in sorted(mergeable, key=repr):
+            family = self._fams[fam]
+            if family.entry is None:
+                family.entry = self._build_entry(fam, family)
+            hierarchy[repr(("family",) + fam)] = family.entry
+        stats = {
+            "families": len(mergeable),
+            "conflicted_families": len(self._fams) - len(mergeable),
+            "merged_leaves": sum(len(self._fams[fam].leaves) - 1
+                                 for fam in mergeable),
+            "attached_fallbacks": self._attached,
+            "ambiguous_fallbacks": self._ambiguous,
+            "legacy_causes": self._legacy,
+            "reports": len(self._assignment),
+        }
+        return BucketRefinement(assignment=self._assignment,
+                                hierarchy=hierarchy, stats=stats)

@@ -46,8 +46,10 @@ On-disk layout (all writes durable via :mod:`repro.ioutil`)::
 
 from __future__ import annotations
 
+import fcntl
 import hashlib
 import json
+import os
 import threading
 import warnings
 from dataclasses import dataclass, fields
@@ -240,10 +242,25 @@ class ResultCache:
     One instance is safe to share across threads: the intake daemon's
     worker pool looks up and appends verdicts concurrently from a
     long-lived process, so the in-memory index and the append path are
-    serialized behind a reentrant lock.  (Cross-*process* appends were
-    already safe — ``append_line`` writes whole fsynced lines to an
-    O_APPEND handle and readers skip torn rows — the lock closes the
-    in-process index races on top of that.)
+    serialized behind a reentrant lock.
+
+    One *directory* is also safe to share across processes — the fleet
+    daemon forks worker processes that each hold their own instance
+    over the same spool:
+
+    * appends were always safe (``append_line`` writes whole fsynced
+      lines to an O_APPEND handle; readers skip torn rows), but the
+      memoized index used to go stale the moment a sibling process
+      appended.  The index now remembers the byte offset it has
+      consumed and, on every lookup miss, tail-reads whatever other
+      appenders added since — a verdict cached by any worker process
+      becomes a warm hit everywhere without re-parsing the whole log.
+    * solver sidecars are read-merge-write documents, so the in-process
+      lock is not enough; the merge cycle now holds an ``flock`` on a
+      per-module lock file as well.
+
+    (``gc`` remains a single-writer operation: run it from one process
+    while no daemon is appending, like any compaction.)
     """
 
     def __init__(self, directory: Union[str, Path],
@@ -254,6 +271,9 @@ class ResultCache:
         #: raw (non-blank) line count observed by the last index load —
         #: entries vs. raw rows is the compaction/corruption signal
         self._raw_lines = 0
+        #: byte offset consumed through the last *complete* row line —
+        #: the tail-refresh cursor for cross-process appends
+        self._tail_offset = 0
         #: serializes index (re)loads and appends across daemon threads
         self._lock = threading.RLock()
 
@@ -283,43 +303,95 @@ class ResultCache:
         if self._index is not None:
             return self._index
         index: Dict[str, dict] = {}
-        skipped = 0
         self._raw_lines = 0
+        self._tail_offset = 0
+        raw = b""
         if self.rows_path.exists():
             try:
-                text = self.rows_path.read_text()
+                raw = self.rows_path.read_bytes()
             except OSError as exc:
                 warnings.warn(f"rescache: unreadable cache file "
                               f"{self.rows_path}: {exc}; starting cold",
                               RuntimeWarning, stacklevel=3)
-                text = ""
-            for line in text.splitlines():
-                if not line.strip():
-                    continue
-                self._raw_lines += 1
-                try:
-                    row = json.loads(line)
-                    if row["schema"] != CACHE_SCHEMA_VERSION:
-                        continue  # other schema: unreachable, not corrupt
-                    # Reject rows whose digest does not match their own
-                    # fingerprints — a mis-stitched row must be a miss.
-                    key = CacheKey(module_fp=row["module_fp"],
-                                   coredump_fp=row["coredump_fp"],
-                                   config_fp=row["config_fp"],
-                                   schema=row["schema"])
-                    if key.digest() != row["key"]:
-                        raise ValueError("row digest mismatch")
-                    CachedVerdict.from_obj(row["verdict"])  # shape check
-                except (ValueError, KeyError, TypeError):
-                    skipped += 1
-                    continue
-                index[row["key"]] = row
+                raw = b""
+        self._index = index
+        self._ingest_locked(raw, offset=0)
+        if self._tail_offset < len(raw):
+            # A trailing fragment at *load* time is the torn final line
+            # of a crashed appender (not a sibling's in-flight append,
+            # as it would be mid-refresh): count it as the contractual
+            # torn row and consume it — the next append heals the
+            # missing newline before writing.
+            self._raw_lines += 1
+            self._tail_offset = len(raw)
+            warnings.warn(
+                f"rescache: skipped 1 corrupt row(s) in "
+                f"{self.rows_path}; they will be recomputed",
+                RuntimeWarning, stacklevel=4)
+        return index
+
+    def _ingest_locked(self, raw: bytes, offset: int) -> None:
+        """Parse row bytes starting at ``offset`` into the index,
+        advancing the tail cursor through the last *complete* line (a
+        trailing fragment is someone's in-flight append — it stays
+        unconsumed and re-parses once its newline lands)."""
+        cut = raw.rfind(b"\n") + 1
+        self._tail_offset = offset + cut
+        skipped = 0
+        try:
+            text = raw[:cut].decode("utf-8")
+        except UnicodeDecodeError:
+            text = raw[:cut].decode("utf-8", errors="replace")
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            self._raw_lines += 1
+            try:
+                row = json.loads(line)
+                if row["schema"] != CACHE_SCHEMA_VERSION:
+                    continue  # other schema: unreachable, not corrupt
+                # Reject rows whose digest does not match their own
+                # fingerprints — a mis-stitched row must be a miss.
+                key = CacheKey(module_fp=row["module_fp"],
+                               coredump_fp=row["coredump_fp"],
+                               config_fp=row["config_fp"],
+                               schema=row["schema"])
+                if key.digest() != row["key"]:
+                    raise ValueError("row digest mismatch")
+                CachedVerdict.from_obj(row["verdict"])  # shape check
+            except (ValueError, KeyError, TypeError):
+                skipped += 1
+                continue
+            self._index[row["key"]] = row
         if skipped:
             warnings.warn(
                 f"rescache: skipped {skipped} corrupt row(s) in "
                 f"{self.rows_path}; they will be recomputed",
                 RuntimeWarning, stacklevel=3)
-        self._index = index
+
+    def _refresh_index_locked(self) -> Dict[str, dict]:
+        """Fold in rows other *processes* appended since the last read.
+
+        O(new bytes): one stat, and a read only of the unseen region.
+        A file smaller than the consumed offset means someone compacted
+        (``gc``) underneath us — reload from scratch."""
+        index = self._load_index_locked()
+        try:
+            size = self.rows_path.stat().st_size
+        except OSError:
+            return index
+        if size == self._tail_offset:
+            return index
+        if size < self._tail_offset:
+            self._index = None  # compacted underneath us: full reload
+            return self._load_index_locked()
+        try:
+            with open(self.rows_path, "rb") as handle:
+                handle.seek(self._tail_offset)
+                raw = handle.read()
+        except OSError:
+            return index
+        self._ingest_locked(raw, offset=self._tail_offset)
         return index
 
     # -- the strict hit test -------------------------------------------------
@@ -336,6 +408,11 @@ class ResultCache:
             return None
         with self._lock:
             row = self._load_index_locked().get(key.digest())
+            if row is None:
+                # Miss: another process may have cached it since the
+                # last read — tail-read the unseen bytes before giving
+                # up.  Hits stay O(1); misses cost one stat.
+                row = self._refresh_index_locked().get(key.digest())
         if row is None:
             return None
         if (row["module_fp"] != key.module_fp
@@ -368,7 +445,12 @@ class ResultCache:
             #                           new row must not be counted twice
             append_line(self.rows_path, json.dumps(row, sort_keys=True))
             index[row["key"]] = row
-            self._raw_lines += 1
+            # The tail cursor stays put: sibling processes may have
+            # appended between our last read and this write, and
+            # skipping to end-of-file would swallow their rows.  The
+            # next refresh re-parses our own row — idempotent — along
+            # with theirs, and keeps the raw-line count exact.
+            self._refresh_index_locked()
 
     # -- solver-cache sidecars ----------------------------------------------
 
@@ -399,19 +481,45 @@ class ResultCache:
                                "module_fp": module_fp,
                                "solver": snapshot})
 
+    def _acquire_module_flock(self, module_fp: str) -> Optional[int]:
+        """Exclusive cross-process lock for one module's sidecar, as an
+        open fd (None when the filesystem cannot provide one — then
+        in-process serialization is all we get).  A separate ``.lock``
+        file, not the sidecar itself: the store path replaces the
+        sidecar atomically, which would orphan a lock held on the old
+        inode."""
+        path = self.solver_path(module_fp).with_suffix(".json.lock")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(str(path), os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError:
+            return None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:
+            os.close(fd)
+            return None
+        return fd
+
     def update_solver_cache(self, module_fp: str, merge) -> None:
         """Atomic read-merge-write of one solver sidecar: ``merge``
         maps the current snapshot (or None) to the one to store.  The
-        whole cycle holds the cache lock, so two daemon workers
-        flushing engines for the same module cannot interleave their
-        loads and silently drop each other's rows (a plain
-        load→merge→store pair is exactly that race)."""
+        whole cycle holds the cache lock — two daemon workers flushing
+        engines for the same module cannot interleave their loads and
+        silently drop each other's rows (a plain load→merge→store pair
+        is exactly that race) — and an ``flock`` on a per-module lock
+        file, which closes the same race between worker *processes*."""
         if self.readonly:
             return
         with self._lock:
-            merged = merge(self.load_solver_cache(module_fp))
-            if merged and merged.get("rows"):
-                self.store_solver_cache(module_fp, merged)
+            fd = self._acquire_module_flock(module_fp)
+            try:
+                merged = merge(self.load_solver_cache(module_fp))
+                if merged and merged.get("rows"):
+                    self.store_solver_cache(module_fp, merged)
+            finally:
+                if fd is not None:
+                    os.close(fd)  # releases the flock
 
     # -- maintenance ---------------------------------------------------------
 
@@ -419,7 +527,8 @@ class ResultCache:
         """Machine-readable cache health (also ``res cache stats``)."""
         with self._lock, warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            index = dict(self._load_index_locked())
+            self._load_index_locked()
+            index = dict(self._refresh_index_locked())
             raw_lines = self._raw_lines
         size = self.rows_path.stat().st_size \
             if self.rows_path.exists() else 0
@@ -460,10 +569,9 @@ class ResultCache:
                         "readonly": True}
             from repro.ioutil import atomic_write_text
 
-            atomic_write_text(
-                self.rows_path,
-                "".join(json.dumps(row, sort_keys=True) + "\n"
-                        for row in kept_rows))
+            text = "".join(json.dumps(row, sort_keys=True) + "\n"
+                           for row in kept_rows)
+            atomic_write_text(self.rows_path, text)
             atomic_write_json(self.meta_path,
                               {"schema": CACHE_SCHEMA_VERSION,
                                "format": "rescache-jsonl"})
@@ -475,6 +583,7 @@ class ResultCache:
                             path.unlink()
             self._index = {row["key"]: row for row in kept_rows}
             self._raw_lines = len(kept_rows)
+            self._tail_offset = len(text.encode("utf-8"))
             return {"before": before, "after": self.stats(),
                     "readonly": False}
 

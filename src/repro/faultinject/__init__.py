@@ -12,6 +12,7 @@ from repro.faultinject.core import (
     deactivate,
     injected,
     injected_total,
+    share_state,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "deactivate",
     "injected",
     "injected_total",
+    "share_state",
 ]

@@ -53,6 +53,8 @@ site                      kinds
 from __future__ import annotations
 
 import errno
+import fcntl
+import hashlib
 import json
 import os
 import threading
@@ -131,6 +133,14 @@ class FaultInjector:
             for site, rule in (plan.get("sites") or {}).items()
         }
         self.log_path = Path(log_path) if log_path else None
+        # Optional cross-process counter file: when set (daemon worker
+        # pools), per-site (calls, injected) live in a flock-guarded
+        # JSON file shared by the daemon and its forked workers, so a
+        # respawned worker continues the schedule instead of replaying
+        # call index 0 — ``{"at": [0], "max": 1}`` fires once per plan,
+        # not once per process.
+        self.state_path: Optional[Path] = (
+            Path(str(plan["state_path"])) if plan.get("state_path") else None)
         self._lock = threading.Lock()
         # Per-site RNG seeded from (seed, site): schedules at different
         # sites are independent, so instrumenting a new site never
@@ -162,25 +172,108 @@ class FaultInjector:
             if rule.path_contains is not None and (
                     path is None or rule.path_contains not in str(path)):
                 return None
-            state = self._states[site]
-            index = state.calls
-            state.calls += 1
-            fire = index in rule.at or (
-                rule.prob > 0.0 and state.rng.random() < rule.prob)
-            if not fire:
-                return None
-            if rule.max is not None and state.injected >= rule.max:
-                return None
-            state.injected += 1
+            if self.state_path is not None:
+                decided = self._shared_step(site, rule)
+                if decided is None:
+                    return None
+                index, kind = decided
+            else:
+                state = self._states[site]
+                index = state.calls
+                state.calls += 1
+                fire = index in rule.at or (
+                    rule.prob > 0.0 and state.rng.random() < rule.prob)
+                if not fire:
+                    return None
+                if rule.max is not None and state.injected >= rule.max:
+                    return None
+                state.injected += 1
+                kind = rule.kinds[0] if len(rule.kinds) == 1 \
+                    else state.rng.choice(rule.kinds)
             self.injected_total += 1
             self.by_site[site] = self.by_site.get(site, 0) + 1
-            kind = rule.kinds[0] if len(rule.kinds) == 1 \
-                else state.rng.choice(rule.kinds)
         self._log({"event": "fault", "site": site, "kind": kind,
                    "call": index,
                    "path": str(path) if path is not None else None,
                    "t": round(time.time(), 3)})
         return kind
+
+    # -- shared (cross-process) counters -------------------------------------
+
+    def share_state(self, path) -> None:
+        """Move this injector's per-site counters into a flock-guarded
+        file so forked worker processes and the daemon advance one
+        schedule together.  Draws become hash-derived from
+        ``(seed, site, call-index)`` — same independence guarantees,
+        but any process can compute call N's draw without replaying
+        calls 0..N-1 through a sequential RNG."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            self.state_path = path
+
+    def _shared_step(self, site: str, rule: SiteRule
+                     ) -> Optional[Tuple[int, str]]:
+        """One call-counting + fire decision against the shared file.
+        Returns ``(call index, kind)`` when a fault fires, else None.
+        Falls back to the in-memory state on any filesystem error —
+        the injector must never itself be a failure source."""
+        try:
+            with self._locked_state() as counters:
+                calls, injected = counters.get(site, [0, 0])
+                index = int(calls)
+                counters[site] = [index + 1, int(injected)]
+                digest = hashlib.sha256(
+                    f"{self.seed}:{site}:{index}".encode()).digest()
+                draw = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+                fire = index in rule.at or (
+                    rule.prob > 0.0 and draw < rule.prob)
+                if not fire:
+                    return None
+                if rule.max is not None and int(injected) >= rule.max:
+                    return None
+                counters[site] = [index + 1, int(injected) + 1]
+                kind = rule.kinds[0] if len(rule.kinds) == 1 \
+                    else rule.kinds[int.from_bytes(digest[8:12], "big")
+                                    % len(rule.kinds)]
+                return index, kind
+        except OSError:
+            state = self._states[site]
+            index = state.calls
+            state.calls += 1
+            if index not in rule.at:
+                return None
+            if rule.max is not None and state.injected >= rule.max:
+                return None
+            state.injected += 1
+            return index, rule.kinds[0]
+
+    @contextmanager
+    def _locked_state(self) -> Iterator[dict]:
+        """Exclusive read-modify-write of the shared counter file.
+        Raw ``os`` I/O on purpose: routing through ioutil would let the
+        injector inject faults into its own bookkeeping."""
+        fd = os.open(str(self.state_path),
+                     os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            raw = b""
+            while True:
+                chunk = os.read(fd, 65536)
+                if not chunk:
+                    break
+                raw += chunk
+            try:
+                counters = json.loads(raw.decode()) if raw.strip() else {}
+            except (ValueError, UnicodeDecodeError):
+                counters = {}
+            yield counters
+            payload = json.dumps(counters, sort_keys=True).encode()
+            os.lseek(fd, 0, os.SEEK_SET)
+            os.ftruncate(fd, 0)
+            os.write(fd, payload)
+        finally:
+            os.close(fd)  # releases the flock
 
     def check(self, site: str) -> None:
         """Decide-and-act for execution sites (``worker.task``,
@@ -245,6 +338,19 @@ class FaultInjector:
         with self._lock:
             return dict(self.by_site, total=self.injected_total)
 
+    def shared_injected_total(self) -> Optional[int]:
+        """Fleet-wide injected count from the shared state file, or
+        None when not sharing (or the file is unreadable).  Lockless
+        read on purpose — a torn read just falls back to local."""
+        if self.state_path is None:
+            return None
+        try:
+            raw = self.state_path.read_text()
+            counters = json.loads(raw) if raw.strip() else {}
+            return sum(int(pair[1]) for pair in counters.values())
+        except (OSError, ValueError, IndexError, TypeError):
+            return None
+
 
 # ---------------------------------------------------------------------------
 # Activation (module-global; one check per instrumented call)
@@ -304,6 +410,21 @@ def injected(plan: dict,
 
 
 def injected_total() -> int:
-    """Total faults injected so far in this process (0 when disabled)."""
+    """Total faults injected so far (0 when disabled).  With a shared
+    counter file the total spans every participating process — faults
+    fired inside forked workers count in the daemon's metrics."""
     injector = active()
-    return injector.injected_total if injector is not None else 0
+    if injector is None:
+        return 0
+    shared = injector.shared_injected_total()
+    return shared if shared is not None else injector.injected_total
+
+
+def share_state(path) -> None:
+    """Adopt a shared cross-process counter file for the active plan
+    (no-op when injection is off or a state file is already set).
+    Called by the daemon before it forks its worker pool; the children
+    inherit ``state_path`` through the fork."""
+    injector = active()
+    if injector is not None and injector.state_path is None:
+        injector.share_state(path)

@@ -50,6 +50,36 @@ class ServiceRetryableError(ServiceClientError):
 #: submissions the daemon settled or accepted (anything else is an error)
 _OK_STATUSES = (200, 202, 429)
 
+#: owning-node redirect chain cap: a correct fleet answers in one hop
+#: (submit node → owner); anything longer is a misconfigured ring.
+_MAX_REDIRECT_HOPS = 3
+
+
+class FleetTargets:
+    """Round-robin rotation over fleet node base URLs.
+
+    ``next_order()`` returns every URL starting at the rotation
+    cursor, then advances the cursor — so consecutive submissions
+    spread their *first* attempt across the fleet while keeping the
+    remaining nodes as in-order failover candidates.
+    """
+
+    def __init__(self, urls: List[str]):
+        seen: List[str] = []
+        for url in urls:
+            base = url.rstrip("/")
+            if base and base not in seen:
+                seen.append(base)
+        if not seen:
+            raise ServiceClientError("no daemon URL configured")
+        self.urls = seen
+        self._cursor = 0
+
+    def next_order(self) -> List[str]:
+        start = self._cursor % len(self.urls)
+        self._cursor += 1
+        return self.urls[start:] + self.urls[:start]
+
 
 class RetryPolicy:
     """Jittered exponential backoff for daemon-side trouble.
@@ -131,6 +161,49 @@ def submit_with_retries(base_url: str, program: Dict[str, str],
         retry += 1
 
 
+def submit_fleet_with_retries(targets: FleetTargets,
+                              program: Dict[str, str],
+                              coredump_json: str,
+                              report_id: Optional[str] = None,
+                              true_cause: Optional[str] = None,
+                              force: bool = False,
+                              policy: Optional[RetryPolicy] = None,
+                              notify: Optional[Callable[[str, int, dict],
+                                                        None]] = None
+                              ) -> Tuple[int, dict, str]:
+    """:func:`submit_fleet` under the same retry contract as
+    :func:`submit_with_retries`; returns ``(status, body, url)`` with
+    the URL of the node that answered."""
+    policy = policy or RetryPolicy()
+    deadline = time.monotonic() + policy.timeout \
+        if policy.timeout is not None else None
+
+    def out_of_budget(retry: int) -> bool:
+        if retry >= policy.max_retries:
+            return True
+        return deadline is not None and time.monotonic() >= deadline
+
+    retry = 0
+    while True:
+        suggested = None
+        try:
+            status, body, url = submit_fleet(
+                targets, program, coredump_json, report_id=report_id,
+                true_cause=true_cause, force=force)
+            if status != 429:
+                return status, body, url
+            if out_of_budget(retry):
+                return status, body, url
+            suggested = float(body.get("retry_after_seconds", 1.0))
+        except (ServiceUnreachableError, ServiceRetryableError) as exc:
+            if out_of_budget(retry):
+                raise
+            if notify is not None:
+                notify("retry", 0, {"error": str(exc), "retry": retry})
+        time.sleep(policy.delay(retry, suggested=suggested))
+        retry += 1
+
+
 def _request(url: str, method: str = "GET",
              payload: Optional[dict] = None,
              timeout: float = 30.0) -> Tuple[int, dict]:
@@ -162,13 +235,10 @@ def _request(url: str, method: str = "GET",
             f"bad response from intake daemon at {url}: {exc}") from exc
 
 
-def submit_report(base_url: str, program: Dict[str, str],
-                  coredump_json: str,
-                  report_id: Optional[str] = None,
-                  true_cause: Optional[str] = None,
-                  force: bool = False,
-                  timeout: float = 30.0) -> Tuple[int, dict]:
-    """POST one submission; returns ``(http_status, payload)``."""
+def _submission_payload(program: Dict[str, str], coredump_json: str,
+                        report_id: Optional[str],
+                        true_cause: Optional[str],
+                        force: bool) -> dict:
     try:
         core_obj = json.loads(coredump_json)
     except ValueError as exc:
@@ -183,9 +253,32 @@ def submit_report(base_url: str, program: Dict[str, str],
         payload["report_id"] = report_id
     if true_cause is not None:
         payload["true_cause"] = true_cause
-    status, body = _request(f"{base_url.rstrip('/')}/jobs",
-                            method="POST", payload=payload,
-                            timeout=timeout)
+    return payload
+
+
+def _submit_payload(base_url: str, payload: dict,
+                    timeout: float) -> Tuple[int, dict, str]:
+    """POST one submission, transparently following the fleet's
+    owning-node redirect (307 + ``owner_url``).  Returns
+    ``(status, body, url)`` where ``url`` is the node that actually
+    answered — that is where ``GET /jobs/<id>`` should be polled."""
+    base = base_url.rstrip("/")
+    hops = 0
+    while True:
+        status, body = _request(f"{base}/jobs", method="POST",
+                                payload=payload, timeout=timeout)
+        if status == 307:
+            owner_url = str(body.get("owner_url") or "").rstrip("/")
+            if owner_url and owner_url != base \
+                    and hops < _MAX_REDIRECT_HOPS:
+                base = owner_url
+                hops += 1
+                continue
+            raise ServiceClientError(
+                f"submission refused (307): "
+                f"{body.get('error', 'owned by another fleet node')} "
+                f"(owner: {body.get('owner', 'unknown')})")
+        break
     if status == 503:
         raise ServiceRetryableError(
             f"submission deferred (503): "
@@ -194,12 +287,61 @@ def submit_report(base_url: str, program: Dict[str, str],
         raise ServiceClientError(
             f"submission refused ({status}): "
             f"{body.get('error', 'unknown error')}")
+    return status, body, base
+
+
+def submit_report(base_url: str, program: Dict[str, str],
+                  coredump_json: str,
+                  report_id: Optional[str] = None,
+                  true_cause: Optional[str] = None,
+                  force: bool = False,
+                  timeout: float = 30.0) -> Tuple[int, dict]:
+    """POST one submission; returns ``(http_status, payload)``.
+
+    In fleet mode the owning-node redirect is followed transparently,
+    so the caller sees the owner's answer no matter which node it
+    picked."""
+    payload = _submission_payload(program, coredump_json, report_id,
+                                  true_cause, force)
+    status, body, __ = _submit_payload(base_url, payload, timeout)
     return status, body
 
 
+def submit_fleet(targets: FleetTargets, program: Dict[str, str],
+                 coredump_json: str,
+                 report_id: Optional[str] = None,
+                 true_cause: Optional[str] = None,
+                 force: bool = False,
+                 timeout: float = 30.0) -> Tuple[int, dict, str]:
+    """Submit to a fleet: round-robin the first attempt across nodes,
+    fail over to the remaining nodes when one is unreachable, and
+    follow the owning-node redirect.  Returns ``(status, body, url)``
+    with the URL of the node that answered."""
+    last_exc: Optional[ServiceUnreachableError] = None
+    payload = _submission_payload(program, coredump_json, report_id,
+                                  true_cause, force)
+    for base in targets.next_order():
+        try:
+            return _submit_payload(base, payload, timeout)
+        except ServiceUnreachableError as exc:
+            # This node is down — but any node can accept (or redirect)
+            # a submission, so the fleet is only down when all are.
+            last_exc = exc
+    assert last_exc is not None
+    raise last_exc
+
+
 def get_job(base_url: str, job_id: str, timeout: float = 30.0) -> dict:
-    status, body = _request(f"{base_url.rstrip('/')}/jobs/{job_id}",
-                            timeout=timeout)
+    base = base_url.rstrip("/")
+    status, body = 404, {}
+    for __ in range(_MAX_REDIRECT_HOPS + 1):
+        status, body = _request(f"{base}/jobs/{job_id}",
+                                timeout=timeout)
+        owner_url = str(body.get("owner_url") or "").rstrip("/")
+        if status == 307 and owner_url and owner_url != base:
+            base = owner_url  # the minting node owns the live status
+            continue
+        break
     if status != 200:
         raise ServiceClientError(
             f"job {job_id}: {body.get('error', f'HTTP {status}')}")

@@ -16,17 +16,32 @@ buckets.  Four layers, all built on the batch machinery of PRs 3–4:
   Never-seen fingerprints are scheduled ahead of re-submissions, and a
   bounded queue pushes back (HTTP 429 + Retry-After) instead of
   accepting work it cannot promise.
-* **warm workers** — each worker owns a
+* **warm worker processes** — each worker slot drives a forked worker
+  *process* (``worker_mode="process"``; see
+  :mod:`repro.service.workerpool`) holding a
   :class:`repro.core.triage_service.StreamingTriage` session: the same
   per-program engines, the same strict rescache lookup, the same
-  verdict synthesis as a batch ``res triage`` run.  Verdicts are
-  byte-identical under :func:`repro.core.triage_service.verdict_view`
-  to a batch run over the same submissions — enforced by
-  ``tests/test_service.py``.
+  verdict synthesis as a batch ``res triage`` run — now off the GIL,
+  so cold intake scales with cores.  Verdicts are byte-identical under
+  :func:`repro.core.triage_service.verdict_view` to a batch run over
+  the same submissions — enforced by ``tests/test_service.py`` and
+  ``tests/test_fleet.py``.
 * **observability** — ``healthz`` and Prometheus-style ``metrics``
   (queue depth, in-flight, verdicts/s, warm-hit rate, p50/p95
   submit→verdict latency), plus the standard JSON report store,
   flushed as verdicts land and on shutdown.
+
+**Fleet mode** (``--node-id`` + ``--peers``) composes N such daemons
+into one logical service: every member builds the same consistent-hash
+ring (:mod:`repro.service.ring`) over the coredump fingerprint, so each
+crash has exactly one *owning* node; misrouted new work is answered
+with a 307 redirect to its owner, every member journals to its own
+``journal-<node>.jsonl`` segments in the shared spool, and the monitor
+tails the peers' segments to adopt their settled verdicts as *shadow*
+jobs — the shared dedup tier that lets a crash settled anywhere answer
+instantly everywhere, and the deterministic merge
+(``(submitted_at, node, seq)``) that makes any member's report store
+converge on the same fleet-wide document.
 """
 
 from __future__ import annotations
@@ -46,28 +61,29 @@ from repro import faultinject
 from repro.errors import ReproError
 from repro.faultinject import WorkerCrashError
 from repro.vm.coredump import Coredump
+from repro.core.bucketing import IncrementalRefiner
 from repro.core.triage import BugReport, TriageResult
 from repro.core.triage_service import (
     CorpusEntry,
     ProgramSpec,
-    StreamingTriage,
     TriageCorpus,
     TriagedReport,
     TriageServiceConfig,
     TriageServiceResult,
     TriageStore,
-    refined_results,
 )
+from repro.service import workerpool
 from repro.service.jobs import (
     IntakeJob,
     JobJournal,
     JobState,
-    JOURNAL_FILE,
     default_report_id,
+    journal_file_for,
     make_job_id,
     next_ids,
     now,
 )
+from repro.service.ring import HashRing
 
 
 @dataclass
@@ -114,10 +130,27 @@ class DaemonConfig:
     max_core_bytes: int = 8 * 1024 * 1024
     #: seed for the backoff jitter (None = nondeterministic)
     backoff_seed: Optional[int] = None
+    #: worker executor mode: ``"process"`` (default) forks one worker
+    #: process per slot — cold verdicts are pure Python compute, and
+    #: the GIL serializes threads; ``"thread"`` keeps the in-thread
+    #: drive as the measured baseline and the no-fork fallback
+    worker_mode: str = "process"
+    #: fleet identity: a non-empty node id opts into fleet mode — the
+    #: journal becomes ``journal-<node>.jsonl`` and job/report ids get
+    #: a node prefix, so merged replay is collision-free by name
+    node_id: Optional[str] = None
+    #: fleet membership: node id → base URL, *including this node* —
+    #: every member builds the same consistent-hash ring from it
+    peers: Dict[str, str] = field(default_factory=dict)
+    #: rotate the active journal segment once it exceeds this many MiB
+    #: (0 disables); closed segments are compacted in the background
+    journal_rotate_mb: float = 0.0
+    #: how often the monitor tails peer journal segments (seconds)
+    fleet_sync_interval: float = 0.25
 
     @property
     def journal_path(self) -> Path:
-        return Path(self.spool_dir) / JOURNAL_FILE
+        return Path(self.spool_dir) / journal_file_for(self.node_id)
 
 
 class DaemonMetrics:
@@ -133,6 +166,7 @@ class DaemonMetrics:
         self.failed_total = 0
         self.rejected_total = 0      # 429 backpressure refusals
         self.malformed_total = 0     # 400 parse/size rejections
+        self.redirects_total = 0     # 307 fleet owner redirects
         self.retries_total = 0       # re-queued drives (error or crash)
         self.quarantined_total = 0   # poison jobs settled as quarantined
         self.worker_restarts_total = 0  # workers respawned by the monitor
@@ -182,6 +216,7 @@ class DaemonMetrics:
                 "failed_total": self.failed_total,
                 "rejected_total": self.rejected_total,
                 "malformed_total": self.malformed_total,
+                "redirects_total": self.redirects_total,
                 "retries_total": self.retries_total,
                 "quarantined_total": self.quarantined_total,
                 "worker_restarts_total": self.worker_restarts_total,
@@ -203,17 +238,27 @@ class TriageDaemon:
     """The always-on intake service; one instance per spool directory.
 
     Thread model: HTTP handler threads call :meth:`submit` and the
-    read-only query methods; ``workers`` daemon threads run
-    :meth:`_worker_loop`.  All shared state lives behind one condition
-    variable.  Engines never cross threads — each worker owns its
-    :class:`StreamingTriage` session — and the rescache chain they
-    share serializes itself.
+    read-only query methods; ``workers`` proxy threads run
+    :meth:`_worker_loop`, each driving its executor (a forked worker
+    process by default — the drive compute happens there, off the
+    GIL).  All shared daemon state lives behind one condition
+    variable.  Engines never cross threads or processes — each
+    executor owns its session — and the rescache files they share are
+    flock-serialized for multi-process appenders.
     """
 
     def __init__(self, config: Optional[DaemonConfig] = None):
         self.config = config or DaemonConfig()
         self.service_config = self.config.service
-        self.journal = JobJournal(self.config.journal_path)
+        self.journal = JobJournal(
+            self.config.journal_path,
+            rotate_bytes=int(self.config.journal_rotate_mb * 1024 * 1024))
+        #: the admission ring: every fleet member builds the identical
+        #: ring from the peers map, so ownership needs no coordination
+        members = set(self.config.peers)
+        if self.config.node_id:
+            members.add(self.config.node_id)
+        self._ring = HashRing(members) if self.config.node_id else None
         #: one shared cache chain: ResultCache is thread-safe, and
         #: sharing it means a verdict cached by worker A is a warm hit
         #: for worker B within the same daemon lifetime
@@ -241,13 +286,25 @@ class TriageDaemon:
         self._running_jobs: Dict[str, tuple] = {}
         #: workers reaped by the watchdog: their thread is still alive
         #: (parked in a hung drive) but no longer counts, claims, or
-        #: settles; it exits at the next loop turn
+        #: settles; it exits at the next loop turn (a process-mode
+        #: proxy unblocks immediately — its child is SIGKILLed)
         self._abandoned: set = set()
+        #: worker name → live executor (the watchdog's kill switch)
+        self._executors: Dict[str, object] = {}
         self._worker_seq = 0
         self._monitor: Optional[threading.Thread] = None
         self._backoff_rng = random.Random(self.config.backoff_seed)
         #: last journal append outcome — the degraded-healthz signal
         self._disk_ok = True
+        #: settle rows whose append failed — the job is already settled
+        #: in memory, so nothing upstream retries; the monitor
+        #: re-appends these until the spool heals (FIFO, so
+        #: representative-before-duplicate order survives the retry)
+        self._journal_backlog: List[tuple] = []
+        #: jobs whose done rows are parked above: their verdicts stay
+        #: unpublished (no instant dedup, dependents keep waiting)
+        #: until the rows are durable
+        self._publish_backlog: List[IntakeJob] = []
         self._quarantined_count = 0
         self._pending_by_key: Dict[tuple, str] = {}
         self._done_by_key: Dict[tuple, str] = {}
@@ -263,11 +320,18 @@ class TriageDaemon:
         self._flush_seq = 0
         self._flushed_seq = 0
         self._flush_lock = threading.Lock()
-        #: (settled count, payload) memo for ``GET /buckets`` — the
-        #: refinement pass is O(history), so it runs once per settled
-        #: count (the monitor's maintenance hook keeps it fresh) and
-        #: read polling stays O(1)
+        #: (settled count, payload) memo for ``GET /buckets``, fed by
+        #: the incremental refiner below: each new verdict is folded in
+        #: once — O(delta), not O(history) — and read polling stays O(1)
         self._buckets_cache: Optional[Tuple[int, dict]] = None
+        self._refiner = IncrementalRefiner()
+        self._refined_upto = 0
+        self._rebucket_lock = threading.Lock()
+        #: peer verdicts adopted as shadow jobs (never driven here)
+        self._shadow_ids: set = set()
+        #: peer → last seen combined journal size (the tail cursor)
+        self._peer_sizes: Dict[str, int] = {}
+        self._fleet_last_sync = -1e9
         self._stop = False
         self._drain_on_stop = False
         self._interrupted = False
@@ -277,12 +341,22 @@ class TriageDaemon:
         self.resumed_jobs = 0
 
         self._resume_from_journal()
+        # A restart rebuilds the fleet-wide dedup tier too: peer
+        # segments replay into shadow jobs before the first submission.
+        self._fleet_sync(force=True)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def start(self) -> None:
+        if self.config.workers > 0 and self.config.worker_mode == "process":
+            # Worker processes inherit the fault injector by fork; its
+            # counters move to a shared flock'd file first, so the
+            # seeded schedule stays deterministic across processes and
+            # child-fired faults show up in this daemon's metrics.
+            faultinject.share_state(
+                Path(self.config.spool_dir) / "fault-state.json")
         with self._cv:
             for __ in range(self.config.workers):
                 self._spawn_worker_locked()
@@ -485,10 +559,28 @@ class TriageDaemon:
         if not force:
             done_id = self._done_by_key.get(key)
             if done_id is not None:
+                # The shared dedup tier answers *before* ownership is
+                # consulted: a crash settled by any fleet node (adopted
+                # here as a shadow) answers instantly everywhere.
                 job = self._settle_as_duplicate(
                     spec, core_obj, fingerprint, report_id,
                     true_cause, self._jobs[done_id], journal)
                 return 200, job.status_payload(), job
+        if self._ring is not None:
+            owner = self._ring.owner(fingerprint)
+            if owner != self.config.node_id:
+                # Misrouted new work: redirect to the owning node so
+                # each fingerprint has exactly one representative
+                # journal.  Forced recomputes always route — the
+                # owner's verdict is the one being replaced.
+                self.metrics.redirects_total += 1
+                return 307, {
+                    "error": "crash is owned by another fleet node",
+                    "fingerprint": fingerprint,
+                    "owner": owner,
+                    "owner_url": self.config.peers.get(owner, ""),
+                }, None
+        if not force:
             pending_id = self._pending_by_key.get(key)
             if pending_id is not None:
                 representative = self._jobs[pending_id]
@@ -582,11 +674,16 @@ class TriageDaemon:
                  dump: Optional[Coredump] = None) -> IntakeJob:
         seq = self._next_seq
         self._next_seq += 1
-        job = IntakeJob(job_id=make_job_id(seq), seq=seq,
-                        report_id=report_id or default_report_id(seq),
+        node = self.config.node_id
+        # submitted_at is rounded to the journal's microsecond grain up
+        # front, so in-memory fleet merge order matches replayed order.
+        job = IntakeJob(job_id=make_job_id(seq, node), seq=seq,
+                        report_id=report_id or default_report_id(seq,
+                                                                 node),
                         program=spec, core_obj=core_obj,
                         fingerprint=fingerprint, priority=priority,
-                        true_cause=true_cause, submitted_at=now())
+                        true_cause=true_cause,
+                        submitted_at=round(now(), 6))
         if dump is not None:
             # The admission parse is the job's parse — don't re-parse
             # the same 100 KB JSON when the worker picks it up.
@@ -658,12 +755,18 @@ class TriageDaemon:
         """Historical dedup: settle the job instantly (the WER-style
         answer).  The duplicate shares the representative's parsed
         coredump in memory and journals by reference, so re-reports of
-        a known crash cost bytes, not megabytes."""
-        if representative.fingerprint == fingerprint:
+        a known crash cost bytes, not megabytes.  Shadow (peer-settled)
+        representatives live in *another* node's journal: the duplicate
+        journals its own core instead of a dangling cross-node ref —
+        and a compacted shadow may carry no core at all."""
+        if representative.fingerprint == fingerprint \
+                and representative.core_obj is not None:
             core_obj = representative.core_obj
         job = self._new_job(spec, core_obj, fingerprint, report_id,
                             true_cause, priority=1)
-        journal.append(("submit", job, representative))
+        ref = None if representative.job_id in self._shadow_ids \
+            else representative
+        journal.append(("submit", job, ref))
         self._settle_duplicate_locked(job, representative, journal)
         return job
 
@@ -722,6 +825,52 @@ class TriageDaemon:
         if entries:
             self._note_disk(True)
 
+    def _drain_or_backlog(self, entries: List[tuple]) -> bool:
+        """Write settle rows now, or park them for the monitor to
+        retry.  Settle rows differ from submit rows: the job is already
+        settled in memory, so no client retry will ever re-write them —
+        a dropped row stays invisible until a cold replay loses the
+        verdict.  Parked rows keep arrival order (later settles queue
+        behind an existing backlog instead of overtaking it)."""
+        if not entries:
+            return True
+        with self._cv:
+            if self._journal_backlog:
+                self._journal_backlog.extend(entries)
+                return False
+        try:
+            self._drain_journal(entries)
+        except OSError as exc:
+            warnings.warn(f"intake daemon: settle journal append failed "
+                          f"({exc}); {len(entries)} row(s) parked for "
+                          f"retry", RuntimeWarning)
+            with self._cv:
+                self._journal_backlog.extend(entries)
+            return False
+        return True
+
+    def _retry_journal_backlog(self) -> None:
+        """Monitor duty: re-append parked settle rows; once the backlog
+        drains, publish the verdicts whose phase 2 was deferred (a
+        partial first append may leave duplicate rows behind — replay
+        keys rows by job id, so duplicates are free and lost rows are
+        not)."""
+        with self._cv:
+            entries = list(self._journal_backlog)
+        if entries:
+            try:
+                self._drain_journal(entries)
+            except OSError:
+                return  # spool still unhappy; next tick retries
+            with self._cv:
+                del self._journal_backlog[:len(entries)]
+                if self._journal_backlog:
+                    return  # new rows parked mid-retry
+        with self._cv:
+            publish, self._publish_backlog = self._publish_backlog, []
+        for job in publish:
+            self._publish_verdict(job)
+
     def _retry_after_locked(self) -> int:
         """Honest backpressure: the queue's expected drain time under
         the recent per-*drive* latency (instant dedups excluded — the
@@ -738,8 +887,18 @@ class TriageDaemon:
     # ------------------------------------------------------------------
 
     def _worker_loop(self, name: Optional[str] = None) -> None:
+        """One worker slot: a proxy thread driving its executor — by
+        default a forked worker process holding the warm triage session
+        (``worker_mode="process"``), optionally the in-thread drive.
+        The claim/release protocol runs here, on the proxy, whatever
+        the executor is, which is how the PR 6 self-healing contract
+        survives the process boundary unchanged."""
         name = name or threading.current_thread().name
-        session = StreamingTriage(self.service_config, chain=self.chain)
+        executor = workerpool.create_executor(
+            self.config.worker_mode, self.service_config,
+            chain=self.chain)
+        with self._cv:
+            self._executors[name] = executor
         fi = faultinject.active()
         try:
             while True:
@@ -750,23 +909,41 @@ class TriageDaemon:
                 job, claim = claimed
                 try:
                     if fi is not None:
-                        # The worker-death site: fires *before* the
-                        # drive, the window where an acknowledged job
-                        # is claimed but has produced nothing.
+                        # The worker-death site: decided daemon-side,
+                        # *before* dispatch — the window where an
+                        # acknowledged job is claimed but has produced
+                        # nothing — so the seeded schedule and the
+                        # metrics are executor-mode independent.
                         fi.check("worker.task")
-                    triaged = session.triage_one(
+                    triaged = executor.run(
                         job.program, job.bug_report(),
                         fingerprint=job.fingerprint,
                         bypass_cache=job.force)
                 except KeyboardInterrupt:
                     raise
                 except WorkerCrashError as exc:
-                    # Simulated worker death: bookkeeping (requeue or
-                    # quarantine the job), then the thread dies — the
-                    # monitor respawns a replacement, exactly the
+                    # Simulated worker death: kill the worker process
+                    # to make it a real one (thread mode has nothing
+                    # to kill), do the bookkeeping (requeue or
+                    # quarantine), then the slot dies — the monitor
+                    # respawns a replacement, exactly the
                     # crash-looping-fleet scenario quarantine bounds.
+                    executor.kill()
                     self._worker_died(name, job, claim, str(exc))
                     return
+                except workerpool.WorkerProcessDied as exc:
+                    # The worker process vanished mid-drive (SIGKILL,
+                    # OOM, watchdog reap, injected in-drive death):
+                    # same bookkeeping, same respawn path.
+                    self._worker_died(name, job, claim, str(exc))
+                    return
+                except workerpool.TriageTaskError as exc:
+                    # A drive error, already rendered "Type: message"
+                    # by the executor boundary — retried on the normal
+                    # attempt budget, not counted as a worker loss.
+                    self._settle_safely(
+                        self._retry_or_fail, job, name, claim, str(exc))
+                    continue
                 except Exception as exc:  # noqa: BLE001 - worker boundary
                     self._settle_safely(
                         self._retry_or_fail, job, name, claim,
@@ -775,7 +952,10 @@ class TriageDaemon:
                 self._settle_safely(self._complete, job, name, claim,
                                     triaged)
         finally:
-            session.flush_solver_caches()
+            with self._cv:
+                if self._executors.get(name) is executor:
+                    self._executors.pop(name)
+            executor.close()
 
     def _claim_locked(self, name: str) -> Optional[Tuple[IntakeJob, int]]:
         """Block until a job is claimable; None means "exit the loop".
@@ -888,7 +1068,7 @@ class TriageDaemon:
                 else:
                     self._requeue_locked(job)
             self._cv.notify_all()
-        self._settle_safely(self._drain_journal, journal)
+        self._drain_or_backlog(journal)
         self._flush_pending()
 
     def _retry_or_fail(self, job: IntakeJob, name: str, claim: int,
@@ -906,7 +1086,7 @@ class TriageDaemon:
                     job, f"{error} (after {job.attempts} attempts)",
                     journal)
             self._cv.notify_all()
-        self._drain_journal(journal)
+        self._drain_or_backlog(journal)
         self._flush_pending()
 
     def _settle_safely(self, settle, *args) -> None:
@@ -930,16 +1110,24 @@ class TriageDaemon:
         while True:
             journal: List[tuple] = []
             with self._cv:
-                if self._stop and (not self._drain_on_stop
-                                   or self._unsettled == 0):
-                    return
-                self._promote_due_locked()
-                self._watchdog_locked(journal)
-                self._respawn_locked()
+                stopping = self._stop and (not self._drain_on_stop
+                                           or self._unsettled == 0)
+                if not stopping:
+                    self._promote_due_locked()
+                    self._watchdog_locked(journal)
+                    self._respawn_locked()
             if journal:
-                self._settle_safely(self._drain_journal, journal)
+                self._drain_or_backlog(journal)
                 self._flush_pending()
+            # Parked settle rows outlive everything else: flush them
+            # even on the way out, or a drain shutdown could strand
+            # settled-in-memory verdicts off-disk.
+            self._retry_journal_backlog()
+            if stopping:
+                return
             self._maintenance_rebucket()
+            self._journal_maintenance()
+            self._fleet_sync()
             with self._cv:
                 self._cv.wait(timeout=self.config.monitor_interval)
 
@@ -968,7 +1156,10 @@ class TriageDaemon:
         """Reap drives that exceeded the watchdog timeout: abandon the
         hung worker thread (it can be parked in a hung solver call —
         nothing can interrupt it, so it is written off and replaced),
-        invalidate its claim, and count a worker loss against the job."""
+        invalidate its claim, and count a worker loss against the job.
+        A process-mode drive is *killable*: SIGKILL the worker process
+        and the proxy unblocks on pipe EOF (its claim is already stale,
+        so the death is discarded) instead of parking forever."""
         timeout = self.config.watchdog_timeout
         if timeout <= 0:
             return
@@ -980,6 +1171,9 @@ class TriageDaemon:
             self._abandoned.add(name)
             self._running_jobs.pop(name, None)
             self._running -= 1
+            executor = self._executors.get(name)
+            if executor is not None:
+                executor.kill()
             if job.claim == claim and job.state is JobState.RUNNING:
                 job.claim += 1  # the hung drive's settle is stale now
                 job.worker_crashes += 1
@@ -1043,12 +1237,21 @@ class TriageDaemon:
                                               journal)
             self._note_settled_locked()
             self._cv.notify_all()
-        self._drain_journal(journal)
+        if not self._drain_or_backlog(journal):
+            # The done rows are parked, not durable: defer phase 2 (the
+            # monitor publishes once the backlog drains).  Exposing the
+            # verdict now would let a duplicate's done row reach disk
+            # before its representative's.
+            with self._cv:
+                self._publish_backlog.append(job)
+            return
+        self._publish_verdict(job)
 
+    def _publish_verdict(self, job: IntakeJob) -> None:
         # Phase 2: the done row is durable — expose the verdict to
         # instant dedup and settle any dependents that attached while
         # phase 1's rows were being written.
-        journal = []
+        journal: List[tuple] = []
         with self._cv:
             if job.force:
                 # A forced recompute is the *new* truth for this key:
@@ -1068,7 +1271,7 @@ class TriageDaemon:
             # daemon's lifetime submission count.
             job._dump = None
             self._cv.notify_all()
-        self._drain_journal(journal)
+        self._drain_or_backlog(journal)
         self._flush_pending()
 
     def _fail_locked(self, job: IntakeJob, error: str,
@@ -1119,13 +1322,17 @@ class TriageDaemon:
         seq, settled, count, complete, interrupted = inputs
         if seq <= self._flushed_seq:
             return  # a newer snapshot already landed
-        # Store rows are in submission (seq) order — the batch-run
+        # Store rows are in submission order — the batch-run
         # equivalence contract — while the settled list is in settle
-        # order; sort the copy, outside the lock.
+        # order; sort the copy, outside the lock.  The submission order
+        # of a *fleet* is the deterministic merge order
+        # (submitted_at, node, seq), which reduces to plain seq order
+        # for a single node — any member's store converges on the same
+        # fleet-wide document.
         done = sorted((job for job in settled[:count]
                        if job.state is JobState.DONE
                        and job.verdict is not None),
-                      key=lambda job: job.seq)
+                      key=lambda job: job.order_key)
         programs: Dict[str, ProgramSpec] = {}
         entries: List[CorpusEntry] = []
         for job in done:
@@ -1209,47 +1416,60 @@ class TriageDaemon:
         return self._buckets_for(settled, count)
 
     def _buckets_for(self, settled: List[IntakeJob], count: int) -> dict:
-        """The refined bucket hierarchy over the settled history.
-        Memoized on the settled count (settled jobs never change), so
-        the pass runs once per new verdict — usually in the monitor's
-        maintenance tick, not on the serving path."""
+        """The refined bucket hierarchy over the settled history,
+        computed *incrementally*: each newly settled verdict is folded
+        into the persistent :class:`IncrementalRefiner` exactly once —
+        whether it arrived over HTTP, from this node's journal replay,
+        or from a peer's segments — so the background rebucket costs
+        O(new verdicts), not O(full history), per pass.  The refiner's
+        output is proven equal to the batch :func:`refine` pass by
+        ``tests/test_fleet.py``.  Memoized on the settled count; a
+        request older than the memo gets the (strictly fresher) memo."""
         cached = self._buckets_cache
-        if cached is not None and cached[0] == count:
+        if cached is not None and cached[0] >= count:
             return cached[1]
-        done = sorted((job for job in settled[:count]
-                       if job.state is JobState.DONE
-                       and job.verdict is not None),
-                      key=lambda job: job.seq)
-        refined, refinement = refined_results(
-            [job.verdict for job in done])
-        refined_by_id = {res.report_id: res for res in refined}
-        buckets: Dict[str, List[str]] = {}
-        raw_buckets: Dict[str, List[str]] = {}
-        for job in done:
-            result = job.verdict.result
-            final = refined_by_id[result.report_id].bucket
-            buckets.setdefault(repr(final), []).append(job.report_id)
-            raw_buckets.setdefault(
-                repr(result.bucket), []).append(job.report_id)
-        payload = {
-            "buckets": buckets,
-            "raw_buckets": raw_buckets,
-            "hierarchy": refinement.hierarchy,
-            "stats": refinement.stats,
-        }
-        self._buckets_cache = (count, payload)
+        with self._rebucket_lock:
+            cached = self._buckets_cache
+            if cached is not None and cached[0] >= count:
+                return cached[1]
+            for job in settled[self._refined_upto:count]:
+                if job.state is JobState.DONE \
+                        and job.verdict is not None:
+                    self._refiner.add(job.verdict)
+            self._refined_upto = count
+            refinement = self._refiner.refinement()
+            done = sorted((job for job in settled[:count]
+                           if job.state is JobState.DONE
+                           and job.verdict is not None),
+                          key=lambda job: job.order_key)
+            buckets: Dict[str, List[str]] = {}
+            raw_buckets: Dict[str, List[str]] = {}
+            for job in done:
+                result = job.verdict.result
+                final = refinement.bucket_of(result.report_id,
+                                             result.bucket)
+                buckets.setdefault(repr(final), []).append(job.report_id)
+                raw_buckets.setdefault(
+                    repr(result.bucket), []).append(job.report_id)
+            payload = {
+                "buckets": buckets,
+                "raw_buckets": raw_buckets,
+                "hierarchy": refinement.hierarchy,
+                "stats": refinement.stats,
+            }
+            self._buckets_cache = (count, payload)
         self.metrics.bump("rebucket_passes_total")
         return payload
 
     def _maintenance_rebucket(self) -> None:
-        """Monitor-tick maintenance: re-run the cross-report clustering
-        pass over the settled history when new verdicts landed since
-        the cached hierarchy, so ``GET /buckets`` serves a precomputed
-        view.  Best-effort, like every monitor duty."""
+        """Monitor-tick maintenance: fold verdicts settled since the
+        cached hierarchy into the incremental refiner, so ``GET
+        /buckets`` serves a precomputed view.  Best-effort, like every
+        monitor duty."""
         with self._cv:
             settled, count = self._settled_list, len(self._settled_list)
         cached = self._buckets_cache
-        if cached is not None and cached[0] == count:
+        if cached is not None and cached[0] >= count:
             return
         try:
             self._buckets_for(settled, count)
@@ -1257,12 +1477,105 @@ class TriageDaemon:
             warnings.warn(f"intake daemon: background rebucket hit "
                           f"{type(exc).__name__}: {exc}", RuntimeWarning)
 
+    def _journal_maintenance(self) -> None:
+        """Bound the spool: rotate the active journal segment once it
+        crosses ``--journal-rotate-mb``, then compact the closed
+        segments (each settled job's submit+settle rows merge into one
+        row, and replay-redundant coredump bodies drop).  Best-effort;
+        a failed rotation or compaction retries next tick."""
+        if not self.journal.rotate_bytes:
+            return
+        try:
+            if self.journal.maybe_rotate() is not None:
+                self.journal.compact_segments()
+        except Exception as exc:  # noqa: BLE001 - monitor boundary
+            warnings.warn(f"intake daemon: journal maintenance hit "
+                          f"{type(exc).__name__}: {exc}", RuntimeWarning)
+
+    # ------------------------------------------------------------------
+    # Fleet: peer-segment sync (the shared dedup tier)
+    # ------------------------------------------------------------------
+
+    def _fleet_sync(self, force: bool = False) -> None:
+        """Tail the peers' journal segments in the shared spool and
+        adopt their settled verdicts as *shadow* jobs: dedup-visible,
+        store-visible, never driven and never re-journaled here.  This
+        is the shared dedup tier — a crash settled by any node answers
+        instantly on every node — and, at restart, the deterministic
+        merge-on-replay: any member rebuilds the fleet-wide settled
+        state from the union of segments.  Size-gated (one ``stat`` per
+        peer file per interval) and idempotent: replays re-run until
+        the segment sizes settle, and known job ids are skipped."""
+        if self._ring is None:
+            return
+        now_m = time.monotonic()
+        if not force and now_m - self._fleet_last_sync \
+                < self.config.fleet_sync_interval:
+            return
+        self._fleet_last_sync = now_m
+        spool = Path(self.config.spool_dir)
+        adopted = False
+        for peer in self._ring.nodes:
+            if peer == self.config.node_id:
+                continue
+            peer_journal = JobJournal(spool / journal_file_for(peer))
+            try:
+                size = sum(path.stat().st_size
+                           for path in peer_journal.all_paths()
+                           if path.exists())
+            except OSError:
+                continue
+            if size == self._peer_sizes.get(peer):
+                continue
+            try:
+                replayed = peer_journal.replay(self.service_config)
+            except (ReproError, OSError):
+                continue  # mid-rotation read; the next tick retries
+            self._peer_sizes[peer] = size
+            adopted = self._adopt_shadows(replayed) or adopted
+        if adopted:
+            self._flush_pending()
+
+    def _adopt_shadows(self, replayed: List[IntakeJob]) -> bool:
+        """Register a peer's settled jobs under this node's dedup and
+        store views.  Unsettled peer jobs are skipped (their owner is
+        driving them); they adopt once a later sync sees the settle."""
+        adopted = False
+        with self._cv:
+            for job in replayed:
+                if not job.settled or job.job_id in self._jobs:
+                    continue
+                job.resumed = True
+                job._dump = None
+                self._jobs[job.job_id] = job
+                self._by_seq.append(job)
+                self._shadow_ids.add(job.job_id)
+                self._seen_fingerprints.add(job.fingerprint)
+                self._settled_list.append(job)
+                if job.state is JobState.QUARANTINED:
+                    self._quarantined_count += 1
+                if job.state is JobState.DONE \
+                        and job.verdict is not None:
+                    if job.force:
+                        # Jobs replay in seq order, so the peer's
+                        # newest forced recompute wins — mirroring
+                        # _complete phase 2 on the owner itself.
+                        self._done_by_key[job.dedup_key] = job.job_id
+                    else:
+                        self._done_by_key.setdefault(job.dedup_key,
+                                                     job.job_id)
+                self._note_settled_locked()
+                adopted = True
+            if adopted:
+                self._cv.notify_all()
+        return adopted
+
     def report_payload(self, fingerprint: str) -> dict:
         with self._cv:
             settled, count = self._settled_list, len(self._settled_list)
         matching = sorted((job for job in settled[:count]
                            if job.fingerprint == fingerprint),
-                          key=lambda job: job.seq)
+                          key=lambda job: job.order_key)
         return {"fingerprint": fingerprint,
                 "reports": [job.status_payload() for job in matching]}
 
@@ -1290,6 +1603,7 @@ class TriageDaemon:
                 status = "ok"
             return {
                 "status": status,
+                "node_id": self.config.node_id,
                 "queue_depth": len(self._heap),
                 "delayed_retries": len(self._delayed),
                 "in_flight": self._running,
@@ -1329,6 +1643,7 @@ class TriageDaemon:
         gauge("failed_total", snapshot["failed_total"], "counter")
         gauge("rejected_total", snapshot["rejected_total"], "counter")
         gauge("malformed_total", snapshot["malformed_total"], "counter")
+        gauge("redirects_total", snapshot["redirects_total"], "counter")
         gauge("retries_total", snapshot["retries_total"], "counter")
         gauge("quarantined_total", snapshot["quarantined_total"],
               "counter")

@@ -5,9 +5,14 @@ Endpoints (all JSON unless noted):
 * ``POST /jobs`` — submit ``{"program": {"key", "source", "name"?},
   "coredump": <object|string>, "report_id"?, "true_cause"?,
   "priority"?, "force"?}``.  200 = known crash, verdict attached;
-  202 = accepted (journaled, queued or attached); 400 = malformed;
+  202 = accepted (journaled, queued or attached); 307 = fleet mode,
+  another node owns this fingerprint (``Location`` header + JSON
+  ``owner``/``owner_url`` — clients re-POST there); 400 = malformed;
   429 = queue full (``Retry-After`` header attached).
-* ``GET /jobs/<id>`` — job status + verdict once settled.
+* ``GET /jobs/<id>`` — job status + verdict once settled; in fleet
+  mode an id minted by a peer answers 307 to that peer while the job
+  is still in flight there (settled peer jobs answer locally — the
+  shadow tier).
 * ``GET /buckets`` — bucket signature → report ids, live.
 * ``GET /reports/<fingerprint>`` — every settled report of a coredump
   fingerprint.
@@ -32,6 +37,7 @@ from typing import Optional, Tuple
 
 from repro import faultinject
 from repro.service.daemon import TriageDaemon
+from repro.service.jobs import node_of
 
 #: request body cap (a coredump JSON is ~100 KB; 32 MB is generous and
 #: stops a confused client from OOMing the daemon)
@@ -108,6 +114,20 @@ class IntakeRequestHandler(BaseHTTPRequestHandler):
             return None, "request body must be a JSON object"
         return payload, None
 
+    @staticmethod
+    def _peer_url_for(daemon: TriageDaemon,
+                      job_id: str) -> Optional[str]:
+        """URL of the fleet peer that minted ``job_id``, if the id names
+        a configured peer other than this node (else ``None``)."""
+        config = daemon.config
+        if not config.node_id:
+            return None
+        owner = node_of(job_id)
+        if not owner or owner == config.node_id:
+            return None
+        url = config.peers.get(owner, "")
+        return url.rstrip("/") or None
+
     # -- routes --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
@@ -122,9 +142,19 @@ class IntakeRequestHandler(BaseHTTPRequestHandler):
         elif path == "/quarantine":
             self._send_json(200, daemon.quarantine_payload())
         elif path.startswith("/jobs/"):
-            payload = daemon.job_payload(path[len("/jobs/"):])
+            job_id = path[len("/jobs/"):]
+            payload = daemon.job_payload(job_id)
             if payload is None:
-                self._send_json(404, {"error": "no such job"})
+                peer_url = self._peer_url_for(daemon, job_id)
+                if peer_url is not None:
+                    self._send_json(
+                        307,
+                        {"error": "job is owned by another fleet node",
+                         "owner": node_of(job_id),
+                         "owner_url": peer_url},
+                        {"Location": f"{peer_url}/jobs/{job_id}"})
+                else:
+                    self._send_json(404, {"error": "no such job"})
             else:
                 self._send_json(200, payload)
         elif path.startswith("/reports/"):
@@ -172,6 +202,9 @@ class IntakeRequestHandler(BaseHTTPRequestHandler):
             if status == 429:
                 headers = {"Retry-After":
                            str(body.get("retry_after_seconds", 1))}
+            elif status == 307 and body.get("owner_url"):
+                headers = {"Location":
+                           f"{body['owner_url'].rstrip('/')}/jobs"}
             self._send_json(status, body, headers)
         elif path == "/shutdown":
             payload, __ = self._read_body()

@@ -22,20 +22,42 @@ Replaying the journal therefore reconstructs the daemon's whole world:
 settled jobs become the historical dedup store, unsettled jobs (queued
 *or* in-flight at the time of death — an interrupted drive leaves no
 partial state worth keeping) are re-admitted to the queue.
+
+Fleet extensions (PR 9):
+
+* **per-node segments** — a fleet node journals to
+  ``journal-<node>.jsonl`` and prefixes its job ids with the node name
+  (``n1-j000004``), so N nodes sharing one spool never contend on a
+  file or collide on an identity, and any node can rebuild fleet-wide
+  settled state by replaying every segment (its own fully, its peers'
+  settled rows as read-only shadows).
+* **rotation + compaction** — an active journal above the configured
+  size is rotated to a closed ``*.seg-NNNNNN`` file; closed segments
+  are compacted by collapsing each settled job's submit+settle rows
+  into one ``settled`` row that drops the (possibly ~100 KB) coredump
+  whenever the journaled cause makes it redundant.  Replay is keyed by
+  job id and idempotent, so a crash anywhere in rotate/compact leaves
+  at worst a duplicate row, never a lost one.
+* **global order** — jobs across nodes merge deterministically by
+  :attr:`IntakeJob.order_key` (submission wall-clock, node, seq);
+  journaled timestamps carry microsecond precision so the merged
+  order is the true arrival order, and single-node order degrades to
+  plain seq order exactly as before.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ReproError
-from repro.ioutil import append_line, iter_jsonl
+from repro.ioutil import append_line, atomic_write_text, iter_jsonl
 from repro.vm.coredump import Coredump
 from repro.core.rescache import cause_from_obj, cause_to_obj
 from repro.core.triage import BugReport, synthesize_result
@@ -50,6 +72,18 @@ JOURNAL_FILE = "jobs.jsonl"
 #: journal format version; bump on any incompatible row change (old
 #: rows are then skipped on replay — a cold queue, never a wrong one)
 JOURNAL_SCHEMA = 1
+
+
+def journal_file_for(node_id: Optional[str]) -> str:
+    """The journal filename for one fleet node (legacy single-node
+    daemons keep the historical ``jobs.jsonl``)."""
+    return f"journal-{node_id}.jsonl" if node_id else JOURNAL_FILE
+
+
+def node_of(job_id: str) -> str:
+    """The fleet node a job id belongs to ('' for legacy ids)."""
+    head, sep, tail = job_id.rpartition("-")
+    return head if sep else ""
 
 
 class JobState(Enum):
@@ -75,8 +109,10 @@ class IntakeJob:
     seq: int
     report_id: str
     program: ProgramSpec
-    #: the coredump as a parsed JSON object (the wire/journal form)
-    core_obj: dict
+    #: the coredump as a parsed JSON object (the wire/journal form);
+    #: None only for settled jobs replayed from compacted rows whose
+    #: journaled cause made the dump redundant
+    core_obj: Optional[dict]
     fingerprint: str
     #: 0 = never-seen fingerprint (head of the queue), 1 = re-submission
     priority: int
@@ -155,6 +191,16 @@ class IntakeJob:
             return None
         return self.finished_at - self.submitted_at
 
+    @property
+    def order_key(self) -> tuple:
+        """Deterministic fleet-wide ordering: submission wall-clock
+        first (journaled at microsecond precision), then node, then
+        seq.  On a single node submitted_at is monotone with seq and
+        ties break by seq, so this is exactly the old per-seq order;
+        across nodes it merges segments into true arrival order,
+        identically on every replayer."""
+        return (self.submitted_at, node_of(self.job_id), self.seq)
+
     def status_payload(self) -> dict:
         """The ``GET /jobs/<id>`` document."""
         payload = {
@@ -201,14 +247,194 @@ class JobJournal:
     makes a 202 response a promise that survives SIGKILL.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], rotate_bytes: int = 0):
         self.path = Path(path)
+        #: rotate the active file to a closed segment above this many
+        #: bytes (0 disables rotation — the legacy single-file journal)
+        self.rotate_bytes = int(rotate_bytes)
         self._lock = threading.Lock()
 
     def _append(self, row: dict) -> None:
         row = dict(row, schema=JOURNAL_SCHEMA)
         with self._lock:
             append_line(self.path, json.dumps(row, sort_keys=True))
+
+    # -- segments ------------------------------------------------------------
+
+    def segment_paths(self) -> List[Path]:
+        """Closed segments, oldest first (the ``.seg-NNNNNN`` suffix
+        sorts lexicographically in creation order)."""
+        return sorted(self.path.parent.glob(self.path.name + ".seg-*"))
+
+    def all_paths(self) -> List[Path]:
+        """Every journal file in replay order: closed segments, then
+        the active file."""
+        return self.segment_paths() + [self.path]
+
+    def maybe_rotate(self) -> Optional[Path]:
+        """Rotate the active journal to a closed segment when it has
+        outgrown ``rotate_bytes``; returns the new segment path (or
+        None).  Atomic under the append lock: rows land either in the
+        closed segment or in the fresh active file, never torn across
+        the boundary, and replay reads both."""
+        if self.rotate_bytes <= 0:
+            return None
+        with self._lock:
+            try:
+                if self.path.stat().st_size < self.rotate_bytes:
+                    return None
+            except OSError:
+                return None  # no active file yet
+            generation = len(self.segment_paths()) + 1
+            segment = self.path.with_name(
+                f"{self.path.name}.seg-{generation:06d}")
+            try:
+                os.replace(self.path, segment)
+            except OSError:
+                return None  # rotation is maintenance, never a failure
+            return segment
+
+    def compact_segments(self) -> dict:
+        """Collapse settled jobs in every *closed* segment.
+
+        For each job that is settled anywhere in the journal, its
+        submit row in a closed segment is rewritten as one ``settled``
+        row carrying the merged submit + settle fields — with the
+        coredump dropped whenever the journaled cause makes replay's
+        stack fallback unreachable (done-with-cause, failed, and
+        quarantined jobs never read it).  Unsettled jobs keep a full
+        submit row with ``core_ref``/``program_ref`` materialized
+        inline, because the referent's own row may be collapsed away.
+
+        Only closed segments are touched (the active file has live
+        writers), each rewrite is atomic, and replay keys rows by job
+        id — so a crash between writing a compacted segment and any
+        later step costs duplicate rows, never lost ones.
+        """
+        stats = {"segments": 0, "rows_before": 0, "rows_after": 0,
+                 "bytes_before": 0, "bytes_after": 0}
+        segments = self.segment_paths()
+        if not segments:
+            return stats
+        settles: Dict[str, dict] = {}
+        for path in self.all_paths():
+            for __, row in iter_jsonl(path):
+                if row.get("schema") != JOURNAL_SCHEMA:
+                    continue
+                job_id = row.get("job_id")
+                if not isinstance(job_id, str):
+                    continue
+                event = row.get("event")
+                if event in ("done", "failed", "quarantined"):
+                    settles[job_id] = dict(row, event=event)
+                elif event == "settled":
+                    settles[job_id] = dict(row, event=row.get("kind"))
+        for path in segments:
+            rows = [row for __, row in iter_jsonl(path)
+                    if row.get("schema") == JOURNAL_SCHEMA]
+            stats["rows_before"] += len(rows)
+            try:
+                stats["bytes_before"] += path.stat().st_size
+            except OSError:
+                pass
+            submits: Dict[str, dict] = {}
+            order: List[str] = []
+            for row in rows:
+                job_id = row.get("job_id")
+                if not isinstance(job_id, str):
+                    continue
+                if row.get("event") in ("submit", "settled") \
+                        and job_id not in submits:
+                    submits[job_id] = row
+                    order.append(job_id)
+            out: List[dict] = []
+            for job_id in order:
+                row = submits[job_id]
+                materialized = self._materialize(row, submits, settles)
+                if materialized is None:
+                    continue  # damaged beyond repair: replay skips too
+                settle = settles.get(job_id)
+                if settle is None:
+                    out.append(materialized)  # still in flight somewhere
+                    continue
+                out.append(self._settled_row(materialized, settle))
+            text = "".join(json.dumps(row, sort_keys=True) + "\n"
+                           for row in out)
+            atomic_write_text(path, text)
+            stats["segments"] += 1
+            stats["rows_after"] += len(out)
+            stats["bytes_after"] += len(text.encode("utf-8"))
+        return stats
+
+    @staticmethod
+    def _materialize(row: dict, submits: Dict[str, dict],
+                     settles: Dict[str, dict]) -> Optional[dict]:
+        """A submit/settled row with refs resolved inline (compacted
+        rows must stand alone — their referent may collapse away)."""
+        row = dict(row)
+        ref_id = row.pop("program_ref", None)
+        if "program" not in row and ref_id is not None:
+            ref = submits.get(ref_id)
+            if ref is None or "program" not in ref:
+                return None
+            row["program"] = ref["program"]
+        ref_id = row.pop("core_ref", None)
+        if "core" not in row and ref_id is not None:
+            ref = submits.get(ref_id)
+            if ref is not None and "core" in ref:
+                row["core"] = ref["core"]
+            else:
+                # The referent's dump was dropped by an earlier compact
+                # pass: legal only because every such referent settled
+                # with a cause, and a duplicate of it settles the same
+                # way — so this job's replay never needs the dump
+                # either (it must itself be settled to have lost its
+                # ref target).
+                settle = settles.get(row.get("job_id", ""))
+                if settle is None or (settle.get("event") == "done"
+                                      and settle.get("cause") is None):
+                    return None
+                row["core"] = None
+        return row
+
+    @staticmethod
+    def _settled_row(submit: dict, settle: dict) -> dict:
+        """Merge one settled job into a single standalone row."""
+        kind = settle.get("event")
+        row = {
+            "schema": JOURNAL_SCHEMA,
+            "event": "settled",
+            "kind": kind,
+            "job_id": submit["job_id"],
+            "seq": submit.get("seq"),
+            "report_id": submit.get("report_id"),
+            "fingerprint": submit.get("fingerprint"),
+            "priority": submit.get("priority"),
+            "true_cause": submit.get("true_cause"),
+            "force": submit.get("force", False),
+            "submitted_at": submit.get("submitted_at", 0.0),
+            "program": submit.get("program"),
+        }
+        if kind == "done":
+            row.update({
+                "cause": settle.get("cause"),
+                "exploitable": settle.get("exploitable", False),
+                "cached": settle.get("cached", False),
+                "seconds": settle.get("seconds", 0.0),
+                "dedup_of": settle.get("dedup_of"),
+            })
+            if settle.get("cause") is None:
+                # Fallback verdict: replay re-derives the bucket from
+                # the coredump's stack — the one settled shape that
+                # still needs the dump.
+                row["core"] = submit.get("core")
+        else:
+            row.update({
+                "error": settle.get("error"),
+                "attempts": settle.get("attempts", 0),
+                "worker_crashes": settle.get("worker_crashes", 0),
+            })
+        return row
 
     # -- writers -------------------------------------------------------------
 
@@ -234,7 +460,11 @@ class JobJournal:
             "priority": job.priority,
             "true_cause": job.true_cause,
             "force": job.force,
-            "submitted_at": round(job.submitted_at, 3),
+            # Microsecond precision: the fleet's merge-on-replay order
+            # key is (submitted_at, node, seq), so the journaled clock
+            # must resolve distinct arrivals (3dp collapsed ~kHz intake
+            # into ties, which per-node seq can no longer break alone).
+            "submitted_at": round(job.submitted_at, 6),
         }
         if dedup_ref is not None \
                 and dedup_ref.fingerprint == job.fingerprint:
@@ -304,18 +534,21 @@ class JobJournal:
         # direction (a representative always has the lower seq).
         submits: Dict[str, dict] = {}
         settles: Dict[str, dict] = {}
-        try:
-            rows = list(iter_jsonl(self.path, strict=True))
-        except OSError as exc:
-            # An unreadable journal is NOT an empty one: starting over
-            # would drop every acknowledged job and re-issue seq/job
-            # identities the file already assigned — on the next
-            # restart, old settle rows could pair with new submit rows
-            # and attach a past crash's verdict to a different
-            # coredump.  Refuse to run instead.
-            raise ReproError(
-                f"intake journal {self.path} exists but is unreadable "
-                f"({exc}); refusing to start with a blank history") from exc
+        rows: List[Tuple[int, dict]] = []
+        for path in self.all_paths():
+            try:
+                rows.extend(iter_jsonl(path, strict=True))
+            except OSError as exc:
+                # An unreadable journal is NOT an empty one: starting
+                # over would drop every acknowledged job and re-issue
+                # seq/job identities the file already assigned — on the
+                # next restart, old settle rows could pair with new
+                # submit rows and attach a past crash's verdict to a
+                # different coredump.  Refuse to run instead.
+                raise ReproError(
+                    f"intake journal {path} exists but is unreadable "
+                    f"({exc}); refusing to start with a blank history"
+                ) from exc
         for _, row in rows:
             if row.get("schema") != JOURNAL_SCHEMA:
                 continue
@@ -325,6 +558,13 @@ class JobJournal:
                 continue
             if event == "submit":
                 submits[job_id] = row
+            elif event == "settled":
+                # A compacted submit+settle pair: one standalone row
+                # plays both parts (idempotent against any surviving
+                # uncompacted settle row for the same job).
+                submits[job_id] = row
+                settles.setdefault(job_id,
+                                   dict(row, event=row.get("kind")))
             elif event in ("done", "failed", "quarantined"):
                 settles[job_id] = row
 
@@ -344,6 +584,10 @@ class JobJournal:
                     # Shared reference on purpose: duplicates of one
                     # crash share one parsed coredump in memory too.
                     core_obj = jobs[row["core_ref"]].core_obj
+                elif row.get("event") == "settled":
+                    # Compaction drops the dump when the journaled
+                    # cause makes it unreachable on replay.
+                    core_obj = row.get("core")
                 else:
                     core_obj = row["core"]
                 job = IntakeJob(
@@ -414,12 +658,14 @@ def next_ids(jobs: List[IntakeJob]) -> int:
     return max((job.seq for job in jobs), default=-1) + 1
 
 
-def make_job_id(seq: int) -> str:
-    return f"j{seq:06d}"
+def make_job_id(seq: int, node_id: Optional[str] = None) -> str:
+    """Node-prefixed in fleet mode so ids are fleet-unique and any
+    node can route a ``GET /jobs/<id>`` to the id's owner."""
+    return f"{node_id}-j{seq:06d}" if node_id else f"j{seq:06d}"
 
 
-def default_report_id(seq: int) -> str:
-    return f"r{seq:06d}"
+def default_report_id(seq: int, node_id: Optional[str] = None) -> str:
+    return f"{node_id}-r{seq:06d}" if node_id else f"r{seq:06d}"
 
 
 def now() -> float:

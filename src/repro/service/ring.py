@@ -1,0 +1,65 @@
+"""Consistent-hash admission sharding for the intake fleet.
+
+Every fleet node builds the same ring from the same ``--peers`` map,
+so any node can answer "who owns this coredump?" without coordination:
+the owner of a submission is the first virtual node clockwise of
+``sha256(fingerprint)``.  Virtual nodes (64 per physical node) keep
+the key space near-uniform and membership changes incremental — adding
+a node moves ~1/N of the fingerprints, never reshuffles them all.
+
+The sharding key is the **coredump fingerprint** — the same identity
+the dedup tier uses — so all re-reports of one crash land on one
+owner, which is what makes per-node journal segments disjoint and the
+fleet-wide dedup story simple: a crash has exactly one representative
+node, and everyone else learns its verdict by tailing that node's
+segment.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+#: virtual nodes per physical node; 64 keeps the max/min load ratio
+#: of a 3-node ring within a few percent without measurable build cost
+DEFAULT_VNODES = 64
+
+
+def _point(label: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over node names."""
+
+    def __init__(self, nodes: Iterable[str],
+                 vnodes: int = DEFAULT_VNODES):
+        names = sorted(set(str(node) for node in nodes))
+        if not names:
+            raise ValueError("a hash ring needs at least one node")
+        points: List[Tuple[int, str]] = []
+        for name in names:
+            for replica in range(vnodes):
+                points.append((_point(f"{name}#{replica}"), name))
+        points.sort()
+        self.nodes: Tuple[str, ...] = tuple(names)
+        self._hashes = [point for point, __ in points]
+        self._owners = [name for __, name in points]
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (first vnode clockwise of its hash)."""
+        if len(self.nodes) == 1:
+            return self.nodes[0]
+        index = bisect.bisect_right(self._hashes, _point(str(key)))
+        if index == len(self._hashes):
+            index = 0  # wrap: the ring is a circle
+        return self._owners[index]
+
+    def spread(self, keys: Iterable[str]) -> Dict[str, int]:
+        """Keys-per-node histogram (test/ops helper)."""
+        counts: Dict[str, int] = {name: 0 for name in self.nodes}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts

@@ -1,0 +1,285 @@
+"""Worker executors: the daemon's drive engine, out of the GIL.
+
+PR 5's daemon ran every drive on a worker *thread* — correct, but one
+GIL means one core, and cold verdicts are pure Python compute.  This
+module lifts the PR 3 multiprocess sharding idea into the daemon's
+per-worker shape: each worker slot owns an **executor**, and the
+default executor forks a dedicated worker *process* that holds the
+warm :class:`~repro.core.triage_service.StreamingTriage` session.
+
+The daemon's self-healing contract survives the process boundary
+unchanged because the *proxy thread* (the daemon-side half of each
+worker slot) still runs the PR 6 claim/release protocol:
+
+* **claim tokens** — claimed in the daemon before dispatch; a stale
+  settle (watchdog reaped the drive meanwhile) is discarded exactly
+  as before.
+* **crash retry / quarantine** — a worker process dying mid-drive
+  (SIGKILL, OOM, injected ``worker.task`` crash) surfaces as
+  :class:`WorkerProcessDied` on the proxy's pipe; the daemon counts a
+  worker loss against the job and requeues or quarantines it.
+* **watchdog** — a hung drive is now *killable*: the daemon SIGKILLs
+  the worker process, the proxy unblocks on pipe EOF, and a fresh
+  process replaces it.  (Threads could only be abandoned.)
+* **fault injection** — ``worker.task`` is decided daemon-side before
+  dispatch, so injected worker deaths are observable in the daemon's
+  metrics; sites inside the drive (``solver.call``) fire in the child,
+  coordinated through the injector's shared cross-process counters.
+
+Wire protocol (one duplex pipe per worker, pickled tuples):
+
+    parent -> child   ("task", program, report, fingerprint, bypass)
+    child  -> parent  ("ok", TriagedReport) | ("error", "Type: msg")
+    parent -> child   ("stop",)
+
+A child that dies mid-task closes the pipe; the proxy sees
+EOF/EPIPE and reports :class:`WorkerProcessDied`.  Anything the child
+can serialize an answer for is an ``("error", ...)`` reply instead —
+those are drive errors, retried by the daemon's normal attempt
+budget, not worker losses.
+
+``worker_mode="thread"`` keeps the old in-thread executor as the A/B
+baseline for ``make fleet-bench`` (and for platforms without fork).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+from typing import Optional
+
+from repro import faultinject
+from repro.core.triage import BugReport
+from repro.core.triage_service import (
+    ProgramSpec,
+    StreamingTriage,
+    TriagedReport,
+    TriageServiceConfig,
+)
+
+
+#: parent-side pipe ends of every live worker, registered before the
+#: fork so each child can close the copies it inherits.  Without this,
+#: a child holds (a) its own worker's parent end and (b) the parent
+#: ends of every earlier-forked sibling — so no pipe ever reaches EOF
+#: from the child's side, and a SIGKILLed daemon leaves its workers
+#: parked in ``recv()`` forever (each pinning a warm triage session;
+#: a few chaos runs of that starves the whole box).
+_parent_ends: set = set()
+_parent_ends_lock = threading.Lock()
+
+
+def _shed_inherited_parent_ends() -> None:
+    """First act of every forked child: drop the parent-side pipe ends
+    it inherited.  Runs single-threaded (fresh fork), so the registry
+    is read without its lock — the lock may have been held by another
+    parent thread at fork time and would deadlock here."""
+    for conn in list(_parent_ends):
+        try:
+            conn.close()
+        except OSError:
+            pass
+    _parent_ends.clear()
+
+
+def _close_inherited_fds(keep: int) -> None:
+    """Second act: close every other inherited descriptor (std streams
+    and this worker's own pipe excepted).  The blanket sweep is the
+    point — a fork can race any parent thread mid-I/O, and an
+    inherited journal / fault-state / result-cache descriptor whose
+    ``flock`` was held at fork time stays locked until *this child*
+    closes its copy (the lock lives on the shared open file
+    description, not the parent's fd).  A worker that parks on its
+    pipe while holding such a lock wedges every later locker in every
+    process.  The daemon's listening socket is swept up too, so a
+    worker that outlives a killed daemon can never squat on its port."""
+    os.closerange(3, keep)
+    os.closerange(keep + 1, 1 << 20)
+
+
+class WorkerProcessDied(RuntimeError):
+    """The worker process vanished mid-drive (killed, crashed, OOMed).
+    The daemon treats it like PR 6's injected worker death: count a
+    worker loss against the job, requeue or quarantine, respawn."""
+
+
+class TriageTaskError(RuntimeError):
+    """A drive raised inside the worker; ``str()`` carries the child's
+    ``"ExcType: message"`` rendering so retry/quarantine diagnostics
+    read identically to the in-thread path."""
+
+
+class ThreadExecutor:
+    """The PR 5 shape: the drive runs on the proxy thread itself.
+    Kept as the measured baseline (``worker_mode="thread"``) — the
+    fleet benchmark's denominator — and as the no-fork fallback."""
+
+    def __init__(self, config: TriageServiceConfig, chain=None):
+        self._session = StreamingTriage(
+            config, chain=chain if chain is not None
+            else config.cache_chain())
+
+    @property
+    def alive(self) -> bool:
+        return True
+
+    def run(self, program: ProgramSpec, report: BugReport,
+            fingerprint: Optional[str] = None,
+            bypass_cache: bool = False) -> TriagedReport:
+        try:
+            return self._session.triage_one(
+                program, report, fingerprint=fingerprint,
+                bypass_cache=bypass_cache)
+        except KeyboardInterrupt:
+            raise
+        except faultinject.WorkerCrashError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - worker boundary
+            raise TriageTaskError(f"{type(exc).__name__}: {exc}") from exc
+
+    def kill(self) -> None:  # nothing to kill: the thread IS the drive
+        pass
+
+    def close(self) -> None:
+        self._session.flush_solver_caches()
+
+
+def _child_main(conn, config: TriageServiceConfig) -> None:
+    """Worker-process entry: a warm StreamingTriage session answering
+    tasks until the pipe closes.  Forked from a daemon thread, so the
+    first act is shedding inherited parent state we must not share:
+    the injector's in-process lock (another daemon thread may have
+    held it at fork time) gets replaced; the session and cache chain
+    are built fresh — only the flock-guarded files are shared."""
+    _shed_inherited_parent_ends()
+    _close_inherited_fds(conn.fileno())
+    fi = faultinject.active()
+    if fi is not None:
+        fi._lock = threading.Lock()
+    session = StreamingTriage(config, chain=config.cache_chain())
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError, KeyboardInterrupt):
+                break
+            if not msg or msg[0] == "stop":
+                break
+            __, program, report, fingerprint, bypass = msg
+            try:
+                triaged = session.triage_one(
+                    program, report, fingerprint=fingerprint,
+                    bypass_cache=bypass)
+            except KeyboardInterrupt:
+                break
+            except faultinject.WorkerCrashError:
+                # An injected in-drive death must be a *real* death —
+                # the daemon's pipe-EOF path is the thing under test.
+                os._exit(1)
+            except BaseException as exc:  # noqa: BLE001 - child boundary
+                try:
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                except (OSError, ValueError):
+                    break
+                continue
+            try:
+                conn.send(("ok", triaged))
+            except (OSError, ValueError):
+                break
+            # After the reply, not before: solver snapshots are a
+            # warm-start optimization, never worth a verdict's latency.
+            session.flush_solver_caches()
+    finally:
+        try:
+            session.flush_solver_caches()
+        except Exception:  # noqa: BLE001 - exiting anyway
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class ProcessExecutor:
+    """One forked worker process behind a duplex pipe."""
+
+    def __init__(self, config: TriageServiceConfig):
+        ctx = mp.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self._conn = parent_conn
+        with _parent_ends_lock:
+            _parent_ends.add(parent_conn)
+        self._proc = ctx.Process(target=_child_main,
+                                 args=(child_conn, config),
+                                 daemon=True)
+        self._proc.start()
+        child_conn.close()  # the child's end lives in the child only
+
+    @property
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid
+
+    def run(self, program: ProgramSpec, report: BugReport,
+            fingerprint: Optional[str] = None,
+            bypass_cache: bool = False) -> TriagedReport:
+        try:
+            self._conn.send(("task", program, report, fingerprint,
+                             bypass_cache))
+            reply = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerProcessDied(
+                f"worker process pid={self._proc.pid} died mid-drive "
+                f"({type(exc).__name__})") from exc
+        if not isinstance(reply, tuple) or len(reply) != 2:
+            raise WorkerProcessDied(
+                f"worker process pid={self._proc.pid} sent a garbled "
+                f"reply")
+        status, payload = reply
+        if status == "ok":
+            return payload
+        raise TriageTaskError(str(payload))
+
+    def _unregister(self) -> None:
+        with _parent_ends_lock:
+            _parent_ends.discard(self._conn)
+
+    def kill(self) -> None:
+        """SIGKILL the worker (watchdog reap, injected death).  The
+        proxy's pending ``recv`` unblocks with EOF."""
+        self._unregister()
+        try:
+            self._proc.kill()
+        except (OSError, AttributeError):
+            pass
+
+    def close(self) -> None:
+        """Polite stop, escalating to SIGKILL: shutdown must never
+        hang behind a wedged child."""
+        self._unregister()
+        try:
+            self._conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        self._proc.join(timeout=5.0)
+        if self._proc.is_alive():
+            self.kill()
+            self._proc.join(timeout=1.0)
+
+
+def create_executor(mode: str, config: TriageServiceConfig, chain=None):
+    """The daemon's per-worker factory: ``"process"`` (default) forks a
+    worker process; ``"thread"`` runs drives on the proxy thread."""
+    if mode == "thread":
+        return ThreadExecutor(config, chain=chain)
+    if mode == "process":
+        return ProcessExecutor(config)
+    raise ValueError(f"unknown worker mode: {mode!r}")
