@@ -4,8 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test perf vm-bench triage-bench warm-bench serve-bench \
-	bucket-bench fleet-bench serve-smoke fleet-smoke chaos-smoke \
-	fuzz-smoke fuzz-test fuzz-pinned
+	bucket-bench fleet-bench obs-bench serve-smoke fleet-smoke \
+	chaos-smoke obs-smoke fuzz-smoke fuzz-test fuzz-pinned
 
 # Tier-1 verification (fuzz- and perf-marked tests are deselected by
 # pytest.ini; run them via the targets below).
@@ -77,6 +77,21 @@ fleet-smoke:
 # schedule, fault log, and journal tail.
 chaos-smoke:
 	$(PYTHON) -m pytest tests/test_chaos.py -q -m chaos
+
+# Observability smoke cycle (also a CI gate): a three-node fleet with
+# --trace-sample 1; submissions that crossed a 307 render a complete
+# submit->settle waterfall via `res trace` from a non-owner node, the
+# owners' /metrics carry per-phase latency histograms, and `res top` /
+# `res status` aggregate fleet-wide.
+obs-smoke:
+	$(PYTHON) -m pytest "tests/test_obs.py::test_obs_smoke_cycle" -q -m obs
+
+# P8 flight-recorder overhead benchmark (also an acceptance gate):
+# the warm serve-bench scenario with sampling OFF must stay within 2%
+# of the untraced baseline, and a sampling-ON pass is recorded for
+# comparison (appends `obs_overhead` rows).
+obs-bench:
+	$(PYTHON) -m pytest benchmarks/test_p8_obs_overhead.py -q -m perf
 
 # The 200-program differential campaign with the fixed smoke seed.
 # Exit code 1 + artifacts under fuzz-artifacts/ on any divergence.

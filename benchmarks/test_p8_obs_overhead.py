@@ -1,0 +1,158 @@
+"""P8 — flight-recorder overhead: tracing must be ~free when off.
+
+Two measurements, one gate:
+
+* **Sampling OFF** (the production default): the exact P5 serve-bench
+  scenario — 64 warm reports through the HTTP daemon — run with no
+  tracer configured.  It must still clear the P5 throughput floor,
+  and a deterministic hook-cost model must bound the instrumentation
+  at ≤ ``MAX_OVERHEAD_FRACTION`` of per-report service time: the
+  per-hook cost is measured directly (a million ``obs.active()``
+  reads), multiplied by a *generous* over-count of hooks per report,
+  and compared to the measured per-report wall.  The model gates
+  instead of an A/B wall-clock diff because two live service runs
+  differ by more than 2% from scheduler noise alone — the model is
+  noise-free and intentionally pessimistic.
+* **Sampling ON** (rate 1.0, every job traced): the same scenario
+  re-run traced, recorded for comparison and sanity-bounded (tracing
+  every job may cost real work, but never an order of magnitude).
+
+Rows land in ``BENCH_res.json`` under ``obs_overhead``.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.triage_service import TriageServiceConfig, triage_corpus
+from repro.fuzz.triage_corpus import build_labeled_corpus
+from repro.service import DaemonConfig, TriageDaemon, start_http_server
+from repro.service.client import submit_report
+
+from conftest import bench_record, emit_row
+
+pytestmark = pytest.mark.perf
+
+#: the P5 corpus, verbatim: 16 armed programs x 4 duplicates
+SEEDS = range(9100, 9116)
+DUPLICATES = 4
+MAX_DEPTH = 8
+MAX_NODES = 300
+WORKERS = 2
+MIN_REPORTS_PER_SEC = 20.0
+
+#: the ISSUE gate: sampling-off instrumentation cost per report
+MAX_OVERHEAD_FRACTION = 0.02
+
+#: deliberate over-count of instrumentation touch points on one
+#: report's hot path (submit gate, worker gate, per-phase checks,
+#: settle gates) — the real count is about a dozen
+HOOKS_PER_REPORT = 64
+
+HOOK_PROBES = 1_000_000
+
+
+def _config(**kwargs):
+    return TriageServiceConfig(max_depth=MAX_DEPTH, max_nodes=MAX_NODES,
+                               **kwargs)
+
+
+def _serve_pass(tmp_path, corpus, cache_dir, tag):
+    """One warm serve run (the P5 shape); returns (wall, daemon)."""
+    daemon = TriageDaemon(DaemonConfig(
+        service=_config(cache_dir=cache_dir),
+        spool_dir=str(tmp_path / f"spool-{tag}"), workers=WORKERS,
+        max_queue=len(corpus.entries)))
+    daemon.start()
+    server = start_http_server(daemon)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    try:
+        started = time.perf_counter()
+        for entry in corpus.entries:
+            spec = corpus.programs[entry.program_key]
+            status, __ = submit_report(
+                base, {"key": spec.key, "source": spec.source,
+                       "name": spec.name},
+                entry.report.coredump.to_json(),
+                report_id=entry.report.report_id,
+                true_cause=entry.report.true_cause)
+            assert status in (200, 202)
+        assert daemon.wait_idle(120)
+        wall = time.perf_counter() - started
+    finally:
+        server.shutdown()
+        daemon.shutdown(drain=True)
+    return wall, daemon
+
+
+def test_p8_obs_overhead(tmp_path):
+    corpus = build_labeled_corpus(SEEDS, duplicates=DUPLICATES,
+                                  shuffle_seed=17)
+    assert len(corpus.entries) == 64
+    cache_dir = str(tmp_path / "rescache")
+    triage_corpus(corpus, _config(cache_dir=cache_dir))  # prime warm
+
+    # -- sampling OFF: the production default ---------------------------
+    obs.deactivate()
+    wall_off, daemon_off = _serve_pass(tmp_path, corpus, cache_dir,
+                                       "off")
+    rps_off = len(corpus.entries) / wall_off
+    assert not daemon_off.config.spans_path.exists(), \
+        "sampling off must write no span ring"
+    assert "phase_latency" not in daemon_off.metrics_text(), \
+        "sampling off must populate no phase histograms"
+
+    # -- the hook-cost model: what the instrumentation *can* cost -------
+    # Every sampling-off site reduces to obs.active()/obs.enabled()
+    # (one global read) or a `job.trace_id is not None` check; measure
+    # the dearer of the two directly.
+    started = time.perf_counter()
+    for __ in range(HOOK_PROBES):
+        obs.active()
+    hook_seconds = (time.perf_counter() - started) / HOOK_PROBES
+    per_report_budget = wall_off / len(corpus.entries)
+    overhead_fraction = (HOOKS_PER_REPORT * hook_seconds
+                         / per_report_budget)
+
+    # -- sampling ON: every job traced, for the record ------------------
+    obs.activate(1.0)
+    try:
+        wall_on, daemon_on = _serve_pass(tmp_path, corpus, cache_dir,
+                                         "on")
+    finally:
+        obs.deactivate()
+    rps_on = len(corpus.entries) / wall_on
+    assert daemon_on.config.spans_path.exists(), \
+        "sampling on must record spans"
+    assert "res_intake_phase_latency_seconds{" \
+        in daemon_on.metrics_text()
+
+    row = {
+        "reports": len(corpus.entries),
+        "workers": WORKERS,
+        "wall_off": round(wall_off, 3),
+        "reports_per_sec_off": round(rps_off, 2),
+        "wall_on": round(wall_on, 3),
+        "reports_per_sec_on": round(rps_on, 2),
+        "hook_seconds": round(hook_seconds, 9),
+        "hooks_per_report": HOOKS_PER_REPORT,
+        "overhead_fraction": round(overhead_fraction, 6),
+        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+    }
+    bench_record("obs_overhead", row)
+    emit_row("P8", **row)
+
+    assert rps_off >= MIN_REPORTS_PER_SEC, (
+        f"sampling-off daemon sustained only {rps_off:.1f} reports/s "
+        f"(P5 floor {MIN_REPORTS_PER_SEC})")
+    assert overhead_fraction <= MAX_OVERHEAD_FRACTION, (
+        f"instrumentation models at {overhead_fraction:.4%} of "
+        f"per-report time (gate {MAX_OVERHEAD_FRACTION:.0%}): "
+        f"{HOOKS_PER_REPORT} hooks x {hook_seconds * 1e9:.0f}ns vs "
+        f"{per_report_budget * 1e3:.1f}ms/report")
+    # Tracing every job is an operator choice, not a production
+    # default; it still must not collapse throughput.
+    assert rps_on >= MIN_REPORTS_PER_SEC / 2, (
+        f"sampling-on daemon collapsed to {rps_on:.1f} reports/s")

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -437,6 +438,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                           node_id=args.node_id,
                           peers=peers,
                           journal_rotate_mb=args.journal_rotate_mb)
+    if args.trace_sample > 0:
+        # Same effect as RES_TRACE_SAMPLE in the environment; the flag
+        # wins because it is the more deliberate of the two.
+        from repro import obs
+        obs.activate(args.trace_sample)
     daemon = TriageDaemon(config)
     server = start_http_server(daemon, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -592,21 +598,105 @@ def cmd_status(args: argparse.Namespace) -> int:
                 print(f"{key:14s} {value}")
         return 0 if payload.get("state") not in ("failed",
                                                  "quarantined") else 1
+    from repro.obs.render import parse_metrics
+
     wanted = ("res_intake_verdicts_total", "res_intake_dedup_total",
               "res_intake_warm_hit_rate", "res_intake_verdicts_per_second",
-              "res_intake_latency_seconds", "res_intake_retries_total",
-              "res_intake_quarantined_total", "res_intake_redirects_total",
+              "res_intake_retries_total", "res_intake_quarantined_total",
+              "res_intake_redirects_total",
               "res_intake_worker_restarts_total", "res_intake_degraded")
+    #: counters that sum meaningfully across fleet nodes (rates and
+    #: gauges like warm_hit_rate do not — they are per-node only)
+    summable = ("res_intake_submitted_total", "res_intake_verdicts_total",
+                "res_intake_dedup_total", "res_intake_warm_hits_total",
+                "res_intake_failed_total", "res_intake_retries_total",
+                "res_intake_quarantined_total",
+                "res_intake_redirects_total",
+                "res_intake_worker_restarts_total")
+    nodes = []
     for url in urls:
-        if len(urls) > 1:
-            print(f"[{url}]")
         health = get_health(url)
+        nodes.append((url, health,
+                      parse_metrics(get_metrics_text(url))))
+    for url, health, metrics in nodes:
+        if len(nodes) > 1:
+            label = health.get("node_id") or "node"
+            print(f"[{label} @ {url}]")
         for key, value in health.items():
             print(f"{key:16s} {value}")
-        for line in get_metrics_text(url).splitlines():
-            if line.startswith(wanted):
-                print(line)
+        for name in wanted:
+            if name in metrics:
+                print(f"{name} {metrics[name]:g}")
+    if len(nodes) > 1:
+        # The fleet-wide view: counters summed across every node
+        # (per-node rows above keep the breakdown), queue/in-flight
+        # gauges summed because they partition by node.
+        print(f"[fleet: {len(nodes)} node(s)]")
+        print(f"{'queue_depth':16s} "
+              f"{sum(h.get('queue_depth', 0) for _, h, _ in nodes)}")
+        print(f"{'in_flight':16s} "
+              f"{sum(h.get('in_flight', 0) for _, h, _ in nodes)}")
+        for name in summable:
+            total = sum(m.get(name, 0.0) for _, _, m in nodes)
+            print(f"{name} {total:g}")
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Print one job's flight-recorder waterfall: every span from
+    submit through admission, queue wait, each drive attempt's phases,
+    to settle — stitched across fleet nodes (the answering node merges
+    peer spans, so any node of the fleet can be asked)."""
+    from repro.obs.render import render_waterfall
+    from repro.service.client import ServiceClientError, get_trace
+
+    last_error: Optional[ServiceClientError] = None
+    for url in _url_list(args):
+        try:
+            payload = get_trace(url, args.job_id)
+        except ServiceClientError as exc:
+            last_error = exc  # down or doesn't know the id: try next
+            continue
+        print(render_waterfall(payload), end="")
+        return 0
+    assert last_error is not None
+    raise last_error
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live fleet dashboard: queue depth, in-flight drives, worker
+    health, warm-hit rate per node plus fleet totals and the busiest
+    buckets, refreshed every --interval seconds (Ctrl-C to stop)."""
+    from repro.obs.render import parse_metrics, render_top
+    from repro.service.client import (ServiceClientError, get_buckets,
+                                      get_health, get_metrics_text)
+
+    urls = _url_list(args)
+    iterations = args.iterations
+    try:
+        while True:
+            rows = []
+            for url in urls:
+                try:
+                    rows.append({
+                        "url": url,
+                        "health": get_health(url),
+                        "metrics": parse_metrics(get_metrics_text(url)),
+                        "buckets": get_buckets(url),
+                    })
+                except ServiceClientError as exc:
+                    rows.append({"url": url, "health": None,
+                                 "metrics": None, "error": str(exc)})
+            if not args.no_clear and iterations != 1:
+                print("\x1b[2J\x1b[H", end="")
+            print(render_top(rows), end="", flush=True)
+            if iterations is not None:
+                iterations -= 1
+                if iterations <= 0:
+                    return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_watch(args: argparse.Namespace) -> int:

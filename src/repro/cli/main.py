@@ -186,6 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="base of the jittered exponential retry "
                               "backoff (default: %(default)s)")
+    p_serve.add_argument("--trace-sample", type=float, default=0.0,
+                         metavar="RATE",
+                         help="flight-recorder sampling rate in [0, 1]: "
+                              "traced jobs record per-phase spans served "
+                              "by `res trace` and GET /trace/<id> "
+                              "(0 disables, the default; equivalent to "
+                              "RES_TRACE_SAMPLE in the environment)")
     p_serve.set_defaults(func=commands.cmd_serve)
 
     p_submit = sub.add_parser(
@@ -232,6 +239,37 @@ def build_parser() -> argparse.ArgumentParser:
                                "their diagnostics instead of the "
                                "service summary")
     p_status.set_defaults(func=commands.cmd_status)
+
+    p_trace = sub.add_parser(
+        "trace", help="print one job's flight-recorder waterfall "
+                      "(submit -> queue -> drive phases -> settle, "
+                      "stitched across fleet nodes)")
+    p_trace.add_argument("job_id",
+                         help="job id from `res submit` (a raw trace id "
+                              "works too)")
+    p_trace.add_argument("--url", action="append", default=None,
+                         help="daemon base URL (repeatable: tried in "
+                              "order until one knows the id; default: "
+                              "http://127.0.0.1:8321)")
+    p_trace.set_defaults(func=commands.cmd_trace)
+
+    p_top = sub.add_parser(
+        "top", help="live fleet dashboard: queue depth, in-flight, "
+                    "worker health, warm-hit rate per node + totals")
+    p_top.add_argument("--url", action="append", default=None,
+                       help="daemon base URL (repeatable: one row per "
+                            "node; default: http://127.0.0.1:8321)")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="refresh interval in seconds "
+                            "(default: %(default)s)")
+    p_top.add_argument("--iterations", type=int, default=None,
+                       metavar="N",
+                       help="render N frames then exit (default: "
+                            "refresh until Ctrl-C)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of clearing the "
+                            "screen (for logs and pipes)")
+    p_top.set_defaults(func=commands.cmd_top)
 
     p_watch = sub.add_parser(
         "watch", help="forward a directory of incoming coredumps to the "

@@ -122,6 +122,16 @@ class SynthesisStats:
     time_execute: float = 0.0
     time_replay: float = 0.0
 
+    def phase_times(self) -> dict:
+        """The drive's per-phase wall-clock split, keyed by the span
+        names the flight recorder (``repro.obs``) emits.  A snapshot —
+        callers get plain floats, never a live view of the counters."""
+        return {
+            "enumerate": self.time_enumerate,
+            "execute": self.time_execute,
+            "replay": self.time_replay,
+        }
+
 
 @dataclass
 class SynthesizedSuffix:

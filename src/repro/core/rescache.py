@@ -223,6 +223,17 @@ class CachedVerdict:
             stats=obj.get("stats"),
         )
 
+    def hit_attrs(self) -> dict:
+        """Span attributes for a warm hit that short-circuited on this
+        row: what the hit *avoided* — the original drive's wall-clock
+        and solver effort (flight-recorder surface; plain JSON types)."""
+        stats = self.stats or {}
+        return {
+            "cached": True,
+            "saved_seconds": round(self.seconds, 6),
+            "solver_calls_saved": int(stats.get("solver_calls", 0) or 0),
+        }
+
 
 # ---------------------------------------------------------------------------
 # The on-disk store

@@ -15,6 +15,7 @@ the automatic signature for known causes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
@@ -123,6 +124,12 @@ class TriageEngine:
         #: cold recompute via the suffix digests)
         self.last_stats: Optional[dict] = None
         self.last_suffix_digests: tuple = ()
+        #: per-phase wall-clock split of the last drive, for the
+        #: flight recorder.  Deliberately NOT part of ``last_stats``:
+        #: that dict is journaled into rescache rows, which must stay
+        #: deterministic — wall-clock floats belong in spans, not in
+        #: the auditable cache record.
+        self.last_phase_times: dict = {}
 
     def _drive(self, report: BugReport
                ) -> Tuple[Optional[RootCause], bool]:
@@ -170,6 +177,7 @@ class TriageEngine:
         finally:
             gen.close()
         self.last_suffix_digests = tuple(digests)
+        self.last_phase_times = synthesizer.stats.phase_times()
         self.last_stats = {
             "nodes_expanded": synthesizer.stats.nodes_expanded,
             "candidates_executed": synthesizer.stats.candidates_executed,
@@ -190,9 +198,12 @@ class TriageEngine:
 
     def triage_one(self, report: BugReport) -> TriageResult:
         cause, exploitable = self._drive(report)
-        return synthesize_result(report, cause, exploitable,
-                                 annotations=self.annotations,
-                                 stack_depth=self.stack_depth)
+        started = time.perf_counter()
+        result = synthesize_result(report, cause, exploitable,
+                                   annotations=self.annotations,
+                                   stack_depth=self.stack_depth)
+        self.last_phase_times["bucket"] = time.perf_counter() - started
+        return result
 
     def triage(self, reports: List[BugReport]) -> List[TriageResult]:
         return [self.triage_one(r) for r in reports]

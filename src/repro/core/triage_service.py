@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro import faultinject
+from repro import obs
 from repro.errors import ReproError
 from repro.ioutil import atomic_write_json
 from repro.minic import compile_source
@@ -665,6 +666,12 @@ class StreamingTriage:
             if self.chain.enabled else ""
         self._engines: Dict[str, TriageEngine] = {}
         self._specs: Dict[str, ProgramSpec] = {}
+        #: per-phase timings of the last *traced* :meth:`triage_one`
+        #: call: ``(phase name, seconds, attrs-or-None)`` tuples —
+        #: plain picklable data, because they cross the workerpool
+        #: pipe; the daemon mints the actual spans.  Empty when the
+        #: last call was untraced (the zero-cost default).
+        self.last_phases: list = []
 
     def _engine(self, spec: ProgramSpec) -> TriageEngine:
         engine = self._engines.get(spec.key)
@@ -676,24 +683,37 @@ class StreamingTriage:
 
     def triage_one(self, spec: ProgramSpec, report: BugReport,
                    fingerprint: Optional[str] = None,
-                   bypass_cache: bool = False) -> TriagedReport:
+                   bypass_cache: bool = False,
+                   trace: Optional[str] = None) -> TriagedReport:
         """Triage one report of ``spec``: warm cache short-circuit
         first (no compile on a hit), engine drive + durable cache
         append otherwise.  ``bypass_cache`` forces a fresh drive — the
         verdict is still *written* to the cache afterwards, so a forced
-        recompute refreshes the cached row instead of ignoring it."""
+        recompute refreshes the cached row instead of ignoring it.
+        ``trace`` (a trace id) asks for per-phase timings in
+        :attr:`last_phases`; when None — the default — no clock is
+        read beyond the existing ``seconds`` measurement."""
         fingerprint = fingerprint or report.coredump.fingerprint()
+        traced = trace is not None and obs.enabled()
+        if traced:
+            self.last_phases = []
         cache_key = None
         if self.chain.enabled:
             cache_key = CacheKey(module_fp=spec.module_fp(),
                                  coredump_fp=fingerprint,
                                  config_fp=self.config_fp)
+            lookup_started = time.perf_counter() if traced else 0.0
             hit = None if bypass_cache else self.chain.lookup(cache_key)
             if hit is not None:
                 result = synthesize_result(
                     report, hit.cause, hit.exploitable,
                     annotations=self.config.annotations,
                     stack_depth=self.config.stack_depth)
+                if traced:
+                    self.last_phases = [(
+                        "warm-hit",
+                        time.perf_counter() - lookup_started,
+                        hit.hit_attrs())]
                 return TriagedReport(result=result, program_key=spec.key,
                                      fingerprint=fingerprint,
                                      seconds=0.0, cached=True)
@@ -703,6 +723,7 @@ class StreamingTriage:
             # misses only (a warm hit never calls the solver), right
             # where a drive would start.
             fi.check("solver.call")
+        engine_started = time.perf_counter() if traced else 0.0
         engine = self._engine(spec)
         started = time.perf_counter()
         result = engine.triage_one(report)
@@ -715,8 +736,33 @@ class StreamingTriage:
                               seconds=seconds,
                               suffix_digests=engine.last_suffix_digests,
                               stats=engine.last_stats))
+        if traced:
+            self.last_phases = self._drive_phases(
+                engine, started - engine_started)
         return TriagedReport(result=result, program_key=spec.key,
                              fingerprint=fingerprint, seconds=seconds)
+
+    @staticmethod
+    def _drive_phases(engine: TriageEngine, compile_seconds: float
+                      ) -> list:
+        """The last drive as ``(phase, seconds, attrs)`` tuples in
+        execution order.  "compile" is the engine build/lookup (near
+        zero for a warm engine — the span shows the cache working);
+        solver effort rides the enumerate phase, which is where the
+        calls are issued."""
+        stats = engine.last_stats or {}
+        phases = [("compile", compile_seconds, None)]
+        timed = engine.last_phase_times
+        for name in ("enumerate", "execute", "replay", "bucket"):
+            if name not in timed:
+                continue
+            attrs = None
+            if name == "enumerate":
+                attrs = {"solver_calls": stats.get("solver_calls", 0),
+                         "solver_cache_hits":
+                             stats.get("solver_cache_hits", 0)}
+            phases.append((name, timed[name], attrs))
+        return phases
 
     def flush_solver_caches(self) -> int:
         """Persist every warm engine's exported residual-component

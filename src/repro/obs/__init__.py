@@ -1,0 +1,23 @@
+"""Tracing, per-phase profiling, and the operator surface (PR 10).
+
+``repro.obs.core`` is the flight recorder (trace ids, deterministic
+span ids, the bounded per-node span ring, and the zero-cost-when-off
+sampling gate); ``repro.obs.render`` turns trace payloads and fleet
+snapshots into the ``res trace`` waterfall and the ``res top``
+dashboard.
+"""
+
+from repro.obs.core import (  # noqa: F401
+    SAMPLE_ENV,
+    TRACE_HEADER,
+    SpanRing,
+    Tracer,
+    activate,
+    active,
+    deactivate,
+    enabled,
+    make_span,
+    new_trace_id,
+    sampling,
+    span_id,
+)

@@ -1,0 +1,199 @@
+"""Text rendering for the flight recorder's operator surfaces.
+
+Two views, both plain text over the daemon's existing JSON/metrics
+endpoints (no curses, no color — pipe-friendly, diff-friendly):
+
+* :func:`render_waterfall` — ``res trace <job-id>``: one trace's spans
+  as an indented waterfall.  Indentation is the span tree (attempt
+  spans under the root job span, drive phases under their attempt);
+  the bar gutter shows each span's extent within the trace window.
+* :func:`render_top` — ``res top``: a fleet-wide dashboard line per
+  node (queue depth, in-flight, worker health, warm-hit rate) plus
+  totals and the busiest buckets.
+
+:func:`parse_metrics` is the shared scraper: the unlabeled samples of
+a ``/metrics`` exposition as a name→float dict, which both ``res top``
+and the fleet-aggregating ``res status`` consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: width of the waterfall bar gutter, in characters
+_BAR_WIDTH = 32
+
+
+def parse_metrics(text: str) -> Dict[str, float]:
+    """The unlabeled samples of a Prometheus text exposition.
+
+    Labeled samples (quantiles, per-phase latencies) are skipped — the
+    aggregating callers sum counters and gauges, and summaries do not
+    sum.  Unparseable lines are skipped, not fatal: a half-written
+    scrape should degrade a dashboard, never crash it.
+    """
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#") or "{" in line:
+            continue
+        name, __, value = line.partition(" ")
+        try:
+            out[name] = float(value)
+        except ValueError:
+            continue
+    return out
+
+
+def _span_children(spans: List[dict]) -> Dict[Optional[str], List[dict]]:
+    """Parent span id → children, each list in (start, name) order."""
+    ids = {span.get("span") for span in spans}
+    children: Dict[Optional[str], List[dict]] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None and parent not in ids:
+            parent = None  # orphan: surface at top level, don't hide it
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.get("start", 0.0),
+                                     s.get("name", "")))
+    return children
+
+
+def _bar(offset: float, duration: float, window: float) -> str:
+    """The span's extent inside the trace window, as a gutter string."""
+    if window <= 0:
+        return "#" + " " * (_BAR_WIDTH - 1)
+    lo = int(_BAR_WIDTH * (offset / window))
+    hi = int(_BAR_WIDTH * ((offset + duration) / window))
+    lo = max(0, min(_BAR_WIDTH - 1, lo))
+    hi = max(lo + 1, min(_BAR_WIDTH, hi))
+    return " " * lo + "#" * (hi - lo) + " " * (_BAR_WIDTH - hi)
+
+
+def _attrs_text(attrs: Optional[dict]) -> str:
+    if not attrs:
+        return ""
+    parts = [f"{key}={attrs[key]}" for key in sorted(attrs)]
+    return "  " + " ".join(parts)
+
+
+def render_waterfall(payload: dict) -> str:
+    """One trace as an indented waterfall (see the module docstring).
+
+    ``payload`` is the ``GET /trace/<id>`` answer: ``{"trace_id",
+    "spans", "job_id"?, "state"?}``.  Span *durations* are the
+    measured truth; the drive-phase bars are laid out sequentially
+    from the attempt's claim time, so their x-positions are an
+    ordering aid, not wall-clock alignment.
+    """
+    spans = list(payload.get("spans") or [])
+    header = f"trace {payload.get('trace_id', '?')}"
+    if payload.get("job_id"):
+        header += (f"  job {payload['job_id']}"
+                   f"  state={payload.get('state', '?')}")
+    if not spans:
+        return header + "\n  (no spans recorded)\n"
+    origin = min(span.get("start", 0.0) for span in spans)
+    end = max(span.get("start", 0.0) + span.get("dur", 0.0)
+              for span in spans)
+    window = end - origin
+    children = _span_children(spans)
+    name_width = max(
+        (2 * depth + len(str(span.get("name", "")))
+         for depth, span in _walk(children)),
+        default=4)
+    lines = [header,
+             f"  {len(spans)} span(s) over {window * 1000:.1f} ms"]
+    for depth, span in _walk(children):
+        label = "  " * depth + str(span.get("name", "?"))
+        offset = span.get("start", 0.0) - origin
+        duration = span.get("dur", 0.0)
+        lines.append(
+            f"  {label:<{name_width}}  "
+            f"[{_bar(offset, duration, window)}] "
+            f"+{offset * 1000:9.1f}ms "
+            f"{duration * 1000:9.1f}ms  "
+            f"{span.get('node', '') or '-':<8}"
+            f"{_attrs_text(span.get('attrs'))}")
+    return "\n".join(lines) + "\n"
+
+
+def _walk(children: Dict[Optional[str], List[dict]]):
+    """Depth-first (depth, span) pairs over the span tree."""
+    stack = [(0, span) for span in reversed(children.get(None, []))]
+    while stack:
+        depth, span = stack.pop()
+        yield depth, span
+        for child in reversed(children.get(span.get("span"), [])):
+            stack.append((depth + 1, child))
+
+
+def render_top(rows: List[dict], bucket_limit: int = 8) -> str:
+    """The fleet dashboard: one line per node, totals, busiest buckets.
+
+    Each row is ``{"url", "health": <healthz|None>, "metrics":
+    <parsed dict|None>, "buckets": <payload|None>, "error"?: str}`` —
+    an unreachable node renders as a labeled error line, never a
+    missing one (a dashboard that silently drops a dead node is worse
+    than no dashboard).
+    """
+    head = (f"{'node':<14} {'state':<9} {'queue':>6} {'infl':>5} "
+            f"{'workers':>8} {'warm%':>6} {'rps':>7} {'quar':>5}  url")
+    lines = [head, "-" * len(head)]
+    totals = {"queue": 0, "infl": 0, "alive": 0, "workers": 0,
+              "verdicts": 0.0, "warm": 0.0, "quar": 0}
+    bucket_counts: Dict[str, int] = {}
+    for row in rows:
+        url = row.get("url", "?")
+        health = row.get("health")
+        metrics = row.get("metrics")
+        if health is None or metrics is None:
+            lines.append(f"{'?':<14} {'DOWN':<9} "
+                         f"{row.get('error', 'unreachable')}  ({url})")
+            continue
+        name = health.get("node_id") or "node"
+        queue = int(health.get("queue_depth", 0))
+        infl = int(health.get("in_flight", 0))
+        alive = int(health.get("workers_alive", 0))
+        workers = int(health.get("workers", 0))
+        verdicts = metrics.get("res_intake_verdicts_total", 0.0)
+        warm = metrics.get("res_intake_warm_hits_total", 0.0)
+        rate = metrics.get("res_intake_verdicts_per_second", 0.0)
+        quar = int(health.get("quarantined", 0))
+        warm_pct = 100.0 * warm / verdicts if verdicts else 0.0
+        lines.append(
+            f"{name:<14} {health.get('status', '?'):<9} {queue:>6} "
+            f"{infl:>5} {alive:>4}/{workers:<3} {warm_pct:>5.1f}% "
+            f"{rate:>7.2f} {quar:>5}  {url}")
+        totals["queue"] += queue
+        totals["infl"] += infl
+        totals["alive"] += alive
+        totals["workers"] += workers
+        totals["verdicts"] += verdicts
+        totals["warm"] += warm
+        totals["quar"] += quar
+        for signature, reports in (row.get("buckets") or {}).get(
+                "buckets", {}).items():
+            bucket_counts[signature] = (bucket_counts.get(signature, 0)
+                                        + len(reports))
+    warm_pct = (100.0 * totals["warm"] / totals["verdicts"]
+                if totals["verdicts"] else 0.0)
+    lines.append("-" * len(head))
+    lines.append(
+        f"{'TOTAL':<14} {'':<9} {totals['queue']:>6} "
+        f"{totals['infl']:>5} {totals['alive']:>4}/"
+        f"{totals['workers']:<3} {warm_pct:>5.1f}% {'':>7} "
+        f"{totals['quar']:>5}  {len(rows)} node(s), "
+        f"{int(totals['verdicts'])} verdict(s)")
+    if bucket_counts:
+        lines.append("")
+        lines.append(f"top buckets (by settled reports, "
+                     f"limit {bucket_limit}):")
+        ranked = sorted(bucket_counts.items(),
+                        key=lambda item: (-item[1], item[0]))
+        for signature, count in ranked[:bucket_limit]:
+            lines.append(f"  {count:>5}  {signature}")
+        if len(ranked) > bucket_limit:
+            lines.append(f"  ... {len(ranked) - bucket_limit} more")
+    return "\n".join(lines) + "\n"

@@ -24,6 +24,7 @@ import urllib.request
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import ReproError
 
 
@@ -140,13 +141,14 @@ def submit_with_retries(base_url: str, program: Dict[str, str],
             return True
         return deadline is not None and time.monotonic() >= deadline
 
+    trace_id = obs.new_trace_id()  # one trace across every retry
     retry = 0
     while True:
         suggested = None
         try:
             status, body = submit_report(
                 base_url, program, coredump_json, report_id=report_id,
-                true_cause=true_cause, force=force)
+                true_cause=true_cause, force=force, trace_id=trace_id)
             if status != 429:
                 return status, body
             if out_of_budget(retry):
@@ -183,13 +185,14 @@ def submit_fleet_with_retries(targets: FleetTargets,
             return True
         return deadline is not None and time.monotonic() >= deadline
 
+    trace_id = obs.new_trace_id()  # one trace across every retry
     retry = 0
     while True:
         suggested = None
         try:
             status, body, url = submit_fleet(
                 targets, program, coredump_json, report_id=report_id,
-                true_cause=true_cause, force=force)
+                true_cause=true_cause, force=force, trace_id=trace_id)
             if status != 429:
                 return status, body, url
             if out_of_budget(retry):
@@ -206,12 +209,15 @@ def submit_fleet_with_retries(targets: FleetTargets,
 
 def _request(url: str, method: str = "GET",
              payload: Optional[dict] = None,
-             timeout: float = 30.0) -> Tuple[int, dict]:
+             timeout: float = 30.0,
+             trace_id: Optional[str] = None) -> Tuple[int, dict]:
     data = None
     headers = {"Accept": "application/json"}
     if payload is not None:
         data = json.dumps(payload).encode("utf-8")
         headers["Content-Type"] = "application/json"
+    if trace_id is not None:
+        headers[obs.TRACE_HEADER] = trace_id
     try:
         request = urllib.request.Request(url, data=data, headers=headers,
                                          method=method)
@@ -257,16 +263,23 @@ def _submission_payload(program: Dict[str, str], coredump_json: str,
 
 
 def _submit_payload(base_url: str, payload: dict,
-                    timeout: float) -> Tuple[int, dict, str]:
+                    timeout: float,
+                    trace_id: Optional[str] = None
+                    ) -> Tuple[int, dict, str]:
     """POST one submission, transparently following the fleet's
     owning-node redirect (307 + ``owner_url``).  Returns
     ``(status, body, url)`` where ``url`` is the node that actually
-    answered — that is where ``GET /jobs/<id>`` should be polled."""
+    answered — that is where ``GET /jobs/<id>`` should be polled.
+
+    ``trace_id`` rides the ``X-Res-Trace`` header on *every* hop, so a
+    redirected submission is one trace: the first node's redirect span
+    and the owner's admission span share the id."""
     base = base_url.rstrip("/")
     hops = 0
     while True:
         status, body = _request(f"{base}/jobs", method="POST",
-                                payload=payload, timeout=timeout)
+                                payload=payload, timeout=timeout,
+                                trace_id=trace_id)
         if status == 307:
             owner_url = str(body.get("owner_url") or "").rstrip("/")
             if owner_url and owner_url != base \
@@ -295,15 +308,20 @@ def submit_report(base_url: str, program: Dict[str, str],
                   report_id: Optional[str] = None,
                   true_cause: Optional[str] = None,
                   force: bool = False,
-                  timeout: float = 30.0) -> Tuple[int, dict]:
+                  timeout: float = 30.0,
+                  trace_id: Optional[str] = None) -> Tuple[int, dict]:
     """POST one submission; returns ``(http_status, payload)``.
 
     In fleet mode the owning-node redirect is followed transparently,
     so the caller sees the owner's answer no matter which node it
-    picked."""
+    picked.  A trace id is minted per call (or passed in) and sent as
+    ``X-Res-Trace``; the daemon decides whether to record it."""
     payload = _submission_payload(program, coredump_json, report_id,
                                   true_cause, force)
-    status, body, __ = _submit_payload(base_url, payload, timeout)
+    status, body, __ = _submit_payload(
+        base_url, payload, timeout,
+        trace_id=trace_id if trace_id is not None
+        else obs.new_trace_id())
     return status, body
 
 
@@ -312,17 +330,22 @@ def submit_fleet(targets: FleetTargets, program: Dict[str, str],
                  report_id: Optional[str] = None,
                  true_cause: Optional[str] = None,
                  force: bool = False,
-                 timeout: float = 30.0) -> Tuple[int, dict, str]:
+                 timeout: float = 30.0,
+                 trace_id: Optional[str] = None) -> Tuple[int, dict, str]:
     """Submit to a fleet: round-robin the first attempt across nodes,
     fail over to the remaining nodes when one is unreachable, and
     follow the owning-node redirect.  Returns ``(status, body, url)``
-    with the URL of the node that answered."""
+    with the URL of the node that answered.  One trace id covers every
+    failover attempt — the submission is one logical event."""
     last_exc: Optional[ServiceUnreachableError] = None
     payload = _submission_payload(program, coredump_json, report_id,
                                   true_cause, force)
+    if trace_id is None:
+        trace_id = obs.new_trace_id()
     for base in targets.next_order():
         try:
-            return _submit_payload(base, payload, timeout)
+            return _submit_payload(base, payload, timeout,
+                                   trace_id=trace_id)
         except ServiceUnreachableError as exc:
             # This node is down — but any node can accept (or redirect)
             # a submission, so the fleet is only down when all are.
@@ -371,6 +394,20 @@ def get_buckets(base_url: str, timeout: float = 30.0) -> dict:
                             timeout=timeout)
     if status != 200:
         raise ServiceClientError(f"buckets returned HTTP {status}")
+    return body
+
+
+def get_trace(base_url: str, job_or_trace_id: str,
+              timeout: float = 30.0) -> dict:
+    """Flight-recorder spans for a job id (or raw trace id).  The
+    answering node merges peer spans, so any fleet node can be asked."""
+    status, body = _request(
+        f"{base_url.rstrip('/')}/trace/{job_or_trace_id}",
+        timeout=timeout)
+    if status != 200:
+        raise ServiceClientError(
+            f"trace {job_or_trace_id}: "
+            f"{body.get('error', f'HTTP {status}')}")
     return body
 
 

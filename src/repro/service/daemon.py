@@ -51,6 +51,7 @@ import json
 import random
 import threading
 import time
+import urllib.request
 import warnings
 from collections import deque
 from dataclasses import dataclass, field
@@ -58,6 +59,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro import faultinject
+from repro import obs
 from repro.errors import ReproError
 from repro.faultinject import WorkerCrashError
 from repro.vm.coredump import Coredump
@@ -147,10 +149,22 @@ class DaemonConfig:
     journal_rotate_mb: float = 0.0
     #: how often the monitor tails peer journal segments (seconds)
     fleet_sync_interval: float = 0.25
+    #: flight recorder (PR 10): rotate the active span-ring segment
+    #: above this many bytes; the ring keeps at most ``span_segments``
+    #: closed segments and deletes the oldest — tracing costs a fixed
+    #: disk budget however long the daemon lives
+    span_rotate_bytes: int = 1 << 20
+    span_segments: int = 8
 
     @property
     def journal_path(self) -> Path:
         return Path(self.spool_dir) / journal_file_for(self.node_id)
+
+    @property
+    def spans_path(self) -> Path:
+        """The per-node span ring (``spans-<node>.jsonl``; legacy
+        single-node daemons use ``spans-node.jsonl``)."""
+        return Path(self.spool_dir) / f"spans-{self.node_id or 'node'}.jsonl"
 
 
 class DaemonMetrics:
@@ -178,6 +192,11 @@ class DaemonMetrics:
         #: would otherwise swamp the window and predict a seconds-long
         #: cold queue drains in milliseconds
         self.drive_latencies = deque(maxlen=latency_window)
+        #: flight-recorder per-phase latency windows, keyed by
+        #: (phase, priority class) — populated only for sampled jobs,
+        #: so the sampling-off daemon never touches this dict
+        self._phase_window = latency_window
+        self.phase_latencies: Dict[Tuple[str, str], deque] = {}
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Locked increment for callers outside the daemon's condition
@@ -193,6 +212,27 @@ class DaemonMetrics:
             self.latencies.append(seconds)
             if drive:
                 self.drive_latencies.append(seconds)
+
+    def observe_phase(self, phase: str, priority: object,
+                      seconds: float) -> None:
+        """Fold one sampled phase duration into its (phase, priority)
+        latency window — the source of the ``/metrics`` per-phase
+        p50/p95 summaries."""
+        with self.lock:
+            key = (str(phase), str(priority))
+            window = self.phase_latencies.get(key)
+            if window is None:
+                window = deque(maxlen=self._phase_window)
+                self.phase_latencies[key] = window
+            window.append(float(seconds))
+
+    def phase_quantiles(self) -> Dict[Tuple[str, str],
+                                      Tuple[float, float]]:
+        """(p50, p95) per (phase, priority class), for ``/metrics``."""
+        with self.lock:
+            return {key: (self._quantile(list(window), 0.50),
+                          self._quantile(list(window), 0.95))
+                    for key, window in self.phase_latencies.items()}
 
     @staticmethod
     def _quantile(samples: List[float], q: float) -> float:
@@ -264,6 +304,12 @@ class TriageDaemon:
         #: for worker B within the same daemon lifetime
         self.chain = self.service_config.cache_chain()
         self.metrics = DaemonMetrics(self.config.latency_window)
+        #: flight-recorder sink — construction is cheap (a Path and a
+        #: lock); nothing is written unless a sampled job emits spans
+        self._span_ring = obs.SpanRing(
+            self.config.spans_path,
+            rotate_bytes=self.config.span_rotate_bytes,
+            max_segments=self.config.span_segments)
         self._store = TriageStore(self.service_config) \
             if self.service_config.store_path else None
 
@@ -497,7 +543,8 @@ class TriageDaemon:
                report_id: Optional[str] = None,
                true_cause: Optional[str] = None,
                priority: Optional[int] = None,
-               force: bool = False) -> Tuple[int, dict]:
+               force: bool = False,
+               trace_id: Optional[str] = None) -> Tuple[int, dict]:
         """Admit one submission; returns ``(http_status, payload)``.
 
         * 200 — known crash, verdict attached (``dedup_of``);
@@ -512,7 +559,24 @@ class TriageDaemon:
         answers (the verdict is already computed and durable from its
         representative); only its bookkeeping row is lost, which replay
         self-heals by re-deduping the job.
+
+        ``trace_id`` is the client's flight-recorder context (the
+        ``X-Res-Trace`` header).  It only takes effect when this
+        daemon samples (``RES_TRACE_SAMPLE``); with sampling off it is
+        dropped here — one ``None`` check per submission — so nothing
+        downstream ever sees it.
         """
+        tracer = obs.active()
+        if tracer is None:
+            trace_id = None
+        else:
+            if trace_id is None:
+                # No client context: the daemon mints one, so traces
+                # exist for bare-curl submitters too.
+                trace_id = obs.new_trace_id()
+            if not tracer.sampled(trace_id):
+                trace_id = None
+        received = now() if trace_id is not None else 0.0
         try:
             spec, core_obj, dump = self._parse_submission(program, coredump)
         except ReproError as exc:
@@ -521,10 +585,16 @@ class TriageDaemon:
         fingerprint = dump.fingerprint()
 
         journal: List[tuple] = []
+        spans: List[dict] = []
         with self._cv:
             status, payload, job = self._submit_locked(
                 spec, core_obj, dump, fingerprint, report_id,
-                true_cause, priority, force, journal)
+                true_cause, priority, force, journal,
+                trace_id=trace_id, received=received, spans=spans)
+        if trace_id is not None:
+            if status in (200, 202, 307):
+                payload = dict(payload, trace_id=trace_id)
+            self._span_ring.append(spans)
         # Journal-before-acknowledge, but *after* releasing the
         # admission lock: the fsync must not serialize other
         # submissions and the workers (the out-of-order-tolerant
@@ -552,7 +622,11 @@ class TriageDaemon:
                        report_id: Optional[str],
                        true_cause: Optional[str], priority: Optional[int],
                        force: bool,
-                       journal: List[tuple]) -> Tuple[int, dict, object]:
+                       journal: List[tuple],
+                       trace_id: Optional[str] = None,
+                       received: float = 0.0,
+                       spans: Optional[List[dict]] = None
+                       ) -> Tuple[int, dict, object]:
         # Source-exact admission identity (see IntakeJob.dedup_key): an
         # edited program is a different key, so it recomputes.
         key = (spec.module_fp(), fingerprint)
@@ -564,7 +638,8 @@ class TriageDaemon:
                 # here as a shadow) answers instantly everywhere.
                 job = self._settle_as_duplicate(
                     spec, core_obj, fingerprint, report_id,
-                    true_cause, self._jobs[done_id], journal)
+                    true_cause, self._jobs[done_id], journal,
+                    trace_id=trace_id, received=received, spans=spans)
                 return 200, job.status_payload(), job
         if self._ring is not None:
             owner = self._ring.owner(fingerprint)
@@ -574,6 +649,17 @@ class TriageDaemon:
                 # journal.  Forced recomputes always route — the
                 # owner's verdict is the one being replaced.
                 self.metrics.redirects_total += 1
+                if trace_id is not None and spans is not None:
+                    # The non-owner's contribution to the trace: one
+                    # redirect span, qualified by node name so each
+                    # hop of a misrouted submission is distinct.
+                    spans.append(obs.make_span(
+                        trace_id, "redirect", received,
+                        now() - received,
+                        parent=obs.span_id(trace_id, "job"),
+                        node=self._node_name(),
+                        attrs={"owner": owner},
+                        qualifier=self._node_name()))
                 return 307, {
                     "error": "crash is owned by another fleet node",
                     "fingerprint": fingerprint,
@@ -593,6 +679,10 @@ class TriageDaemon:
                 self._dependents.setdefault(pending_id, []).append(
                     job.job_id)
                 job.dedup_of = representative.report_id
+                if trace_id is not None:
+                    job.trace_id = trace_id
+                    self._admit_span(job, received, spans,
+                                     attached_to=pending_id)
                 payload = job.status_payload()
                 payload["attached_to"] = pending_id
                 return 202, payload, job
@@ -609,6 +699,10 @@ class TriageDaemon:
                             report_id, true_cause, job_priority,
                             dump=dump)
         job.force = force  # carries through to the worker's drive
+        if trace_id is not None:
+            job.trace_id = trace_id
+            job._obs_enqueued = now()
+            self._admit_span(job, received, spans)
         # Dedup already ran above (or was forced off), so admit
         # without re-checking.
         self._admit_locked(job, dedup=False, journal=journal)
@@ -751,7 +845,11 @@ class TriageDaemon:
                              fingerprint: str, report_id: Optional[str],
                              true_cause: Optional[str],
                              representative: IntakeJob,
-                             journal: List[tuple]) -> IntakeJob:
+                             journal: List[tuple],
+                             trace_id: Optional[str] = None,
+                             received: float = 0.0,
+                             spans: Optional[List[dict]] = None
+                             ) -> IntakeJob:
         """Historical dedup: settle the job instantly (the WER-style
         answer).  The duplicate shares the representative's parsed
         coredump in memory and journals by reference, so re-reports of
@@ -764,6 +862,9 @@ class TriageDaemon:
             core_obj = representative.core_obj
         job = self._new_job(spec, core_obj, fingerprint, report_id,
                             true_cause, priority=1)
+        if trace_id is not None:
+            job.trace_id = trace_id
+            self._admit_span(job, received, spans)
         ref = None if representative.job_id in self._shadow_ids \
             else representative
         journal.append(("submit", job, ref))
@@ -795,6 +896,7 @@ class TriageDaemon:
         self.metrics.dedup_total += 1
         if not job.resumed:
             self.metrics.observe_latency(job.latency())
+        self._settle_spans_locked(job, dedup=True)
         self._note_settled_locked()
 
     def _note_disk(self, ok: bool) -> None:
@@ -883,6 +985,181 @@ class TriageDaemon:
         return max(1, min(60, int(estimate + 0.999)))
 
     # ------------------------------------------------------------------
+    # Flight recorder (PR 10): span emission
+    # ------------------------------------------------------------------
+
+    def _node_name(self) -> str:
+        return self.config.node_id or "node"
+
+    def _admit_span(self, job: IntakeJob, received: float,
+                    spans: Optional[List[dict]],
+                    attached_to: Optional[str] = None) -> None:
+        """The ``admit`` span: HTTP receipt → journaled/registered.
+        Appended to the caller's batch (written after the admission
+        lock drops)."""
+        if spans is None:
+            return
+        attrs: dict = {"job_id": job.job_id, "priority": job.priority}
+        if attached_to is not None:
+            attrs["attached_to"] = attached_to
+        spans.append(obs.make_span(
+            job.trace_id, "admit", received or job.submitted_at,
+            now() - (received or job.submitted_at),
+            parent=obs.span_id(job.trace_id, "job"),
+            node=self._node_name(), attrs=attrs))
+
+    def _root_spans(self, job: IntakeJob) -> List[dict]:
+        """The root ``job`` span, minted at settle (its id is
+        deterministic, so children emitted earlier already point at
+        it — a trace killed mid-flight has a dangling parent only
+        until the replayed job settles and re-emits this span)."""
+        finished = job.finished_at or now()
+        attrs: dict = {"state": job.state.value,
+                       "priority": job.priority,
+                       "attempts": job.attempts,
+                       "report_id": job.report_id}
+        if job.dedup_of is not None:
+            attrs["dedup_of"] = job.dedup_of
+        if job.error:
+            attrs["error"] = str(job.error)[:200]
+        if job.verdict is not None and job.verdict.cached:
+            attrs["cached"] = True
+        return [obs.make_span(
+            job.trace_id, "job", job.submitted_at,
+            finished - job.submitted_at, parent=None,
+            node=self._node_name(), attrs=attrs)]
+
+    def _settle_spans_locked(self, job: IntakeJob,
+                             dedup: bool = False) -> None:
+        """Emit the settle-side spans for one job (no-op when the job
+        is unsampled).  Runs under the admission lock like the journal
+        appends it mirrors; the ring's append is small, buffered, and
+        swallows I/O errors."""
+        if job.trace_id is None:
+            return
+        spans = self._root_spans(job)
+        if dedup:
+            spans.append(obs.make_span(
+                job.trace_id, "dedup", job.finished_at or now(), 0.0,
+                parent=obs.span_id(job.trace_id, "job"),
+                node=self._node_name(),
+                attrs={"dedup_of": job.dedup_of}))
+        self._span_ring.append(spans)
+
+    def _queue_span(self, job: IntakeJob, claimed_at: float) -> None:
+        """The ``queue-N`` span: (re-)enqueue → claim N."""
+        enqueued = job._obs_enqueued or job.submitted_at
+        wait = max(0.0, claimed_at - enqueued)
+        self._span_ring.append([obs.make_span(
+            job.trace_id, f"queue-{job.attempts}", enqueued, wait,
+            parent=obs.span_id(job.trace_id, "job"),
+            node=self._node_name(),
+            attrs={"priority": job.priority})])
+        self.metrics.observe_phase("queue", job.priority, wait)
+
+    def _record_attempt(self, job: IntakeJob, phases: list,
+                        outcome: str, worker: str,
+                        error: Optional[str] = None) -> None:
+        """Mint the ``attempt-N`` span and its drive-phase children
+        from the executor's timings, and feed the per-phase latency
+        histograms.  Every claim records an attempt span — including
+        crashes and retries, so a quarantined job's trace shows each
+        worker it killed."""
+        trace_id = job.trace_id
+        if trace_id is None:
+            return
+        attempt = job.attempts
+        started = job._obs_claimed or now()
+        finished = now()
+        attempt_name = f"attempt-{attempt}"
+        attempt_sid = obs.span_id(trace_id, attempt_name)
+        attrs: dict = {"outcome": outcome, "worker": worker}
+        if error:
+            attrs["error"] = error[:200]
+        spans = [obs.make_span(
+            trace_id, attempt_name, started, finished - started,
+            parent=obs.span_id(trace_id, "job"),
+            node=self._node_name(), attrs=attrs)]
+        # Phase children are laid out sequentially from the claim
+        # time by measured duration — the waterfall's x-positions are
+        # an ordering aid; the durations are the measurement.
+        cursor = started
+        for entry in phases or ():
+            try:
+                phase, seconds, phase_attrs = entry
+                seconds = max(0.0, float(seconds))
+            except (TypeError, ValueError):
+                continue
+            spans.append(obs.make_span(
+                trace_id, f"{phase}-{attempt}", cursor, seconds,
+                parent=attempt_sid, node=self._node_name(),
+                attrs=phase_attrs
+                if isinstance(phase_attrs, dict) else None))
+            cursor += seconds
+            self.metrics.observe_phase(phase, job.priority, seconds)
+        self.metrics.observe_phase("attempt", job.priority,
+                                   finished - started)
+        self._span_ring.append(spans)
+
+    def trace_payload(self, job_or_trace_id: str,
+                      local_only: bool = False) -> Optional[dict]:
+        """The ``GET /trace/<id>`` document: every span of one trace,
+        cross-node stitched.  The id may be a job id (resolved through
+        this node's job table, shadows included) or a raw trace id —
+        the form peers use when stitching, since a job id resolves
+        only on nodes that know the job.  ``local_only`` stops the
+        recursion: peers answer from their own ring without fanning
+        out again."""
+        with self._cv:
+            job = self._jobs.get(job_or_trace_id)
+            trace_id = job.trace_id if job is not None else None
+            state = job.state.value if job is not None else None
+        if job is not None and trace_id is None:
+            # A known but unsampled job: answer the shape, not a 404 —
+            # the CLI renders "not sampled" instead of "not found".
+            return {"job_id": job_or_trace_id, "trace_id": None,
+                    "state": state, "spans": []}
+        if trace_id is None:
+            trace_id = job_or_trace_id
+        by_id: Dict[str, dict] = {
+            span["span"]: span
+            for span in self._span_ring.read(trace_id)
+            if isinstance(span.get("span"), str)}
+        if not local_only:
+            for peer, base in sorted(self.config.peers.items()):
+                if peer == self.config.node_id or not base:
+                    continue
+                for span in self._peer_spans(base, trace_id):
+                    sid = span.get("span")
+                    if isinstance(sid, str):
+                        by_id.setdefault(sid, span)
+        spans = sorted(by_id.values(),
+                       key=lambda s: (s.get("start") or 0.0,
+                                      s.get("name") or ""))
+        if job is None and not spans and not local_only:
+            return None  # unknown id anywhere: a real 404
+        payload: dict = {"trace_id": trace_id, "spans": spans}
+        if job is not None:
+            payload["job_id"] = job_or_trace_id
+            payload["state"] = state
+        return payload
+
+    @staticmethod
+    def _peer_spans(base_url: str, trace_id: str) -> List[dict]:
+        """One peer's local view of a trace; best-effort (a down peer
+        costs its spans, never the request)."""
+        url = f"{base_url.rstrip('/')}/trace/{trace_id}?local=1"
+        try:
+            with urllib.request.urlopen(url, timeout=2.0) as response:
+                document = json.loads(response.read().decode("utf-8"))
+        except (OSError, ValueError):
+            return []
+        spans = document.get("spans") if isinstance(document, dict) \
+            else None
+        return [span for span in spans or []
+                if isinstance(span, dict)]
+
+    # ------------------------------------------------------------------
     # Workers
     # ------------------------------------------------------------------
 
@@ -907,6 +1184,10 @@ class TriageDaemon:
                 if claimed is None:
                     return
                 job, claim = claimed
+                if job.trace_id is not None:
+                    claimed_at = now()
+                    self._queue_span(job, claimed_at)
+                    job._obs_claimed = claimed_at
                 try:
                     if fi is not None:
                         # The worker-death site: decided daemon-side,
@@ -918,7 +1199,8 @@ class TriageDaemon:
                     triaged = executor.run(
                         job.program, job.bug_report(),
                         fingerprint=job.fingerprint,
-                        bypass_cache=job.force)
+                        bypass_cache=job.force,
+                        trace=job.trace_id)
                 except KeyboardInterrupt:
                     raise
                 except WorkerCrashError as exc:
@@ -929,26 +1211,39 @@ class TriageDaemon:
                     # respawns a replacement, exactly the
                     # crash-looping-fleet scenario quarantine bounds.
                     executor.kill()
+                    self._record_attempt(job, [], outcome="worker-crash",
+                                         worker=name, error=str(exc))
                     self._worker_died(name, job, claim, str(exc))
                     return
                 except workerpool.WorkerProcessDied as exc:
                     # The worker process vanished mid-drive (SIGKILL,
                     # OOM, watchdog reap, injected in-drive death):
                     # same bookkeeping, same respawn path.
+                    self._record_attempt(job, [], outcome="worker-crash",
+                                         worker=name, error=str(exc))
                     self._worker_died(name, job, claim, str(exc))
                     return
                 except workerpool.TriageTaskError as exc:
                     # A drive error, already rendered "Type: message"
                     # by the executor boundary — retried on the normal
                     # attempt budget, not counted as a worker loss.
+                    self._record_attempt(job, [], outcome="error",
+                                         worker=name, error=str(exc))
                     self._settle_safely(
                         self._retry_or_fail, job, name, claim, str(exc))
                     continue
                 except Exception as exc:  # noqa: BLE001 - worker boundary
+                    self._record_attempt(job, [], outcome="error",
+                                         worker=name,
+                                         error=f"{type(exc).__name__}: "
+                                               f"{exc}")
                     self._settle_safely(
                         self._retry_or_fail, job, name, claim,
                         f"{type(exc).__name__}: {exc}")
                     continue
+                self._record_attempt(job, executor.last_phases
+                                     if job.trace_id is not None else [],
+                                     outcome="ok", worker=name)
                 self._settle_safely(self._complete, job, name, claim,
                                     triaged)
         finally:
@@ -1011,6 +1306,8 @@ class TriageDaemon:
     def _requeue_locked(self, job: IntakeJob) -> None:
         job.state = JobState.QUEUED
         self.metrics.retries_total += 1
+        if job.trace_id is not None:
+            job._obs_enqueued = now()  # queue-N+1 measures from here
         delay = self._backoff_locked(job.attempts)
         if delay <= 0:
             heapq.heappush(self._heap, (job.priority, job.seq,
@@ -1048,6 +1345,8 @@ class TriageDaemon:
             self._quarantined_count += 1
             journal.append(("quarantined", dependent, None))
             self.metrics.quarantined_total += 1
+            self._settle_spans_locked(dependent)
+        self._settle_spans_locked(job)
         self._note_settled_locked()
 
     def _worker_died(self, name: str, job: IntakeJob, claim: int,
@@ -1235,6 +1534,7 @@ class TriageDaemon:
             for dep_id in self._dependents.pop(job.job_id, ()):
                 self._settle_duplicate_locked(self._jobs[dep_id], job,
                                               journal)
+            self._settle_spans_locked(job)
             self._note_settled_locked()
             self._cv.notify_all()
         if not self._drain_or_backlog(journal):
@@ -1296,6 +1596,8 @@ class TriageDaemon:
             self._settled_list.append(dependent)
             journal.append(("failed", dependent, None))
             self.metrics.failed_total += 1
+            self._settle_spans_locked(dependent)
+        self._settle_spans_locked(job)
         self._note_settled_locked()
 
     def _note_settled_locked(self) -> None:
@@ -1627,43 +1929,109 @@ class TriageDaemon:
         return {"quarantined": rows}
 
     def metrics_text(self) -> str:
-        """The ``GET /metrics`` exposition (Prometheus text format)."""
+        """The ``GET /metrics`` exposition (Prometheus text format).
+
+        Every family carries ``# HELP`` and ``# TYPE`` lines, and
+        families are emitted in sorted-by-name order — two scrapes of
+        an idle daemon are byte-identical, so operators can diff them
+        and dashboards can rely on the layout.
+        """
         health = self.healthz()
         snapshot = self.metrics.snapshot()
+        # (family, kind, help, [sample lines]) — assembled unsorted,
+        # emitted sorted by family name.
+        families: List[tuple] = []
+
+        def family(name: str, kind: str, help_text: str,
+                   samples) -> None:
+            families.append((f"res_intake_{name}", kind, help_text,
+                             samples))
+
+        def scalar(name: str, kind: str, help_text: str, value) -> None:
+            family(name, kind, help_text,
+                   [f"res_intake_{name} {value}"])
+
+        scalar("submitted_total", "counter",
+               "Submissions accepted for triage (202s).",
+               snapshot["submitted_total"])
+        scalar("verdicts_total", "counter",
+               "Jobs settled with a triage verdict.",
+               snapshot["verdicts_total"])
+        scalar("dedup_total", "counter",
+               "Submissions settled by duplicate suppression.",
+               snapshot["dedup_total"])
+        scalar("warm_hits_total", "counter",
+               "Verdicts served from the warm result cache.",
+               snapshot["warm_hits_total"])
+        scalar("failed_total", "counter",
+               "Jobs settled as failed after exhausting attempts.",
+               snapshot["failed_total"])
+        scalar("rejected_total", "counter",
+               "Submissions rejected at admission (backpressure).",
+               snapshot["rejected_total"])
+        scalar("malformed_total", "counter",
+               "Submissions rejected as malformed.",
+               snapshot["malformed_total"])
+        scalar("redirects_total", "counter",
+               "Submissions redirected to their owning fleet node.",
+               snapshot["redirects_total"])
+        scalar("retries_total", "counter",
+               "Drive attempts re-queued after an error or crash.",
+               snapshot["retries_total"])
+        scalar("quarantined_total", "counter",
+               "Jobs quarantined as poison inputs.",
+               snapshot["quarantined_total"])
+        scalar("worker_restarts_total", "counter",
+               "Worker slots respawned after a loss.",
+               snapshot["worker_restarts_total"])
+        scalar("journal_errors_total", "counter",
+               "Journal writes that failed and were backlogged.",
+               snapshot["journal_errors_total"])
+        scalar("rebucket_passes_total", "counter",
+               "Historical re-bucketing passes completed.",
+               snapshot["rebucket_passes_total"])
+        scalar("injected_faults_total", "counter",
+               "Faults fired by the fault-injection harness.",
+               faultinject.injected_total())
+        scalar("degraded", "gauge",
+               "1 when the daemon is degraded, 0 when healthy.",
+               1 if health["status"] == "degraded" else 0)
+        scalar("queue_depth", "gauge",
+               "Jobs queued and waiting for a worker.",
+               health["queue_depth"])
+        scalar("in_flight", "gauge",
+               "Jobs claimed by a worker right now.",
+               health["in_flight"])
+        scalar("verdicts_per_second", "gauge",
+               "Verdict throughput over the daemon's uptime.",
+               snapshot["verdicts_per_second"])
+        scalar("warm_hit_rate", "gauge",
+               "Fraction of verdicts served from the warm cache.",
+               snapshot["warm_hit_rate"])
+        scalar("uptime_seconds", "gauge",
+               "Seconds since the daemon started.",
+               snapshot["uptime_seconds"])
+        family("latency_seconds", "summary",
+               "Submit-to-settle latency of driven jobs.",
+               ['res_intake_latency_seconds{quantile="0.5"} '
+                f"{snapshot['latency_p50']}",
+                'res_intake_latency_seconds{quantile="0.95"} '
+                f"{snapshot['latency_p95']}"])
+        phase_samples = []
+        for (phase, priority), (p50, p95) in sorted(
+                self.metrics.phase_quantiles().items()):
+            for quantile, value in (("0.5", p50), ("0.95", p95)):
+                phase_samples.append(
+                    'res_intake_phase_latency_seconds{'
+                    f'phase="{phase}",priority="{priority}",'
+                    f'quantile="{quantile}"}} {round(value, 6)}')
+        if phase_samples:
+            family("phase_latency_seconds", "summary",
+                   "Per-phase latency of traced jobs, by priority.",
+                   phase_samples)
         lines = []
-
-        def gauge(name: str, value, kind: str = "gauge") -> None:
-            lines.append(f"# TYPE res_intake_{name} {kind}")
-            lines.append(f"res_intake_{name} {value}")
-
-        gauge("submitted_total", snapshot["submitted_total"], "counter")
-        gauge("verdicts_total", snapshot["verdicts_total"], "counter")
-        gauge("dedup_total", snapshot["dedup_total"], "counter")
-        gauge("warm_hits_total", snapshot["warm_hits_total"], "counter")
-        gauge("failed_total", snapshot["failed_total"], "counter")
-        gauge("rejected_total", snapshot["rejected_total"], "counter")
-        gauge("malformed_total", snapshot["malformed_total"], "counter")
-        gauge("redirects_total", snapshot["redirects_total"], "counter")
-        gauge("retries_total", snapshot["retries_total"], "counter")
-        gauge("quarantined_total", snapshot["quarantined_total"],
-              "counter")
-        gauge("worker_restarts_total",
-              snapshot["worker_restarts_total"], "counter")
-        gauge("journal_errors_total",
-              snapshot["journal_errors_total"], "counter")
-        gauge("rebucket_passes_total",
-              snapshot["rebucket_passes_total"], "counter")
-        gauge("injected_faults_total", faultinject.injected_total(),
-              "counter")
-        gauge("degraded", 1 if health["status"] == "degraded" else 0)
-        gauge("queue_depth", health["queue_depth"])
-        gauge("in_flight", health["in_flight"])
-        gauge("verdicts_per_second", snapshot["verdicts_per_second"])
-        gauge("warm_hit_rate", snapshot["warm_hit_rate"])
-        gauge("uptime_seconds", snapshot["uptime_seconds"])
-        lines.append("# TYPE res_intake_latency_seconds summary")
-        lines.append('res_intake_latency_seconds{quantile="0.5"} '
-                     f"{snapshot['latency_p50']}")
-        lines.append('res_intake_latency_seconds{quantile="0.95"} '
-                     f"{snapshot['latency_p95']}")
+        for name, kind, help_text, samples in sorted(families):
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.extend(samples)
         return "\n".join(lines) + "\n"

@@ -20,6 +20,10 @@ Endpoints (all JSON unless noted):
 * ``GET /healthz`` — liveness + queue/in-flight gauges and the
   degraded/disk signals.
 * ``GET /metrics`` — Prometheus text exposition.
+* ``GET /trace/<id>`` — flight-recorder spans for a job id or trace
+  id; ``?local=1`` skips the fleet-wide peer merge (peers use it to
+  answer each other without recursing).  404 = unknown id or tracing
+  was off for it.
 * ``POST /shutdown`` — ``{"drain": bool}``; asks the serving loop to
   stop (drain first when requested).
 
@@ -35,7 +39,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from repro import faultinject
+from repro import faultinject, obs
 from repro.service.daemon import TriageDaemon
 from repro.service.jobs import node_of
 
@@ -160,6 +164,17 @@ class IntakeRequestHandler(BaseHTTPRequestHandler):
         elif path.startswith("/reports/"):
             self._send_json(
                 200, daemon.report_payload(path[len("/reports/"):]))
+        elif path.startswith("/trace/"):
+            query = self.path.partition("?")[2]
+            local_only = "local=1" in query.split("&")
+            payload = daemon.trace_payload(path[len("/trace/"):],
+                                           local_only=local_only)
+            if payload is None:
+                self._send_json(
+                    404, {"error": "no trace for that id (tracing off, "
+                                   "unsampled, or unknown)"})
+            else:
+                self._send_json(200, payload)
         else:
             self._send_json(404, {"error": f"no route for {path}"})
 
@@ -188,7 +203,8 @@ class IntakeRequestHandler(BaseHTTPRequestHandler):
                     report_id=payload.get("report_id"),
                     true_cause=payload.get("true_cause"),
                     priority=priority,
-                    force=bool(payload.get("force", False)))
+                    force=bool(payload.get("force", False)),
+                    trace_id=self.headers.get(obs.TRACE_HEADER))
             except OSError as exc:
                 # Spool trouble (ENOSPC, ...): answer 503 instead of
                 # dropping the connection — a dropped connection reads

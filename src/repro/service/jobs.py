@@ -143,8 +143,19 @@ class IntakeJob:
     #: the job re-queued meanwhile) is discarded instead of racing the
     #: retry's own settle
     claim: int = 0
+    #: flight-recorder trace id (PR 10); None for unsampled jobs.
+    #: Journaled with the submit row so a SIGKILL'd daemon's replay
+    #: re-emits the *same* trace — deterministic span ids make the
+    #: re-emission converge instead of duplicating.
+    trace_id: Optional[str] = None
     _dump: Optional[Coredump] = field(default=None, repr=False)
     _dedup_key: Optional[tuple] = field(default=None, repr=False)
+    #: wall-clock of the last (re-)enqueue, feeding the ``queue-N``
+    #: span; transient — never journaled
+    _obs_enqueued: float = field(default=0.0, repr=False)
+    #: wall-clock of the last claim, feeding the ``attempt-N`` span;
+    #: transient — never journaled
+    _obs_claimed: float = field(default=0.0, repr=False)
 
     def coredump(self) -> Coredump:
         if self._dump is None:
@@ -214,6 +225,8 @@ class IntakeJob:
         }
         if self.dedup_of is not None:
             payload["dedup_of"] = self.dedup_of
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         if self.error is not None:
             payload["error"] = self.error
         if self.attempts > 1 or self.worker_crashes > 0:
@@ -415,6 +428,8 @@ class JobJournal:
             "submitted_at": submit.get("submitted_at", 0.0),
             "program": submit.get("program"),
         }
+        if submit.get("trace") is not None:
+            row["trace"] = submit["trace"]
         if kind == "done":
             row.update({
                 "cause": settle.get("cause"),
@@ -466,6 +481,10 @@ class JobJournal:
             # into ties, which per-node seq can no longer break alone).
             "submitted_at": round(job.submitted_at, 6),
         }
+        if job.trace_id is not None:
+            # Additive and optional: unsampled jobs keep the exact
+            # pre-PR-10 row shape, and old journals replay unchanged.
+            row["trace"] = job.trace_id
         if dedup_ref is not None \
                 and dedup_ref.fingerprint == job.fingerprint:
             row["core_ref"] = dedup_ref.job_id
@@ -601,6 +620,7 @@ class JobJournal:
                     true_cause=row.get("true_cause"),
                     force=bool(row.get("force", False)),
                     submitted_at=float(row.get("submitted_at", 0.0)),
+                    trace_id=row.get("trace"),
                 )
             except (KeyError, TypeError, ValueError):
                 continue  # damaged row: recompute rather than guess

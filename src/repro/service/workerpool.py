@@ -28,9 +28,20 @@ worker slot) still runs the PR 6 claim/release protocol:
 
 Wire protocol (one duplex pipe per worker, pickled tuples):
 
-    parent -> child   ("task", program, report, fingerprint, bypass)
-    child  -> parent  ("ok", TriagedReport) | ("error", "Type: msg")
+    parent -> child   ("task", program, report, fingerprint, bypass,
+                       trace)
+    child  -> parent  ("ok", TriagedReport)
+                      | ("ok", TriagedReport, phases)   traced task
+                      | ("error", "Type: msg")
     parent -> child   ("stop",)
+
+``trace`` is the job's trace id (None when the flight recorder is not
+sampling — the overwhelmingly common case); a traced task's reply
+carries the drive's per-phase timings as plain
+``(phase, seconds, attrs)`` tuples, which the proxy exposes on
+:attr:`last_phases` for the daemon to mint spans from.  Both pipe
+ends run the same code image (fork), so the tuple extension needs no
+version negotiation.
 
 A child that dies mid-task closes the pipe; the proxy sees
 EOF/EPIPE and reports :class:`WorkerProcessDied`.  Anything the child
@@ -119,6 +130,9 @@ class ThreadExecutor:
         self._session = StreamingTriage(
             config, chain=chain if chain is not None
             else config.cache_chain())
+        #: per-phase timings of the last traced task (see the module
+        #: docstring's wire protocol); [] for untraced tasks
+        self.last_phases: list = []
 
     @property
     def alive(self) -> bool:
@@ -126,11 +140,16 @@ class ThreadExecutor:
 
     def run(self, program: ProgramSpec, report: BugReport,
             fingerprint: Optional[str] = None,
-            bypass_cache: bool = False) -> TriagedReport:
+            bypass_cache: bool = False,
+            trace: Optional[str] = None) -> TriagedReport:
+        self.last_phases = []
         try:
-            return self._session.triage_one(
+            triaged = self._session.triage_one(
                 program, report, fingerprint=fingerprint,
-                bypass_cache=bypass_cache)
+                bypass_cache=bypass_cache, trace=trace)
+            if trace is not None:
+                self.last_phases = list(self._session.last_phases)
+            return triaged
         except KeyboardInterrupt:
             raise
         except faultinject.WorkerCrashError:
@@ -166,11 +185,11 @@ def _child_main(conn, config: TriageServiceConfig) -> None:
                 break
             if not msg or msg[0] == "stop":
                 break
-            __, program, report, fingerprint, bypass = msg
+            __, program, report, fingerprint, bypass, trace = msg
             try:
                 triaged = session.triage_one(
                     program, report, fingerprint=fingerprint,
-                    bypass_cache=bypass)
+                    bypass_cache=bypass, trace=trace)
             except KeyboardInterrupt:
                 break
             except faultinject.WorkerCrashError:
@@ -184,7 +203,11 @@ def _child_main(conn, config: TriageServiceConfig) -> None:
                     break
                 continue
             try:
-                conn.send(("ok", triaged))
+                if trace is not None:
+                    conn.send(("ok", triaged,
+                               list(session.last_phases)))
+                else:
+                    conn.send(("ok", triaged))
             except (OSError, ValueError):
                 break
             # After the reply, not before: solver snapshots are a
@@ -215,6 +238,9 @@ class ProcessExecutor:
                                  daemon=True)
         self._proc.start()
         child_conn.close()  # the child's end lives in the child only
+        #: per-phase timings of the last traced task, relayed from the
+        #: child's reply; [] for untraced tasks
+        self.last_phases: list = []
 
     @property
     def alive(self) -> bool:
@@ -226,21 +252,25 @@ class ProcessExecutor:
 
     def run(self, program: ProgramSpec, report: BugReport,
             fingerprint: Optional[str] = None,
-            bypass_cache: bool = False) -> TriagedReport:
+            bypass_cache: bool = False,
+            trace: Optional[str] = None) -> TriagedReport:
+        self.last_phases = []
         try:
             self._conn.send(("task", program, report, fingerprint,
-                             bypass_cache))
+                             bypass_cache, trace))
             reply = self._conn.recv()
         except (EOFError, OSError) as exc:
             raise WorkerProcessDied(
                 f"worker process pid={self._proc.pid} died mid-drive "
                 f"({type(exc).__name__})") from exc
-        if not isinstance(reply, tuple) or len(reply) != 2:
+        if not isinstance(reply, tuple) or len(reply) not in (2, 3):
             raise WorkerProcessDied(
                 f"worker process pid={self._proc.pid} sent a garbled "
                 f"reply")
-        status, payload = reply
+        status, payload = reply[0], reply[1]
         if status == "ok":
+            if len(reply) == 3 and isinstance(reply[2], list):
+                self.last_phases = reply[2]
             return payload
         raise TriageTaskError(str(payload))
 

@@ -208,6 +208,67 @@ def test_worker_crash_is_retried_to_verdict(tmp_path):
     assert snapshot["worker_restarts_total"] >= 1
 
 
+def test_traced_retry_records_every_attempt(tmp_path):
+    """The flight recorder must not flatter a bumpy job: a traced job
+    whose first worker died shows attempt-1 as a worker-crash AND
+    attempt-2 as the settle — every attempt, not just the last."""
+    from repro import obs
+
+    with faultinject.injected({"seed": 1, "sites": {
+            "worker.task": {"at": [0], "kinds": ["crash"], "max": 1}}}):
+        obs.activate(1.0)
+        try:
+            daemon = _daemon(tmp_path, workers=1)
+            daemon.start()
+            program, core = _figure1_submission()
+            status, body = daemon.submit(program, core,
+                                         report_id="bumpy-traced")
+            assert status == 202 and body.get("trace_id")
+            assert daemon.wait_idle(60)
+            daemon.shutdown(drain=True)
+        finally:
+            obs.deactivate()
+    assert daemon.job_payload(body["job_id"])["attempts"] == 2
+    spans = daemon.trace_payload(body["job_id"])["spans"]
+    by_name = {span["name"]: span for span in spans}
+    assert by_name["attempt-1"]["attrs"]["outcome"] == "worker-crash"
+    assert "error" in by_name["attempt-1"]["attrs"]
+    assert by_name["attempt-2"]["attrs"]["outcome"] == "ok"
+    # Each attempt waited in the queue once: two queue spans.
+    assert "queue-1" in by_name and "queue-2" in by_name
+    assert by_name["job"]["attrs"]["state"] == "done"
+    assert by_name["job"]["attrs"]["attempts"] == 2
+
+
+def test_quarantined_trace_shows_every_attempt(tmp_path):
+    """A poison job's trace ends at quarantine with one attempt span
+    per worker it killed — the operator's post-mortem of the fuse."""
+    from repro import obs
+
+    program, core = _figure1_submission()
+    with faultinject.injected({"seed": 2, "sites": {
+            "worker.task": {"prob": 1.0, "kinds": ["crash"]}}}):
+        obs.activate(1.0)
+        try:
+            daemon = _daemon(tmp_path, workers=1, quarantine_after=2)
+            daemon.start()
+            status, body = daemon.submit(program, core,
+                                         report_id="poison-traced")
+            assert status == 202
+            assert daemon.wait_idle(60)
+            daemon.shutdown()
+        finally:
+            obs.deactivate()
+    assert daemon.job_payload(body["job_id"])["state"] == "quarantined"
+    spans = daemon.trace_payload(body["job_id"])["spans"]
+    by_name = {span["name"]: span for span in spans}
+    assert by_name["attempt-1"]["attrs"]["outcome"] == "worker-crash"
+    assert by_name["attempt-2"]["attrs"]["outcome"] == "worker-crash"
+    root = by_name["job"]
+    assert root["attrs"]["state"] == "quarantined"
+    assert "error" in root["attrs"]
+
+
 def test_poison_job_quarantined_with_dependents(tmp_path):
     """A job that kills every worker that touches it must settle as
     quarantined — with diagnostics — instead of crash-looping the
